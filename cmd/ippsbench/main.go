@@ -1,0 +1,239 @@
+// Command ippsbench regenerates every table and figure of the paper's
+// evaluation, plus the extension experiments, as text tables or CSV.
+//
+// Usage:
+//
+//	ippsbench                  # everything (Figures 3-6, E1-E8)
+//	ippsbench -run f3,f5       # just Figure 3 and Figure 5
+//	ippsbench -run e1 -format csv
+//	ippsbench -list            # list available experiment ids
+//
+// Each experiment is deterministic: repeated runs print identical numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+type experiment struct {
+	id, title string
+	run       func(base core.Config, csv bool) (string, error)
+}
+
+func figure(f func(core.Config) (*experiments.Figure, error)) func(core.Config, bool) (string, error) {
+	return func(base core.Config, csv bool) (string, error) {
+		fig, err := f(base)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return fig.CSV(), nil
+		}
+		return fig.Table(), nil
+	}
+}
+
+var all = []experiment{
+	{"f3", "Figure 3: matmul, fixed architecture", figure(experiments.Figure3)},
+	{"f4", "Figure 4: matmul, adaptive architecture", figure(experiments.Figure4)},
+	{"f5", "Figure 5: sort, fixed architecture", figure(experiments.Figure5)},
+	{"f6", "Figure 6: sort, adaptive architecture", figure(experiments.Figure6)},
+	{"e1", "E1: service-time variance sensitivity", func(base core.Config, csv bool) (string, error) {
+		points, err := experiments.VarianceSweep(experiments.DefaultCVs, base)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return experiments.VarianceCSV(points), nil
+		}
+		return experiments.VarianceTable(points), nil
+	}},
+	{"e2", "E2: wormhole routing ablation", func(base core.Config, csv bool) (string, error) {
+		cells, err := experiments.WormholeAblation(base)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return experiments.AblationCSV(cells), nil
+		}
+		return experiments.AblationTable(cells), nil
+	}},
+	{"e3", "E3: basic quantum sweep", func(base core.Config, csv bool) (string, error) {
+		points, err := experiments.QuantumSweep(experiments.DefaultQuanta, base)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return experiments.QuantumCSV(points), nil
+		}
+		return experiments.QuantumTable(points), nil
+	}},
+	{"e4", "E4: RR-job vs RR-process fairness", func(base core.Config, csv bool) (string, error) {
+		r, err := experiments.RunRRComparison(base)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return experiments.RRCSV(r), nil
+		}
+		return experiments.RRTable(r), nil
+	}},
+	{"e5", "E5: multiprogramming level tuning", func(base core.Config, csv bool) (string, error) {
+		points, err := experiments.MPLSweep(experiments.DefaultMPLs, base)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return experiments.MPLCSV(points), nil
+		}
+		return experiments.MPLTable(points), nil
+	}},
+	{"e6", "E6: open-system load sweep (static/hybrid/dynamic)", func(base core.Config, csv bool) (string, error) {
+		points, err := experiments.OpenLoadSweep(experiments.DefaultLoads, base)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return experiments.LoadCSV(points), nil
+		}
+		return experiments.LoadTable(points), nil
+	}},
+	{"e7", "E7: gang scheduling vs RR-job", func(base core.Config, csv bool) (string, error) {
+		cells, err := experiments.GangVsRRJob(base)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return experiments.GangCSV(cells), nil
+		}
+		return experiments.GangTable(cells), nil
+	}},
+	{"e8", "E8: topology stress with the halo-exchange stencil", func(base core.Config, csv bool) (string, error) {
+		cells, err := experiments.StencilTopology(base)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return experiments.StencilCSV(cells), nil
+		}
+		return experiments.StencilTable(cells), nil
+	}},
+	{"e9", "E9: machine-size scalability (16-64 nodes)", func(base core.Config, csv bool) (string, error) {
+		cells, err := experiments.Scalability(experiments.DefaultScales, base)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return experiments.ScaleCSV(cells), nil
+		}
+		return experiments.ScaleTable(cells), nil
+	}},
+	{"e10", "E10: binomial-tree broadcast ablation", func(base core.Config, csv bool) (string, error) {
+		cells, err := experiments.BroadcastAblation(base)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return experiments.BroadcastCSV(cells), nil
+		}
+		return experiments.BroadcastTable(cells), nil
+	}},
+	{"e11", "E11: sort-algorithm ablation (selection vs merge)", func(base core.Config, csv bool) (string, error) {
+		cells, err := experiments.SortAlgorithmAblation(base)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return experiments.SortAlgCSV(cells), nil
+		}
+		return experiments.SortAlgTable(cells), nil
+	}},
+	{"e12", "E12: butterfly all-reduce vs topology", func(base core.Config, csv bool) (string, error) {
+		cells, err := experiments.CollectiveTopology(base)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return experiments.CollectiveCSV(cells), nil
+		}
+		return experiments.CollectiveTable(cells), nil
+	}},
+}
+
+func main() {
+	runList := flag.String("run", "all", "comma-separated experiment ids (f3..f6, e1..e12) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "table", "output format: table or csv")
+	seed := flag.Int64("seed", 0, "simulation seed")
+	quiet := flag.Bool("q", false, "suppress timing lines")
+	flag.Parse()
+
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	csv := false
+	switch *format {
+	case "table":
+	case "csv":
+		csv = true
+	default:
+		fmt.Fprintf(os.Stderr, "ippsbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	wanted := map[string]bool{}
+	if *runList != "all" {
+		for _, id := range strings.Split(*runList, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+		for id := range wanted {
+			if !knownID(id) {
+				fmt.Fprintf(os.Stderr, "ippsbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+
+	base := core.Config{Seed: *seed}
+	start := time.Now()
+	for _, e := range all {
+		if *runList != "all" && !wanted[e.id] {
+			continue
+		}
+		t0 := time.Now()
+		out, err := e.run(base, csv)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ippsbench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if csv {
+			fmt.Printf("# %s — %s\n", e.id, e.title)
+		}
+		fmt.Println(out)
+		if !*quiet {
+			fmt.Printf("(%s in %s)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	if !*quiet {
+		fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func knownID(id string) bool {
+	for _, e := range all {
+		if e.id == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+// Command sweep runs the cartesian product of scheduling configurations and
+// emits one CSV row per run — the workhorse for custom studies beyond the
+// canned experiments of cmd/ippsbench.
+//
+// Dimensions take comma-separated lists; every combination is simulated.
+//
+//	sweep -policies static,ts -partitions 2,4,8 -topos linear,mesh -apps matmul
+//	sweep -policies static,ts,gang,dynamic -apps stencil -archs fixed -quanta 1000,2000,5000
+//
+// Output columns: policy,partition,topology,app,arch,quantum_us,mean_s,
+// max_s,makespan_s,util,overhead,mem_blocked_s,messages,avg_hops.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		policies   = flag.String("policies", "static,ts", "scheduling policies")
+		partitions = flag.String("partitions", "4,16", "partition sizes")
+		topos      = flag.String("topos", "linear,mesh", "topologies")
+		apps       = flag.String("apps", "matmul", "applications")
+		archs      = flag.String("archs", "fixed", "software architectures")
+		quanta     = flag.String("quanta", "0", "basic quanta in µs (0 = hardware)")
+		mode       = flag.String("mode", "saf", "switching mode for all runs")
+		seed       = flag.Int64("seed", 0, "simulation seed")
+	)
+	flag.Parse()
+
+	md, err := comm.ParseMode(*mode)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Println("policy,partition,topology,app,arch,quantum_us,mean_s,max_s,makespan_s,util,overhead,mem_blocked_s,messages,avg_hops")
+	for _, pol := range split(*policies) {
+		policy, err := sched.ParsePolicy(pol)
+		if err != nil {
+			fail(err)
+		}
+		for _, ps := range split(*partitions) {
+			psize, err := strconv.Atoi(ps)
+			if err != nil {
+				fail(fmt.Errorf("partition %q: %w", ps, err))
+			}
+			for _, tp := range split(*topos) {
+				kind, err := topology.ParseKind(tp)
+				if err != nil {
+					fail(err)
+				}
+				for _, ap := range split(*apps) {
+					appKind, err := core.ParseApp(ap)
+					if err != nil {
+						fail(err)
+					}
+					for _, ar := range split(*archs) {
+						arch, err := workload.ParseArch(ar)
+						if err != nil {
+							fail(err)
+						}
+						for _, qs := range split(*quanta) {
+							quantum, err := strconv.ParseInt(qs, 10, 64)
+							if err != nil {
+								fail(fmt.Errorf("quantum %q: %w", qs, err))
+							}
+							runOne(policy, psize, kind, appKind, arch, sim.Time(quantum), md, *seed)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func runOne(policy sched.Policy, psize int, kind topology.Kind, app core.AppKind,
+	arch workload.Arch, quantum sim.Time, mode comm.Mode, seed int64) {
+	cfg := core.Config{
+		PartitionSize: psize,
+		Topology:      kind,
+		Policy:        policy,
+		App:           app,
+		Arch:          arch,
+		Mode:          mode,
+		BasicQuantum:  quantum,
+		Seed:          seed,
+	}
+	if policy == sched.DynamicSpace {
+		cfg.PartitionSize = 0 // dynamic ignores fixed partitioning
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v %d%s %v %v: %v\n", policy, psize, kind.Letter(), app, arch, err)
+		return
+	}
+	fmt.Printf("%s,%d,%s,%s,%s,%d,%.6f,%.6f,%.6f,%.4f,%.4f,%.6f,%d,%.2f\n",
+		policy, psize, kind, app, arch, int64(quantum),
+		res.MeanResponse().Seconds(), res.MaxResponse().Seconds(), res.Makespan.Seconds(),
+		res.CPUUtilization(), res.SystemOverheadFraction(), res.TotalMemBlockedTime().Seconds(),
+		res.Net.Messages, res.Net.AvgHops())
+}
+
+func split(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(2)
+}

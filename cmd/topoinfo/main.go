@@ -1,0 +1,86 @@
+// Command topoinfo inspects the partition interconnection topologies: node
+// degrees, diameters, average routed distance, adjacency, and example
+// routes. Useful for understanding why the linear array punishes the
+// time-sharing policies while the hypercube barely notices.
+//
+// Examples:
+//
+//	topoinfo                       # summary of all kinds at all paper sizes
+//	topoinfo -kind mesh -n 16      # details for the 4x4 mesh
+//	topoinfo -kind linear -n 8 -route 0:7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	kindFlag := flag.String("kind", "", "topology kind (linear/ring/mesh/hypercube); empty = summary table")
+	n := flag.Int("n", 16, "partition size")
+	route := flag.String("route", "", "show the route between two nodes, e.g. 0:15")
+	flag.Parse()
+
+	if *kindFlag == "" {
+		summary()
+		return
+	}
+	kind, err := topology.ParseKind(*kindFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topoinfo:", err)
+		os.Exit(2)
+	}
+	g, err := topology.Build(kind, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topoinfo:", err)
+		os.Exit(2)
+	}
+	details(g)
+	if *route != "" {
+		var a, b int
+		if _, err := fmt.Sscanf(*route, "%d:%d", &a, &b); err != nil || a < 0 || b < 0 || a >= g.N || b >= g.N {
+			fmt.Fprintf(os.Stderr, "topoinfo: bad -route %q\n", *route)
+			os.Exit(2)
+		}
+		path := g.Path(a, b)
+		fmt.Printf("\nroute %d -> %d (%d hops): %v\n", a, b, g.Dist(a, b), path)
+	}
+}
+
+func summary() {
+	fmt.Printf("%-10s %-5s %-8s %-9s %-8s %-9s\n", "kind", "size", "label", "diameter", "avgdist", "maxdegree")
+	for _, kind := range topology.Kinds() {
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			g, err := topology.Build(kind, n)
+			if err != nil {
+				continue
+			}
+			note := ""
+			if kind == topology.Hypercube && n == 16 {
+				note = " (not buildable on the paper's system: host-link transputer)"
+			}
+			fmt.Printf("%-10s %-5d %-8s %-9d %-8.2f %-9d%s\n",
+				kind, n, g.Label(), g.Diameter(), g.AvgDist(), g.MaxDegree(), note)
+		}
+	}
+}
+
+func details(g *topology.Graph) {
+	fmt.Printf("%s, %d nodes (label %s)\n", g.Kind, g.N, g.Label())
+	if g.Kind == topology.Mesh {
+		fmt.Printf("shape: %d x %d\n", g.Rows, g.Cols)
+	}
+	fmt.Printf("diameter: %d, average distance: %.2f, max degree: %d\n", g.Diameter(), g.AvgDist(), g.MaxDegree())
+	fmt.Println("adjacency:")
+	for i := 0; i < g.N; i++ {
+		nbs := make([]string, 0, g.Degree(i))
+		for _, nb := range g.Neighbors(i) {
+			nbs = append(nbs, fmt.Sprint(nb))
+		}
+		fmt.Printf("  node %2d (degree %d): %s\n", i, g.Degree(i), strings.Join(nbs, " "))
+	}
+}

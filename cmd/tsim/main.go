@@ -1,0 +1,175 @@
+// Command tsim runs a single scheduling configuration on the simulated
+// 16-node Transputer system and reports detailed metrics: per-job response
+// times, per-node utilization, memory contention, and network counters.
+//
+// Examples:
+//
+//	tsim                                          # pure TS, matmul, fixed
+//	tsim -partition 4 -topo mesh -policy static -app sort -arch adaptive
+//	tsim -policy ts -trace -tracecat job          # narrate job lifecycle
+//	tsim -mode wormhole -partition 8 -topo hypercube
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		partition = flag.Int("partition", 16, "partition size (1,2,4,8,16)")
+		topo      = flag.String("topo", "linear", "topology: linear/ring/mesh/hypercube (or L/R/M/H)")
+		policy    = flag.String("policy", "ts", "policy: static, ts (RR-job / hybrid), rr-process, gang, dynamic")
+		app       = flag.String("app", "matmul", "application: matmul, sort or stencil")
+		arch      = flag.String("arch", "fixed", "software architecture: fixed or adaptive")
+		mode      = flag.String("mode", "saf", "switching: saf (store-and-forward) or wormhole")
+		order     = flag.String("order", "submission", "batch order: submission, smallest-first, largest-first")
+		quantum   = flag.Int64("quantum", 0, "basic quantum q in µs (0 = hardware 2ms)")
+		mpl       = flag.Int("mpl", 0, "max resident jobs per partition (0 = unlimited)")
+		seed      = flag.Int64("seed", 0, "simulation seed")
+		doTrace   = flag.Bool("trace", false, "print an event trace")
+		sample    = flag.Int64("sample", 0, "sample utilization every N µs and print a timeline (0 = off)")
+		traceCat  = flag.String("tracecat", "", "only trace this category (job, msg, load)")
+		perNode   = flag.Bool("nodes", false, "print per-node usage")
+		hist      = flag.Int("hist", 0, "print a response-time histogram with N buckets (0 = off)")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*partition, *topo, *policy, *app, *arch, *mode, *order, *quantum, *mpl, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsim:", err)
+		os.Exit(2)
+	}
+	var log *trace.Log
+	if *doTrace {
+		log = &trace.Log{}
+		cfg.Tracer = log
+	}
+	cfg.SampleEvery = sim.Time(*sample)
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("configuration: %s\n\n", res.Label)
+	fmt.Println("jobs (completion order):")
+	fmt.Printf("  %-4s %-6s %-6s %-10s %-12s %-12s %-12s\n", "id", "class", "procs", "partition", "started", "completed", "response")
+	for _, j := range res.Jobs {
+		fmt.Printf("  %-4d %-6s %-6d %-10d %-12s %-12s %-12s\n",
+			j.JobID, j.Class, j.Processes, j.Partition, j.Started, j.Completed, j.Response())
+	}
+	fmt.Println()
+	fmt.Printf("mean response:   %s\n", res.MeanResponse())
+	for _, class := range sortedKeys(res.MeanResponseByClass()) {
+		fmt.Printf("  %-8s       %s\n", class+":", res.MeanResponseByClass()[class])
+	}
+	fmt.Printf("p50 / p95:       %s / %s\n", res.ResponsePercentile(50), res.ResponsePercentile(95))
+	fmt.Printf("max response:    %s\n", res.MaxResponse())
+	fmt.Printf("makespan:        %s\n", res.Makespan)
+	fmt.Printf("cpu utilization: %.1f%%\n", 100*res.CPUUtilization())
+	fmt.Printf("system overhead: %.1f%% of busy time\n", 100*res.SystemOverheadFraction())
+	fmt.Printf("memory blocked:  %s total, peak node %d bytes\n", res.TotalMemBlockedTime(), res.PeakMemory())
+	fmt.Printf("messages:        %d (%.1f hops avg, %s latency avg, %d payload bytes)\n",
+		res.Net.Messages, res.Net.AvgHops(), res.Net.AvgLatency(), res.Net.PayloadBytes)
+	fmt.Printf("links:           %s busy total, hottest direction %s, %s queued; host link %s\n",
+		res.Net.LinkBusy, res.Net.MaxLinkBusy, res.Net.LinkWait, res.Net.HostBusy)
+
+	if *hist > 0 {
+		fmt.Println("\nresponse-time histogram:")
+		fmt.Print(metrics.RenderHistogram(res.ResponseHistogram(*hist)))
+	}
+
+	if len(res.Timeline) > 0 {
+		fmt.Printf("\nutilization timeline (%d samples, mean %.0f%%):\n", len(res.Timeline), 100*res.Timeline.MeanBusy())
+		fmt.Printf("  [%s]\n", res.Timeline.Sparkline(72))
+	}
+
+	if *perNode {
+		fmt.Println("\nper-node usage:")
+		fmt.Printf("  %-5s %-12s %-12s %-8s %-12s %-12s\n", "node", "busy-low", "busy-high", "preempt", "mem-peak", "mem-blocked")
+		for _, n := range res.Nodes {
+			fmt.Printf("  %-5d %-12s %-12s %-8d %-12d %-12s\n",
+				n.Node, n.BusyLow, n.BusyHigh, n.Preemptions, n.MemPeak, n.MemBlockedTime)
+		}
+	}
+
+	if log != nil {
+		fmt.Println("\ntrace:")
+		events := log.Events()
+		if *traceCat != "" {
+			events = log.Filter(*traceCat)
+		}
+		for _, e := range events {
+			fmt.Println(" ", e)
+		}
+	}
+}
+
+func buildConfig(partition int, topo, policy, app, arch, mode, order string, quantum int64, mpl int, seed int64) (core.Config, error) {
+	var cfg core.Config
+	kind, err := topology.ParseKind(topo)
+	if err != nil {
+		return cfg, err
+	}
+	pol, err := sched.ParsePolicy(policy)
+	if err != nil {
+		return cfg, err
+	}
+	ak, err := core.ParseApp(app)
+	if err != nil {
+		return cfg, err
+	}
+	ar, err := workload.ParseArch(arch)
+	if err != nil {
+		return cfg, err
+	}
+	md, err := comm.ParseMode(mode)
+	if err != nil {
+		return cfg, err
+	}
+	var ord core.Order
+	switch order {
+	case "submission":
+		ord = core.Submission
+	case "smallest-first", "sf":
+		ord = core.SmallestFirst
+	case "largest-first", "lf":
+		ord = core.LargestFirst
+	default:
+		return cfg, fmt.Errorf("unknown order %q", order)
+	}
+	return core.Config{
+		PartitionSize: partition,
+		Topology:      kind,
+		Policy:        pol,
+		App:           ak,
+		Arch:          ar,
+		Mode:          md,
+		Order:         ord,
+		BasicQuantum:  sim.Time(quantum),
+		MaxResident:   mpl,
+		Seed:          seed,
+	}, nil
+}
+
+func sortedKeys(m map[string]sim.Time) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

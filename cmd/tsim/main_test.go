@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func TestBuildConfigDefaults(t *testing.T) {
+	cfg, err := buildConfig(16, "linear", "ts", "matmul", "fixed", "saf", "submission", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PartitionSize != 16 || cfg.Topology != topology.Linear ||
+		cfg.Policy != sched.TimeShared || cfg.Arch != workload.Fixed ||
+		cfg.Mode != comm.StoreForward {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestBuildConfigAllDimensions(t *testing.T) {
+	cfg, err := buildConfig(8, "H", "gang", "stencil", "adaptive", "wormhole", "largest-first", 5000, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology != topology.Hypercube || cfg.Policy != sched.Gang ||
+		cfg.Mode != comm.Wormhole || cfg.BasicQuantum != 5000*sim.Microsecond ||
+		cfg.MaxResident != 2 || cfg.Seed != 7 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.App.String() != "stencil" || cfg.Arch != workload.Adaptive {
+		t.Errorf("app/arch = %v/%v", cfg.App, cfg.Arch)
+	}
+}
+
+func TestBuildConfigErrors(t *testing.T) {
+	cases := [][]string{
+		{"butterfly", "ts", "matmul", "fixed", "saf", "submission"},
+		{"mesh", "lottery", "matmul", "fixed", "saf", "submission"},
+		{"mesh", "ts", "raytrace", "fixed", "saf", "submission"},
+		{"mesh", "ts", "matmul", "elastic", "saf", "submission"},
+		{"mesh", "ts", "matmul", "fixed", "pigeon", "submission"},
+		{"mesh", "ts", "matmul", "fixed", "saf", "random"},
+	}
+	for _, c := range cases {
+		if _, err := buildConfig(4, c[0], c[1], c[2], c[3], c[4], c[5], 0, 0, 0); err == nil {
+			t.Errorf("buildConfig(%v) should fail", c)
+		}
+	}
+}
+
+func TestBuildConfigOrders(t *testing.T) {
+	for s, want := range map[string]interface{ String() string }{
+		"submission":     nil,
+		"smallest-first": nil,
+		"sf":             nil,
+		"largest-first":  nil,
+		"lf":             nil,
+	} {
+		_ = want
+		if _, err := buildConfig(4, "mesh", "ts", "matmul", "fixed", "saf", s, 0, 0, 0); err != nil {
+			t.Errorf("order %q rejected: %v", s, err)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Command validate regenerates the paper's evaluation and checks every
+// claim from its text against the simulator's output, printing a
+// reproduction certificate. Documented divergences (see EXPERIMENTS.md)
+// are expected and count as matches; the command exits non-zero only when
+// the data contradicts what EXPERIMENTS.md records.
+//
+//	go run ./cmd/validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 0, "simulation seed")
+	flag.Parse()
+
+	claims, err := experiments.ValidateAll(core.Config{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.CertificateTable(claims))
+	for _, c := range claims {
+		if !c.OK() {
+			os.Exit(1)
+		}
+	}
+}

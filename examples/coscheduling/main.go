@@ -1,0 +1,54 @@
+// coscheduling demonstrates the extension experiment E7: why gang
+// scheduling exists. The paper's RR-job policy time-shares each node
+// independently; with a tightly synchronized workload (the halo-exchanging
+// Jacobi stencil) a process's communication partner is usually descheduled
+// when its message arrives, so every sweep pays a scheduling round trip.
+// Gang scheduling coschedules a whole job's processes and removes that
+// penalty — for loosely-coupled jobs like the paper's matrix multiplication
+// it makes almost no difference.
+//
+//	go run ./examples/coscheduling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("Two time-sharing disciplines on 8-node mesh partitions, fixed architecture:")
+	fmt.Println("  rr-job — the paper's policy, per-node round robin with Q=(P/T)q")
+	fmt.Println("  gang   — coscheduling: one job runs at a time across the partition")
+	fmt.Println()
+	fmt.Printf("%-10s %14s %14s %12s\n", "app", "rr-job", "gang", "gang speedup")
+	for _, app := range []core.AppKind{core.MatMul, core.Stencil} {
+		rr := run(app, sched.TimeShared)
+		gang := run(app, sched.Gang)
+		fmt.Printf("%-10s %14s %14s %11.2fx\n", app, rr, gang, float64(rr)/float64(gang))
+	}
+	fmt.Println()
+	fmt.Println("The matmul distributes data once and computes independently, so it")
+	fmt.Println("doesn't care which discipline interleaves it. The stencil synchronizes")
+	fmt.Println("every sweep; under rr-job each halo exchange waits for a descheduled")
+	fmt.Println("partner's next quantum, and coscheduling wins decisively.")
+}
+
+func run(app core.AppKind, policy sched.Policy) sim.Time {
+	res, err := core.Run(core.Config{
+		PartitionSize: 8,
+		Topology:      topology.Mesh,
+		Policy:        policy,
+		App:           app,
+		Arch:          workload.Fixed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.MeanResponse()
+}

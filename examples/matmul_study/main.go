@@ -1,0 +1,62 @@
+// matmul_study walks through the paper's matrix-multiplication experiments
+// (Figures 3 and 4): how partition size, interconnection topology, and the
+// software architecture move the static-vs-time-sharing comparison, and
+// which system-level mechanisms (memory contention, router overhead) drive
+// the differences.
+//
+//	go run ./examples/matmul_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("Reproducing the matrix-multiplication figures (fork-and-join workload,")
+	fmt.Println("coordinator distributes matrix B to every worker plus a band of A rows).")
+	fmt.Println()
+
+	f3, err := experiments.Figure3(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f3.Table())
+
+	f4, err := experiments.Figure4(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f4.Table())
+
+	// Walk the paper's observations against the data.
+	fmt.Println("observations:")
+
+	one := f3.Find("1")
+	fmt.Printf("- at 16 partitions of 1 processor, the policies coincide: ratio %.2f\n", one.Ratio())
+
+	hybrid, pure := f3.Find("2L"), f3.Find("16L")
+	fmt.Printf("- hybrid (2L) mean %s vs pure time-sharing (16L) %s: %.1fx better\n",
+		hybrid.TS, pure.TS, float64(pure.TS)/float64(hybrid.TS))
+
+	fmt.Printf("- time-sharing memory blocking grows with partition size: 2L %s -> 8L %s -> 16L %s\n",
+		f3.Find("2L").TSMemBlocked, f3.Find("8L").TSMemBlocked, f3.Find("16L").TSMemBlocked)
+
+	// Fixed vs adaptive: B is replicated per process, so the fixed
+	// architecture moves much more data.
+	betterCells := 0
+	for _, c4 := range f4.Cells {
+		if c4.PartitionSize >= 16 {
+			continue
+		}
+		if c3 := f3.Find(c4.Label); c3 != nil && c4.TS < c3.TS {
+			betterCells++
+		}
+	}
+	fmt.Printf("- adaptive architecture beats fixed for time-sharing in %d of 13 sub-16 cells\n", betterCells)
+	_ = workload.Fixed // (architectures are compared across the two figures)
+}

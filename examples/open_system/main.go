@@ -1,0 +1,36 @@
+// open_system demonstrates the extension experiment E6: the paper evaluates
+// closed 16-job batches, but real machines see continuous arrivals. With
+// Poisson arrivals at increasing offered load, the fixed-partition policies
+// are compared with dynamic space-sharing, whose buddy allocator resizes
+// per-job processor blocks to the queue — the policy family the paper's
+// related work (Dussa et al.) studies but the paper never built.
+//
+//	go run ./examples/open_system
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Println("48 matrix multiplications arrive as a Poisson stream; offered load is")
+	fmt.Println("the arrival rate times mean demand over the machine's 16 processors.")
+	fmt.Println()
+
+	points, err := experiments.OpenLoadSweep(experiments.DefaultLoads, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.LoadTable(points))
+
+	light, heavy := points[0], points[len(points)-1]
+	fmt.Printf("at load %.2f fixed 4-node partitions win: a lightly loaded machine\n", light.Rho)
+	fmt.Println("rarely queues, and dynamic's big lone-job blocks make later arrivals wait.")
+	fmt.Printf("at load %.2f the picture flips: dynamic (%s) matches or beats the\n", heavy.Rho, heavy.Dynamic)
+	fmt.Printf("best fixed policy (static-4 %s, hybrid-4 %s) because it shrinks\n", heavy.Static4, heavy.Hybrid4)
+	fmt.Println("blocks as the queue grows — the classic adaptive-partitioning crossover.")
+}

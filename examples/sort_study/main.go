@@ -1,0 +1,60 @@
+// sort_study demonstrates the paper's §5.3 result: for the divide-and-
+// conquer sort, the FIXED software architecture (always 16 processes) beats
+// the ADAPTIVE one (processes = processors) — the opposite of matmul —
+// because the O(n²) selection-sort work phase shrinks superlinearly when
+// the array is cut into more pieces, while the merge phase is only O(n).
+//
+//	go run ./examples/sort_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("Divide-and-conquer sort: n/k sub-arrays cost (n/k)^2 each, so total")
+	fmt.Println("comparison work falls as 1/k — more processes help even beyond the")
+	fmt.Println("processor count. The merge phase is O(n) and cannot cancel this.")
+	fmt.Println()
+
+	fmt.Printf("%-10s %-12s %-22s %-22s\n", "partition", "topology", "fixed arch (16 procs)", "adaptive arch (p procs)")
+	for _, p := range []int{2, 4, 8} {
+		for _, kind := range []topology.Kind{topology.Linear, topology.Mesh} {
+			fixed := run(p, kind, workload.Fixed)
+			adaptive := run(p, kind, workload.Adaptive)
+			speedup := float64(adaptive) / float64(fixed)
+			fmt.Printf("%-10d %-12s %-22s %-22s (fixed %.1fx faster)\n",
+				p, kind, fixed, adaptive, speedup)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Under the static policy each partition runs one job exclusively, so")
+	fmt.Println("this is the pure software-architecture effect: the fixed program's")
+	fmt.Println("sixteen small selection sorts beat the adaptive program's few big ones")
+	fmt.Println("even though both use the same processors. The paper concludes the")
+	fmt.Println("fixed architecture 'is better suited to this type of applications'.")
+}
+
+// run reports the static-policy mean response for one configuration.
+func run(partition int, kind topology.Kind, arch workload.Arch) sim.Time {
+	cfg := core.Config{
+		PartitionSize: partition,
+		Topology:      kind,
+		Policy:        sched.Static,
+		App:           core.Sort,
+		Arch:          arch,
+	}
+	m, _, _, err := core.StaticAveraged(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,228 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Stats aggregates network-level counters for one partition network.
+type Stats struct {
+	// MessagesSent / MessagesDelivered count end-to-end messages.
+	MessagesSent, MessagesDelivered int64
+	// PayloadBytes is the total payload injected (headers excluded).
+	PayloadBytes int64
+	// Hops counts link traversals (0 for self-sends).
+	Hops int64
+	// TotalLatency accumulates send-to-delivery times for delivered
+	// messages.
+	TotalLatency sim.Time
+}
+
+// Network is the mailbox communication system over one partition: the subset
+// of machine nodes assigned to the partition, wired in a topology, with
+// store-and-forward router daemons (or wormhole worms) moving messages.
+type Network struct {
+	mach  *machine.Machine
+	k     *sim.Kernel
+	cost  machine.CostModel
+	mode  Mode
+	nodes []int // global node id per local index
+	graph *topology.Graph
+
+	links   map[[2]int]*machine.Link // key: local ids, lower first
+	routers []*router                // per local node
+	boxes   map[Addr]*Mailbox
+	nextBox []int
+
+	tracer trace.Tracer
+	stats  Stats
+}
+
+// NewNetwork wires the given global machine nodes (in partition-local order)
+// with the topology graph (which must have len(nodeIDs) nodes) and starts
+// the router daemons. Each network is independent: partitions do not share
+// links, matching the paper's per-partition switch configuration.
+func NewNetwork(mach *machine.Machine, nodeIDs []int, g *topology.Graph, mode Mode) *Network {
+	if g.N != len(nodeIDs) {
+		panic(fmt.Sprintf("comm: graph size %d != node count %d", g.N, len(nodeIDs)))
+	}
+	n := &Network{
+		mach:    mach,
+		k:       mach.K,
+		cost:    mach.Cost,
+		mode:    mode,
+		nodes:   append([]int(nil), nodeIDs...),
+		graph:   g,
+		links:   make(map[[2]int]*machine.Link),
+		boxes:   make(map[Addr]*Mailbox),
+		nextBox: make([]int, len(nodeIDs)),
+	}
+	for a := 0; a < g.N; a++ {
+		for _, b := range g.Neighbors(a) {
+			if b > a {
+				n.links[[2]int{a, b}] = machine.NewLink(n.k, nodeIDs[a], nodeIDs[b])
+			}
+		}
+	}
+	n.routers = make([]*router, g.N)
+	for i := range n.routers {
+		n.routers[i] = newRouter(n, i)
+	}
+	return n
+}
+
+// SetTracer installs an optional event tracer (nil disables tracing).
+func (n *Network) SetTracer(tr trace.Tracer) { n.tracer = tr }
+
+// Mode returns the switching mode.
+func (n *Network) Mode() Mode { return n.mode }
+
+// Graph returns the partition topology.
+func (n *Network) Graph() *topology.Graph { return n.graph }
+
+// Size returns the number of nodes in the partition.
+func (n *Network) Size() int { return len(n.nodes) }
+
+// GlobalNode maps a partition-local index to the machine node id.
+func (n *Network) GlobalNode(local int) int { return n.nodes[local] }
+
+// NodeOf returns the machine node backing a local index.
+func (n *Network) NodeOf(local int) *machine.Node { return n.mach.Node(n.nodes[local]) }
+
+// Stats returns a copy of the network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// LinkStats aggregates the physical-link counters over the partition:
+// total and maximum per-direction busy time, queue wait, transfers and
+// bytes carried.
+func (n *Network) LinkStats() (total, max machine.LinkStats) {
+	for _, l := range n.links {
+		for _, h := range []*machine.HalfLink{l.AtoB, l.BtoA} {
+			st := h.Stats()
+			total.BusyTime += st.BusyTime
+			total.WaitTime += st.WaitTime
+			total.Transfers += st.Transfers
+			total.Bytes += st.Bytes
+			if st.BusyTime > max.BusyTime {
+				max = st
+			}
+		}
+	}
+	return total, max
+}
+
+// link returns the half-link carrying traffic from local node a to adjacent
+// local node b.
+func (n *Network) link(a, b int) *machine.HalfLink {
+	key := [2]int{a, b}
+	if b < a {
+		key = [2]int{b, a}
+	}
+	l, ok := n.links[key]
+	if !ok {
+		panic(fmt.Sprintf("comm: no link between local nodes %d and %d", a, b))
+	}
+	return l.Dir(n.nodes[a])
+}
+
+// NewMailbox registers a mailbox on the given local node and returns it.
+func (n *Network) NewMailbox(local int) *Mailbox {
+	if local < 0 || local >= len(n.nodes) {
+		panic(fmt.Sprintf("comm: mailbox on node %d of %d", local, len(n.nodes)))
+	}
+	addr := Addr{Node: local, Box: n.nextBox[local]}
+	n.nextBox[local]++
+	b := &Mailbox{addr: addr}
+	n.boxes[addr] = b
+	return b
+}
+
+func (n *Network) mailbox(a Addr) *Mailbox {
+	b, ok := n.boxes[a]
+	if !ok {
+		panic(fmt.Sprintf("comm: send to unknown mailbox %v", a))
+	}
+	return b
+}
+
+// wireBytes is the buffer/wire footprint of a message.
+func (n *Network) wireBytes(m *Message) int64 {
+	return m.Bytes + n.cost.MsgHeaderBytes
+}
+
+// Send injects a message asynchronously. The calling process pays the send
+// overhead on its CPU task, then blocks only as long as the source node's
+// MMU makes it wait for the first buffer; the message then travels on its
+// own. Self-sends (src node == dst node) still traverse the mailbox router,
+// as on the real system.
+func (n *Network) Send(p *sim.Proc, task *machine.Task, m *Message) {
+	if _, ok := n.boxes[m.Dst]; !ok {
+		panic(fmt.Sprintf("comm: send to unknown mailbox %v", m.Dst))
+	}
+	if m.Bytes < 0 {
+		panic("comm: negative message size")
+	}
+	task.Compute(p, n.cost.SendOverhead)
+	m.SentAt = n.k.Now()
+	n.stats.MessagesSent++
+	n.stats.PayloadBytes += m.Bytes
+	trace.Emit(n.tracer, n.k.Now(), "msg", fmt.Sprintf("%s->%s", m.Src, m.Dst),
+		fmt.Sprintf("send %q %dB", m.Tag, m.Bytes))
+	switch n.mode {
+	case StoreForward:
+		// Reserve the source-node buffer, then hand off to the router.
+		n.NodeOf(m.Src.Node).Mem.Alloc(p, n.wireBytes(m), mem.ClassBuffer)
+		n.routers[m.Src.Node].enqueue(m)
+	case Wormhole:
+		n.sendWormhole(p, m)
+	default:
+		panic("comm: unknown mode")
+	}
+}
+
+// Recv blocks until a message arrives in box, charges the receive overhead,
+// and returns the message. The message's buffer remains allocated on the
+// receiving node until Release is called — received data the application
+// keeps is exactly memory it occupies.
+func (n *Network) Recv(p *sim.Proc, task *machine.Task, box *Mailbox) *Message {
+	m := box.take(p)
+	task.Compute(p, n.cost.RecvOverhead)
+	return m
+}
+
+// TryRecv returns the next queued message without blocking, or nil. The
+// receive overhead is charged only when a message is returned.
+func (n *Network) TryRecv(p *sim.Proc, task *machine.Task, box *Mailbox) *Message {
+	if box.Len() == 0 {
+		return nil
+	}
+	m := box.take(p)
+	task.Compute(p, n.cost.RecvOverhead)
+	return m
+}
+
+// Release frees the node memory held by a delivered message. Releasing twice
+// panics: that is a double-free in the workload.
+func (n *Network) Release(m *Message) {
+	if m.released {
+		panic(fmt.Sprintf("comm: double release of message %s->%s %q", m.Src, m.Dst, m.Tag))
+	}
+	m.released = true
+	n.NodeOf(m.Dst.Node).Mem.FreeBytes(n.wireBytes(m))
+}
+
+// deliver hands a message to its destination mailbox. The buffer stays
+// charged to the destination node until Release.
+func (n *Network) deliver(m *Message) {
+	m.DeliveredAt = n.k.Now()
+	n.stats.MessagesDelivered++
+	n.stats.TotalLatency += m.DeliveredAt - m.SentAt
+	trace.Emit(n.tracer, n.k.Now(), "msg", fmt.Sprintf("%s->%s", m.Src, m.Dst),
+		fmt.Sprintf("deliver %q after %d hops, %s", m.Tag, m.HopsTaken, m.DeliveredAt-m.SentAt))
+	n.mailbox(m.Dst).deliver(m)
+}

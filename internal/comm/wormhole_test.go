@@ -1,0 +1,168 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// whRig builds a wormhole network over a linear array.
+func whRig(t *testing.T, n int) (*sim.Kernel, *machine.Machine, *Network) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	mach := machine.NewMachine(k, n, 1<<20, testCost())
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	net := NewNetwork(mach, ids, topology.MustBuild(topology.Linear, n), Wormhole)
+	t.Cleanup(func() { k.Shutdown() })
+	return k, mach, net
+}
+
+func TestWormholePipelinedLatency(t *testing.T) {
+	k, _, net := whRig(t, 4)
+	src := net.NewMailbox(0)
+	dst := net.NewMailbox(3)
+	var delivered sim.Time
+	k.Spawn("recv", func(p *sim.Proc) {
+		task := net.NodeOf(3).CPU.NewTask("recv", machine.PriLow)
+		m := net.Recv(p, task, dst)
+		delivered = m.DeliveredAt
+		if m.HopsTaken != 3 {
+			t.Errorf("hops = %d", m.HopsTaken)
+		}
+		net.Release(m)
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		task := net.NodeOf(0).CPU.NewTask("send", machine.PriLow)
+		net.Send(p, task, &Message{Src: src.Addr(), Dst: dst.Addr(), Bytes: 1000})
+	})
+	k.Run()
+	// send 10 + src hop cpu 20 + pipelined transfer (3 hops x latency 2 +
+	// 1000 bytes x 1µs) + dst hop cpu 20 = 10+20+1006+20 = 1056.
+	if delivered != 1056 {
+		t.Errorf("delivered at %v, want 1056", delivered)
+	}
+}
+
+// TestWormholeChannelContention: two worms crossing the same link
+// serialize; the second's delivery is delayed by roughly a transfer time.
+func TestWormholeChannelContention(t *testing.T) {
+	k, _, net := whRig(t, 3)
+	a := net.NewMailbox(0)
+	b := net.NewMailbox(1)
+	dst := net.NewMailbox(2)
+	var deliveries []sim.Time
+	k.Spawn("recv", func(p *sim.Proc) {
+		task := net.NodeOf(2).CPU.NewTask("recv", machine.PriLow)
+		for i := 0; i < 2; i++ {
+			m := net.Recv(p, task, dst)
+			deliveries = append(deliveries, m.DeliveredAt)
+			net.Release(m)
+		}
+	})
+	// Both senders inject at t=0; their worms contend for link 1->2.
+	k.Spawn("sendA", func(p *sim.Proc) {
+		task := net.NodeOf(0).CPU.NewTask("sendA", machine.PriLow)
+		net.Send(p, task, &Message{Src: a.Addr(), Dst: dst.Addr(), Bytes: 2000})
+	})
+	k.Spawn("sendB", func(p *sim.Proc) {
+		task := net.NodeOf(1).CPU.NewTask("sendB", machine.PriLow)
+		net.Send(p, task, &Message{Src: b.Addr(), Dst: dst.Addr(), Bytes: 2000})
+	})
+	k.Run()
+	if len(deliveries) != 2 {
+		t.Fatalf("deliveries = %v", deliveries)
+	}
+	gap := deliveries[1] - deliveries[0]
+	if gap < 1500 { // ~a 2000-byte serialization apart
+		t.Errorf("worms did not serialize on the shared channel: gap %v", gap)
+	}
+}
+
+// TestWormholeHoldsWholePath: while a long worm crosses links 0-1-2, a
+// short worm on link 0-1 must wait even though its own hop is "free" half
+// the time — head-of-line blocking, the mechanism behind the E2
+// topology-sensitivity finding.
+func TestWormholeHoldsWholePath(t *testing.T) {
+	k, _, net := whRig(t, 3)
+	a := net.NewMailbox(0)
+	mid := net.NewMailbox(1)
+	far := net.NewMailbox(2)
+	var shortDelivered sim.Time
+	k.Spawn("recvFar", func(p *sim.Proc) {
+		task := net.NodeOf(2).CPU.NewTask("recvFar", machine.PriLow)
+		m := net.Recv(p, task, far)
+		net.Release(m)
+	})
+	k.Spawn("recvMid", func(p *sim.Proc) {
+		task := net.NodeOf(1).CPU.NewTask("recvMid", machine.PriLow)
+		m := net.Recv(p, task, mid)
+		shortDelivered = m.DeliveredAt
+		net.Release(m)
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		task := net.NodeOf(0).CPU.NewTask("send", machine.PriLow)
+		// Long worm first: occupies 0->1 and 1->2 for ~10ms.
+		net.Send(p, task, &Message{Src: a.Addr(), Dst: far.Addr(), Bytes: 10000})
+		// Short message queued behind it on 0->1.
+		net.Send(p, task, &Message{Src: a.Addr(), Dst: mid.Addr(), Bytes: 10})
+	})
+	k.Run()
+	if shortDelivered < 10_000 {
+		t.Errorf("short worm delivered at %v, should wait for the long worm's path", shortDelivered)
+	}
+}
+
+func TestWormholeLinkStatsCounted(t *testing.T) {
+	k, _, net := whRig(t, 4)
+	src := net.NewMailbox(0)
+	dst := net.NewMailbox(3)
+	k.Spawn("recv", func(p *sim.Proc) {
+		task := net.NodeOf(3).CPU.NewTask("recv", machine.PriLow)
+		m := net.Recv(p, task, dst)
+		net.Release(m)
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		task := net.NodeOf(0).CPU.NewTask("send", machine.PriLow)
+		net.Send(p, task, &Message{Src: src.Addr(), Dst: dst.Addr(), Bytes: 500})
+	})
+	k.Run()
+	total, max := net.LinkStats()
+	if total.Transfers != 3 { // one per held link direction
+		t.Errorf("transfers = %d, want 3", total.Transfers)
+	}
+	if total.Bytes != 3*500 { // wire bytes counted per link crossed
+		t.Errorf("bytes = %d", total.Bytes)
+	}
+	if max.BusyTime <= 0 || max.BusyTime > total.BusyTime {
+		t.Errorf("max %v total %v", max.BusyTime, total.BusyTime)
+	}
+}
+
+func TestNetworkLinkStatsStoreForward(t *testing.T) {
+	k, _, net := rig(t, topology.Linear, 3, StoreForward, 1<<20)
+	src := net.NewMailbox(0)
+	dst := net.NewMailbox(2)
+	k.Spawn("recv", func(p *sim.Proc) {
+		task := net.NodeOf(2).CPU.NewTask("recv", machine.PriLow)
+		m := net.Recv(p, task, dst)
+		net.Release(m)
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		task := net.NodeOf(0).CPU.NewTask("send", machine.PriLow)
+		net.Send(p, task, &Message{Src: src.Addr(), Dst: dst.Addr(), Bytes: 100})
+	})
+	k.Run()
+	total, _ := net.LinkStats()
+	if total.Transfers != 2 {
+		t.Errorf("transfers = %d, want 2 (two hops)", total.Transfers)
+	}
+	// Each hop occupies its link for latency (2) + 100 bytes = 102.
+	if total.BusyTime != 204 {
+		t.Errorf("busy = %v, want 204", total.BusyTime)
+	}
+}

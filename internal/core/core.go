@@ -1,0 +1,273 @@
+// Package core is the public façade of the reproduction: one-call
+// construction and execution of the paper's experiments. A Config names a
+// machine shape, a scheduling policy, a workload and a software
+// architecture; Run builds the full simulated system (kernel, 16-node
+// machine, partition networks, scheduler hierarchy, batch) and returns the
+// measured metrics.Result.
+//
+// Quickstart:
+//
+//	res, err := core.Run(core.Config{
+//	    PartitionSize: 4,
+//	    Topology:      topology.Mesh,
+//	    Policy:        sched.TimeShared,
+//	    App:           core.MatMul,
+//	    Arch:          workload.Fixed,
+//	})
+//	fmt.Println(res.MeanResponse())
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// AppKind selects the paper workload.
+type AppKind int
+
+const (
+	// MatMul is the fork-and-join matrix multiplication (§4.1).
+	MatMul AppKind = iota
+	// Sort is the divide-and-conquer selection sort (§4.2).
+	Sort
+	// Stencil is the extension workload: iterative Jacobi relaxation with
+	// per-sweep halo exchange — the communication-intensive counterpart.
+	Stencil
+)
+
+func (a AppKind) String() string {
+	switch a {
+	case Sort:
+		return "sort"
+	case Stencil:
+		return "stencil"
+	default:
+		return "matmul"
+	}
+}
+
+// ParseApp parses "matmul", "sort" or "stencil".
+func ParseApp(s string) (AppKind, error) {
+	switch s {
+	case "matmul", "mm":
+		return MatMul, nil
+	case "sort":
+		return Sort, nil
+	case "stencil", "jacobi":
+		return Stencil, nil
+	}
+	return 0, fmt.Errorf("core: unknown app %q", s)
+}
+
+// Order is the submission order of the batch, which matters only to the
+// static policy (run-to-completion).
+type Order int
+
+const (
+	// Submission keeps the batch's interleaved order.
+	Submission Order = iota
+	// SmallestFirst is the static policy's best case.
+	SmallestFirst
+	// LargestFirst is the static policy's worst case.
+	LargestFirst
+)
+
+func (o Order) String() string {
+	switch o {
+	case SmallestFirst:
+		return "smallest-first"
+	case LargestFirst:
+		return "largest-first"
+	default:
+		return "submission"
+	}
+}
+
+// Config selects one experimental configuration. Zero values default to the
+// paper's system: 16 processors, 4 MB nodes, store-and-forward switching,
+// the default cost models, and the hardware basic quantum.
+type Config struct {
+	// Processors is the machine size (paper: 16).
+	Processors int
+	// MemoryBytes is per-node memory (paper: 4 MB).
+	MemoryBytes int64
+	// PartitionSize p gives Processors/p equal partitions.
+	PartitionSize int
+	// Topology is the per-partition interconnect.
+	Topology topology.Kind
+	// Policy is the scheduling discipline.
+	Policy sched.Policy
+	// App and Arch pick the workload.
+	App  AppKind
+	Arch workload.Arch
+	// Mode is the switching discipline.
+	Mode comm.Mode
+	// BasicQuantum is q in the RR-job rule Q = (P/T)q; zero uses the
+	// hardware quantum.
+	BasicQuantum sim.Time
+	// Cost and AppCost calibrate the hardware and the applications; zero
+	// values take the defaults.
+	Cost    *machine.CostModel
+	AppCost *workload.AppCost
+	// Order permutes the batch before submission.
+	Order Order
+	// Verify makes applications carry real data (slow; for tests).
+	Verify bool
+	// Seed drives the deterministic kernel.
+	Seed int64
+	// Batch overrides the generated paper batch when non-nil.
+	Batch workload.Batch
+	// MaxResident bounds jobs per partition for the time-sharing policies
+	// (0 = all admitted, the paper's setting). Used by the MPL-tuning
+	// extension experiment.
+	MaxResident int
+	// Tracer, when non-nil, records job and message events for inspection.
+	Tracer trace.Tracer
+	// SampleEvery enables periodic utilization sampling at this interval;
+	// the samples land in Result.Timeline. Zero disables sampling.
+	SampleEvery sim.Time
+}
+
+// withDefaults fills in the paper's standard values.
+func (c Config) withDefaults() Config {
+	if c.Processors == 0 {
+		c.Processors = 16
+	}
+	if c.MemoryBytes == 0 {
+		c.MemoryBytes = mem.NodeMemory
+	}
+	if c.PartitionSize == 0 {
+		c.PartitionSize = c.Processors
+	}
+	if c.Cost == nil {
+		cm := machine.DefaultCostModel()
+		c.Cost = &cm
+	}
+	if c.AppCost == nil {
+		ac := workload.DefaultAppCost()
+		c.AppCost = &ac
+	}
+	return c
+}
+
+// Label renders the figure label of this configuration ("8L static" etc.).
+func (c Config) Label() string {
+	c = c.withDefaults()
+	g := topology.MustBuild(c.Topology, c.PartitionSize)
+	return fmt.Sprintf("%s %s %s %s", g.Label(), c.Policy, c.App, c.Arch)
+}
+
+// buildBatch constructs the batch for the configuration. Order applies to
+// custom batches too, so StaticAveraged works with them.
+func (c Config) buildBatch() workload.Batch {
+	batch := c.Batch
+	if batch == nil {
+		switch c.App {
+		case Sort:
+			batch = workload.SortBatch(c.Arch, *c.AppCost, c.Verify)
+		case Stencil:
+			batch = workload.StencilBatch(c.Arch, *c.AppCost, c.Verify)
+		default:
+			batch = workload.MatMulBatch(c.Arch, *c.AppCost, c.Verify)
+		}
+	}
+	switch c.Order {
+	case SmallestFirst:
+		batch = batch.SmallestFirst()
+	case LargestFirst:
+		batch = batch.LargestFirst()
+	}
+	return batch
+}
+
+// Run executes one batch under the configuration and returns the result.
+// The simulation is fully deterministic for a given Config.
+func Run(cfg Config) (*metrics.Result, error) {
+	cfg = cfg.withDefaults()
+	k := sim.NewKernel(cfg.Seed)
+	defer k.Shutdown()
+	mach := machine.NewMachine(k, cfg.Processors, cfg.MemoryBytes, *cfg.Cost)
+	sys, err := sched.New(sched.Config{
+		Machine:       mach,
+		PartitionSize: cfg.PartitionSize,
+		Topology:      cfg.Topology,
+		Mode:          cfg.Mode,
+		Policy:        cfg.Policy,
+		BasicQuantum:  cfg.BasicQuantum,
+		MaxResident:   cfg.MaxResident,
+		Tracer:        cfg.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var timeline metrics.Timeline
+	if cfg.SampleEvery > 0 {
+		installSampler(k, mach, sys, cfg, &timeline)
+	}
+	res, err := sys.RunBatch(cfg.buildBatch())
+	if err != nil {
+		return nil, err
+	}
+	res.Label = cfg.Label()
+	res.Timeline = timeline
+	return res, nil
+}
+
+// installSampler arms a periodic kernel event that snapshots machine-wide
+// utilization deltas and memory footprint until the batch completes.
+func installSampler(k *sim.Kernel, mach *machine.Machine, sys *sched.System, cfg Config, out *metrics.Timeline) {
+	var prevLow, prevHigh, prevSwitch sim.Time
+	denom := float64(cfg.SampleEvery) * float64(cfg.Processors)
+	var sample func()
+	sample = func() {
+		var low, high, sw sim.Time
+		var mem int64
+		for _, n := range mach.Nodes {
+			cs := n.CPU.Stats()
+			low += cs.BusyLow
+			high += cs.BusyHigh
+			sw += cs.BusySwitch
+			mem += n.Mem.Used()
+		}
+		*out = append(*out, metrics.Sample{
+			At:          k.Now(),
+			BusyLow:     float64(low-prevLow) / denom,
+			BusyHigh:    float64(high-prevHigh) / denom,
+			BusySwitch:  float64(sw-prevSwitch) / denom,
+			MemUsed:     mem,
+			JobsRunning: sys.Running(),
+		})
+		prevLow, prevHigh, prevSwitch = low, high, sw
+		if sys.Remaining() > 0 {
+			k.After(cfg.SampleEvery, sample)
+		}
+	}
+	k.After(cfg.SampleEvery, sample)
+}
+
+// StaticAveraged runs the static policy in its best (smallest-first) and
+// worst (largest-first) orders and returns both results plus the averaged
+// mean response time — exactly the fairness convention of §5.1.
+func StaticAveraged(cfg Config) (mean sim.Time, best, worst *metrics.Result, err error) {
+	cfg.Policy = sched.Static
+	cfg.Order = SmallestFirst
+	best, err = Run(cfg)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	cfg.Order = LargestFirst
+	worst, err = Run(cfg)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return metrics.MeanOf(best, worst), best, worst, nil
+}

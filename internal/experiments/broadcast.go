@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// E10 — binomial-tree broadcast ablation
+
+// BroadcastCell compares sequential and tree B-distribution for one
+// configuration.
+type BroadcastCell struct {
+	Label     string
+	Seq, Tree sim.Time
+}
+
+// BroadcastAblation is extension experiment E10: the figures show a single
+// matmul job's B distribution serializing on the partition root's links
+// (the mechanism behind static's weakness at large partitions). Replacing
+// the paper's 15 sequential sends with a binomial-tree broadcast is the
+// textbook fix; this ablation measures how much of the response time it
+// buys under both policies on the one-partition machine.
+func BroadcastAblation(base core.Config) ([]BroadcastCell, error) {
+	size := machineSize(base)
+	base.PartitionSize = size
+	appCost := workload.DefaultAppCost()
+	mkBatch := func(tree bool) workload.Batch {
+		return workload.BatchSpec{
+			Small: workload.PaperBatchSmall, Large: workload.PaperBatchLarge, Arch: workload.Fixed,
+			NewApp: func(class string) workload.App {
+				n := workload.MatMulSmallN
+				if class == "large" {
+					n = workload.MatMulLargeN
+				}
+				app := workload.NewMatMul(n, appCost, false)
+				app.Tree = tree
+				return app
+			},
+		}.Build()
+	}
+	var out []BroadcastCell
+	for _, kind := range []topology.Kind{topology.Linear, topology.Mesh} {
+		for _, policy := range []sched.Policy{sched.Static, sched.TimeShared} {
+			cell := BroadcastCell{Label: fmt.Sprintf("%d%s %s", size, kind.Letter(), policy)}
+			for _, tree := range []bool{false, true} {
+				cfg := base
+				cfg.Topology = kind
+				cfg.Policy = policy
+				cfg.Batch = mkBatch(tree)
+				res, err := core.Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s tree=%v: %w", cell.Label, tree, err)
+				}
+				if tree {
+					cell.Tree = res.MeanResponse()
+				} else {
+					cell.Seq = res.MeanResponse()
+				}
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// BroadcastTable renders E10.
+func BroadcastTable(cells []BroadcastCell) string {
+	var b strings.Builder
+	b.WriteString("E10 — Binomial-tree vs sequential B distribution (matmul fixed, one partition)\n")
+	fmt.Fprintf(&b, "%-18s %12s %12s %10s\n", "config", "sequential", "tree", "tree/seq")
+	for _, c := range cells {
+		ratio := 0.0
+		if c.Seq > 0 {
+			ratio = float64(c.Tree) / float64(c.Seq)
+		}
+		fmt.Fprintf(&b, "%-18s %12s %12s %10.2f\n", c.Label, fmtSec(c.Seq), fmtSec(c.Tree), ratio)
+	}
+	return b.String()
+}
+
+// BroadcastCSV renders E10 as CSV.
+func BroadcastCSV(cells []BroadcastCell) string {
+	var b strings.Builder
+	b.WriteString("config,sequential_s,tree_s\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%s,%.6f,%.6f\n", c.Label, c.Seq.Seconds(), c.Tree.Seconds())
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders the figure as comma-separated values (one row per cell) for
+// plotting outside the harness. Times are in seconds.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("label,partition,topology,static_avg_s,static_best_s,static_worst_s,ts_s,ts_over_static,ts_mem_blocked_s,ts_overhead_frac\n")
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "%s,%d,%s,%.6f,%.6f,%.6f,%.6f,%.4f,%.6f,%.4f\n",
+			c.Label, c.PartitionSize, c.Topology,
+			c.Static.Seconds(), c.StaticBest.Seconds(), c.StaticWorst.Seconds(),
+			c.TS.Seconds(), c.Ratio(), c.TSMemBlocked.Seconds(), c.TSOverheadFrac)
+	}
+	return b.String()
+}
+
+// VarianceCSV renders E1.
+func VarianceCSV(points []VariancePoint) string {
+	var b strings.Builder
+	b.WriteString("cv,static_s,ts_s\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%.2f,%.6f,%.6f\n", p.CV, p.Static.Seconds(), p.TS.Seconds())
+	}
+	return b.String()
+}
+
+// AblationCSV renders E2.
+func AblationCSV(cells []AblationCell) string {
+	var b strings.Builder
+	b.WriteString("label,saf_s,wormhole_s,saf_mem_blocked_s,wh_mem_blocked_s\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%s,%.6f,%.6f,%.6f,%.6f\n",
+			c.Label, c.SAF.Seconds(), c.WH.Seconds(), c.SAFBlock.Seconds(), c.WHBlock.Seconds())
+	}
+	return b.String()
+}
+
+// QuantumCSV renders E3.
+func QuantumCSV(points []QuantumPoint) string {
+	var b strings.Builder
+	b.WriteString("quantum_us,ts_s,overhead_frac\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d,%.6f,%.4f\n", int64(p.Q), p.TS.Seconds(), p.OverheadFrac)
+	}
+	return b.String()
+}
+
+// RRCSV renders E4.
+func RRCSV(r *RRComparisonResult) string {
+	var b strings.Builder
+	b.WriteString("policy,narrow_s,wide_s\n")
+	fmt.Fprintf(&b, "rr-job,%.6f,%.6f\n", r.RRJobSmall.Seconds(), r.RRJobBig.Seconds())
+	fmt.Fprintf(&b, "rr-process,%.6f,%.6f\n", r.RRProcSmall.Seconds(), r.RRProcBig.Seconds())
+	return b.String()
+}
+
+// MPLCSV renders E5.
+func MPLCSV(points []MPLPoint) string {
+	var b strings.Builder
+	b.WriteString("mpl,ts_s,mem_blocked_s\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d,%.6f,%.6f\n", p.MaxResident, p.Mean.Seconds(), p.MemBlocked.Seconds())
+	}
+	return b.String()
+}
+
+// LoadCSV renders E6.
+func LoadCSV(points []LoadPoint) string {
+	var b strings.Builder
+	b.WriteString("rho,static4_s,hybrid4_s,dynamic_s\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%.2f,%.6f,%.6f,%.6f\n",
+			p.Rho, p.Static4.Seconds(), p.Hybrid4.Seconds(), p.Dynamic.Seconds())
+	}
+	return b.String()
+}
+
+// GangCSV renders E7.
+func GangCSV(cells []GangCell) string {
+	var b strings.Builder
+	b.WriteString("app,rrjob_s,gang_s,rrjob_overhead,gang_overhead\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%s,%.6f,%.6f,%.4f,%.4f\n",
+			c.App, c.RRJob.Seconds(), c.Gang.Seconds(), c.RRJobOvh, c.GangOverhead)
+	}
+	return b.String()
+}
+
+// StencilCSV renders E8.
+func StencilCSV(cells []StencilCell) string {
+	var b strings.Builder
+	b.WriteString("label,static_s,ts_s,ts_avg_msg_latency_us\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%s,%.6f,%.6f,%d\n",
+			c.Label, c.Static.Seconds(), c.TS.Seconds(), int64(c.TSAvgLat))
+	}
+	return b.String()
+}

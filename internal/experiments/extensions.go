@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Default sweep parameters used by the bench harness and cmd/ippsbench.
+var (
+	// DefaultCVs spans the feasible CV range of the paper's 12/16-small
+	// composition (cap just under sqrt(3)).
+	DefaultCVs = []float64{0.1, 0.4, 0.8, 1.2, 1.5, 1.7}
+	// DefaultQuanta sweeps the basic quantum around the hardware 2 ms.
+	DefaultQuanta = []sim.Time{
+		500 * sim.Microsecond, 1 * sim.Millisecond, 2 * sim.Millisecond,
+		5 * sim.Millisecond, 10 * sim.Millisecond, 50 * sim.Millisecond,
+		200 * sim.Millisecond,
+	}
+	// DefaultMPLs sweeps the hybrid set size with 2 partitions of 8 (8 jobs
+	// queue per partition); 0 means admit everything.
+	DefaultMPLs = []int{1, 2, 4, 8, 0}
+)
+
+// ---------------------------------------------------------------------------
+// E1 — service-time variance sensitivity
+
+// VariancePoint is one CV setting's outcome.
+type VariancePoint struct {
+	CV         float64
+	Static, TS sim.Time
+}
+
+// VarianceSweep is extension experiment E1: §5.2 notes that the paper's
+// workload variance "is not high enough to show the time-sharing policy in
+// a better light" and cites the authors' technical report for the claim
+// that at higher variance time-sharing wins. This sweep reproduces that
+// claim with the synthetic fork-join workload: as the coefficient of
+// variation of job service demand grows, the hybrid policy overtakes static
+// space-sharing.
+func VarianceSweep(cvs []float64, base core.Config) ([]VariancePoint, error) {
+	if base.PartitionSize == 0 {
+		base.PartitionSize = 4
+	}
+	if base.Topology == 0 {
+		base.Topology = topology.Mesh
+	}
+	appCost := workload.DefaultAppCost()
+	var out []VariancePoint
+	for _, cv := range cvs {
+		// The paper's own 12-small/4-large composition; it reaches CV
+		// sqrt(12/4) ≈ 1.73, so sweeps should stay within (0, 1.7].
+		nSmall := workload.PaperBatchSmall
+		works, err := workload.TwoPointWorks(16, nSmall, 20*sim.Second, cv)
+		if err != nil {
+			return nil, fmt.Errorf("cv %.2f: %w", cv, err)
+		}
+		mkBatch := func() workload.Batch {
+			return workload.SyntheticBatch(works, workload.Adaptive, 64<<10, 256<<10, appCost)
+		}
+		cfg := base
+		cfg.Batch = mkBatch()
+		staticMean, _, _, err := core.StaticAveraged(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cv %.2f static: %w", cv, err)
+		}
+		cfg = base
+		cfg.Batch = mkBatch()
+		cfg.Policy = sched.TimeShared
+		ts, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cv %.2f ts: %w", cv, err)
+		}
+		out = append(out, VariancePoint{CV: cv, Static: staticMean, TS: ts.MeanResponse()})
+	}
+	return out, nil
+}
+
+// VarianceTable renders E1.
+func VarianceTable(points []VariancePoint) string {
+	var b strings.Builder
+	b.WriteString("E1 — Service-time variance sensitivity (synthetic fork-join, hybrid vs static)\n")
+	fmt.Fprintf(&b, "%-6s %12s %12s %10s\n", "CV", "static(avg)", "hybrid", "TS/static")
+	for _, p := range points {
+		ratio := 0.0
+		if p.Static > 0 {
+			ratio = float64(p.TS) / float64(p.Static)
+		}
+		fmt.Fprintf(&b, "%-6.2f %12s %12s %10.2f\n", p.CV, fmtSec(p.Static), fmtSec(p.TS), ratio)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E2 — wormhole routing ablation
+
+// AblationCell compares store-and-forward and wormhole for one topology.
+type AblationCell struct {
+	Label    string
+	SAF, WH  sim.Time
+	SAFBlock sim.Time // memory blocked time under store-and-forward
+	WHBlock  sim.Time
+}
+
+// WormholeAblation is extension experiment E2: §5.2 predicts that wormhole
+// routing, "by eliminating the need for store-and-forward, can also
+// significantly reduce the performance sensitivity of these policies to the
+// network topology". We run the pure time-sharing matmul configuration
+// (partition = machine, the most congested point) across topologies under
+// both switching modes.
+func WormholeAblation(base core.Config) ([]AblationCell, error) {
+	base.App = core.MatMul
+	base.Arch = workload.Fixed
+	base.Policy = sched.TimeShared
+	size := machineSize(base)
+	base.PartitionSize = size
+	var out []AblationCell
+	for _, kind := range topology.Kinds() {
+		if kind == topology.Hypercube && base.PartitionSize == size {
+			continue
+		}
+		cfg := base
+		cfg.Topology = kind
+		saf, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("saf %v: %w", kind, err)
+		}
+		cfg.Mode = comm.Wormhole
+		wh, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("wormhole %v: %w", kind, err)
+		}
+		out = append(out, AblationCell{
+			Label:    fmt.Sprintf("%d%s", base.PartitionSize, kind.Letter()),
+			SAF:      saf.MeanResponse(),
+			WH:       wh.MeanResponse(),
+			SAFBlock: saf.TotalMemBlockedTime(),
+			WHBlock:  wh.TotalMemBlockedTime(),
+		})
+	}
+	return out, nil
+}
+
+// AblationTable renders E2.
+func AblationTable(cells []AblationCell) string {
+	var b strings.Builder
+	b.WriteString("E2 — Wormhole vs store-and-forward (pure time-sharing, matmul fixed)\n")
+	fmt.Fprintf(&b, "%-6s %12s %12s %10s %14s %14s\n", "topo", "SAF", "wormhole", "WH/SAF", "SAF memBlock", "WH memBlock")
+	for _, c := range cells {
+		ratio := 0.0
+		if c.SAF > 0 {
+			ratio = float64(c.WH) / float64(c.SAF)
+		}
+		fmt.Fprintf(&b, "%-6s %12s %12s %10.2f %14s %14s\n",
+			c.Label, fmtSec(c.SAF), fmtSec(c.WH), ratio, fmtSec(c.SAFBlock), fmtSec(c.WHBlock))
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E3 — basic quantum sweep
+
+// QuantumPoint is one basic-quantum setting's outcome.
+type QuantumPoint struct {
+	Q            sim.Time
+	TS           sim.Time
+	OverheadFrac float64
+}
+
+// QuantumSweep is extension experiment E3: the hybrid policy's basic
+// quantum q is a tuning knob (Q = (P/T)q). Small quanta approach processor
+// sharing but multiply job-switch overhead; large quanta approach
+// run-to-completion.
+func QuantumSweep(quanta []sim.Time, base core.Config) ([]QuantumPoint, error) {
+	base.App = core.MatMul
+	base.Arch = workload.Adaptive
+	base.Policy = sched.TimeShared
+	if base.PartitionSize == 0 {
+		base.PartitionSize = 4
+	}
+	if base.Topology == 0 {
+		base.Topology = topology.Mesh
+	}
+	var out []QuantumPoint
+	for _, q := range quanta {
+		cfg := base
+		cfg.BasicQuantum = q
+		res, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("q=%v: %w", q, err)
+		}
+		out = append(out, QuantumPoint{Q: q, TS: res.MeanResponse(), OverheadFrac: res.SystemOverheadFraction()})
+	}
+	return out, nil
+}
+
+// QuantumTable renders E3.
+func QuantumTable(points []QuantumPoint) string {
+	var b strings.Builder
+	b.WriteString("E3 — Basic quantum sweep (hybrid, matmul adaptive, 4-node mesh partitions)\n")
+	fmt.Fprintf(&b, "%-10s %12s %10s\n", "q", "hybrid", "overhead")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-10s %12s %9.1f%%\n", p.Q, fmtSec(p.TS), 100*p.OverheadFrac)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E4 — RR-job vs RR-process fairness
+
+// RRComparison is extension experiment E4: §2.2's argument that a fixed
+// per-process quantum favours jobs with many processes. We mix one
+// 16-process job with fifteen 4-process jobs on one partition and compare
+// the small jobs' mean response under both time-sharing rules.
+type RRComparisonResult struct {
+	RRJobSmall, RRProcSmall sim.Time
+	RRJobBig, RRProcBig     sim.Time
+}
+
+// RunRRComparison executes E4.
+func RunRRComparison(base core.Config) (*RRComparisonResult, error) {
+	if base.PartitionSize == 0 {
+		base.PartitionSize = 4
+	}
+	if base.Topology == 0 {
+		base.Topology = topology.Mesh
+	}
+	appCost := workload.DefaultAppCost()
+	mkBatch := func() workload.Batch {
+		batch := make(workload.Batch, 16)
+		for i := range batch {
+			arch := workload.Adaptive
+			class := "small"
+			if i == 3 { // one many-process job
+				arch = workload.Fixed
+				class = "large"
+			}
+			batch[i] = &workload.Job{ID: i, Class: class, Arch: arch,
+				App: workload.NewSynthetic(8*sim.Second, 32<<10, 128<<10, appCost)}
+		}
+		return batch
+	}
+	out := &RRComparisonResult{}
+	for _, pol := range []sched.Policy{sched.TimeShared, sched.RRProcess} {
+		cfg := base
+		cfg.Policy = pol
+		cfg.Batch = mkBatch()
+		res, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", pol, err)
+		}
+		by := res.MeanResponseByClass()
+		if pol == sched.TimeShared {
+			out.RRJobSmall, out.RRJobBig = by["small"], by["large"]
+		} else {
+			out.RRProcSmall, out.RRProcBig = by["small"], by["large"]
+		}
+	}
+	return out, nil
+}
+
+// RRTable renders E4.
+func RRTable(r *RRComparisonResult) string {
+	var b strings.Builder
+	b.WriteString("E4 — RR-job vs RR-process (15 narrow jobs + 1 wide job, equal total demand)\n")
+	fmt.Fprintf(&b, "%-12s %14s %14s\n", "policy", "narrow mean", "wide job")
+	fmt.Fprintf(&b, "%-12s %14s %14s\n", "rr-job", fmtSec(r.RRJobSmall), fmtSec(r.RRJobBig))
+	fmt.Fprintf(&b, "%-12s %14s %14s\n", "rr-process", fmtSec(r.RRProcSmall), fmtSec(r.RRProcBig))
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E5 — multiprogramming level (set size) tuning
+
+// MPLPoint is one set-size setting's outcome.
+type MPLPoint struct {
+	MaxResident int
+	Mean        sim.Time
+	MemBlocked  sim.Time
+}
+
+// MPLSweep is extension experiment E5: the hybrid policy's set size (§2.3,
+// "the set size is a tuning parameter"). With 2 partitions of 8 processors
+// and 8 jobs queued per partition, we bound how many are resident at once:
+// MaxResident=1 degenerates to static, larger values trade sharing against
+// memory and message contention.
+func MPLSweep(residents []int, base core.Config) ([]MPLPoint, error) {
+	base.App = core.MatMul
+	base.Arch = workload.Adaptive
+	base.Policy = sched.TimeShared
+	if base.PartitionSize == 0 {
+		base.PartitionSize = 8
+	}
+	if base.Topology == 0 {
+		base.Topology = topology.Mesh
+	}
+	var out []MPLPoint
+	for _, r := range residents {
+		cfg := base
+		cfg.MaxResident = r
+		res, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("mpl=%d: %w", r, err)
+		}
+		out = append(out, MPLPoint{MaxResident: r, Mean: res.MeanResponse(), MemBlocked: res.TotalMemBlockedTime()})
+	}
+	return out, nil
+}
+
+// MPLTable renders E5.
+func MPLTable(points []MPLPoint) string {
+	var b strings.Builder
+	b.WriteString("E5 — Multiprogramming level tuning (hybrid, matmul adaptive, 8-node mesh partitions)\n")
+	fmt.Fprintf(&b, "%-6s %12s %14s\n", "MPL", "hybrid", "memBlock")
+	for _, p := range points {
+		label := fmt.Sprintf("%d", p.MaxResident)
+		if p.MaxResident == 0 {
+			label = "all"
+		}
+		fmt.Fprintf(&b, "%-6s %12s %14s\n", label, fmtSec(p.Mean), fmtSec(p.MemBlocked))
+	}
+	return b.String()
+}

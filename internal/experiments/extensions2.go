@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// E6 — open-system load sweep: static vs dynamic vs hybrid
+
+// LoadPoint is one offered-load setting's outcome. Each policy's value is
+// the mean over LoadReplications arrival sequences; the RelCI fields carry
+// the widest relative 95% confidence half-width across the three policies,
+// a convergence indicator.
+type LoadPoint struct {
+	// Rho is the offered load: mean service demand x arrival rate / capacity.
+	Rho float64
+	// Static4 and Hybrid4 use fixed 4-processor partitions; Dynamic uses
+	// buddy-allocated blocks sized by the equipartition heuristic.
+	Static4, Hybrid4, Dynamic sim.Time
+	// MaxRelCI is the largest relative CI half-width among the policies.
+	MaxRelCI float64
+}
+
+// DefaultLoads spans light to heavy offered load.
+var DefaultLoads = []float64{0.3, 0.5, 0.7, 0.85}
+
+// openBatch builds the open-system workload: three paper batches' worth of
+// matmul jobs (36 small + 12 large, adaptive architecture) with Poisson
+// arrivals at offered load rho.
+func openBatch(rho float64, seed int64) workload.Batch {
+	cost := workload.DefaultAppCost()
+	batch := workload.BatchSpec{
+		Small: 36, Large: 12, Arch: workload.Adaptive,
+		NewApp: func(class string) workload.App {
+			n := workload.MatMulSmallN
+			if class == "large" {
+				n = workload.MatMulLargeN
+			}
+			return workload.NewMatMul(n, cost, false)
+		},
+	}.Build()
+	// Mean sequential demand over the batch composition.
+	var mean sim.Time
+	for _, j := range batch {
+		mean += j.App.SequentialWork()
+	}
+	mean /= sim.Time(len(batch))
+	// 16 processors serve 16 node-seconds per second; interarrival for
+	// offered load rho is S / (16 rho).
+	inter := sim.Time(float64(mean) / (16 * rho))
+	return batch.WithPoissonArrivals(inter, seed)
+}
+
+// LoadReplications is the number of independent arrival sequences averaged
+// per load point (Poisson sampling noise is substantial with 48 jobs).
+const LoadReplications = 5
+
+// OpenLoadSweep is extension experiment E6: the paper evaluates closed
+// batches only; an open system with Poisson arrivals shows how the policies
+// behave across offered load, and lets the dynamic space-sharing policy
+// (the §2.1 family the paper cites but does not implement) adapt partition
+// sizes to the queue. Each point averages LoadReplications arrival
+// sequences.
+func OpenLoadSweep(rhos []float64, base core.Config) ([]LoadPoint, error) {
+	var out []LoadPoint
+	for _, rho := range rhos {
+		point := LoadPoint{Rho: rho}
+		for _, pc := range []struct {
+			policy sched.Policy
+			psize  int
+			dst    *sim.Time
+		}{
+			{sched.Static, 4, &point.Static4},
+			{sched.TimeShared, 4, &point.Hybrid4},
+			{sched.DynamicSpace, 0, &point.Dynamic},
+		} {
+			summary, err := stats.Replicate(LoadReplications, func(rep int64) (float64, error) {
+				cfg := base
+				cfg.Policy = pc.policy
+				cfg.PartitionSize = pc.psize
+				if cfg.Topology == 0 {
+					cfg.Topology = topology.Mesh
+				}
+				cfg.Batch = openBatch(rho, base.Seed+7+rep*131)
+				res, err := core.Run(cfg)
+				if err != nil {
+					return 0, err
+				}
+				return float64(res.MeanResponse()), nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("rho %.2f %v: %w", rho, pc.policy, err)
+			}
+			*pc.dst = sim.Time(summary.Mean)
+			if rel := summary.RelativeCI(); rel > point.MaxRelCI {
+				point.MaxRelCI = rel
+			}
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// LoadTable renders E6.
+func LoadTable(points []LoadPoint) string {
+	var b strings.Builder
+	b.WriteString("E6 — Open-system load sweep (matmul adaptive, Poisson arrivals)\n")
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s %10s\n", "load", "static-4", "hybrid-4", "dynamic", "max ±CI")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-6.2f %12s %12s %12s %9.0f%%\n",
+			p.Rho, fmtSec(p.Static4), fmtSec(p.Hybrid4), fmtSec(p.Dynamic), 100*p.MaxRelCI)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E7 — gang scheduling vs RR-job
+
+// GangCell compares the two time-sharing disciplines for one workload.
+type GangCell struct {
+	App          string
+	RRJob, Gang  sim.Time
+	RRJobOvh     float64
+	GangOverhead float64
+}
+
+// GangVsRRJob is extension experiment E7: the paper's RR-job shares each
+// node independently; gang scheduling coschedules whole jobs. For the
+// loosely-coupled paper workloads the difference is small, but for the
+// tightly-synchronized stencil the uncoordinated policy makes every halo
+// exchange wait for a descheduled partner.
+func GangVsRRJob(base core.Config) ([]GangCell, error) {
+	if base.PartitionSize == 0 {
+		base.PartitionSize = 8
+	}
+	if base.Topology == 0 {
+		base.Topology = topology.Mesh
+	}
+	base.Arch = workload.Fixed
+	var out []GangCell
+	for _, app := range []core.AppKind{core.MatMul, core.Stencil} {
+		cell := GangCell{App: app.String()}
+		for _, pc := range []struct {
+			policy sched.Policy
+			dst    *sim.Time
+			ovh    *float64
+		}{
+			{sched.TimeShared, &cell.RRJob, &cell.RRJobOvh},
+			{sched.Gang, &cell.Gang, &cell.GangOverhead},
+		} {
+			cfg := base
+			cfg.App = app
+			cfg.Policy = pc.policy
+			res, err := core.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%v %v: %w", app, pc.policy, err)
+			}
+			*pc.dst = res.MeanResponse()
+			*pc.ovh = res.SystemOverheadFraction()
+		}
+		out = append(out, cell)
+	}
+	return out, nil
+}
+
+// GangTable renders E7.
+func GangTable(cells []GangCell) string {
+	var b strings.Builder
+	b.WriteString("E7 — Gang scheduling vs RR-job (fixed architecture, 8-node mesh partitions)\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %10s %10s\n", "app", "rr-job", "gang", "gang/rrjob", "rrj ovh", "gang ovh")
+	for _, c := range cells {
+		ratio := 0.0
+		if c.RRJob > 0 {
+			ratio = float64(c.Gang) / float64(c.RRJob)
+		}
+		fmt.Fprintf(&b, "%-10s %12s %12s %12.2f %9.1f%% %9.1f%%\n",
+			c.App, fmtSec(c.RRJob), fmtSec(c.Gang), ratio, 100*c.RRJobOvh, 100*c.GangOverhead)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E8 — topology stress with a communication-intensive workload
+
+// StencilCell is one topology's outcome for the stencil batch.
+type StencilCell struct {
+	Label      string
+	Static, TS sim.Time
+	TSAvgLat   sim.Time
+}
+
+// StencilTopology is extension experiment E8: the paper's matmul
+// communicates once (data distribution) and its sort twice; both are
+// relatively insensitive to the interconnect. The halo-exchanging stencil
+// synchronizes neighbors every sweep, so topology (and scheduling
+// interference with communication) dominates — the workload the paper's
+// introduction gestures at when motivating topology experiments.
+func StencilTopology(base core.Config) ([]StencilCell, error) {
+	base.App = core.Stencil
+	base.Arch = workload.Fixed
+	size := machineSize(base)
+	base.PartitionSize = 8
+	var out []StencilCell
+	for _, kind := range topology.Kinds() {
+		if kind == topology.Hypercube && base.PartitionSize == size {
+			continue
+		}
+		cfg := base
+		cfg.Topology = kind
+		staticMean, _, _, err := core.StaticAveraged(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("static %v: %w", kind, err)
+		}
+		tsCfg := cfg
+		tsCfg.Policy = sched.TimeShared
+		tsCfg.Order = core.Submission
+		ts, err := core.Run(tsCfg)
+		if err != nil {
+			return nil, fmt.Errorf("ts %v: %w", kind, err)
+		}
+		out = append(out, StencilCell{
+			Label:    fmt.Sprintf("%d%s", base.PartitionSize, kind.Letter()),
+			Static:   staticMean,
+			TS:       ts.MeanResponse(),
+			TSAvgLat: ts.Net.AvgLatency(),
+		})
+	}
+	return out, nil
+}
+
+// StencilTable renders E8.
+func StencilTable(cells []StencilCell) string {
+	var b strings.Builder
+	b.WriteString("E8 — Topology stress, halo-exchange stencil (fixed arch, 8-node partitions)\n")
+	fmt.Fprintf(&b, "%-6s %12s %12s %10s %14s\n", "topo", "static(avg)", "TS/hybrid", "TS/stat", "TS msg latency")
+	for _, c := range cells {
+		ratio := 0.0
+		if c.Static > 0 {
+			ratio = float64(c.TS) / float64(c.Static)
+		}
+		fmt.Fprintf(&b, "%-6s %12s %12s %10.2f %14s\n", c.Label, fmtSec(c.Static), fmtSec(c.TS), ratio, c.TSAvgLat)
+	}
+	return b.String()
+}

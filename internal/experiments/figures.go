@@ -1,0 +1,206 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Figures 3-6) and the extension studies its discussion calls for
+// (variance sensitivity, wormhole routing, quantum and multiprogramming
+// tuning, RR-process fairness). Each driver returns a structured result
+// with a text table matching the paper's presentation: mean response time
+// per partition configuration, static (averaged over best and worst
+// submission orders, per §5.1) versus time-sharing/hybrid.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// PartitionSizes is the paper's sweep: powers of two from 1 to 16.
+var PartitionSizes = []int{1, 2, 4, 8, 16}
+
+// Cell is one point of a figure: a partition configuration with the two
+// policies' mean response times plus the explanatory measurements the
+// paper's discussion leans on.
+type Cell struct {
+	PartitionSize int
+	Topology      topology.Kind
+	Label         string
+
+	// Static is the average of best- and worst-order runs (§5.1);
+	// StaticBest and StaticWorst are the components.
+	Static, StaticBest, StaticWorst sim.Time
+	// TS is the time-sharing (partition = 16) or hybrid (partition < 16)
+	// mean response.
+	TS sim.Time
+
+	// Explanatory detail for the TS run.
+	TSMemBlocked   sim.Time
+	TSOverheadFrac float64
+	TSAvgMsgLat    sim.Time
+	StaticUtil     float64
+	TSUtil         float64
+}
+
+// Ratio is TS divided by static mean response (>1 means static wins).
+func (c Cell) Ratio() float64 {
+	if c.Static == 0 {
+		return 0
+	}
+	return float64(c.TS) / float64(c.Static)
+}
+
+// Figure is one reproduced evaluation figure.
+type Figure struct {
+	ID    string
+	Title string
+	App   core.AppKind
+	Arch  workload.Arch
+	Cells []Cell
+}
+
+// sweepConfigs enumerates the paper's partition-size × topology grid:
+// size 1 appears once (topology is meaningless), and the 16-node hypercube
+// is skipped because one transputer is reserved for the host workstation
+// link (§3.1).
+func sweepConfigs(machineSize int) []struct {
+	P    int
+	Kind topology.Kind
+} {
+	var out []struct {
+		P    int
+		Kind topology.Kind
+	}
+	for _, p := range PartitionSizes {
+		if p > machineSize {
+			continue
+		}
+		if p == 1 {
+			out = append(out, struct {
+				P    int
+				Kind topology.Kind
+			}{1, topology.Linear})
+			continue
+		}
+		for _, k := range topology.Kinds() {
+			if k == topology.Hypercube && p == machineSize {
+				continue // host-link transputer: no full-size hypercube
+			}
+			out = append(out, struct {
+				P    int
+				Kind topology.Kind
+			}{p, k})
+		}
+	}
+	return out
+}
+
+// RunFigure produces one of Figures 3-6: the given application and software
+// architecture across every partition size and topology, static versus
+// time-sharing/hybrid.
+func RunFigure(id, title string, app core.AppKind, arch workload.Arch, base core.Config) (*Figure, error) {
+	fig := &Figure{ID: id, Title: title, App: app, Arch: arch}
+	base.App = app
+	base.Arch = arch
+	for _, sc := range sweepConfigs(machineSize(base)) {
+		cfg := base
+		cfg.PartitionSize = sc.P
+		cfg.Topology = sc.Kind
+
+		staticMean, best, worst, err := core.StaticAveraged(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s %d%s static: %w", id, sc.P, sc.Kind.Letter(), err)
+		}
+		tsCfg := cfg
+		tsCfg.Policy = sched.TimeShared
+		tsCfg.Order = core.Submission
+		ts, err := core.Run(tsCfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s %d%s ts: %w", id, sc.P, sc.Kind.Letter(), err)
+		}
+
+		label := fmt.Sprintf("%d%s", sc.P, sc.Kind.Letter())
+		if sc.P == 1 {
+			label = "1"
+		}
+		fig.Cells = append(fig.Cells, Cell{
+			PartitionSize:  sc.P,
+			Topology:       sc.Kind,
+			Label:          label,
+			Static:         staticMean,
+			StaticBest:     best.MeanResponse(),
+			StaticWorst:    worst.MeanResponse(),
+			TS:             ts.MeanResponse(),
+			TSMemBlocked:   ts.TotalMemBlockedTime(),
+			TSOverheadFrac: ts.SystemOverheadFraction(),
+			TSAvgMsgLat:    ts.Net.AvgLatency(),
+			StaticUtil:     (best.CPUUtilization() + worst.CPUUtilization()) / 2,
+			TSUtil:         ts.CPUUtilization(),
+		})
+	}
+	return fig, nil
+}
+
+func machineSize(c core.Config) int {
+	if c.Processors == 0 {
+		return 16
+	}
+	return c.Processors
+}
+
+// Figure3 reproduces "Mean response time for the matrix multiplication
+// application — Fixed software architecture".
+func Figure3(base core.Config) (*Figure, error) {
+	return RunFigure("Figure 3", "Matrix multiplication, fixed software architecture",
+		core.MatMul, workload.Fixed, base)
+}
+
+// Figure4 reproduces the adaptive-architecture matmul figure.
+func Figure4(base core.Config) (*Figure, error) {
+	return RunFigure("Figure 4", "Matrix multiplication, adaptive software architecture",
+		core.MatMul, workload.Adaptive, base)
+}
+
+// Figure5 reproduces the fixed-architecture sort figure.
+func Figure5(base core.Config) (*Figure, error) {
+	return RunFigure("Figure 5", "Sort, fixed software architecture",
+		core.Sort, workload.Fixed, base)
+}
+
+// Figure6 reproduces the adaptive-architecture sort figure.
+func Figure6(base core.Config) (*Figure, error) {
+	return RunFigure("Figure 6", "Sort, adaptive software architecture",
+		core.Sort, workload.Adaptive, base)
+}
+
+// Table renders the figure in the paper's orientation: one row per
+// partition configuration, static vs time-sharing columns.
+func (f *Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s %12s %8s %14s %8s\n",
+		"part", "static(avg)", "static-best", "static-worst", "TS/hybrid", "TS/stat", "TS memBlock", "TS ovh")
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "%-6s %12s %12s %12s %12s %8.2f %14s %7.1f%%\n",
+			c.Label,
+			fmtSec(c.Static), fmtSec(c.StaticBest), fmtSec(c.StaticWorst), fmtSec(c.TS),
+			c.Ratio(), fmtSec(c.TSMemBlocked), 100*c.TSOverheadFrac)
+	}
+	return b.String()
+}
+
+func fmtSec(t sim.Time) string {
+	return fmt.Sprintf("%.3fs", t.Seconds())
+}
+
+// Find returns the cell with the given label, or nil.
+func (f *Figure) Find(label string) *Cell {
+	for i := range f.Cells {
+		if f.Cells[i].Label == label {
+			return &f.Cells[i]
+		}
+	}
+	return nil
+}

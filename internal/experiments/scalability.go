@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// E9 — machine-size scalability
+
+// ScaleCell is one machine size's outcome.
+type ScaleCell struct {
+	Machine    int
+	Static, TS sim.Time
+	TSMemBlock sim.Time
+	TSOverhead float64
+}
+
+// DefaultScales sweeps the machine size beyond the paper's 16 nodes.
+var DefaultScales = []int{16, 32, 64}
+
+// Scalability is extension experiment E9: would the paper's conclusions
+// survive on a bigger machine? We scale the machine (16 to 64 nodes) with
+// proportionally scaled batches (one job per processor, the paper's 3:1
+// small:large mix, adaptive architecture) on fixed 8-processor mesh
+// partitions, and compare static space-sharing with the hybrid policy.
+// The batch per processor is held constant, so an ideally scalable system
+// would show flat response times.
+func Scalability(sizes []int, base core.Config) ([]ScaleCell, error) {
+	if base.Topology == 0 {
+		base.Topology = topology.Mesh
+	}
+	if base.PartitionSize == 0 {
+		base.PartitionSize = 8
+	}
+	appCost := workload.DefaultAppCost()
+	var out []ScaleCell
+	for _, size := range sizes {
+		if size%base.PartitionSize != 0 {
+			return nil, fmt.Errorf("machine %d not divisible by partition %d", size, base.PartitionSize)
+		}
+		mkBatch := func() workload.Batch {
+			return workload.BatchSpec{
+				Small: size * 3 / 4, Large: size / 4, Arch: workload.Adaptive,
+				NewApp: func(class string) workload.App {
+					n := workload.MatMulSmallN
+					if class == "large" {
+						n = workload.MatMulLargeN
+					}
+					return workload.NewMatMul(n, appCost, false)
+				},
+			}.Build()
+		}
+		cell := ScaleCell{Machine: size}
+
+		cfg := base
+		cfg.Processors = size
+		cfg.Batch = mkBatch()
+		staticMean, _, _, err := core.StaticAveraged(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("static %d: %w", size, err)
+		}
+		cell.Static = staticMean
+
+		cfg = base
+		cfg.Processors = size
+		cfg.Batch = mkBatch()
+		cfg.Policy = sched.TimeShared
+		ts, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ts %d: %w", size, err)
+		}
+		cell.TS = ts.MeanResponse()
+		cell.TSMemBlock = ts.TotalMemBlockedTime()
+		cell.TSOverhead = ts.SystemOverheadFraction()
+		out = append(out, cell)
+	}
+	return out, nil
+}
+
+// ScaleTable renders E9.
+func ScaleTable(cells []ScaleCell) string {
+	var b strings.Builder
+	b.WriteString("E9 — Machine-size scalability (matmul adaptive, one job per processor, 8-node mesh partitions)\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %10s %14s %8s\n", "nodes", "static(avg)", "hybrid", "TS/stat", "TS memBlock", "TS ovh")
+	for _, c := range cells {
+		ratio := 0.0
+		if c.Static > 0 {
+			ratio = float64(c.TS) / float64(c.Static)
+		}
+		fmt.Fprintf(&b, "%-8d %12s %12s %10.2f %14s %7.1f%%\n",
+			c.Machine, fmtSec(c.Static), fmtSec(c.TS), ratio, fmtSec(c.TSMemBlock), 100*c.TSOverhead)
+	}
+	return b.String()
+}
+
+// ScaleCSV renders E9 as CSV.
+func ScaleCSV(cells []ScaleCell) string {
+	var b strings.Builder
+	b.WriteString("nodes,static_s,ts_s,ts_mem_blocked_s,ts_overhead_frac\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%d,%.6f,%.6f,%.6f,%.4f\n",
+			c.Machine, c.Static.Seconds(), c.TS.Seconds(), c.TSMemBlock.Seconds(), c.TSOverhead)
+	}
+	return b.String()
+}

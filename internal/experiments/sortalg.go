@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// E11 — sort-algorithm ablation: is the fixed-architecture win an O(n²)
+// artifact?
+
+// SortAlgCell is one (algorithm, partition size) comparison of the two
+// software architectures under the static policy.
+type SortAlgCell struct {
+	Algorithm       string
+	PartitionSize   int
+	Fixed, Adaptive sim.Time
+}
+
+// Speedup is adaptive over fixed: > 1 means the fixed architecture wins.
+func (c SortAlgCell) Speedup() float64 {
+	if c.Fixed == 0 {
+		return 0
+	}
+	return float64(c.Adaptive) / float64(c.Fixed)
+}
+
+// SortAlgorithmAblation is extension experiment E11. §5.3 points out the
+// work phase "can be O(n²) for sorting algorithms such as insertion sort,
+// selection sort etc. and O(n log n) for merge and heap sort algorithms.
+// We have used the selection sort." — and then attributes the fixed
+// architecture's substantial speedups to exactly that superlinearity.
+// Swapping in an O(n log n) merge sort tests whether the architectural
+// conclusion is an artifact of the algorithm choice.
+func SortAlgorithmAblation(base core.Config) ([]SortAlgCell, error) {
+	if base.Topology == 0 {
+		base.Topology = topology.Mesh
+	}
+	appCost := workload.DefaultAppCost()
+	mkBatch := func(alg workload.SortAlgorithm, arch workload.Arch) workload.Batch {
+		return workload.BatchSpec{
+			Small: workload.PaperBatchSmall, Large: workload.PaperBatchLarge, Arch: arch,
+			NewApp: func(class string) workload.App {
+				n := workload.SortSmallN
+				if class == "large" {
+					n = workload.SortLargeN
+				}
+				app := workload.NewSort(n, appCost, false)
+				app.Algorithm = alg
+				return app
+			},
+		}.Build()
+	}
+	var out []SortAlgCell
+	for _, alg := range []workload.SortAlgorithm{workload.SelectionSortAlg, workload.MergeSortAlg} {
+		for _, psize := range []int{2, 8} {
+			cell := SortAlgCell{Algorithm: alg.String(), PartitionSize: psize}
+			for _, arch := range []workload.Arch{workload.Fixed, workload.Adaptive} {
+				cfg := base
+				cfg.PartitionSize = psize
+				cfg.Batch = mkBatch(alg, arch)
+				mean, _, _, err := core.StaticAveraged(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%v p=%d %v: %w", alg, psize, arch, err)
+				}
+				if arch == workload.Fixed {
+					cell.Fixed = mean
+				} else {
+					cell.Adaptive = mean
+				}
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// SortAlgTable renders E11.
+func SortAlgTable(cells []SortAlgCell) string {
+	var b strings.Builder
+	b.WriteString("E11 — Sort-algorithm ablation (static policy, mesh partitions)\n")
+	fmt.Fprintf(&b, "%-11s %-10s %12s %12s %16s\n", "algorithm", "partition", "fixed arch", "adaptive", "fixed speedup")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-11s %-10d %12s %12s %15.1fx\n",
+			c.Algorithm, c.PartitionSize, fmtSec(c.Fixed), fmtSec(c.Adaptive), c.Speedup())
+	}
+	return b.String()
+}
+
+// SortAlgCSV renders E11 as CSV.
+func SortAlgCSV(cells []SortAlgCell) string {
+	var b strings.Builder
+	b.WriteString("algorithm,partition,fixed_s,adaptive_s\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%s,%d,%.6f,%.6f\n", c.Algorithm, c.PartitionSize, c.Fixed.Seconds(), c.Adaptive.Seconds())
+	}
+	return b.String()
+}

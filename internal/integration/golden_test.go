@@ -1,0 +1,135 @@
+package integration
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// TestGoldenValues pins exact mean response times for a handful of
+// configurations. The simulator is deterministic, so any drift here means
+// the model changed. That is sometimes intentional — recalibration,
+// bug fixes — in which case update these values AND regenerate
+// EXPERIMENTS.md (cmd/ippsbench) in the same change; what this test
+// prevents is silent, unnoticed drift.
+func TestGoldenValues(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  core.Config
+		want sim.Time
+	}{
+		{
+			name: "pure-ts-matmul-fixed-16L",
+			cfg: core.Config{PartitionSize: 16, Topology: topology.Linear,
+				Policy: sched.TimeShared, App: core.MatMul, Arch: workload.Fixed},
+			want: 7258375,
+		},
+		{
+			name: "hybrid-matmul-adaptive-4M",
+			cfg: core.Config{PartitionSize: 4, Topology: topology.Mesh,
+				Policy: sched.TimeShared, App: core.MatMul, Arch: workload.Adaptive},
+			want: 1004694,
+		},
+		{
+			name: "static-sort-fixed-2L-submission",
+			cfg: core.Config{PartitionSize: 2, Topology: topology.Linear,
+				Policy: sched.Static, App: core.Sort, Arch: workload.Fixed},
+			want: 1087837,
+		},
+		{
+			name: "gang-stencil-fixed-8M",
+			cfg: core.Config{PartitionSize: 8, Topology: topology.Mesh,
+				Policy: sched.Gang, App: core.Stencil, Arch: workload.Fixed},
+			want: 3207756,
+		},
+		{
+			name: "dynamic-matmul-adaptive-mesh",
+			cfg: core.Config{Policy: sched.DynamicSpace, Topology: topology.Mesh,
+				App: core.MatMul, Arch: workload.Adaptive},
+			want: 1526734,
+		},
+		{
+			name: "rrprocess-sort-adaptive-8H",
+			cfg: core.Config{PartitionSize: 8, Topology: topology.Hypercube,
+				Policy: sched.RRProcess, App: core.Sort, Arch: workload.Adaptive},
+			want: 2698712,
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := core.Run(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.MeanResponse(); got != c.want {
+				t.Errorf("mean response = %d µs, pinned %d µs — model drift; "+
+					"if intentional, update this pin and regenerate EXPERIMENTS.md",
+					got, c.want)
+			}
+		})
+	}
+}
+
+// TestTorusThroughTheStack: the extension topology works end to end.
+func TestTorusThroughTheStack(t *testing.T) {
+	res, err := core.Run(core.Config{
+		PartitionSize: 8,
+		Topology:      topology.Torus,
+		Policy:        sched.TimeShared,
+		App:           core.MatMul,
+		Arch:          workload.Adaptive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 16 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	// The torus's wraparound should beat the mesh's corner-rooted layout.
+	mesh, err := core.Run(core.Config{
+		PartitionSize: 8,
+		Topology:      topology.Mesh,
+		Policy:        sched.TimeShared,
+		App:           core.MatMul,
+		Arch:          workload.Adaptive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Net.AvgHops() > mesh.Net.AvgHops() {
+		t.Errorf("torus avg hops %.2f above mesh %.2f", res.Net.AvgHops(), mesh.Net.AvgHops())
+	}
+}
+
+// TestRandomOpenStreamsNeverStall: random Poisson streams at random loads
+// complete under every policy (no deadlock, no lost jobs).
+func TestRandomOpenStreamsNeverStall(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, policy := range allPolicies {
+			batch := workload.MatMulBatch(workload.Adaptive, workload.DefaultAppCost(), false)
+			batch = batch.WithPoissonArrivals(sim.Time(50+seed*40)*sim.Millisecond, seed)
+			cfg := core.Config{
+				PartitionSize: 4,
+				Topology:      topology.Ring,
+				Policy:        policy,
+				Batch:         batch,
+				Seed:          seed,
+			}
+			if policy == sched.DynamicSpace {
+				cfg.PartitionSize = 0
+			}
+			res, err := core.Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, policy, err)
+			}
+			if len(res.Jobs) != 16 {
+				t.Fatalf("seed %d %v: %d jobs", seed, policy, len(res.Jobs))
+			}
+		}
+	}
+}

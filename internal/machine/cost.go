@@ -1,0 +1,106 @@
+// Package machine models the hardware of the simulated multicomputer: T805
+// processors with the transputer's two-priority hardware scheduler, the
+// point-to-point links between them, and the calibration constants that tie
+// simulated time to the 1997 hardware.
+//
+// A node couples a CPU with a memory manager (package mem). The CPU schedules
+// abstract "tasks" — the compute demands of simulated processes — exactly the
+// way the T805 microcode does: high-priority tasks run until their burst
+// completes, low-priority tasks share the processor round-robin with a fixed
+// quantum, and a newly-runnable high-priority task immediately preempts a
+// low-priority one, which loses the rest of its quantum (but not its work).
+package machine
+
+import "repro/internal/sim"
+
+// CostModel collects the hardware calibration constants. The defaults are
+// drawn from published T805/INMOS figures; none of the paper's qualitative
+// results depend on their exact values, only on their rough ratios.
+type CostModel struct {
+	// Quantum is the low-priority timeslice. The T805 rotates low-priority
+	// processes roughly every 2 ms (two 1024-µs timer periods); the paper
+	// quotes 2 ms.
+	Quantum sim.Time
+
+	// LinkPerByteNS is the per-byte occupancy of a link in nanoseconds.
+	// INMOS links run at 20 Mbit/s (~575 ns/byte of raw DMA), but the
+	// store-and-forward mailbox software also copies every byte through a
+	// reserved buffer at each hop, so the effective figure is higher.
+	LinkPerByteNS int64
+
+	// LinkLatency is the fixed per-hop wire/DMA setup time.
+	LinkLatency sim.Time
+
+	// RouterHopOverhead is the CPU time the store-and-forward mailbox router
+	// charges (at high priority) to process one message at one hop: header
+	// decode, routing-table lookup, buffer bookkeeping.
+	RouterHopOverhead sim.Time
+
+	// SendOverhead is the CPU time a sender spends initiating a send
+	// (marshalling the descriptor into the mailbox system).
+	SendOverhead sim.Time
+
+	// RecvOverhead is the CPU time a receiver spends accepting a delivered
+	// message.
+	RecvOverhead sim.Time
+
+	// JobSwitch is the overhead of a job-level context switch under the
+	// time-sharing policies: the local scheduler's preemption control is
+	// driven by partition-scheduler messages, so moving the CPU between
+	// processes of different jobs costs far more than the T805's ~1 µs
+	// hardware process switch.
+	JobSwitch sim.Time
+
+	// SpawnOverhead is the per-process cost of creating a process when a job
+	// is loaded into a partition.
+	SpawnOverhead sim.Time
+
+	// FlitBytes is the wormhole flit size used by the wormhole ablation;
+	// irrelevant to store-and-forward runs.
+	FlitBytes int64
+
+	// MsgHeaderBytes is the mailbox header prepended to every message; it
+	// makes even empty messages occupy buffers and link time.
+	MsgHeaderBytes int64
+
+	// HostPerByteNS is the per-byte cost of loading a job's code and data
+	// from the front-end workstation through the single host-link
+	// transputer (§3.1: "one transputer is required to provide a link to
+	// the frontend host workstation"). All job loads serialize on it. The
+	// host interface streams with buffered DMA, so this is cheaper than a
+	// store-and-forward hop.
+	HostPerByteNS int64
+	// HostJobFixed is the fixed per-job setup cost of a load (booting the
+	// process network).
+	HostJobFixed sim.Time
+}
+
+// DefaultCostModel returns the calibration used for all paper-reproduction
+// experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Quantum:           2 * sim.Millisecond,
+		LinkPerByteNS:     575,
+		LinkLatency:       5 * sim.Microsecond,
+		RouterHopOverhead: 400 * sim.Microsecond,
+		SendOverhead:      250 * sim.Microsecond,
+		RecvOverhead:      150 * sim.Microsecond,
+		JobSwitch:         800 * sim.Microsecond,
+		SpawnOverhead:     1 * sim.Millisecond,
+		FlitBytes:         32,
+		MsgHeaderBytes:    32,
+		HostPerByteNS:     100,
+		HostJobFixed:      5 * sim.Millisecond,
+	}
+}
+
+// TransferTime returns the time to move n bytes across one link, excluding
+// queueing: per-hop latency plus serialization.
+func (c CostModel) TransferTime(n int64) sim.Time {
+	return c.LinkLatency + sim.Time(n*c.LinkPerByteNS/1000)
+}
+
+// LoadTime returns the host-link occupancy to load a job image of n bytes.
+func (c CostModel) LoadTime(n int64) sim.Time {
+	return c.HostJobFixed + sim.Time(n*c.HostPerByteNS/1000)
+}

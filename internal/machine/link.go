@@ -1,0 +1,121 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// LinkStats aggregates one direction's accounting.
+type LinkStats struct {
+	// BusyTime is the simulated time the direction was occupied.
+	BusyTime sim.Time
+	// Transfers counts completed occupancies; Bytes the payload moved.
+	Transfers, Bytes int64
+	// WaitTime accumulates time spent queued for the direction.
+	WaitTime sim.Time
+}
+
+// HalfLink is one direction of a physical link: a serially-reusable resource
+// with a FIFO acquire queue. Under store-and-forward each direction has a
+// single sending router, so the queue is usually empty; under wormhole
+// routing several worms can contend for the same channel and queue here.
+type HalfLink struct {
+	k        *sim.Kernel
+	name     string
+	busy     bool
+	busyFrom sim.Time
+	waiters  []*linkWaiter
+	stats    LinkStats
+}
+
+type linkWaiter struct {
+	proc    *sim.Proc
+	since   sim.Time
+	granted bool
+}
+
+// NewHalfLink creates one link direction with a diagnostic name.
+func NewHalfLink(k *sim.Kernel, name string) *HalfLink {
+	return &HalfLink{k: k, name: name}
+}
+
+// Name returns the diagnostic name ("link 3->7").
+func (h *HalfLink) Name() string { return h.name }
+
+// Stats returns a copy of the direction's statistics.
+func (h *HalfLink) Stats() LinkStats { return h.stats }
+
+// Busy reports whether the direction is currently held.
+func (h *HalfLink) Busy() bool { return h.busy }
+
+// Acquire takes exclusive hold of the direction, blocking the calling
+// process FIFO until it is free.
+func (h *HalfLink) Acquire(p *sim.Proc) {
+	if !h.busy && len(h.waiters) == 0 {
+		h.busy = true
+		h.busyFrom = h.k.Now()
+		return
+	}
+	w := &linkWaiter{proc: p, since: h.k.Now()}
+	h.waiters = append(h.waiters, w)
+	for !w.granted {
+		p.Park(fmt.Sprintf("acquire %s", h.name))
+	}
+	h.stats.WaitTime += h.k.Now() - w.since
+}
+
+// Release frees the direction and hands it to the next waiter, if any.
+func (h *HalfLink) Release() {
+	if !h.busy {
+		panic(fmt.Sprintf("machine: release of idle %s", h.name))
+	}
+	h.stats.BusyTime += h.k.Now() - h.busyFrom
+	if len(h.waiters) > 0 {
+		w := h.waiters[0]
+		h.waiters = h.waiters[1:]
+		w.granted = true
+		h.busyFrom = h.k.Now()
+		w.proc.Wake()
+		return
+	}
+	h.busy = false
+}
+
+// CountTransfer records a completed payload movement for utilization
+// reporting. Call while holding the direction.
+func (h *HalfLink) CountTransfer(bytes int64) {
+	h.stats.Transfers++
+	h.stats.Bytes += bytes
+}
+
+// Link is a full-duplex physical wire between two nodes, as configured by
+// the INMOS C004 switch fabric for a partition topology.
+type Link struct {
+	A, B int // node ids
+	AtoB *HalfLink
+	BtoA *HalfLink
+}
+
+// NewLink wires nodes a and b.
+func NewLink(k *sim.Kernel, a, b int) *Link {
+	return &Link{
+		A:    a,
+		B:    b,
+		AtoB: NewHalfLink(k, fmt.Sprintf("link %d->%d", a, b)),
+		BtoA: NewHalfLink(k, fmt.Sprintf("link %d->%d", b, a)),
+	}
+}
+
+// Dir returns the half-link carrying traffic from node `from` across this
+// link; it panics if from is not an endpoint.
+func (l *Link) Dir(from int) *HalfLink {
+	switch from {
+	case l.A:
+		return l.AtoB
+	case l.B:
+		return l.BtoA
+	default:
+		panic(fmt.Sprintf("machine: node %d is not on link %d-%d", from, l.A, l.B))
+	}
+}

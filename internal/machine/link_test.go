@@ -1,0 +1,125 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestHalfLinkFIFO(t *testing.T) {
+	k := sim.NewKernel(1)
+	h := NewHalfLink(k, "test")
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("p", func(p *sim.Proc) {
+			p.Sleep(sim.Time(i)) // deterministic arrival order 0,1,2
+			h.Acquire(p)
+			order = append(order, i)
+			p.Sleep(100)
+			h.CountTransfer(50)
+			h.Release()
+		})
+	}
+	k.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	st := h.Stats()
+	if st.Transfers != 3 || st.Bytes != 150 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BusyTime != 300 {
+		t.Errorf("busy = %v, want 300", st.BusyTime)
+	}
+	// Waiters 1 and 2 waited (100-1) and (200-2).
+	if st.WaitTime != 99+198 {
+		t.Errorf("wait = %v, want %v", st.WaitTime, sim.Time(99+198))
+	}
+}
+
+func TestHalfLinkImmediateWhenIdle(t *testing.T) {
+	k := sim.NewKernel(1)
+	h := NewHalfLink(k, "idle")
+	acquired := false
+	k.Spawn("p", func(p *sim.Proc) {
+		h.Acquire(p)
+		acquired = true
+		if !h.Busy() {
+			t.Error("link should be busy while held")
+		}
+		h.Release()
+	})
+	k.Run()
+	if !acquired || h.Busy() {
+		t.Errorf("acquired=%v busy=%v", acquired, h.Busy())
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	h := NewHalfLink(sim.NewKernel(1), "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Release()
+}
+
+func TestLinkDirections(t *testing.T) {
+	k := sim.NewKernel(1)
+	l := NewLink(k, 3, 7)
+	if l.Dir(3) != l.AtoB || l.Dir(7) != l.BtoA {
+		t.Error("Dir mapping wrong")
+	}
+	if l.Dir(3).Name() != "link 3->7" {
+		t.Errorf("name = %q", l.Dir(3).Name())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dir on non-endpoint should panic")
+		}
+	}()
+	l.Dir(5)
+}
+
+func TestMachineConstruction(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewMachine(k, 16, mem.NodeMemory, DefaultCostModel())
+	if m.Size() != 16 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	for i := 0; i < 16; i++ {
+		n := m.Node(i)
+		if n.ID != i || n.CPU.NodeID() != i || n.Mem.NodeID() != i {
+			t.Errorf("node %d ids inconsistent", i)
+		}
+		if n.Mem.Capacity() != mem.NodeMemory {
+			t.Errorf("node %d memory = %d", i, n.Mem.Capacity())
+		}
+		if n.CPU.Quantum() != 2*sim.Millisecond {
+			t.Errorf("node %d quantum = %v", i, n.CPU.Quantum())
+		}
+	}
+}
+
+func TestMachineBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMachine(sim.NewKernel(1), 0, 1024, DefaultCostModel())
+}
+
+func TestTransferTime(t *testing.T) {
+	c := DefaultCostModel()
+	// 1000 bytes at 575 ns/byte = 575 µs + 5 µs latency.
+	if got := c.TransferTime(1000); got != 580*sim.Microsecond {
+		t.Errorf("TransferTime(1000) = %v, want 580µs", got)
+	}
+	if got := c.TransferTime(0); got != c.LinkLatency {
+		t.Errorf("TransferTime(0) = %v, want latency only", got)
+	}
+}

@@ -1,0 +1,149 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestChargeAsyncLowPriorityQueues(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewCPU(k, 0, q)
+	var order []string
+	tl := c.NewTask("app", PriLow)
+	k.Spawn("app", func(p *sim.Proc) { tl.Compute(p, q); order = append(order, "app") })
+	c.ChargeAsync(PriLow, q/2, func() { order = append(order, "async") })
+	k.Run()
+	// Both at low priority, app submitted first in spawn order? The async
+	// charge is submitted synchronously before the spawned proc's first
+	// compute, so it runs first.
+	if len(order) != 2 || order[0] != "async" {
+		t.Fatalf("order = %v", order)
+	}
+	st := c.Stats()
+	if st.BusyLow != q+q/2 {
+		t.Errorf("busy low = %v", st.BusyLow)
+	}
+}
+
+func TestSuspendTaskWithoutBurst(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewCPU(k, 0, q)
+	task := c.NewTask("t", PriLow)
+	task.Suspend() // no burst: must not panic
+	task.Resume()
+	var done sim.Time
+	k.Spawn("t", func(p *sim.Proc) {
+		task.Compute(p, q)
+		done = p.Now()
+	})
+	k.Run()
+	if done != q {
+		t.Errorf("done = %v", done)
+	}
+}
+
+func TestSuspendResumePreservesQueuePositionSemantics(t *testing.T) {
+	// A task resumed after suspension goes to the back of its queue.
+	k := sim.NewKernel(1)
+	c := NewCPU(k, 0, q)
+	var order []string
+	ta := c.NewTask("a", PriLow)
+	tb := c.NewTask("b", PriLow)
+	tc := c.NewTask("c", PriLow)
+	k.Spawn("a", func(p *sim.Proc) { ta.Compute(p, 4*q); order = append(order, "a") })
+	k.Spawn("b", func(p *sim.Proc) { tb.Compute(p, q/2); order = append(order, "b") })
+	k.Spawn("c", func(p *sim.Proc) { p.Sleep(1); tc.Compute(p, q/2); order = append(order, "c") })
+	// Suspend b while queued; resume after c joined: b lands behind c.
+	k.After(2, func() { tb.Suspend() })
+	k.After(3, func() { tb.Resume() })
+	k.Run()
+	if len(order) != 3 || order[0] != "c" || order[1] != "b" {
+		t.Fatalf("order = %v, want c before b (requeue at tail)", order)
+	}
+}
+
+func TestHighPriorityTaskUnaffectedByQuantum(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewCPU(k, 0, q)
+	th := c.NewTask("h", PriHigh)
+	th.SetQuantum(q / 8) // must be ignored at high priority
+	var done sim.Time
+	k.Spawn("h", func(p *sim.Proc) { th.Compute(p, 3*q); done = p.Now() })
+	other := c.NewTask("h2", PriHigh)
+	k.Spawn("h2", func(p *sim.Proc) { other.Compute(p, q) })
+	k.Run()
+	if done != 3*q {
+		t.Errorf("high task with tiny quantum preempted: done = %v", done)
+	}
+}
+
+func TestCPUStatsBusyIncludesSwitch(t *testing.T) {
+	st := CPUStats{BusyLow: 100, BusyHigh: 50, BusySwitch: 25}
+	if st.Busy() != 175 {
+		t.Errorf("Busy = %v", st.Busy())
+	}
+}
+
+func TestHostLinkOnMachine(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewMachine(k, 2, 1<<20, DefaultCostModel())
+	if m.Host == nil {
+		t.Fatal("machine has no host link")
+	}
+	done := false
+	k.Spawn("loader", func(p *sim.Proc) {
+		m.Host.Acquire(p)
+		p.Sleep(m.Cost.LoadTime(1000))
+		m.Host.CountTransfer(1000)
+		m.Host.Release()
+		done = true
+	})
+	k.Run()
+	if !done {
+		t.Fatal("load did not complete")
+	}
+	st := m.Host.Stats()
+	if st.Transfers != 1 || st.Bytes != 1000 {
+		t.Errorf("host stats = %+v", st)
+	}
+	// 5ms fixed + 1000 x 100ns = 5.1ms.
+	if want := 5*sim.Millisecond + 100*sim.Microsecond; st.BusyTime != want {
+		t.Errorf("host busy = %v, want %v", st.BusyTime, want)
+	}
+}
+
+// TestPreemptionStormAccounting: many alternating high bursts against one
+// long low burst keep the accounting exact.
+func TestPreemptionStormAccounting(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewCPU(k, 0, q)
+	low := c.NewTask("low", PriLow)
+	var lowDone sim.Time
+	k.Spawn("low", func(p *sim.Proc) {
+		low.Compute(p, 10*q)
+		lowDone = p.Now()
+	})
+	const storms = 7
+	for i := 0; i < storms; i++ {
+		i := i
+		h := c.NewTask("h", PriHigh)
+		k.Spawn("h", func(p *sim.Proc) {
+			p.Sleep(sim.Time(i)*q + q/3)
+			h.Compute(p, q/4)
+		})
+	}
+	k.Run()
+	k.Shutdown()
+	want := 10*q + storms*(q/4)
+	if lowDone != want {
+		t.Errorf("low done at %v, want %v", lowDone, want)
+	}
+	st := c.Stats()
+	if st.BusyLow != 10*q || st.BusyHigh != storms*(q/4) {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Preemptions != storms {
+		t.Errorf("preemptions = %d, want %d", st.Preemptions, storms)
+	}
+}

@@ -1,0 +1,51 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Node is one processor of the multicomputer: a T805 CPU plus its local
+// memory. Links are attached by the communication layer according to the
+// partition topology.
+type Node struct {
+	ID  int
+	CPU *CPU
+	Mem *mem.MMU
+}
+
+// Machine is the whole multicomputer: a fixed array of nodes sharing one
+// simulation kernel and one cost model. The paper's system is Size == 16.
+// Host is the single link to the front-end workstation through which every
+// job's code and data are loaded; loads serialize on it.
+type Machine struct {
+	K     *sim.Kernel
+	Cost  CostModel
+	Nodes []*Node
+	Host  *HalfLink
+}
+
+// NewMachine builds size nodes, each with memBytes of local memory and the
+// cost model's low-priority quantum.
+func NewMachine(k *sim.Kernel, size int, memBytes int64, cost CostModel) *Machine {
+	if size < 1 {
+		panic(fmt.Sprintf("machine: size %d", size))
+	}
+	m := &Machine{K: k, Cost: cost, Nodes: make([]*Node, size), Host: NewHalfLink(k, "host link")}
+	for i := range m.Nodes {
+		m.Nodes[i] = &Node{
+			ID:  i,
+			CPU: NewCPU(k, i, cost.Quantum),
+			Mem: mem.New(k, i, memBytes),
+		}
+	}
+	return m
+}
+
+// Size returns the number of nodes.
+func (m *Machine) Size() int { return len(m.Nodes) }
+
+// Node returns node i.
+func (m *Machine) Node(i int) *Node { return m.Nodes[i] }

@@ -1,0 +1,196 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPerTaskQuantumOverride(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewCPU(k, 0, q)
+	// Task a has a long custom quantum 4q; task b uses the hardware q.
+	ta := c.NewTask("a", PriLow)
+	ta.SetQuantum(4 * q)
+	tb := c.NewTask("b", PriLow)
+	var doneA, doneB sim.Time
+	k.Spawn("a", func(p *sim.Proc) { ta.Compute(p, 4*q); doneA = p.Now() })
+	k.Spawn("b", func(p *sim.Proc) { tb.Compute(p, q); doneB = p.Now() })
+	k.Run()
+	// a runs a full 4q slice (its custom quantum), finishing its burst at
+	// 4q; b waits behind it and finishes at 5q.
+	if doneA != 4*q {
+		t.Errorf("a done at %v, want %v", doneA, 4*q)
+	}
+	if doneB != 5*q {
+		t.Errorf("b done at %v, want %v", doneB, 5*q)
+	}
+}
+
+func TestShortQuantumInterleavesFiner(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewCPU(k, 0, q)
+	ta := c.NewTask("a", PriLow)
+	ta.SetQuantum(q / 4)
+	tb := c.NewTask("b", PriLow)
+	tb.SetQuantum(q / 4)
+	var doneA sim.Time
+	k.Spawn("a", func(p *sim.Proc) { ta.Compute(p, q/2); doneA = p.Now() })
+	k.Spawn("b", func(p *sim.Proc) { tb.Compute(p, 10*q) })
+	k.Run()
+	k.Shutdown()
+	// With q/4 slices: a q/4, b q/4, a q/4 done at 3q/4. With hardware q it
+	// would have been done at... a would finish within its first quantum
+	// anyway; key point: rotation happened at q/4 bounds.
+	if doneA != 3*q/4 {
+		t.Errorf("a done at %v, want %v", doneA, 3*q/4)
+	}
+}
+
+func TestSetQuantumNegativePanics(t *testing.T) {
+	c := NewCPU(sim.NewKernel(1), 0, q)
+	task := c.NewTask("x", PriLow)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	task.SetQuantum(-1)
+}
+
+func TestGroupSwitchOverheadCharged(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewCPU(k, 0, q)
+	const sw = 100 * sim.Microsecond
+	c.SetSwitchCost(sw)
+	ta := c.NewTask("a", PriLow)
+	ta.SetGroup(1)
+	tb := c.NewTask("b", PriLow)
+	tb.SetGroup(2)
+	var doneA, doneB sim.Time
+	k.Spawn("a", func(p *sim.Proc) { ta.Compute(p, q); doneA = p.Now() })
+	k.Spawn("b", func(p *sim.Proc) { tb.Compute(p, q); doneB = p.Now() })
+	k.Run()
+	// Dispatch a: switch (boot) + q work. Dispatch b: switch + q.
+	if doneA != sw+q {
+		t.Errorf("a done at %v, want %v", doneA, sw+q)
+	}
+	if doneB != 2*(sw+q) {
+		t.Errorf("b done at %v, want %v", doneB, 2*(sw+q))
+	}
+	st := c.Stats()
+	if st.GroupSwitches != 2 {
+		t.Errorf("switches = %d, want 2", st.GroupSwitches)
+	}
+	if st.BusySwitch != 2*sw {
+		t.Errorf("busy switch = %v, want %v", st.BusySwitch, 2*sw)
+	}
+	if st.BusyLow != 2*q {
+		t.Errorf("busy low = %v, want %v", st.BusyLow, 2*q)
+	}
+}
+
+func TestSameGroupSwitchIsFree(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewCPU(k, 0, q)
+	c.SetSwitchCost(100)
+	// Two tasks of the same job: rotating between them is a hardware
+	// process switch, no local-scheduler overhead.
+	ta := c.NewTask("a", PriLow)
+	ta.SetGroup(7)
+	tb := c.NewTask("b", PriLow)
+	tb.SetGroup(7)
+	k.Spawn("a", func(p *sim.Proc) { ta.Compute(p, 2*q) })
+	k.Spawn("b", func(p *sim.Proc) { tb.Compute(p, 2*q) })
+	k.Run()
+	st := c.Stats()
+	if st.GroupSwitches != 1 { // only the boot-time switch
+		t.Errorf("switches = %d, want 1", st.GroupSwitches)
+	}
+	if st.BusySwitch != 100 {
+		t.Errorf("busy switch = %v", st.BusySwitch)
+	}
+}
+
+func TestSwitchOverheadLostOnPreemption(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewCPU(k, 0, q)
+	const sw = 100 * sim.Microsecond
+	c.SetSwitchCost(sw)
+	tl := c.NewTask("l", PriLow)
+	tl.SetGroup(1)
+	th := c.NewTask("h", PriHigh)
+	var doneL sim.Time
+	k.Spawn("l", func(p *sim.Proc) { tl.Compute(p, q); doneL = p.Now() })
+	k.Spawn("h", func(p *sim.Proc) {
+		p.Sleep(sw / 2) // preempt l mid-switch-overhead
+		th.Compute(p, q)
+	})
+	k.Run()
+	// l's first slice spent sw/2 of overhead and no work; after h's q, l
+	// redispatches paying full overhead again (group unchanged but the
+	// sentinel... actually same group, so no new switch charge) — l pays
+	// only the half-overhead it lost plus its work? No: redispatch of same
+	// group is free, so l completes at sw/2 + q (h) + q (work).
+	want := sw/2 + q + q
+	if doneL != want {
+		t.Errorf("l done at %v, want %v", doneL, want)
+	}
+	st := c.Stats()
+	if st.BusySwitch != sw/2 {
+		t.Errorf("busy switch = %v, want %v", st.BusySwitch, sw/2)
+	}
+}
+
+func TestNegativeSwitchCostPanics(t *testing.T) {
+	c := NewCPU(sim.NewKernel(1), 0, q)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.SetSwitchCost(-1)
+}
+
+// TestJobFairQuanta verifies the RR-job fairness property the paper takes
+// from Leutenegger & Vernon: with Q = P*q/T per process, a job's processes
+// on one node get ~q of CPU per rotation round regardless of T, so two jobs
+// with very different process counts finish a balanced workload at nearly
+// the same time.
+func TestJobFairQuanta(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewCPU(k, 0, q)
+	// Job A: 4 processes on this node, total work 8q. With P=1 notionally,
+	// Q_A = q/4 each. Job B: 1 process, work 8q, Q_B = q.
+	var lastA, lastB sim.Time
+	remA := 4
+	for i := 0; i < 4; i++ {
+		task := c.NewTask("a", PriLow)
+		task.SetGroup(1)
+		task.SetQuantum(q / 4)
+		k.Spawn("a", func(p *sim.Proc) {
+			task.Compute(p, 2*q)
+			remA--
+			if remA == 0 {
+				lastA = p.Now()
+			}
+		})
+	}
+	tb := c.NewTask("b", PriLow)
+	tb.SetGroup(2)
+	tb.SetQuantum(q)
+	k.Spawn("b", func(p *sim.Proc) { tb.Compute(p, 8*q); lastB = p.Now() })
+	k.Run()
+	// Both jobs have 8q of work and equal per-round shares; they should
+	// finish within one round (~2q) of each other.
+	diff := lastA - lastB
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2*q {
+		t.Errorf("job finish skew = %v (A=%v B=%v), want <= %v", diff, lastA, lastB, 2*q)
+	}
+	if k.Now() != 16*q {
+		t.Errorf("makespan = %v, want %v (work conservation)", k.Now(), 16*q)
+	}
+}

@@ -1,0 +1,217 @@
+// Package mem models the per-node memory management unit of the simulated
+// multicomputer.
+//
+// Every T805 node in the paper's system has 4 MB of local memory managed by a
+// software MMU. The MMU serves two demand streams: application data (matrix
+// slices, sub-arrays) and mailbox buffers for the store-and-forward message
+// system. When memory is tight an allocation blocks until enough is freed —
+// the paper points out that "a message can suffer a delay if an intermediate
+// processor delays allocation of memory for the mailbox", and that delay is
+// one of the main reasons time-sharing loses to space-sharing at high
+// multiprogramming levels. This package reproduces that mechanism and keeps
+// the statistics needed to show it.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NodeMemory is the local memory of one T805 node (4 MB), the paper's
+// hardware configuration.
+const NodeMemory int64 = 4 << 20
+
+// Class labels an allocation for accounting purposes.
+type Class int
+
+const (
+	// ClassData is long-lived application data (program arrays).
+	ClassData Class = iota
+	// ClassBuffer is a transient store-and-forward message buffer.
+	ClassBuffer
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassData:
+		return "data"
+	case ClassBuffer:
+		return "buffer"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Stats aggregates what the MMU observed during a run.
+type Stats struct {
+	// Peak is the maximum number of bytes simultaneously allocated.
+	Peak int64
+	// Allocs and Frees count operations.
+	Allocs, Frees int64
+	// BlockedAllocs counts allocations that had to wait for memory.
+	BlockedAllocs int64
+	// BlockedTime accumulates simulated time spent waiting, over all waiters.
+	BlockedTime sim.Time
+	// BytesData / BytesBuffer classify total bytes allocated.
+	BytesData, BytesBuffer int64
+}
+
+// waiter is a parked allocation request. Its grant happens inside the MMU
+// (admit) so FIFO order cannot be subverted while the wake event is in
+// flight; the waiting process only records its blocked time on resume.
+type waiter struct {
+	proc    *sim.Proc
+	bytes   int64
+	class   Class
+	since   sim.Time
+	granted bool
+}
+
+// MMU is a node's memory allocator. Allocation is first-come-first-served:
+// a large request at the head of the queue blocks later small ones, which is
+// how a FIFO buffer-pool allocator behaves and is the conservative choice
+// for congestion effects.
+type MMU struct {
+	k        *sim.Kernel
+	node     int
+	capacity int64
+	used     int64
+	waiters  []*waiter
+	stats    Stats
+}
+
+// New creates an MMU with the given capacity in bytes (use NodeMemory for
+// the paper's configuration).
+func New(k *sim.Kernel, node int, capacity int64) *MMU {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("mem: node %d capacity %d", node, capacity))
+	}
+	return &MMU{k: k, node: node, capacity: capacity}
+}
+
+// Capacity returns the total memory in bytes.
+func (m *MMU) Capacity() int64 { return m.capacity }
+
+// Used returns the bytes currently allocated (including reservations made
+// for woken-but-not-yet-resumed waiters).
+func (m *MMU) Used() int64 { return m.used }
+
+// Free returns the bytes currently available.
+func (m *MMU) Free() int64 { return m.capacity - m.used }
+
+// Waiting reports the number of allocation requests currently blocked.
+func (m *MMU) Waiting() int { return len(m.waiters) }
+
+// PendingBytes reports the total bytes requested by blocked allocations.
+func (m *MMU) PendingBytes() int64 {
+	var sum int64
+	for _, w := range m.waiters {
+		sum += w.bytes
+	}
+	return sum
+}
+
+// OldestWaiter describes the queue-head request for diagnostics; empty when
+// nothing waits.
+func (m *MMU) OldestWaiter() string {
+	if len(m.waiters) == 0 {
+		return ""
+	}
+	w := m.waiters[0]
+	return fmt.Sprintf("%s wants %dB (waiting since %s)", w.proc.Name(), w.bytes, w.since)
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (m *MMU) Stats() Stats { return m.stats }
+
+// NodeID returns the node this MMU belongs to.
+func (m *MMU) NodeID() int { return m.node }
+
+// TryAlloc attempts a non-blocking allocation; it reports success. A request
+// larger than the whole memory always fails. To preserve FIFO fairness a
+// TryAlloc fails whenever an earlier blocked request is still waiting.
+func (m *MMU) TryAlloc(bytes int64, class Class) bool {
+	if bytes < 0 {
+		panic("mem: negative allocation")
+	}
+	if bytes == 0 {
+		return true
+	}
+	if bytes > m.capacity || len(m.waiters) > 0 || m.used+bytes > m.capacity {
+		return false
+	}
+	m.grant(bytes, class)
+	return true
+}
+
+// Alloc obtains bytes of memory for the calling process, blocking in FIFO
+// order until enough is free. An allocation larger than total capacity can
+// never succeed and panics (a configuration error, not a runtime condition).
+func (m *MMU) Alloc(p *sim.Proc, bytes int64, class Class) {
+	if bytes < 0 {
+		panic("mem: negative allocation")
+	}
+	if bytes == 0 {
+		return
+	}
+	if bytes > m.capacity {
+		panic(fmt.Sprintf("mem: node %d request %d exceeds capacity %d", m.node, bytes, m.capacity))
+	}
+	if m.TryAlloc(bytes, class) {
+		return
+	}
+	w := &waiter{proc: p, bytes: bytes, class: class, since: m.k.Now()}
+	m.waiters = append(m.waiters, w)
+	m.stats.BlockedAllocs++
+	for !w.granted {
+		p.Park(fmt.Sprintf("mem alloc %dB on node %d", bytes, m.node))
+	}
+	m.stats.BlockedTime += m.k.Now() - w.since
+}
+
+func (m *MMU) grant(bytes int64, class Class) {
+	m.used += bytes
+	if m.used > m.stats.Peak {
+		m.stats.Peak = m.used
+	}
+	m.stats.Allocs++
+	switch class {
+	case ClassBuffer:
+		m.stats.BytesBuffer += bytes
+	default:
+		m.stats.BytesData += bytes
+	}
+}
+
+// FreeBytes returns memory to the pool and unblocks eligible waiters in FIFO
+// order. Freeing more than is allocated panics: that is always an accounting
+// bug in the caller.
+func (m *MMU) FreeBytes(bytes int64) {
+	if bytes < 0 {
+		panic("mem: negative free")
+	}
+	if bytes == 0 {
+		return
+	}
+	if bytes > m.used {
+		panic(fmt.Sprintf("mem: node %d freeing %d with only %d allocated", m.node, bytes, m.used))
+	}
+	m.used -= bytes
+	m.stats.Frees++
+	m.admit()
+}
+
+// admit grants queue-head waiters whose requests now fit and wakes them.
+func (m *MMU) admit() {
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		if m.used+w.bytes > m.capacity {
+			return
+		}
+		m.waiters = m.waiters[1:]
+		m.grant(w.bytes, w.class)
+		w.granted = true
+		w.proc.Wake()
+	}
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// HistBucket is one bin of a response-time histogram.
+type HistBucket struct {
+	Lo, Hi sim.Time
+	Count  int
+}
+
+// ResponseHistogram bins the result's job response times into `buckets`
+// equal-width bins spanning [min, max]. With fewer than two jobs or zero
+// spread it returns a single bucket.
+func (r *Result) ResponseHistogram(buckets int) []HistBucket {
+	if len(r.Jobs) == 0 || buckets < 1 {
+		return nil
+	}
+	min, max := r.Jobs[0].Response(), r.Jobs[0].Response()
+	for _, j := range r.Jobs[1:] {
+		resp := j.Response()
+		if resp < min {
+			min = resp
+		}
+		if resp > max {
+			max = resp
+		}
+	}
+	if min == max || buckets == 1 {
+		return []HistBucket{{Lo: min, Hi: max, Count: len(r.Jobs)}}
+	}
+	width := (max - min + sim.Time(buckets) - 1) / sim.Time(buckets)
+	out := make([]HistBucket, buckets)
+	for i := range out {
+		out[i].Lo = min + sim.Time(i)*width
+		out[i].Hi = out[i].Lo + width
+	}
+	for _, j := range r.Jobs {
+		idx := int((j.Response() - min) / width)
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		out[idx].Count++
+	}
+	return out
+}
+
+// RenderHistogram draws the buckets as horizontal bars.
+func RenderHistogram(buckets []HistBucket) string {
+	if len(buckets) == 0 {
+		return ""
+	}
+	maxCount := 0
+	for _, b := range buckets {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+	}
+	var sb strings.Builder
+	for _, b := range buckets {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", b.Count*40/maxCount)
+		}
+		fmt.Fprintf(&sb, "%12s - %-12s %3d %s\n", b.Lo, b.Hi, b.Count, bar)
+	}
+	return sb.String()
+}

@@ -1,0 +1,226 @@
+// Package metrics defines the measurement records produced by simulation
+// runs and the aggregations the paper reports (mean response time first
+// among them), plus supporting detail — utilization, memory contention,
+// network traffic — that the paper uses to explain its results.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// JobRecord captures one job's life cycle. The paper's metric is response
+// time: "the waiting time to get processors allocated plus the execution
+// time".
+type JobRecord struct {
+	JobID int
+	// Class is the workload size class ("small" or "large").
+	Class string
+	// Processes is the number of processes the job ran with.
+	Processes int
+	// Partition is the index of the partition that executed the job.
+	Partition int
+	// Arrival is when the job entered the system ready queue; Started is
+	// when it was dispatched to a partition; Completed is when its last
+	// process finished.
+	Arrival, Started, Completed sim.Time
+}
+
+// Response is completion minus arrival.
+func (j JobRecord) Response() sim.Time { return j.Completed - j.Arrival }
+
+// Wait is the time spent in the ready queue before dispatch.
+func (j JobRecord) Wait() sim.Time { return j.Started - j.Arrival }
+
+// NodeUsage is per-node accounting over a run.
+type NodeUsage struct {
+	Node              int
+	BusyHigh, BusyLow sim.Time
+	Preemptions       int64
+	QuantumExpiries   int64
+	MemPeak           int64
+	MemBlockedAllocs  int64
+	MemBlockedTime    sim.Time
+}
+
+// NetUsage aggregates communication counters over all partition networks.
+type NetUsage struct {
+	Messages     int64
+	PayloadBytes int64
+	Hops         int64
+	TotalLatency sim.Time
+	// LinkBusy is total link-direction occupancy; LinkWait is time spent
+	// queued for links; MaxLinkBusy is the single hottest direction.
+	LinkBusy, LinkWait, MaxLinkBusy sim.Time
+	// HostBusy is the host-link occupancy (job image loading).
+	HostBusy sim.Time
+}
+
+// AvgLatency is mean end-to-end message latency.
+func (n NetUsage) AvgLatency() sim.Time {
+	if n.Messages == 0 {
+		return 0
+	}
+	return n.TotalLatency / sim.Time(n.Messages)
+}
+
+// AvgHops is mean link traversals per message.
+func (n NetUsage) AvgHops() float64 {
+	if n.Messages == 0 {
+		return 0
+	}
+	return float64(n.Hops) / float64(n.Messages)
+}
+
+// Result is the full outcome of one simulated batch run.
+type Result struct {
+	// Label identifies the configuration, e.g. "8L static fixed matmul".
+	Label string
+	// Jobs has one record per completed job, in completion order.
+	Jobs []JobRecord
+	// Makespan is the completion time of the last job.
+	Makespan sim.Time
+	// Nodes is per-node usage, indexed by node id.
+	Nodes []NodeUsage
+	// Net aggregates message-system counters.
+	Net NetUsage
+	// Timeline holds periodic utilization samples when sampling was enabled
+	// (see core.Config.SampleEvery); nil otherwise.
+	Timeline Timeline
+}
+
+// MeanResponse is the paper's headline metric.
+func (r *Result) MeanResponse() sim.Time {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, j := range r.Jobs {
+		sum += j.Response()
+	}
+	return sum / sim.Time(len(r.Jobs))
+}
+
+// MeanResponseSeconds is MeanResponse in floating-point seconds.
+func (r *Result) MeanResponseSeconds() float64 { return r.MeanResponse().Seconds() }
+
+// MaxResponse is the worst job response time.
+func (r *Result) MaxResponse() sim.Time {
+	var m sim.Time
+	for _, j := range r.Jobs {
+		if resp := j.Response(); resp > m {
+			m = resp
+		}
+	}
+	return m
+}
+
+// MeanResponseByClass splits the mean over job classes.
+func (r *Result) MeanResponseByClass() map[string]sim.Time {
+	sums := map[string]sim.Time{}
+	counts := map[string]sim.Time{}
+	for _, j := range r.Jobs {
+		sums[j.Class] += j.Response()
+		counts[j.Class]++
+	}
+	out := make(map[string]sim.Time, len(sums))
+	for c, s := range sums {
+		out[c] = s / counts[c]
+	}
+	return out
+}
+
+// ResponsePercentile returns the p-th percentile (0 < p <= 100) response
+// time using nearest-rank.
+func (r *Result) ResponsePercentile(p float64) sim.Time {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	resp := make([]sim.Time, len(r.Jobs))
+	for i, j := range r.Jobs {
+		resp[i] = j.Response()
+	}
+	sort.Slice(resp, func(i, j int) bool { return resp[i] < resp[j] })
+	if p <= 0 {
+		return resp[0]
+	}
+	rank := int(p/100*float64(len(resp)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(resp) {
+		rank = len(resp)
+	}
+	return resp[rank-1]
+}
+
+// CPUUtilization is mean fraction of node time busy (either priority) over
+// the makespan, across all nodes.
+func (r *Result) CPUUtilization() float64 {
+	if r.Makespan == 0 || len(r.Nodes) == 0 {
+		return 0
+	}
+	var busy sim.Time
+	for _, n := range r.Nodes {
+		busy += n.BusyHigh + n.BusyLow
+	}
+	return float64(busy) / (float64(r.Makespan) * float64(len(r.Nodes)))
+}
+
+// SystemOverheadFraction is the share of busy time spent at high priority
+// (routing, scheduling) rather than in application work.
+func (r *Result) SystemOverheadFraction() float64 {
+	var hi, total sim.Time
+	for _, n := range r.Nodes {
+		hi += n.BusyHigh
+		total += n.BusyHigh + n.BusyLow
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hi) / float64(total)
+}
+
+// TotalMemBlockedTime sums memory-wait time across nodes: the paper's
+// "contention for memory" signal.
+func (r *Result) TotalMemBlockedTime() sim.Time {
+	var t sim.Time
+	for _, n := range r.Nodes {
+		t += n.MemBlockedTime
+	}
+	return t
+}
+
+// PeakMemory is the largest per-node memory peak observed.
+func (r *Result) PeakMemory() int64 {
+	var m int64
+	for _, n := range r.Nodes {
+		if n.MemPeak > m {
+			m = n.MemPeak
+		}
+	}
+	return m
+}
+
+// String gives a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: jobs=%d meanResp=%s makespan=%s util=%.1f%% ovh=%.1f%% memBlock=%s",
+		r.Label, len(r.Jobs), r.MeanResponse(), r.Makespan,
+		100*r.CPUUtilization(), 100*r.SystemOverheadFraction(), r.TotalMemBlockedTime())
+}
+
+// MeanOf averages the mean responses of several results — used for the
+// paper's static-policy convention of reporting the average of the
+// best-order and worst-order runs.
+func MeanOf(results ...*Result) sim.Time {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, r := range results {
+		sum += r.MeanResponse()
+	}
+	return sum / sim.Time(len(results))
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func mkResult() *Result {
+	return &Result{
+		Label: "test",
+		Jobs: []JobRecord{
+			{JobID: 0, Class: "small", Arrival: 0, Started: 10, Completed: 100},
+			{JobID: 1, Class: "small", Arrival: 0, Started: 20, Completed: 200},
+			{JobID: 2, Class: "large", Arrival: 0, Started: 30, Completed: 600},
+			{JobID: 3, Class: "large", Arrival: 0, Started: 40, Completed: 700},
+		},
+		Makespan: 700,
+		Nodes: []NodeUsage{
+			{Node: 0, BusyHigh: 100, BusyLow: 300, MemPeak: 1000, MemBlockedTime: 5},
+			{Node: 1, BusyHigh: 50, BusyLow: 250, MemPeak: 2000, MemBlockedTime: 15},
+		},
+		Net: NetUsage{Messages: 10, PayloadBytes: 5000, Hops: 25, TotalLatency: 1000},
+	}
+}
+
+func TestJobRecord(t *testing.T) {
+	j := JobRecord{Arrival: 5, Started: 15, Completed: 115}
+	if j.Response() != 110 || j.Wait() != 10 {
+		t.Errorf("response=%v wait=%v", j.Response(), j.Wait())
+	}
+}
+
+func TestMeanResponse(t *testing.T) {
+	r := mkResult()
+	// (100+200+600+700)/4 = 400
+	if got := r.MeanResponse(); got != 400 {
+		t.Errorf("mean = %v, want 400", got)
+	}
+	if got := r.MaxResponse(); got != 700 {
+		t.Errorf("max = %v, want 700", got)
+	}
+	empty := &Result{}
+	if empty.MeanResponse() != 0 || empty.MaxResponse() != 0 {
+		t.Error("empty result aggregates should be zero")
+	}
+}
+
+func TestMeanResponseSeconds(t *testing.T) {
+	r := &Result{Jobs: []JobRecord{{Completed: 2 * sim.Second}}}
+	if got := r.MeanResponseSeconds(); got != 2.0 {
+		t.Errorf("seconds = %v", got)
+	}
+}
+
+func TestMeanResponseByClass(t *testing.T) {
+	r := mkResult()
+	by := r.MeanResponseByClass()
+	if by["small"] != 150 {
+		t.Errorf("small = %v, want 150", by["small"])
+	}
+	if by["large"] != 650 {
+		t.Errorf("large = %v, want 650", by["large"])
+	}
+}
+
+func TestResponsePercentile(t *testing.T) {
+	r := mkResult()
+	if got := r.ResponsePercentile(50); got != 200 {
+		t.Errorf("p50 = %v, want 200", got)
+	}
+	if got := r.ResponsePercentile(100); got != 700 {
+		t.Errorf("p100 = %v, want 700", got)
+	}
+	if got := r.ResponsePercentile(0); got != 100 {
+		t.Errorf("p0 = %v, want 100", got)
+	}
+	if got := r.ResponsePercentile(25); got != 100 {
+		t.Errorf("p25 = %v, want 100", got)
+	}
+	empty := &Result{}
+	if empty.ResponsePercentile(50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r := mkResult()
+	// busy = 400+300 = 700 over 700*2 node-µs = 0.5
+	if got := r.CPUUtilization(); got != 0.5 {
+		t.Errorf("util = %v, want 0.5", got)
+	}
+	// high = 150 of 700 total busy
+	want := 150.0 / 700.0
+	if got := r.SystemOverheadFraction(); got != want {
+		t.Errorf("overhead = %v, want %v", got, want)
+	}
+	empty := &Result{}
+	if empty.CPUUtilization() != 0 || empty.SystemOverheadFraction() != 0 {
+		t.Error("empty utilization should be zero")
+	}
+}
+
+func TestMemoryAggregates(t *testing.T) {
+	r := mkResult()
+	if got := r.TotalMemBlockedTime(); got != 20 {
+		t.Errorf("blocked = %v, want 20", got)
+	}
+	if got := r.PeakMemory(); got != 2000 {
+		t.Errorf("peak = %v, want 2000", got)
+	}
+}
+
+func TestNetUsage(t *testing.T) {
+	n := NetUsage{Messages: 10, Hops: 25, TotalLatency: 1000}
+	if n.AvgLatency() != 100 {
+		t.Errorf("avg latency = %v", n.AvgLatency())
+	}
+	if n.AvgHops() != 2.5 {
+		t.Errorf("avg hops = %v", n.AvgHops())
+	}
+	zero := NetUsage{}
+	if zero.AvgLatency() != 0 || zero.AvgHops() != 0 {
+		t.Error("zero NetUsage aggregates should be zero")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	s := mkResult().String()
+	for _, want := range []string{"test", "jobs=4", "meanResp="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	a := &Result{Jobs: []JobRecord{{Completed: 100}}}
+	b := &Result{Jobs: []JobRecord{{Completed: 300}}}
+	if got := MeanOf(a, b); got != 200 {
+		t.Errorf("MeanOf = %v, want 200", got)
+	}
+	if MeanOf() != 0 {
+		t.Error("MeanOf() should be 0")
+	}
+}
+
+func TestResponseHistogram(t *testing.T) {
+	r := mkResult() // responses 100, 200, 600, 700
+	buckets := r.ResponseHistogram(3)
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	total := 0
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Errorf("histogram lost jobs: %d", total)
+	}
+	// 100 and 200 in the first bin (width 200), 600/700 in the last.
+	if buckets[0].Count != 2 || buckets[2].Count != 2 {
+		t.Errorf("distribution = %+v", buckets)
+	}
+	rendered := RenderHistogram(buckets)
+	if !strings.Contains(rendered, "#") {
+		t.Errorf("render missing bars:\n%s", rendered)
+	}
+	if (&Result{}).ResponseHistogram(3) != nil {
+		t.Error("empty result should give nil histogram")
+	}
+	one := &Result{Jobs: []JobRecord{{Completed: 5}, {Completed: 5}}}
+	hb := one.ResponseHistogram(4)
+	if len(hb) != 1 || hb[0].Count != 2 {
+		t.Errorf("degenerate histogram = %+v", hb)
+	}
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Sample is one instant of system state, captured periodically during a
+// run when sampling is enabled.
+type Sample struct {
+	At sim.Time
+	// BusyLow / BusyHigh / BusySwitch are machine-wide utilization
+	// fractions (0..1) over the interval ending at At, split by what the
+	// CPUs were doing: application work, system work (routers), and
+	// job-switch overhead.
+	BusyLow, BusyHigh, BusySwitch float64
+	// MemUsed is the total bytes allocated across all nodes at At.
+	MemUsed int64
+	// JobsRunning is the number of dispatched-but-unfinished jobs at At.
+	JobsRunning int
+}
+
+// Busy is the total utilization fraction of the interval.
+func (s Sample) Busy() float64 { return s.BusyLow + s.BusyHigh + s.BusySwitch }
+
+// Timeline is a sequence of periodic samples.
+type Timeline []Sample
+
+// PeakMem reports the largest sampled memory footprint.
+func (t Timeline) PeakMem() int64 {
+	var m int64
+	for _, s := range t {
+		if s.MemUsed > m {
+			m = s.MemUsed
+		}
+	}
+	return m
+}
+
+// MeanBusy reports the average utilization across samples.
+func (t Timeline) MeanBusy() float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range t {
+		sum += s.Busy()
+	}
+	return sum / float64(len(t))
+}
+
+// sparkRunes renders eighths-resolution bars.
+var sparkRunes = []rune(" ▁▂▃▄▅▆▇█")
+
+// Sparkline renders the utilization timeline as a compact unicode bar
+// chart, at most width characters wide (samples are bucketed by mean).
+func (t Timeline) Sparkline(width int) string {
+	if len(t) == 0 || width < 1 {
+		return ""
+	}
+	buckets := width
+	if len(t) < buckets {
+		buckets = len(t)
+	}
+	var b strings.Builder
+	for i := 0; i < buckets; i++ {
+		lo := i * len(t) / buckets
+		hi := (i + 1) * len(t) / buckets
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, s := range t[lo:hi] {
+			sum += s.Busy()
+		}
+		mean := sum / float64(hi-lo)
+		idx := int(mean*float64(len(sparkRunes)-1) + 0.5)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Table renders the timeline as rows (for tools).
+func (t Timeline) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %12s %6s\n", "time", "app", "sys", "switch", "mem-bytes", "jobs")
+	for _, s := range t {
+		fmt.Fprintf(&b, "%-12s %7.1f%% %7.1f%% %7.1f%% %12d %6d\n",
+			s.At, 100*s.BusyLow, 100*s.BusyHigh, 100*s.BusySwitch, s.MemUsed, s.JobsRunning)
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkTimeline() Timeline {
+	return Timeline{
+		{At: 1000, BusyLow: 0.5, BusyHigh: 0.1, BusySwitch: 0.05, MemUsed: 100, JobsRunning: 4},
+		{At: 2000, BusyLow: 0.8, BusyHigh: 0.1, BusySwitch: 0.1, MemUsed: 300, JobsRunning: 4},
+		{At: 3000, BusyLow: 0.2, BusyHigh: 0.0, BusySwitch: 0.0, MemUsed: 50, JobsRunning: 1},
+	}
+}
+
+func TestSampleBusy(t *testing.T) {
+	s := Sample{BusyLow: 0.5, BusyHigh: 0.25, BusySwitch: 0.1}
+	if got := s.Busy(); got != 0.85 {
+		t.Errorf("Busy = %v", got)
+	}
+}
+
+func TestTimelineAggregates(t *testing.T) {
+	tl := mkTimeline()
+	if got := tl.PeakMem(); got != 300 {
+		t.Errorf("PeakMem = %d", got)
+	}
+	mean := tl.MeanBusy()
+	want := (0.65 + 1.0 + 0.2) / 3
+	if mean < want-1e-9 || mean > want+1e-9 {
+		t.Errorf("MeanBusy = %v, want %v", mean, want)
+	}
+	var empty Timeline
+	if empty.MeanBusy() != 0 || empty.PeakMem() != 0 {
+		t.Error("empty timeline aggregates should be zero")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	tl := mkTimeline()
+	s := tl.Sparkline(3)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline %q has %d runes", s, len([]rune(s)))
+	}
+	// Highest bucket (busy 1.0) must render the tallest rune.
+	if []rune(s)[1] != '█' {
+		t.Errorf("sparkline = %q, middle should be full block", s)
+	}
+	// Width larger than samples collapses to sample count.
+	if got := len([]rune(tl.Sparkline(100))); got != 3 {
+		t.Errorf("oversized width gave %d runes", got)
+	}
+	if tl.Sparkline(0) != "" || (Timeline{}).Sparkline(5) != "" {
+		t.Error("degenerate sparklines should be empty")
+	}
+}
+
+func TestTimelineTable(t *testing.T) {
+	table := mkTimeline().Table()
+	for _, want := range []string{"time", "app", "mem-bytes", "1.000ms", "80.0%"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package sched
+
+import "fmt"
+
+// buddy is a classic buddy allocator over a power-of-two array of nodes,
+// used by the dynamic space-sharing policy to hand out contiguous
+// power-of-two processor blocks (the allocation discipline of the iPSC/860
+// class of machines the paper's introduction cites). Deterministic: the
+// lowest-addressed suitable block is always chosen.
+type buddy struct {
+	size  int           // total nodes, power of two
+	free  map[int][]int // order -> ascending block starts
+	order map[int]int   // allocated block start -> order
+}
+
+// orderOf returns log2(size) for power-of-two sizes.
+func orderOf(size int) int {
+	o := 0
+	for v := size; v > 1; v >>= 1 {
+		o++
+	}
+	return o
+}
+
+func newBuddy(size int) *buddy {
+	if size < 1 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("sched: buddy size %d not a power of two", size))
+	}
+	b := &buddy{size: size, free: make(map[int][]int), order: make(map[int]int)}
+	b.free[orderOf(size)] = []int{0}
+	return b
+}
+
+// largest reports the size of the biggest free block (0 when full).
+func (b *buddy) largest() int {
+	for o := orderOf(b.size); o >= 0; o-- {
+		if len(b.free[o]) > 0 {
+			return 1 << o
+		}
+	}
+	return 0
+}
+
+// freeNodes reports the total free capacity.
+func (b *buddy) freeNodes() int {
+	total := 0
+	for o, blocks := range b.free {
+		total += len(blocks) << o
+	}
+	return total
+}
+
+// alloc takes a block of the given power-of-two size, splitting larger
+// blocks as needed; it returns the block's first node and whether the
+// allocation succeeded.
+func (b *buddy) alloc(size int) (int, bool) {
+	if size < 1 || size&(size-1) != 0 || size > b.size {
+		panic(fmt.Sprintf("sched: buddy alloc %d", size))
+	}
+	want := orderOf(size)
+	// Find the smallest order >= want with a free block.
+	from := -1
+	for o := want; o <= orderOf(b.size); o++ {
+		if len(b.free[o]) > 0 {
+			from = o
+			break
+		}
+	}
+	if from < 0 {
+		return 0, false
+	}
+	start := b.free[from][0]
+	b.free[from] = b.free[from][1:]
+	// Split down to the wanted order, keeping the low half each time.
+	for o := from; o > want; o-- {
+		half := 1 << (o - 1)
+		b.insertFree(o-1, start+half)
+	}
+	b.order[start] = want
+	return start, true
+}
+
+// release returns a previously allocated block and merges buddies.
+func (b *buddy) release(start int) {
+	o, ok := b.order[start]
+	if !ok {
+		panic(fmt.Sprintf("sched: buddy release of unallocated block %d", start))
+	}
+	delete(b.order, start)
+	for o < orderOf(b.size) {
+		buddyStart := start ^ (1 << o)
+		if !b.removeFree(o, buddyStart) {
+			break
+		}
+		if buddyStart < start {
+			start = buddyStart
+		}
+		o++
+	}
+	b.insertFree(o, start)
+}
+
+func (b *buddy) insertFree(o, start int) {
+	blocks := b.free[o]
+	i := 0
+	for i < len(blocks) && blocks[i] < start {
+		i++
+	}
+	blocks = append(blocks, 0)
+	copy(blocks[i+1:], blocks[i:])
+	blocks[i] = start
+	b.free[o] = blocks
+}
+
+func (b *buddy) removeFree(o, start int) bool {
+	blocks := b.free[o]
+	for i, s := range blocks {
+		if s == start {
+			b.free[o] = append(blocks[:i], blocks[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

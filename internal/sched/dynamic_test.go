@@ -1,0 +1,253 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// --- buddy allocator ---------------------------------------------------
+
+func TestBuddyBasics(t *testing.T) {
+	b := newBuddy(16)
+	if b.largest() != 16 || b.freeNodes() != 16 {
+		t.Fatalf("fresh pool: largest=%d free=%d", b.largest(), b.freeNodes())
+	}
+	start, ok := b.alloc(4)
+	if !ok || start != 0 {
+		t.Fatalf("alloc(4) = %d, %v", start, ok)
+	}
+	if b.freeNodes() != 12 {
+		t.Errorf("free = %d", b.freeNodes())
+	}
+	// The remaining space is a 4-block and an 8-block.
+	if b.largest() != 8 {
+		t.Errorf("largest = %d", b.largest())
+	}
+	s2, ok := b.alloc(8)
+	if !ok || s2 != 8 {
+		t.Fatalf("alloc(8) = %d, %v", s2, ok)
+	}
+	s3, ok := b.alloc(4)
+	if !ok || s3 != 4 {
+		t.Fatalf("alloc(4) = %d, %v", s3, ok)
+	}
+	if _, ok := b.alloc(1); ok {
+		t.Fatal("pool should be exhausted")
+	}
+	// Free everything; merging must restore the full block.
+	b.release(start)
+	b.release(s3)
+	b.release(s2)
+	if b.largest() != 16 || b.freeNodes() != 16 {
+		t.Errorf("after merge: largest=%d free=%d", b.largest(), b.freeNodes())
+	}
+}
+
+func TestBuddyLowestAddressFirst(t *testing.T) {
+	b := newBuddy(16)
+	a1, _ := b.alloc(2)
+	a2, _ := b.alloc(2)
+	if a1 != 0 || a2 != 2 {
+		t.Errorf("allocs at %d, %d; want 0, 2", a1, a2)
+	}
+}
+
+func TestBuddyBadOpsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"size":        func() { newBuddy(6) },
+		"alloc3":      func() { newBuddy(8).alloc(3) },
+		"alloc-big":   func() { newBuddy(8).alloc(16) },
+		"double-free": func() { b := newBuddy(8); s, _ := b.alloc(2); b.release(s); b.release(s) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestBuddyProperty: arbitrary alloc/free interleavings conserve capacity
+// and never hand out overlapping blocks.
+func TestBuddyProperty(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		b := newBuddy(16)
+		rng := rand.New(rand.NewSource(seed))
+		type block struct{ start, size int }
+		var held []block
+		occupied := func() int {
+			n := 0
+			for _, blk := range held {
+				n += blk.size
+			}
+			return n
+		}
+		for _, op := range ops {
+			if op%2 == 0 || len(held) == 0 {
+				size := 1 << (int(op/2) % 5) // 1..16
+				start, ok := b.alloc(size)
+				if !ok {
+					continue
+				}
+				// No overlap with held blocks.
+				for _, blk := range held {
+					if start < blk.start+blk.size && blk.start < start+size {
+						return false
+					}
+				}
+				if start%size != 0 { // buddy blocks are size-aligned
+					return false
+				}
+				held = append(held, block{start, size})
+			} else {
+				i := rng.Intn(len(held))
+				b.release(held[i].start)
+				held = append(held[:i], held[i+1:]...)
+			}
+			if b.freeNodes()+occupied() != 16 {
+				return false
+			}
+		}
+		for _, blk := range held {
+			b.release(blk.start)
+		}
+		return b.largest() == 16 && b.freeNodes() == 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(41))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- dynamic space-sharing policy ---------------------------------------
+
+func TestDynamicPolicyParsing(t *testing.T) {
+	got, err := ParsePolicy("dynamic")
+	if err != nil || got != DynamicSpace {
+		t.Fatalf("ParsePolicy(dynamic) = %v, %v", got, err)
+	}
+	if DynamicSpace.String() != "dynamic" {
+		t.Error("dynamic string")
+	}
+}
+
+func TestDynamicValidation(t *testing.T) {
+	mach := testMachine(8)
+	defer mach.K.Shutdown()
+	if _, err := New(Config{Machine: mach, Policy: DynamicSpace, PartitionSize: 3, Topology: topology.Linear}); err == nil {
+		t.Error("non-power-of-two cap should fail")
+	}
+	if _, err := New(Config{Machine: mach, Policy: DynamicSpace, PartitionSize: 16, Topology: topology.Linear}); err == nil {
+		t.Error("cap above machine size should fail")
+	}
+	if _, err := New(Config{Machine: mach, Policy: DynamicSpace, Topology: topology.Linear}); err != nil {
+		t.Errorf("default cap rejected: %v", err)
+	}
+}
+
+func TestDynamicBatchRunsAndEquipartitions(t *testing.T) {
+	mach := testMachine(16)
+	// 4 simultaneous jobs on 16 nodes: the equipartition heuristic should
+	// grant 4-node blocks.
+	res := run(t, mach, Config{Policy: DynamicSpace, Topology: topology.Mesh},
+		syntheticBatch(4, 50*sim.Millisecond, workload.Adaptive))
+	if len(res.Jobs) != 4 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	for _, j := range res.Jobs {
+		if j.Processes != 4 {
+			t.Errorf("job %d got %d processors, want 4 (equipartition)", j.JobID, j.Processes)
+		}
+	}
+	// Distinct blocks.
+	seen := map[int]bool{}
+	for _, j := range res.Jobs {
+		if seen[j.Partition] {
+			t.Errorf("block %d reused concurrently", j.Partition)
+		}
+		seen[j.Partition] = true
+	}
+}
+
+func TestDynamicSingleJobGetsWholeMachine(t *testing.T) {
+	mach := testMachine(16)
+	res := run(t, mach, Config{Policy: DynamicSpace, Topology: topology.Mesh},
+		syntheticBatch(1, 50*sim.Millisecond, workload.Adaptive))
+	if res.Jobs[0].Processes != 16 {
+		t.Errorf("lone job got %d processors, want 16", res.Jobs[0].Processes)
+	}
+}
+
+func TestDynamicRespectsBlockCap(t *testing.T) {
+	mach := testMachine(16)
+	res := run(t, mach, Config{Policy: DynamicSpace, PartitionSize: 4, Topology: topology.Ring},
+		syntheticBatch(1, 50*sim.Millisecond, workload.Adaptive))
+	if res.Jobs[0].Processes != 4 {
+		t.Errorf("capped job got %d processors, want 4", res.Jobs[0].Processes)
+	}
+}
+
+func TestDynamicAdaptsToLoad(t *testing.T) {
+	mach := testMachine(16)
+	// First job arrives alone (gets a big block); twelve more arrive later
+	// while it runs, so they get small blocks.
+	batch := syntheticBatch(13, 200*sim.Millisecond, workload.Adaptive)
+	for i := 1; i < 13; i++ {
+		batch[i].Arrival = 50 * sim.Millisecond
+	}
+	res := run(t, mach, Config{Policy: DynamicSpace, Topology: topology.Linear}, batch)
+	byID := map[int]int{}
+	for _, j := range res.Jobs {
+		byID[j.JobID] = j.Processes
+	}
+	if byID[0] != 16 {
+		t.Errorf("first job got %d, want 16 (idle system)", byID[0])
+	}
+	small := 0
+	for id, procs := range byID {
+		if id != 0 && procs <= 2 {
+			small++
+		}
+	}
+	if small < 6 {
+		t.Errorf("later jobs not squeezed by load: %v", byID)
+	}
+}
+
+func TestDynamicMemoryReturned(t *testing.T) {
+	mach := testMachine(16)
+	run(t, mach, Config{Policy: DynamicSpace, Topology: topology.Hypercube},
+		syntheticBatch(10, 20*sim.Millisecond, workload.Fixed))
+	for _, n := range mach.Nodes {
+		if n.Mem.Used() != 0 {
+			t.Errorf("node %d leaked %d bytes", n.ID, n.Mem.Used())
+		}
+	}
+}
+
+func TestDynamicWithVerifiedApps(t *testing.T) {
+	mach := testMachine(8)
+	batch := workload.BatchSpec{
+		Small: 3, Large: 1, Arch: workload.Adaptive,
+		NewApp: func(class string) workload.App {
+			n := 60
+			if class == "large" {
+				n = 150
+			}
+			return workload.NewSort(n, workload.DefaultAppCost(), true)
+		},
+	}.Build()
+	run(t, mach, Config{Policy: DynamicSpace, Topology: topology.Mesh}, batch)
+	for _, job := range batch {
+		if !job.App.(*workload.Sort).Checked {
+			t.Errorf("job %d not verified under dynamic policy", job.ID)
+		}
+	}
+}

@@ -1,0 +1,530 @@
+// Package sched implements the paper's processor scheduling policies on the
+// simulated multicomputer, using the same hierarchical structure as the
+// paper's software (§3.2): a super scheduler owns the system-wide FCFS ready
+// queue, a partition scheduler manages each partition's processors and
+// resident jobs, and the local scheduling on each node is the T805
+// two-priority discipline extended with the partition scheduler's preemption
+// control (per-task quanta and job-switch accounting in package machine).
+//
+// Three policies are provided:
+//
+//   - Static space-sharing: each equal partition runs exactly one job to
+//     completion; other jobs wait in the global FCFS queue.
+//   - TimeShared (the paper's RR-job, also the hybrid policy): all jobs are
+//     distributed equitably over the partitions at batch start and every
+//     process runs with quantum Q = (P/T)·q, which shares processing power
+//     equally per job rather than per process. With a single partition this
+//     is the paper's pure time-sharing policy; with more partitions it is
+//     the hybrid policy.
+//   - RRProcess: the naive round-robin that gives every process the same
+//     fixed quantum q, so jobs with more processes get more power — the
+//     unfair baseline of Majumdar, Eager & Bunt that §2.2 argues against.
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Policy selects the scheduling discipline.
+type Policy int
+
+const (
+	// Static is run-to-completion space sharing.
+	Static Policy = iota
+	// TimeShared is the paper's RR-job time-sharing / hybrid policy.
+	TimeShared
+	// RRProcess is the fixed-per-process-quantum baseline.
+	RRProcess
+	// Gang is an extension policy: explicit coscheduling. All processes of
+	// the active job run together; the partition scheduler rotates whole
+	// jobs every basic quantum. Not in the paper, but the natural
+	// alternative time-sharing discipline (Ousterhout-style) to compare
+	// RR-job against.
+	Gang
+	// DynamicSpace is an extension policy: space sharing with per-job
+	// contiguous power-of-two blocks from a buddy pool, sized by an
+	// equipartition heuristic — the dynamic-partitioning family the paper's
+	// §2.1 describes but does not implement. Config.PartitionSize caps the
+	// block a single job may receive.
+	DynamicSpace
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Static:
+		return "static"
+	case TimeShared:
+		return "time-shared"
+	case RRProcess:
+		return "rr-process"
+	case Gang:
+		return "gang"
+	case DynamicSpace:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "static", "space", "space-sharing":
+		return Static, nil
+	case "time-shared", "ts", "hybrid", "rr-job":
+		return TimeShared, nil
+	case "rr-process", "rrp":
+		return RRProcess, nil
+	case "gang", "cosched":
+		return Gang, nil
+	case "dynamic", "dynamic-space", "dyn":
+		return DynamicSpace, nil
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q", s)
+}
+
+// Config describes one scheduling system instance.
+type Config struct {
+	// Machine is the multicomputer to schedule on.
+	Machine *machine.Machine
+	// PartitionSize p: the machine is split into Size/p equal partitions.
+	PartitionSize int
+	// Topology is the interconnect configured inside each partition.
+	Topology topology.Kind
+	// Mode is the switching discipline (store-and-forward reproduces the
+	// paper; wormhole is the ablation).
+	Mode comm.Mode
+	// Policy is the scheduling discipline.
+	Policy Policy
+	// BasicQuantum is q in Q = (P/T)·q. Zero defaults to the hardware
+	// quantum from the machine's cost model.
+	BasicQuantum sim.Time
+	// MaxResident bounds how many jobs a partition holds at once under the
+	// time-sharing policies — the hybrid policy's "set size" tuning
+	// parameter (§2.3). Zero admits everything, the paper's configuration.
+	// Ignored by the static policy (whose set size is always one).
+	MaxResident int
+	// Tracer, when non-nil, receives job and message events.
+	Tracer trace.Tracer
+}
+
+// System wires the scheduler hierarchy for one batch run. A System is
+// single-use: build, RunBatch once, read the result.
+type System struct {
+	cfg   Config
+	k     *sim.Kernel
+	parts []*Partition
+
+	pending   []*jobState // global FCFS ready queue (static and dynamic)
+	records   []metrics.JobRecord
+	remaining int
+	started   int
+	used      bool
+
+	// Dynamic space-sharing state.
+	pool       *buddy
+	dynParts   []*Partition
+	dynRunning int
+}
+
+// Partition is one equal share of the machine with its own interconnect.
+type Partition struct {
+	idx  int
+	size int
+	net  *comm.Network
+	busy bool // static policy: a job is resident
+
+	// Time-sharing admission control (MaxResident > 0).
+	resident int
+	queue    []*jobState
+
+	// Gang-scheduling rotation state.
+	gangJobs  []*jobState
+	gangIdx   int
+	gangTimer *sim.Timer
+}
+
+// jobState tracks one job through the system.
+type jobState struct {
+	job       *workload.Job
+	rec       metrics.JobRecord
+	env       *workload.Env
+	procsLeft int
+	part      *Partition
+}
+
+// New validates the configuration and builds the partitions.
+func New(cfg Config) (*System, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("sched: nil machine")
+	}
+	size := cfg.Machine.Size()
+	if cfg.BasicQuantum == 0 {
+		cfg.BasicQuantum = cfg.Machine.Cost.Quantum
+	}
+	if cfg.BasicQuantum < 0 {
+		return nil, fmt.Errorf("sched: negative basic quantum %v", cfg.BasicQuantum)
+	}
+	if cfg.Policy == DynamicSpace {
+		// No fixed partitions: blocks come from a buddy pool per job.
+		// PartitionSize caps a single job's block (0 = whole machine).
+		if size&(size-1) != 0 {
+			return nil, fmt.Errorf("sched: dynamic space-sharing needs a power-of-two machine, got %d", size)
+		}
+		if cap := cfg.PartitionSize; cap != 0 && (cap < 1 || cap&(cap-1) != 0 || cap > size) {
+			return nil, fmt.Errorf("sched: dynamic block cap %d must be a power of two <= %d", cap, size)
+		}
+		// Every possible block size must be wireable in the configured
+		// topology (hypercube needs powers of two, which blocks are).
+		for bs := 1; bs <= size; bs <<= 1 {
+			if _, err := topology.Build(cfg.Topology, bs); err != nil {
+				return nil, err
+			}
+		}
+		s := &System{cfg: cfg, k: cfg.Machine.K, pool: newBuddy(size)}
+		for _, n := range cfg.Machine.Nodes {
+			n.CPU.SetSwitchCost(cfg.Machine.Cost.JobSwitch)
+		}
+		return s, nil
+	}
+	p := cfg.PartitionSize
+	if p < 1 || size%p != 0 {
+		return nil, fmt.Errorf("sched: partition size %d must divide machine size %d", p, size)
+	}
+	graph, err := topology.Build(cfg.Topology, p)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, k: cfg.Machine.K}
+	for i := 0; i < size/p; i++ {
+		nodes := make([]int, p)
+		for j := range nodes {
+			nodes[j] = i*p + j
+		}
+		// The graph is read-only after construction, so all partitions share
+		// it; links are created per network.
+		part := &Partition{
+			idx:  i,
+			size: p,
+			net:  comm.NewNetwork(cfg.Machine, nodes, graph, cfg.Mode),
+		}
+		part.net.SetTracer(cfg.Tracer)
+		s.parts = append(s.parts, part)
+	}
+	// The local schedulers' job-switch overhead applies machine-wide.
+	for _, n := range cfg.Machine.Nodes {
+		n.CPU.SetSwitchCost(cfg.Machine.Cost.JobSwitch)
+	}
+	return s, nil
+}
+
+// Partitions returns the partition count.
+func (s *System) Partitions() int { return len(s.parts) }
+
+// Remaining reports jobs not yet completed (valid during a run; used by
+// samplers to decide when to stop).
+func (s *System) Remaining() int { return s.remaining }
+
+// Running reports jobs dispatched but not yet completed.
+func (s *System) Running() int { return s.started - (len(s.records)) }
+
+// RunBatch submits the batch at time zero, runs the simulation to
+// completion, and returns the measured result. It fails if any job cannot
+// finish (for example a memory deadlock), reporting the stuck processes.
+func (s *System) RunBatch(batch workload.Batch) (*metrics.Result, error) {
+	if s.used {
+		return nil, fmt.Errorf("sched: System is single-use; build a new one per batch")
+	}
+	s.used = true
+	jobs := make([]*jobState, len(batch))
+	for i, job := range batch {
+		jobs[i] = &jobState{
+			job: job,
+			rec: metrics.JobRecord{JobID: job.ID, Class: job.Class, Arrival: job.Arrival},
+		}
+	}
+	s.remaining = len(jobs)
+
+	// Jobs enter the system at their arrival times (zero for the paper's
+	// closed batches; the open-system experiments set Poisson arrivals).
+	switch s.cfg.Policy {
+	case Static:
+		for _, js := range jobs {
+			js := js
+			s.atArrival(js, func() { s.arriveStatic(js) })
+		}
+	case TimeShared, RRProcess, Gang:
+		// Jobs are distributed equitably — job i to partition i mod
+		// #partitions, giving the multiprogramming level 16/(16/p) of §5.1 —
+		// and started on arrival unless MaxResident caps the set size.
+		for i, js := range jobs {
+			i, js := i, js
+			s.atArrival(js, func() { s.admit(s.parts[i%len(s.parts)], js) })
+		}
+	case DynamicSpace:
+		for _, js := range jobs {
+			js := js
+			s.atArrival(js, func() { s.dynArrive(js) })
+		}
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %v", s.cfg.Policy)
+	}
+
+	s.k.Run()
+	if s.remaining > 0 {
+		return nil, fmt.Errorf("sched: %d jobs did not complete\n%s", s.remaining, s.Diagnose())
+	}
+	return s.buildResult(), nil
+}
+
+// Diagnose reports why the system is stuck: per-node memory pressure with
+// the queue-head waiter, and every parked process. Useful when a
+// configuration overcommits the 4 MB nodes into a buffer deadlock.
+func (s *System) Diagnose() string {
+	var b strings.Builder
+	b.WriteString("memory pressure:\n")
+	for _, n := range s.cfg.Machine.Nodes {
+		if n.Mem.Waiting() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  node %d: %d/%d bytes used, %d waiters for %d bytes; head: %s\n",
+			n.ID, n.Mem.Used(), n.Mem.Capacity(), n.Mem.Waiting(), n.Mem.PendingBytes(), n.Mem.OldestWaiter())
+	}
+	b.WriteString("parked processes:\n")
+	for _, p := range s.k.ParkedProcs() {
+		fmt.Fprintf(&b, "  %s\n", p)
+	}
+	return b.String()
+}
+
+// atArrival runs fn when the job enters the system.
+func (s *System) atArrival(js *jobState, fn func()) {
+	if js.job.Arrival <= 0 {
+		fn()
+		return
+	}
+	s.k.At(js.job.Arrival, fn)
+}
+
+// arriveStatic enqueues a job in the global ready queue — ordered by
+// priority (higher first), FCFS within a priority — and offers it to the
+// free partitions.
+func (s *System) arriveStatic(js *jobState) {
+	// Stable insert: after every queued job with priority >= ours.
+	at := len(s.pending)
+	for at > 0 && s.pending[at-1].job.Priority < js.job.Priority {
+		at--
+	}
+	s.pending = append(s.pending, nil)
+	copy(s.pending[at+1:], s.pending[at:])
+	s.pending[at] = js
+	for _, part := range s.parts {
+		s.dispatchNext(part)
+	}
+}
+
+// admit starts a job on a time-shared partition, or queues it when the
+// partition's job set is full.
+func (s *System) admit(part *Partition, js *jobState) {
+	if s.cfg.MaxResident > 0 && part.resident >= s.cfg.MaxResident {
+		part.queue = append(part.queue, js)
+		return
+	}
+	part.resident++
+	s.launch(part, js)
+}
+
+// dispatchNext hands the FCFS queue head to a free partition (static
+// policy).
+func (s *System) dispatchNext(part *Partition) {
+	if part.busy || len(s.pending) == 0 {
+		return
+	}
+	js := s.pending[0]
+	s.pending = s.pending[1:]
+	part.busy = true
+	s.launch(part, js)
+}
+
+// launch dispatches a job to a partition: its image is first loaded from
+// the host workstation over the single shared host link (loads serialize
+// there — under time-sharing all 16 jobs queue for it at batch start), then
+// its processes run.
+func (s *System) launch(part *Partition, js *jobState) {
+	s.started++
+	js.rec.Started = s.k.Now()
+	js.rec.Partition = part.idx
+	trace.Emit(s.cfg.Tracer, s.k.Now(), "job", js.job.String(),
+		fmt.Sprintf("dispatched to partition %d", part.idx))
+	s.k.Spawn(fmt.Sprintf("load job%d", js.job.ID), func(p *sim.Proc) {
+		host := s.cfg.Machine.Host
+		host.Acquire(p)
+		bytes := js.job.App.LoadBytes()
+		p.Sleep(s.cfg.Machine.Cost.LoadTime(bytes))
+		host.CountTransfer(bytes)
+		host.Release()
+		// The job's program image stays resident on every partition node
+		// for its lifetime; at high multiprogramming levels this code
+		// residency is what presses the 4 MB nodes.
+		for i := 0; i < part.size; i++ {
+			part.net.NodeOf(i).Mem.Alloc(p, workload.CodeBytes, mem.ClassData)
+		}
+		trace.Emit(s.cfg.Tracer, s.k.Now(), "load", js.job.String(),
+			fmt.Sprintf("image resident (%dB)", bytes))
+		s.startProcs(part, js)
+	})
+}
+
+// startProcs places the loaded job's processes on the partition nodes and
+// starts them.
+func (s *System) startProcs(part *Partition, js *jobState) {
+	t := js.job.Procs(part.size)
+	// Ranks map round-robin onto the partition nodes with rank 0 — the
+	// coordinator holding the job's input data — on the partition's root
+	// node, as transputer toolchains place the master process on the
+	// processor facing the host. Piling every resident job's coordinator on
+	// the root is exactly what concentrates memory demand and link traffic
+	// there under the time-sharing policies.
+	nodeOf := make([]int, t)
+	for r := range nodeOf {
+		nodeOf[r] = r % part.size
+	}
+	env := workload.NewEnv(part.net, js.job.ID, nodeOf)
+	js.part = part
+	js.env = env
+	js.procsLeft = t
+	js.rec.Processes = t
+
+	quantum := s.quantumFor(part, t)
+	for r := 0; r < t; r++ {
+		binding := env.Ranks[r]
+		binding.Task.SetGroup(js.job.ID)
+		if quantum > 0 {
+			binding.Task.SetQuantum(quantum)
+		}
+	}
+	if s.cfg.Policy == Gang {
+		s.gangJoin(part, js)
+	}
+	for r := 0; r < t; r++ {
+		binding := env.Ranks[r]
+		r := r
+		s.k.Spawn(fmt.Sprintf("job%d.r%d", js.job.ID, r), func(p *sim.Proc) {
+			// Process creation cost, charged to the job itself.
+			binding.Task.Compute(p, s.cfg.Machine.Cost.SpawnOverhead)
+			rt := workload.NewRuntime(p, env, r)
+			// The process's workspace is resident until the job ends;
+			// Cleanup returns it with everything else the process holds.
+			rt.AllocData(workload.WorkspaceBytes)
+			js.job.App.Run(rt, r)
+			rt.Cleanup()
+			s.procDone(js)
+		})
+	}
+}
+
+// quantumFor computes the per-process timeslice for a job with t processes
+// on the partition: Q = (P/T)·q for the RR-job policy, the fixed basic
+// quantum for RRProcess, and the hardware default (0 = unset) for static.
+func (s *System) quantumFor(part *Partition, t int) sim.Time {
+	switch s.cfg.Policy {
+	case TimeShared:
+		q := sim.Time(int64(part.size) * int64(s.cfg.BasicQuantum) / int64(t))
+		if q < sim.Microsecond {
+			q = sim.Microsecond
+		}
+		return q
+	case RRProcess:
+		return s.cfg.BasicQuantum
+	default:
+		return 0
+	}
+}
+
+// procDone accounts a finished process; the job completes with its last
+// process, at which point a static partition pulls the next queued job.
+func (s *System) procDone(js *jobState) {
+	js.procsLeft--
+	if js.procsLeft > 0 {
+		return
+	}
+	js.rec.Completed = s.k.Now()
+	s.records = append(s.records, js.rec)
+	s.remaining--
+	trace.Emit(s.cfg.Tracer, s.k.Now(), "job", js.job.String(),
+		fmt.Sprintf("completed, response %s", js.rec.Response()))
+	for i := 0; i < js.part.size; i++ {
+		js.part.net.NodeOf(i).Mem.FreeBytes(workload.CodeBytes)
+	}
+	switch s.cfg.Policy {
+	case Static:
+		js.part.busy = false
+		s.dispatchNext(js.part)
+	case TimeShared, RRProcess, Gang:
+		part := js.part
+		if s.cfg.Policy == Gang {
+			s.gangLeave(part, js)
+		}
+		part.resident--
+		if len(part.queue) > 0 {
+			next := part.queue[0]
+			part.queue = part.queue[1:]
+			part.resident++
+			s.launch(part, next)
+		}
+	case DynamicSpace:
+		s.dynComplete(js)
+	}
+}
+
+// buildResult collects job records and machine/network statistics.
+func (s *System) buildResult() *metrics.Result {
+	res := &metrics.Result{
+		Label: fmt.Sprintf("%d%s %s", s.cfg.PartitionSize, s.cfg.Topology.Letter(), s.cfg.Policy),
+		Jobs:  s.records,
+	}
+	for _, rec := range s.records {
+		if rec.Completed > res.Makespan {
+			res.Makespan = rec.Completed
+		}
+	}
+	for _, n := range s.cfg.Machine.Nodes {
+		cs := n.CPU.Stats()
+		ms := n.Mem.Stats()
+		res.Nodes = append(res.Nodes, metrics.NodeUsage{
+			Node:             n.ID,
+			BusyHigh:         cs.BusyHigh + cs.BusySwitch,
+			BusyLow:          cs.BusyLow,
+			Preemptions:      cs.Preemptions,
+			QuantumExpiries:  cs.QuantumExpiries,
+			MemPeak:          ms.Peak,
+			MemBlockedAllocs: ms.BlockedAllocs,
+			MemBlockedTime:   ms.BlockedTime,
+		})
+	}
+	for _, part := range append(append([]*Partition(nil), s.parts...), s.dynParts...) {
+		st := part.net.Stats()
+		res.Net.Messages += st.MessagesSent
+		res.Net.PayloadBytes += st.PayloadBytes
+		res.Net.Hops += st.Hops
+		res.Net.TotalLatency += st.TotalLatency
+		total, max := part.net.LinkStats()
+		res.Net.LinkBusy += total.BusyTime
+		res.Net.LinkWait += total.WaitTime
+		if max.BusyTime > res.Net.MaxLinkBusy {
+			res.Net.MaxLinkBusy = max.BusyTime
+		}
+	}
+	res.Net.HostBusy = s.cfg.Machine.Host.Stats().BusyTime
+	return res
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// killSentinel is panicked inside a parked process goroutine during Shutdown
+// so that deferred cleanup runs and the goroutine exits.
+type killSentinel struct{}
+
+// Kernel is a deterministic discrete-event simulation engine.
+//
+// All simulation state must only be touched from "kernel context": inside
+// event callbacks scheduled with At/After, or inside process bodies spawned
+// with Spawn. The kernel guarantees that exactly one of these runs at a time.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	procs   map[*Proc]struct{}
+	nextPID int
+
+	yield   chan struct{} // process -> kernel hand-off
+	running bool
+	stopped bool
+
+	// procPanic carries a panic raised inside a process body back to the
+	// kernel loop, where it is re-raised so tests fail loudly.
+	procPanic any
+	panicking bool
+
+	// eventsRun counts executed (non-cancelled) events — the simulator's
+	// work metric, useful for performance comparisons of model changes.
+	eventsRun int64
+}
+
+// NewKernel returns a kernel with its clock at zero and a deterministic
+// random source seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng:   rand.New(rand.NewSource(seed)),
+		procs: make(map[*Proc]struct{}),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now reports the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be used
+// from kernel context so that draws happen in a reproducible order.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// After schedules fn to run d microseconds from now and returns a cancellable
+// timer. A non-positive delay schedules the event at the current time; it
+// still runs through the event queue, after events already scheduled for now.
+func (k *Kernel) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// At schedules fn to run at absolute simulated time t.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	ev := &event{at: t, seq: k.seq, fn: fn, index: -1}
+	k.queue.push(ev)
+	return &Timer{ev: ev}
+}
+
+// Run executes events until the queue is empty. Processes that are still
+// parked when the queue drains are left parked (daemons waiting for work are
+// normal); call Shutdown to unwind them. Run panics if a process body panics.
+func (k *Kernel) Run() {
+	k.RunUntil(MaxTime)
+}
+
+// RunUntil executes events with activation time <= limit. The clock is left at
+// the last executed event (it does not jump to limit if the queue drains
+// early).
+func (k *Kernel) RunUntil(limit Time) {
+	if k.running {
+		panic("sim: RunUntil called re-entrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for {
+		ev := k.queue.peek()
+		if ev == nil || ev.at > limit {
+			return
+		}
+		k.queue.pop()
+		if ev.cancelled {
+			continue
+		}
+		k.now = ev.at
+		k.eventsRun++
+		ev.fn()
+		if k.panicking {
+			p := k.procPanic
+			k.panicking = false
+			k.procPanic = nil
+			panic(p)
+		}
+	}
+}
+
+// EventsRun reports the number of events executed so far.
+func (k *Kernel) EventsRun() int64 { return k.eventsRun }
+
+// Step executes exactly one pending event and reports whether one was run.
+func (k *Kernel) Step() bool {
+	for {
+		ev := k.queue.peek()
+		if ev == nil {
+			return false
+		}
+		k.queue.pop()
+		if ev.cancelled {
+			continue
+		}
+		k.now = ev.at
+		k.eventsRun++
+		ev.fn()
+		if k.panicking {
+			p := k.procPanic
+			k.panicking = false
+			k.procPanic = nil
+			panic(p)
+		}
+		return true
+	}
+}
+
+// PendingEvents reports the number of live events in the queue.
+func (k *Kernel) PendingEvents() int {
+	n := 0
+	for _, ev := range k.queue.items {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Shutdown unwinds every parked process goroutine so no goroutines leak when
+// the simulation is discarded. It must be called from outside Run. After
+// Shutdown the kernel must not be reused.
+func (k *Kernel) Shutdown() {
+	if k.stopped {
+		return
+	}
+	k.stopped = true
+	// Parked processes are blocked on their resume channel; send each a kill
+	// token and wait for the goroutine to acknowledge through yield.
+	parked := make([]*Proc, 0, len(k.procs))
+	for p := range k.procs {
+		if p.parked {
+			parked = append(parked, p)
+		}
+	}
+	sort.Slice(parked, func(i, j int) bool { return parked[i].id < parked[j].id })
+	for _, p := range parked {
+		p.kill = true
+		p.resume <- struct{}{}
+		<-k.yield
+	}
+}
+
+// ParkedProcs returns the names of processes currently parked, sorted by
+// process id. Useful for diagnosing stalls (e.g. memory deadlock).
+func (k *Kernel) ParkedProcs() []string {
+	var out []*Proc
+	for p := range k.procs {
+		if p.parked {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	names := make([]string, len(out))
+	for i, p := range out {
+		names[i] = fmt.Sprintf("%s (parked: %s)", p.name, p.parkReason)
+	}
+	return names
+}
+
+// LiveProcs reports the number of process goroutines that have not finished.
+func (k *Kernel) LiveProcs() int { return len(k.procs) }

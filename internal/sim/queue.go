@@ -1,0 +1,112 @@
+package sim
+
+// event is a scheduled callback. Events with equal activation time fire in
+// insertion (sequence) order, which is what makes the kernel deterministic.
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 when not in the queue
+}
+
+// Timer is a handle to a scheduled event that can be cancelled or queried.
+type Timer struct {
+	ev *event
+}
+
+// At reports the simulated time the timer is set to fire.
+func (t *Timer) At() Time { return t.ev.at }
+
+// Stop cancels the timer. It reports whether the timer was still pending
+// (true) or had already fired or been stopped (false). Stopping a fired timer
+// is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.index < 0 {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer is still waiting to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && t.ev.index >= 0
+}
+
+// eventQueue is a binary min-heap ordered by (at, seq).
+type eventQueue struct {
+	items []*event
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+func (q *eventQueue) push(ev *event) {
+	ev.index = len(q.items)
+	q.items = append(q.items, ev)
+	q.up(ev.index)
+}
+
+func (q *eventQueue) pop() *event {
+	n := len(q.items)
+	q.swap(0, n-1)
+	ev := q.items[n-1]
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+func (q *eventQueue) peek() *event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *eventQueue) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			break
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

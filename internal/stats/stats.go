@@ -1,0 +1,115 @@
+// Package stats provides the small statistical toolkit the replicated
+// experiments need: streaming mean/variance (Welford), summaries with
+// confidence intervals, and a replication driver for running a
+// configuration across seeds.
+//
+// The simulator is deterministic per seed, so replication here means
+// varying the seed-dependent inputs (arrival sequences, synthetic
+// workloads) — not rerunning identical configurations.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accumulator computes streaming mean and variance (Welford's algorithm),
+// numerically stable for long runs.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation in.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N reports the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean reports the sample mean (0 with no observations).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance reports the unbiased sample variance (0 with fewer than two
+// observations).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev is the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min and Max report the observed extremes (0 with no observations).
+func (a *Accumulator) Min() float64 { return a.min }
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Summary is a frozen view of an accumulator.
+type Summary struct {
+	N              int
+	Mean, StdDev   float64
+	Min, Max       float64
+	CI95Lo, CI95Hi float64
+}
+
+// Summarize freezes the accumulator, attaching a normal-approximation 95%
+// confidence interval for the mean (adequate for the replication counts
+// used here; exact t quantiles are overkill for a simulator harness).
+func (a *Accumulator) Summarize() Summary {
+	s := Summary{N: a.n, Mean: a.mean, StdDev: a.StdDev(), Min: a.min, Max: a.max}
+	if a.n > 1 {
+		half := 1.96 * s.StdDev / math.Sqrt(float64(a.n))
+		s.CI95Lo, s.CI95Hi = s.Mean-half, s.Mean+half
+	} else {
+		s.CI95Lo, s.CI95Hi = s.Mean, s.Mean
+	}
+	return s
+}
+
+// String renders "mean ± half-width (n=N)".
+func (s Summary) String() string {
+	half := (s.CI95Hi - s.CI95Lo) / 2
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, half, s.N)
+}
+
+// RelativeCI is the CI half-width as a fraction of the mean — a quick
+// "is this converged?" signal.
+func (s Summary) RelativeCI() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return (s.CI95Hi - s.CI95Lo) / 2 / math.Abs(s.Mean)
+}
+
+// Replicate runs f for seeds 0..n-1 and summarizes the returned metric.
+// Any error aborts the replication.
+func Replicate(n int, f func(seed int64) (float64, error)) (Summary, error) {
+	var acc Accumulator
+	for i := 0; i < n; i++ {
+		x, err := f(int64(i))
+		if err != nil {
+			return Summary{}, fmt.Errorf("stats: replication %d: %w", i, err)
+		}
+		acc.Add(x)
+	}
+	return acc.Summarize(), nil
+}

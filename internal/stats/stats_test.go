@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.N() != 0 {
+		t.Error("zero accumulator not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Errorf("mean = %v", a.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if want := 32.0 / 7.0; math.Abs(a.Variance()-want) > 1e-12 {
+		t.Errorf("variance = %v, want %v", a.Variance(), want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestSummaryCI(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 100; i++ {
+		a.Add(10)
+	}
+	s := a.Summarize()
+	if s.CI95Lo != 10 || s.CI95Hi != 10 {
+		t.Errorf("constant data CI = [%v, %v]", s.CI95Lo, s.CI95Hi)
+	}
+	if s.RelativeCI() != 0 {
+		t.Errorf("relative CI = %v", s.RelativeCI())
+	}
+	var b Accumulator
+	b.Add(5)
+	sb := b.Summarize()
+	if sb.CI95Lo != 5 || sb.CI95Hi != 5 {
+		t.Error("single observation CI should collapse")
+	}
+	if !strings.Contains(s.String(), "n=100") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	s, err := Replicate(5, func(seed int64) (float64, error) {
+		return float64(seed), nil // 0..4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if _, err := Replicate(3, func(seed int64) (float64, error) {
+		if seed == 1 {
+			return 0, errors.New("boom")
+		}
+		return 1, nil
+	}); err == nil {
+		t.Error("error should abort replication")
+	}
+}
+
+// TestWelfordMatchesNaive: streaming moments equal the two-pass computation
+// for arbitrary inputs.
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var a Accumulator
+		sum := 0.0
+		for _, x := range clean {
+			a.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		var ss float64
+		for _, x := range clean {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(clean)-1)
+		scale := math.Max(1, math.Abs(variance))
+		return math.Abs(a.Mean()-mean) < 1e-9*math.Max(1, math.Abs(mean)) &&
+			math.Abs(a.Variance()-variance) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(53))}); err != nil {
+		t.Error(err)
+	}
+}

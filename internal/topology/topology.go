@@ -1,0 +1,429 @@
+// Package topology builds the interconnection networks used in the paper —
+// linear array, ring, mesh, and hypercube — and computes deterministic
+// shortest-path routing tables for them.
+//
+// Each scheduling partition of the simulated Transputer machine is configured
+// as one of these topologies over its local node indices (0..N-1), exactly as
+// the INMOS C004 link switches let the paper's authors rewire each partition.
+// Routing is deterministic and minimal: ring routes the short way around
+// (ties clockwise), mesh uses dimension-ordered X-then-Y routing, hypercube
+// uses e-cube (lowest differing bit first). Deterministic routes make whole
+// simulations bit-reproducible.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind identifies one of the four interconnection topologies.
+type Kind int
+
+const (
+	// Linear is a linear array: node i connects to i-1 and i+1.
+	Linear Kind = iota
+	// Ring closes the linear array into a cycle.
+	Ring
+	// Mesh is a 2-D mesh (no wraparound), rows x cols as square as possible.
+	Mesh
+	// Hypercube connects nodes whose indices differ in exactly one bit.
+	Hypercube
+	// Torus is a 2-D mesh with wraparound in both dimensions — the classic
+	// degree-4 network a C004 switch fabric can also wire, provided here
+	// beyond the paper's four for custom studies.
+	Torus
+)
+
+var kindNames = [...]string{"linear", "ring", "mesh", "hypercube", "torus"}
+var kindLetters = [...]string{"L", "R", "M", "H", "T"}
+
+// String returns the lowercase topology name.
+func (k Kind) String() string {
+	if k < Linear || k > Torus {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Letter returns the single-letter code the paper uses in figure labels
+// (L, R, M, H — e.g. "8L" is a partition of 8 processors in a linear array).
+func (k Kind) Letter() string {
+	if k < Linear || k > Torus {
+		return "?"
+	}
+	return kindLetters[k]
+}
+
+// Kinds lists the paper's four topologies in its order (Torus, an
+// extension, is excluded so figure sweeps match the paper).
+func Kinds() []Kind { return []Kind{Linear, Ring, Mesh, Hypercube} }
+
+// AllKinds lists every supported topology including extensions.
+func AllKinds() []Kind { return []Kind{Linear, Ring, Mesh, Hypercube, Torus} }
+
+// ParseKind parses a topology from its name or single-letter code
+// (case-insensitive).
+func ParseKind(s string) (Kind, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	for i, n := range kindNames {
+		if ls == n || strings.EqualFold(s, kindLetters[i]) {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown kind %q (want linear/ring/mesh/hypercube or L/R/M/H)", s)
+}
+
+// Graph is a built topology with adjacency and routing information. Nodes are
+// numbered 0..N-1. Ports number a node's links 0..Degree-1 in ascending
+// neighbor order, matching the four hardwired links of a T805.
+type Graph struct {
+	Kind Kind
+	N    int
+
+	// Mesh shape (rows*cols == N); zero for other kinds.
+	Rows, Cols int
+
+	adj  [][]int // neighbors of each node, ascending
+	next [][]int // next[src][dst] = next-hop node; src itself when src == dst
+	dist [][]int // hop counts
+}
+
+// Build constructs the topology of the given kind over n nodes.
+// n must be >= 1; mesh requires n expressible as rows*cols with
+// |rows-cols| minimal (any n works: rows = largest divisor <= sqrt(n));
+// hypercube requires n to be a power of two.
+func Build(kind Kind, n int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: size %d < 1", n)
+	}
+	g := &Graph{Kind: kind, N: n}
+	switch kind {
+	case Linear:
+		g.buildLinear()
+	case Ring:
+		g.buildRing()
+	case Mesh:
+		g.buildMesh()
+	case Hypercube:
+		if n&(n-1) != 0 {
+			return nil, fmt.Errorf("topology: hypercube size %d is not a power of two", n)
+		}
+		g.buildHypercube()
+	case Torus:
+		g.buildTorus()
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %d", int(kind))
+	}
+	g.computeRouting()
+	return g, nil
+}
+
+// MustBuild is Build but panics on error; for use with sizes already
+// validated by configuration code.
+func MustBuild(kind Kind, n int) *Graph {
+	g, err := Build(kind, n)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) addEdge(a, b int) {
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+func (g *Graph) buildLinear() {
+	g.adj = make([][]int, g.N)
+	for i := 0; i+1 < g.N; i++ {
+		g.addEdge(i, i+1)
+	}
+	g.sortAdj()
+}
+
+func (g *Graph) buildRing() {
+	g.adj = make([][]int, g.N)
+	if g.N == 1 {
+		return
+	}
+	if g.N == 2 {
+		// A 2-ring degenerates to a single link (no parallel edges on a
+		// transputer switch fabric).
+		g.addEdge(0, 1)
+		g.sortAdj()
+		return
+	}
+	for i := 0; i < g.N; i++ {
+		g.addEdge(i, (i+1)%g.N)
+	}
+	g.sortAdj()
+	// Deduplicate in case of tiny rings (defensive; N>2 has no dups).
+	for i := range g.adj {
+		g.adj[i] = dedupe(g.adj[i])
+	}
+}
+
+// meshShape picks the most square rows x cols factorisation with rows <= cols.
+func meshShape(n int) (rows, cols int) {
+	rows = 1
+	for r := 1; r <= int(math.Sqrt(float64(n))); r++ {
+		if n%r == 0 {
+			rows = r
+		}
+	}
+	return rows, n / rows
+}
+
+func (g *Graph) buildMesh() {
+	g.Rows, g.Cols = meshShape(g.N)
+	g.adj = make([][]int, g.N)
+	id := func(r, c int) int { return r*g.Cols + c }
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if c+1 < g.Cols {
+				g.addEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < g.Rows {
+				g.addEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	g.sortAdj()
+}
+
+func (g *Graph) buildTorus() {
+	g.Rows, g.Cols = meshShape(g.N)
+	g.adj = make([][]int, g.N)
+	id := func(r, c int) int { return r*g.Cols + c }
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if g.Cols > 1 {
+				g.addEdge(id(r, c), id(r, (c+1)%g.Cols))
+			}
+			if g.Rows > 1 {
+				g.addEdge(id(r, c), id((r+1)%g.Rows, c))
+			}
+		}
+	}
+	g.sortAdj()
+	for i := range g.adj {
+		g.adj[i] = dedupe(g.adj[i])
+	}
+}
+
+func (g *Graph) buildHypercube() {
+	g.adj = make([][]int, g.N)
+	for i := 0; i < g.N; i++ {
+		for bit := 1; bit < g.N; bit <<= 1 {
+			j := i ^ bit
+			if j > i {
+				g.addEdge(i, j)
+			}
+		}
+	}
+	g.sortAdj()
+}
+
+func (g *Graph) sortAdj() {
+	for i := range g.adj {
+		ins := g.adj[i]
+		for a := 1; a < len(ins); a++ {
+			for b := a; b > 0 && ins[b] < ins[b-1]; b-- {
+				ins[b], ins[b-1] = ins[b-1], ins[b]
+			}
+		}
+	}
+}
+
+func dedupe(sorted []int) []int {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// computeRouting fills next and dist using kind-specific deterministic
+// minimal routing.
+func (g *Graph) computeRouting() {
+	g.next = make([][]int, g.N)
+	g.dist = make([][]int, g.N)
+	for s := 0; s < g.N; s++ {
+		g.next[s] = make([]int, g.N)
+		g.dist[s] = make([]int, g.N)
+		for d := 0; d < g.N; d++ {
+			g.next[s][d] = g.hop(s, d)
+		}
+	}
+	// Hop-by-hop walk gives distances and validates the next-hop functions
+	// terminate (a routing loop would walk forever; cap at N hops).
+	for s := 0; s < g.N; s++ {
+		for d := 0; d < g.N; d++ {
+			cur, hops := s, 0
+			for cur != d {
+				cur = g.next[cur][d]
+				hops++
+				if hops > g.N {
+					panic(fmt.Sprintf("topology: routing loop %s n=%d src=%d dst=%d", g.Kind, g.N, s, d))
+				}
+			}
+			g.dist[s][d] = hops
+		}
+	}
+}
+
+// hop computes the deterministic next hop from s toward d.
+func (g *Graph) hop(s, d int) int {
+	if s == d {
+		return s
+	}
+	switch g.Kind {
+	case Linear:
+		if d > s {
+			return s + 1
+		}
+		return s - 1
+	case Ring:
+		if g.N == 2 {
+			return d
+		}
+		fwd := (d - s + g.N) % g.N // clockwise hops
+		bwd := (s - d + g.N) % g.N // counterclockwise hops
+		if fwd <= bwd {            // tie goes clockwise
+			return (s + 1) % g.N
+		}
+		return (s - 1 + g.N) % g.N
+	case Mesh:
+		sr, sc := s/g.Cols, s%g.Cols
+		dr, dc := d/g.Cols, d%g.Cols
+		// Dimension-ordered: correct the column (X) first, then the row (Y).
+		switch {
+		case sc < dc:
+			return sr*g.Cols + sc + 1
+		case sc > dc:
+			return sr*g.Cols + sc - 1
+		case sr < dr:
+			return (sr+1)*g.Cols + sc
+		default:
+			return (sr-1)*g.Cols + sc
+		}
+	case Hypercube:
+		// e-cube: flip the lowest-order differing bit.
+		diff := s ^ d
+		low := diff & -diff
+		return s ^ low
+	case Torus:
+		sr, sc := s/g.Cols, s%g.Cols
+		dr, dc := d/g.Cols, d%g.Cols
+		// Dimension-ordered with shortest wrap direction, column first.
+		if sc != dc {
+			return sr*g.Cols + torusStep(sc, dc, g.Cols)
+		}
+		return torusStep(sr, dr, g.Rows)*g.Cols + sc
+	}
+	panic("topology: hop on unknown kind")
+}
+
+// torusStep moves coordinate from toward to around a ring of size n the
+// short way (ties go up, matching the ring's clockwise tie-break).
+func torusStep(from, to, n int) int {
+	fwd := (to - from + n) % n
+	bwd := (from - to + n) % n
+	if fwd <= bwd {
+		return (from + 1) % n
+	}
+	return (from - 1 + n) % n
+}
+
+// Neighbors returns the neighbors of node i in ascending order. The returned
+// slice is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+
+// Degree reports the number of links at node i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// MaxDegree reports the largest node degree in the graph. A physical
+// transputer has four links, so a partition topology is realisable only when
+// MaxDegree <= 4.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for i := range g.adj {
+		if len(g.adj[i]) > m {
+			m = len(g.adj[i])
+		}
+	}
+	return m
+}
+
+// Port returns the port index (0-based, in ascending-neighbor order) that
+// node i uses to reach its neighbor nb, or -1 if nb is not adjacent.
+func (g *Graph) Port(i, nb int) int {
+	for p, v := range g.adj[i] {
+		if v == nb {
+			return p
+		}
+	}
+	return -1
+}
+
+// NextHop returns the next node on the deterministic shortest path from src
+// to dst. It returns src when src == dst.
+func (g *Graph) NextHop(src, dst int) int { return g.next[src][dst] }
+
+// Dist returns the hop count of the route from src to dst.
+func (g *Graph) Dist(src, dst int) int { return g.dist[src][dst] }
+
+// Path returns the full node sequence of the route from src to dst,
+// inclusive of both endpoints.
+func (g *Graph) Path(src, dst int) []int {
+	path := []int{src}
+	for cur := src; cur != dst; {
+		cur = g.next[cur][dst]
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Diameter is the maximum over all pairs of the routed hop count. Because
+// routing is minimal this equals the graph diameter.
+func (g *Graph) Diameter() int {
+	m := 0
+	for s := 0; s < g.N; s++ {
+		for d := 0; d < g.N; d++ {
+			if g.dist[s][d] > m {
+				m = g.dist[s][d]
+			}
+		}
+	}
+	return m
+}
+
+// AvgDist is the mean routed hop count over all ordered pairs of distinct
+// nodes; zero for a single-node graph.
+func (g *Graph) AvgDist() float64 {
+	if g.N < 2 {
+		return 0
+	}
+	sum := 0
+	for s := 0; s < g.N; s++ {
+		for d := 0; d < g.N; d++ {
+			if s != d {
+				sum += g.dist[s][d]
+			}
+		}
+	}
+	return float64(sum) / float64(g.N*(g.N-1))
+}
+
+// Label renders the paper's figure label for a partition of this topology,
+// e.g. "8L" for 8 processors in a linear array. Size-1 partitions are
+// labelled plainly "1" since topology is meaningless there.
+func (g *Graph) Label() string {
+	if g.N == 1 {
+		return "1"
+	}
+	return fmt.Sprintf("%d%s", g.N, g.Kind.Letter())
+}

@@ -1,0 +1,363 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStringsAndParse(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+		got, err = ParseKind(k.Letter())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.Letter(), got, err)
+		}
+	}
+	if k, err := ParseKind("torus"); err != nil || k != Torus {
+		t.Errorf("ParseKind(torus) = %v, %v", k, err)
+	}
+	if _, err := ParseKind("butterfly"); err == nil {
+		t.Error("ParseKind(butterfly) should fail")
+	}
+	if Kind(99).String() == "" || Kind(99).Letter() != "?" {
+		t.Error("out-of-range Kind rendering")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Linear, 0); err == nil {
+		t.Error("size 0 should fail")
+	}
+	if _, err := Build(Hypercube, 6); err == nil {
+		t.Error("non-power-of-two hypercube should fail")
+	}
+	if _, err := Build(Kind(42), 4); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestLinearStructure(t *testing.T) {
+	g := MustBuild(Linear, 8)
+	if g.Degree(0) != 1 || g.Degree(7) != 1 {
+		t.Error("linear endpoints should have degree 1")
+	}
+	for i := 1; i < 7; i++ {
+		if g.Degree(i) != 2 {
+			t.Errorf("interior node %d degree = %d", i, g.Degree(i))
+		}
+	}
+	if g.Diameter() != 7 {
+		t.Errorf("diameter = %d, want 7", g.Diameter())
+	}
+}
+
+func TestRingStructure(t *testing.T) {
+	g := MustBuild(Ring, 8)
+	for i := 0; i < 8; i++ {
+		if g.Degree(i) != 2 {
+			t.Errorf("ring node %d degree = %d", i, g.Degree(i))
+		}
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("diameter = %d, want 4", g.Diameter())
+	}
+	// Shortest-way routing: 0 -> 3 goes clockwise, 0 -> 6 counterclockwise.
+	if g.NextHop(0, 3) != 1 {
+		t.Errorf("NextHop(0,3) = %d, want 1", g.NextHop(0, 3))
+	}
+	if g.NextHop(0, 6) != 7 {
+		t.Errorf("NextHop(0,6) = %d, want 7", g.NextHop(0, 6))
+	}
+	// Tie (distance 4 both ways) goes clockwise.
+	if g.NextHop(0, 4) != 1 {
+		t.Errorf("NextHop(0,4) = %d, want 1 (clockwise tie-break)", g.NextHop(0, 4))
+	}
+}
+
+func TestRingOfTwoHasSingleLink(t *testing.T) {
+	g := MustBuild(Ring, 2)
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Errorf("2-ring degrees = %d,%d, want 1,1", g.Degree(0), g.Degree(1))
+	}
+	if g.Dist(0, 1) != 1 {
+		t.Errorf("2-ring dist = %d", g.Dist(0, 1))
+	}
+}
+
+func TestMeshShapes(t *testing.T) {
+	cases := []struct{ n, rows, cols int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {8, 2, 4}, {16, 4, 4}, {32, 4, 8}, {12, 3, 4},
+	}
+	for _, c := range cases {
+		g := MustBuild(Mesh, c.n)
+		if g.Rows != c.rows || g.Cols != c.cols {
+			t.Errorf("mesh %d shape = %dx%d, want %dx%d", c.n, g.Rows, g.Cols, c.rows, c.cols)
+		}
+	}
+}
+
+func TestMesh4x4(t *testing.T) {
+	g := MustBuild(Mesh, 16)
+	if g.Diameter() != 6 {
+		t.Errorf("4x4 mesh diameter = %d, want 6", g.Diameter())
+	}
+	if g.MaxDegree() != 4 {
+		t.Errorf("4x4 mesh max degree = %d, want 4", g.MaxDegree())
+	}
+	// Dimension order: from 0 (r0,c0) to 15 (r3,c3) first move along the row.
+	want := []int{0, 1, 2, 3, 7, 11, 15}
+	path := g.Path(0, 15)
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		g := MustBuild(Hypercube, n)
+		wantDeg := 0
+		for x := n; x > 1; x >>= 1 {
+			wantDeg++
+		}
+		for i := 0; i < n; i++ {
+			if g.Degree(i) != wantDeg {
+				t.Errorf("hypercube %d node %d degree = %d, want %d", n, i, g.Degree(i), wantDeg)
+			}
+		}
+		if g.Diameter() != wantDeg {
+			t.Errorf("hypercube %d diameter = %d, want %d", n, g.Diameter(), wantDeg)
+		}
+	}
+	// e-cube: 0 -> 7 flips bits low to high: 0,1,3,7.
+	g := MustBuild(Hypercube, 8)
+	path := g.Path(0, 7)
+	want := []int{0, 1, 3, 7}
+	for i := range want {
+		if i >= len(path) || path[i] != want[i] {
+			t.Fatalf("e-cube path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestHypercube16ExceedsTransputerDegree(t *testing.T) {
+	// The paper can't build a 16-node hypercube (one transputer is the host
+	// link); the pure graph has degree 4, which would exactly exhaust the
+	// links. Record the structural fact the constraint derives from.
+	g := MustBuild(Hypercube, 16)
+	if g.MaxDegree() != 4 {
+		t.Errorf("16-hypercube max degree = %d, want 4", g.MaxDegree())
+	}
+}
+
+func TestSingleNodeGraphs(t *testing.T) {
+	for _, k := range Kinds() {
+		g := MustBuild(k, 1)
+		if g.Degree(0) != 0 || g.Diameter() != 0 || g.AvgDist() != 0 {
+			t.Errorf("%v size-1 graph not trivial", k)
+		}
+		if g.NextHop(0, 0) != 0 {
+			t.Errorf("%v NextHop(0,0) = %d", k, g.NextHop(0, 0))
+		}
+		if g.Label() != "1" {
+			t.Errorf("size-1 label = %q", g.Label())
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if l := MustBuild(Linear, 8).Label(); l != "8L" {
+		t.Errorf("label = %q, want 8L", l)
+	}
+	if l := MustBuild(Hypercube, 4).Label(); l != "4H" {
+		t.Errorf("label = %q, want 4H", l)
+	}
+}
+
+func TestPorts(t *testing.T) {
+	g := MustBuild(Mesh, 4) // 2x2: 0-1, 0-2, 1-3, 2-3
+	if p := g.Port(0, 1); p != 0 {
+		t.Errorf("Port(0,1) = %d, want 0", p)
+	}
+	if p := g.Port(0, 2); p != 1 {
+		t.Errorf("Port(0,2) = %d, want 1", p)
+	}
+	if p := g.Port(0, 3); p != -1 {
+		t.Errorf("Port(0,3) = %d, want -1 (not adjacent)", p)
+	}
+}
+
+// bfsDist computes reference shortest-path distances for validation.
+func bfsDist(g *Graph, src int) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// TestRoutingIsMinimal checks, for every topology and size used in the
+// paper, that the deterministic routing tables realise true shortest paths
+// (validated against BFS) and that routes only use real edges.
+func TestRoutingIsMinimal(t *testing.T) {
+	for _, k := range Kinds() {
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			g := MustBuild(k, n)
+			for s := 0; s < n; s++ {
+				ref := bfsDist(g, s)
+				for d := 0; d < n; d++ {
+					if g.Dist(s, d) != ref[d] {
+						t.Errorf("%v n=%d dist(%d,%d) = %d, want %d", k, n, s, d, g.Dist(s, d), ref[d])
+					}
+					if s != d {
+						nh := g.NextHop(s, d)
+						if g.Port(s, nh) < 0 {
+							t.Errorf("%v n=%d NextHop(%d,%d)=%d is not a neighbor", k, n, s, d, nh)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRoutingMinimalProperty extends the BFS cross-check to arbitrary sizes
+// via property-based testing.
+func TestRoutingMinimalProperty(t *testing.T) {
+	f := func(kindSeed, sizeSeed uint8) bool {
+		kind := Kind(int(kindSeed) % 4)
+		n := int(sizeSeed)%31 + 1
+		if kind == Hypercube {
+			// Round down to a power of two.
+			p := 1
+			for p*2 <= n {
+				p *= 2
+			}
+			n = p
+		}
+		g, err := Build(kind, n)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < n; s++ {
+			ref := bfsDist(g, s)
+			for d := 0; d < n; d++ {
+				if g.Dist(s, d) != ref[d] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeshRoutingDeadlockFree: dimension-ordered routing never routes Y
+// before X, the classic sufficient condition for deadlock freedom on meshes.
+func TestMeshRoutingDeadlockFree(t *testing.T) {
+	g := MustBuild(Mesh, 16)
+	for s := 0; s < g.N; s++ {
+		for d := 0; d < g.N; d++ {
+			if s == d {
+				continue
+			}
+			path := g.Path(s, d)
+			turnedY := false
+			for i := 1; i < len(path); i++ {
+				sameRow := path[i]/g.Cols == path[i-1]/g.Cols
+				if sameRow && turnedY {
+					t.Fatalf("path %v moves X after Y", path)
+				}
+				if !sameRow {
+					turnedY = true
+				}
+			}
+		}
+	}
+}
+
+func TestAvgDistOrdering(t *testing.T) {
+	// For 16 nodes: hypercube beats mesh beats ring beats linear, the
+	// diameter ordering the paper's topology-sensitivity discussion rests on.
+	l := MustBuild(Linear, 16).AvgDist()
+	r := MustBuild(Ring, 16).AvgDist()
+	m := MustBuild(Mesh, 16).AvgDist()
+	h := MustBuild(Hypercube, 16).AvgDist()
+	if !(h < m && m < r && r < l) {
+		t.Errorf("avg dists H=%.2f M=%.2f R=%.2f L=%.2f not strictly improving", h, m, r, l)
+	}
+}
+
+func TestTorusStructure(t *testing.T) {
+	g := MustBuild(Torus, 16) // 4x4 wraparound
+	for i := 0; i < 16; i++ {
+		if g.Degree(i) != 4 {
+			t.Errorf("torus node %d degree = %d, want 4", i, g.Degree(i))
+		}
+	}
+	if g.Diameter() != 4 { // 2+2 with wraparound vs mesh's 6
+		t.Errorf("4x4 torus diameter = %d, want 4", g.Diameter())
+	}
+	if g.MaxDegree() > 4 {
+		t.Error("torus exceeds the transputer's four links")
+	}
+	// Wraparound route: 0 -> 3 is one hop left around the ring.
+	if g.Dist(0, 3) != 1 {
+		t.Errorf("dist(0,3) = %d, want 1 (wraparound)", g.Dist(0, 3))
+	}
+}
+
+func TestTorusSmallSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		g := MustBuild(Torus, n)
+		// Cross-check minimality against BFS.
+		for s := 0; s < n; s++ {
+			ref := bfsDist(g, s)
+			for d := 0; d < n; d++ {
+				if g.Dist(s, d) != ref[d] {
+					t.Errorf("torus %d dist(%d,%d) = %d, want %d", n, s, d, g.Dist(s, d), ref[d])
+				}
+			}
+		}
+	}
+}
+
+func TestTorusBeatsMeshOnAvgDist(t *testing.T) {
+	if MustBuild(Torus, 16).AvgDist() >= MustBuild(Mesh, 16).AvgDist() {
+		t.Error("torus should beat mesh on average distance")
+	}
+}
+
+func TestAllKindsIncludesTorus(t *testing.T) {
+	if len(AllKinds()) != 5 {
+		t.Errorf("AllKinds = %v", AllKinds())
+	}
+	if len(Kinds()) != 4 {
+		t.Error("Kinds must stay the paper's four")
+	}
+	if Torus.Letter() != "T" || Torus.String() != "torus" {
+		t.Error("torus naming")
+	}
+}

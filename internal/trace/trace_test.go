@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLogCollectsInOrder(t *testing.T) {
+	l := &Log{}
+	for i := 0; i < 5; i++ {
+		Emit(l, sim.Time(100*i), "job", "job 1", "tick")
+	}
+	if l.Len() != 5 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	evs := l.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestEmitNilTracerIsNoop(t *testing.T) {
+	Emit(nil, 1, "job", "x", "y") // must not panic
+}
+
+func TestBoundedLogDropsOldest(t *testing.T) {
+	l := &Log{Max: 10}
+	for i := 0; i < 25; i++ {
+		l.Emit(Event{At: sim.Time(i), Cat: "msg"})
+	}
+	if l.Len() > 10 {
+		t.Errorf("len = %d, want <= 10", l.Len())
+	}
+	if l.Dropped == 0 {
+		t.Error("expected drops")
+	}
+	evs := l.Events()
+	if evs[len(evs)-1].At != 24 {
+		t.Errorf("last retained at = %v, want 24", evs[len(evs)-1].At)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := &Log{}
+	l.Emit(Event{Cat: "job", Subject: "a"})
+	l.Emit(Event{Cat: "msg", Subject: "b"})
+	l.Emit(Event{Cat: "job", Subject: "c"})
+	jobs := l.Filter("job")
+	if len(jobs) != 2 || jobs[0].Subject != "a" || jobs[1].Subject != "c" {
+		t.Errorf("filter = %v", jobs)
+	}
+	if len(l.Filter("nope")) != 0 {
+		t.Error("unknown category should be empty")
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	l := &Log{}
+	l.Emit(Event{At: 1500, Cat: "job", Subject: "job 7", Detail: "completed"})
+	var b strings.Builder
+	if _, err := l.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"1.500ms", "job 7", "completed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output %q missing %q", out, want)
+		}
+	}
+}

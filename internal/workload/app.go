@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Arch is the software architecture of §4.3.
+type Arch int
+
+const (
+	// Fixed architecture: the process count is set when the program is
+	// written — 16 in the paper's workload — independent of the partition.
+	Fixed Arch = iota
+	// Adaptive architecture: the process count equals the number of
+	// processors allocated at run time.
+	Adaptive
+)
+
+func (a Arch) String() string {
+	if a == Adaptive {
+		return "adaptive"
+	}
+	return "fixed"
+}
+
+// ParseArch parses "fixed" or "adaptive".
+func ParseArch(s string) (Arch, error) {
+	switch s {
+	case "fixed", "f":
+		return Fixed, nil
+	case "adaptive", "a":
+		return Adaptive, nil
+	}
+	return 0, fmt.Errorf("workload: unknown architecture %q", s)
+}
+
+// FixedProcs is the process count of the fixed architecture (the paper uses
+// 16, the machine size).
+const FixedProcs = 16
+
+// App is one application program. Run is executed once per process (rank);
+// rank 0 is the coordinator that owns the job's input data.
+type App interface {
+	// Name identifies the application ("matmul", "sort", "synthetic").
+	Name() string
+	// SequentialWork estimates the single-processor service demand,
+	// used to order jobs for the static policy's best/worst-case runs
+	// and to label size classes.
+	SequentialWork() sim.Time
+	// LoadBytes is the size of the job image (code plus initial data) that
+	// must be pulled from the host workstation through the host-link
+	// transputer before the job can start.
+	LoadBytes() int64
+	// Run executes rank's program for a job with rt.T() processes.
+	Run(rt *Runtime, rank int)
+}
+
+// Job is one unit of the workload.
+type Job struct {
+	ID    int
+	Class string // "small" or "large"
+	Arch  Arch
+	App   App
+	// Arrival is when the job enters the system. The paper's closed batches
+	// submit everything at time zero; the open-system extension experiments
+	// set Poisson arrival times.
+	Arrival sim.Time
+	// Priority orders the static policy's ready queue (§2.1: allocations
+	// "based on the characteristics of the job such as priority"). Higher
+	// runs first; equal priorities keep FCFS order. The paper's
+	// experiments use equal priorities.
+	Priority int
+}
+
+// Procs returns the process count the job will run with on a partition of
+// the given size: the partition size under the adaptive architecture,
+// FixedProcs under the fixed one.
+func (j *Job) Procs(partitionSize int) int {
+	if j.Arch == Adaptive {
+		return partitionSize
+	}
+	return FixedProcs
+}
+
+// String renders a short description.
+func (j *Job) String() string {
+	return fmt.Sprintf("job %d (%s %s, %s arch)", j.ID, j.Class, j.App.Name(), j.Arch)
+}
+
+// Batch is an ordered set of jobs submitted together at time zero, as in the
+// paper's experiments (batches of 16: 12 small + 4 large).
+type Batch []*Job
+
+// Clone returns a shallow copy whose order can be permuted independently.
+func (b Batch) Clone() Batch {
+	out := make(Batch, len(b))
+	copy(out, b)
+	return out
+}
+
+// SmallestFirst returns a copy ordered by increasing sequential work — the
+// static policy's best case.
+func (b Batch) SmallestFirst() Batch {
+	out := b.Clone()
+	stableSortBy(out, func(x, y *Job) bool { return x.App.SequentialWork() < y.App.SequentialWork() })
+	return out
+}
+
+// LargestFirst returns a copy ordered by decreasing sequential work — the
+// static policy's worst case.
+func (b Batch) LargestFirst() Batch {
+	out := b.Clone()
+	stableSortBy(out, func(x, y *Job) bool { return x.App.SequentialWork() > y.App.SequentialWork() })
+	return out
+}
+
+// stableSortBy is an insertion sort: tiny inputs, stability required (ties
+// keep submission order).
+func stableSortBy(jobs Batch, less func(a, b *Job) bool) {
+	for i := 1; i < len(jobs); i++ {
+		for j := i; j > 0 && less(jobs[j], jobs[j-1]); j-- {
+			jobs[j], jobs[j-1] = jobs[j-1], jobs[j]
+		}
+	}
+}
+
+// BatchSpec describes the paper's standard batch: 12 small and 4 large jobs
+// of one application, interleaved the way a stream of arrivals would mix
+// them.
+type BatchSpec struct {
+	Small, Large int  // counts (paper: 12 and 4)
+	Arch         Arch // software architecture for every job
+	// NewApp builds the application instance for a class.
+	NewApp func(class string) App
+}
+
+// largePositions spreads the large jobs through the batch with odd spacing.
+// Odd spacing matters: the schedulers distribute job i to partition
+// i mod #partitions, and partition counts are powers of two, so an odd
+// stride keeps the large jobs on distinct partitions at every partition
+// size (an even stride would pile them all onto one partition — 12+4 with
+// large every 4th job puts all four large jobs on the same partition when
+// there are 4 partitions). For the paper batch this yields positions
+// 3, 6, 9, 12.
+func largePositions(total, large int) map[int]bool {
+	if large <= 0 {
+		return nil
+	}
+	spacing := total / large
+	if spacing > 1 && spacing%2 == 0 {
+		spacing--
+	}
+	start := (total - (large-1)*spacing - 1) / 2
+	if start < 0 {
+		start = 0
+	}
+	pos := make(map[int]bool, large)
+	at := start
+	for k := 0; k < large; k++ {
+		for at < total && pos[at] {
+			at++
+		}
+		if at >= total { // degenerate spec; pack remaining at the tail
+			for j := total - 1; j >= 0 && len(pos) < large; j-- {
+				pos[j] = true
+			}
+			break
+		}
+		pos[at] = true
+		at += spacing
+	}
+	return pos
+}
+
+// Build constructs the batch with deterministic job IDs and an interleaved
+// small/large pattern.
+func (s BatchSpec) Build() Batch {
+	total := s.Small + s.Large
+	large := largePositions(total, s.Large)
+	batch := make(Batch, 0, total)
+	for i := 0; i < total; i++ {
+		class := "small"
+		if large[i] {
+			class = "large"
+		}
+		batch = append(batch, &Job{ID: i, Class: class, Arch: s.Arch, App: s.NewApp(class)})
+	}
+	return batch
+}
+
+// WithPoissonArrivals returns a copy of the batch whose jobs arrive as a
+// Poisson process with the given mean interarrival time, deterministically
+// derived from seed. Job order is preserved; arrival times are strictly
+// increasing.
+func (b Batch) WithPoissonArrivals(meanInterarrival sim.Time, seed int64) Batch {
+	if meanInterarrival <= 0 {
+		panic(fmt.Sprintf("workload: mean interarrival %v", meanInterarrival))
+	}
+	out := make(Batch, len(b))
+	state := uint64(seed)*2654435761 + 0x9E3779B97F4A7C15
+	var t float64
+	for i, job := range b {
+		// xorshift64* uniform -> exponential via inverse CDF.
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		u := float64(state*2685821657736338717>>11) / float64(uint64(1)<<53)
+		if u <= 0 {
+			u = 1e-12
+		}
+		t += -float64(meanInterarrival) * math.Log(u)
+		cp := *job
+		cp.Arrival = sim.Time(t)
+		out[i] = &cp
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package workload
+
+// Paper workload sizes. The published text lost trailing digits in some
+// size figures ("two 55 matrices ... two 11 matrices", "sorts 6 elements
+// ... sorts 14 elements"); we read them as 55/110 matrices and 6000/14000
+// elements, which also satisfies the paper's stated sizing rule: with every
+// resident job's code image and coordinator data on the partition root
+// node, multiprogramming level 16 just fits the 4 MB nodes (see DESIGN.md).
+const (
+	// MatMulSmallN / MatMulLargeN are matrix dimensions of the two job
+	// classes.
+	MatMulSmallN = 55
+	MatMulLargeN = 110
+	// SortSmallN / SortLargeN are element counts of the two job classes.
+	SortSmallN = 6000
+	SortLargeN = 14000
+	// PaperBatchSmall and PaperBatchLarge are the class counts per batch
+	// (§5.1: "12 small jobs and 4 large jobs").
+	PaperBatchSmall = 12
+	PaperBatchLarge = 4
+)
+
+// MatMulBatch builds the paper's matrix-multiplication batch: 12 small and
+// 4 large jobs under the given software architecture.
+func MatMulBatch(arch Arch, cost AppCost, verify bool) Batch {
+	return BatchSpec{
+		Small: PaperBatchSmall,
+		Large: PaperBatchLarge,
+		Arch:  arch,
+		NewApp: func(class string) App {
+			n := MatMulSmallN
+			if class == "large" {
+				n = MatMulLargeN
+			}
+			return NewMatMul(n, cost, verify)
+		},
+	}.Build()
+}
+
+// SortBatch builds the paper's sorting batch: 12 small and 4 large jobs
+// under the given software architecture.
+func SortBatch(arch Arch, cost AppCost, verify bool) Batch {
+	return BatchSpec{
+		Small: PaperBatchSmall,
+		Large: PaperBatchLarge,
+		Arch:  arch,
+		NewApp: func(class string) App {
+			n := SortSmallN
+			if class == "large" {
+				n = SortLargeN
+			}
+			return NewSort(n, cost, verify)
+		},
+	}.Build()
+}

@@ -1,0 +1,72 @@
+// Package workload implements the paper's experimental applications — the
+// fork-and-join matrix multiplication and the divide-and-conquer sort — in
+// both the fixed and adaptive software architectures, plus a synthetic
+// fork-join application with controllable service-time variance used by the
+// extension experiments.
+//
+// Applications are written as per-process programs against a Runtime that
+// provides compute, messaging and memory operations on the simulated
+// machine. Compute demands come from an operation-count cost model
+// calibrated to the T805; the actual numeric work is optionally carried in
+// message payloads so tests can validate that the distributed algorithms
+// really compute the right answers at small sizes.
+package workload
+
+import "repro/internal/sim"
+
+// AppCost calibrates per-operation times to the T805 (25 MHz, ~10 MIPS
+// integer, under 1 MFLOPS sustained floating point). Only ratios matter for
+// the reproduced shapes.
+type AppCost struct {
+	// MulAddNS is one matmul inner-loop iteration (a float multiply-add plus
+	// indexing): ~3 µs sustained on a T805.
+	MulAddNS int64
+	// CmpNS is one selection-sort inner-loop iteration (compare, branch,
+	// index arithmetic).
+	CmpNS int64
+	// MergeNS is the per-element cost of the sort's merge phase.
+	MergeNS int64
+	// Setup is the fixed per-job coordinator initialisation time.
+	Setup sim.Time
+}
+
+// DefaultAppCost returns the calibration used by the paper-reproduction
+// experiments.
+func DefaultAppCost() AppCost {
+	return AppCost{
+		MulAddNS: 3000,
+		CmpNS:    600,
+		MergeNS:  1000,
+		Setup:    10 * sim.Millisecond,
+	}
+}
+
+// MatrixElemBytes is the storage per matrix element (64-bit floats).
+const MatrixElemBytes = 8
+
+// CodeBytes is the program-image size (code plus runtime library) every
+// job ships from the host and keeps resident on every node it runs on.
+const CodeBytes int64 = 32 << 10
+
+// WorkspaceBytes is the per-process workspace (stack, channel buffers)
+// resident on the process's node for the job's lifetime. Together with the
+// code image and the replicated B matrices this is what presses a node's
+// 4 MB at multiprogramming level 16 — matching the paper's remark that its
+// matrix sizes were chosen so that MPL 16 is just achievable.
+const WorkspaceBytes int64 = 56 << 10
+
+// SortElemBytes is the storage per sort key (32-bit integers).
+const SortElemBytes = 4
+
+// nsToTime converts a nanosecond operation count product into simulated
+// time, rounding up so that no positive work costs zero.
+func nsToTime(ns int64) sim.Time {
+	if ns <= 0 {
+		return 0
+	}
+	t := sim.Time((ns + 999) / 1000)
+	if t == 0 {
+		t = 1
+	}
+	return t
+}

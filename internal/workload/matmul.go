@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/sim"
+)
+
+// MatMul is the paper's fork-and-join application (§4.1): rank 0 (the
+// coordinator) distributes matrix B to every worker and a band of matrix A
+// rows to each, then computes a band itself; workers multiply independently
+// and return their band of C; the coordinator assembles the result. Worker
+// processes never talk to each other — the low-communication workload.
+type MatMul struct {
+	// N is the matrix dimension (paper: two size classes, constrained so
+	// that a multiprogramming level of 16 still fits node memory).
+	N int
+	// Cost calibrates operation times.
+	Cost AppCost
+	// Verify makes processes carry and multiply real matrices so tests can
+	// check the distributed result. Use only at small N.
+	Verify bool
+	// Tree replicates matrix B along a binomial tree over the ranks instead
+	// of the paper's 15 sequential sends from the coordinator — the
+	// broadcast ablation (E10) that relieves the root node's links.
+	Tree bool
+
+	// Checked is set by the coordinator after a successful Verify run.
+	Checked bool
+}
+
+// NewMatMul builds the application for one job.
+func NewMatMul(n int, cost AppCost, verify bool) *MatMul {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: matmul N=%d", n))
+	}
+	return &MatMul{N: n, Cost: cost, Verify: verify}
+}
+
+// Name implements App.
+func (a *MatMul) Name() string { return "matmul" }
+
+// LoadBytes implements App: the program plus the two input matrices.
+func (a *MatMul) LoadBytes() int64 {
+	return CodeBytes + 2*matrixBytes(a.N, a.N)
+}
+
+// SequentialWork implements App: setup plus N^3 multiply-adds.
+func (a *MatMul) SequentialWork() sim.Time {
+	n := int64(a.N)
+	return a.Cost.Setup + nsToTime(n*n*n*a.Cost.MulAddNS)
+}
+
+// rowsOf splits N rows over T ranks as evenly as possible (earlier ranks get
+// the remainder).
+func (a *MatMul) rowsOf(rank, t int) int {
+	base, extra := a.N/t, a.N%t
+	if rank < extra {
+		return base + 1
+	}
+	return base
+}
+
+// matrixBytes is the footprint of an r x c matrix.
+func matrixBytes(r, c int) int64 { return int64(r) * int64(c) * MatrixElemBytes }
+
+// cBand is a worker's result band, labelled with its rank so the
+// coordinator can assemble C regardless of completion order.
+type cBand struct {
+	rank int
+	rows [][]float64
+}
+
+// forwardB sends B to this rank's binomial-tree children: in round k the
+// ranks below 2^k send to rank+2^k, so the replication finishes in
+// ceil(log2 T) rounds instead of T-1 serial sends from the root.
+func (a *MatMul) forwardB(rt *Runtime, rank, t int, B [][]float64) {
+	// This rank received B in the round of its highest set bit; it sends in
+	// every later round while targets exist.
+	step := 1
+	for step <= rank {
+		step <<= 1
+	}
+	for ; step < t; step <<= 1 {
+		if child := rank + step; child < t {
+			rt.Send(child, matrixBytes(a.N, a.N), "B", B)
+		}
+	}
+}
+
+// Run implements App.
+func (a *MatMul) Run(rt *Runtime, rank int) {
+	if rank == 0 {
+		a.runCoordinator(rt)
+	} else {
+		a.runWorker(rt, rank)
+	}
+}
+
+func (a *MatMul) runCoordinator(rt *Runtime) {
+	t := rt.T()
+	n := a.N
+	// A, B and C live on the coordinator's node for the job's lifetime.
+	rt.AllocData(3 * matrixBytes(n, n))
+	rt.Compute(a.Cost.Setup)
+
+	var A, B [][]float64
+	if a.Verify {
+		A, B = genMatrix(n, 1), genMatrix(n, 2)
+	}
+	// Distribute B — sequentially from the coordinator (the paper's
+	// program) or along a binomial tree (the E10 ablation) — plus a band of
+	// A rows per worker; a worker can start as soon as its pair arrives.
+	if a.Tree {
+		a.forwardB(rt, 0, t, B)
+	}
+	row := a.rowsOf(0, t)
+	for r := 1; r < t; r++ {
+		rows := a.rowsOf(r, t)
+		var bandA [][]float64
+		if a.Verify {
+			bandA = A[row : row+rows]
+		}
+		if !a.Tree {
+			rt.Send(r, matrixBytes(n, n), "B", B)
+		}
+		rt.Send(r, matrixBytes(rows, n), "A", bandA)
+		row += rows
+	}
+	// The coordinator works too (paper: "the coordinator process, after
+	// distributing the work, also performs multiplication just like the
+	// other worker processes").
+	myRows := a.rowsOf(0, t)
+	rt.Compute(nsToTime(int64(myRows) * int64(n) * int64(n) * a.Cost.MulAddNS))
+	bands := make([][][]float64, t)
+	if a.Verify {
+		bands[0] = multiply(A[:myRows], B)
+	}
+	// Join: worker bands arrive in completion order; slot them by rank.
+	for r := 1; r < t; r++ {
+		m := rt.RecvTag("C")
+		if a.Verify {
+			cb := m.Payload.(cBand)
+			bands[cb.rank] = cb.rows
+		}
+		rt.Release(m)
+	}
+	if a.Verify {
+		var C [][]float64
+		for _, b := range bands {
+			C = append(C, b...)
+		}
+		want := multiply(A, B)
+		if !sameMatrix(C, want) {
+			panic(fmt.Sprintf("workload: job %d matmul result mismatch", rt.Env.JobID))
+		}
+		a.Checked = true
+	}
+	// A, B, C freed by runtime cleanup when the job ends.
+}
+
+func (a *MatMul) runWorker(rt *Runtime, rank int) {
+	n := a.N
+	t := rt.T()
+	// B and A can arrive in either order under the tree ablation (B comes
+	// from a peer, A from the coordinator), so receive selectively.
+	mB := rt.RecvWhere(func(m *comm.Message) bool { return m.Tag == "B" })
+	if a.Tree {
+		var B [][]float64
+		if a.Verify {
+			B = mB.Payload.([][]float64)
+		}
+		a.forwardB(rt, rank, t, B)
+	}
+	mA := rt.RecvWhere(func(m *comm.Message) bool { return m.Tag == "A" })
+	rows := a.rowsOf(rank, rt.T())
+	rt.Compute(nsToTime(int64(rows) * int64(n) * int64(n) * a.Cost.MulAddNS))
+	var band cBand
+	if a.Verify {
+		band = cBand{rank: rank, rows: multiply(mA.Payload.([][]float64), mB.Payload.([][]float64))}
+	}
+	rt.Send(0, matrixBytes(rows, n), "C", band)
+	// Inputs are no longer needed once the band is out the door.
+	rt.Release(mB)
+	rt.Release(mA)
+}
+
+// genMatrix builds a deterministic n x n test matrix.
+func genMatrix(n int, seed int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = float64((i*seed+j)%7) - 3
+		}
+	}
+	return m
+}
+
+// multiply computes rows x B for a band of A rows (real arithmetic for
+// verification).
+func multiply(band, B [][]float64) [][]float64 {
+	if len(band) == 0 {
+		return nil
+	}
+	n := len(B)
+	out := make([][]float64, len(band))
+	for i, row := range band {
+		out[i] = make([]float64, n)
+		for k, aik := range row {
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out[i][j] += aik * B[k][j]
+			}
+		}
+	}
+	return out
+}
+
+func sameMatrix(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

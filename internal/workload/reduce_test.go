@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestReduceVerifySingle(t *testing.T) {
+	app := NewReduce(16, 3, DefaultAppCost(), true)
+	runJob(t, app, 1, 1, topology.Linear)
+	if !app.Checked {
+		t.Error("single-process reduce not verified")
+	}
+}
+
+func TestReduceVerifyButterfly(t *testing.T) {
+	for _, procs := range []int{2, 4, 8, 16} {
+		app := NewReduce(8, 2, DefaultAppCost(), true)
+		p := procs
+		if p > 8 {
+			p = 8
+		}
+		runJob(t, app, procs, p, topology.Hypercube)
+		if !app.Checked {
+			t.Errorf("%d-process reduce not verified", procs)
+		}
+	}
+}
+
+func TestReduceVerifyOnLinear(t *testing.T) {
+	// The butterfly still computes correctly when partners are many hops
+	// apart; only the time changes.
+	app := NewReduce(8, 3, DefaultAppCost(), true)
+	runJob(t, app, 8, 8, topology.Linear)
+	if !app.Checked {
+		t.Error("linear-topology reduce not verified")
+	}
+}
+
+func TestReduceConstructionPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"veclen": func() { NewReduce(0, 3, DefaultAppCost(), false) },
+		"iters":  func() { NewReduce(8, 0, DefaultAppCost(), false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestReduceTopologySensitivity: the butterfly's partners are single hops
+// on a hypercube but up to T/2 hops on a linear array, so the hypercube
+// run must be clearly faster for a communication-dominated configuration.
+func TestReduceTopologySensitivity(t *testing.T) {
+	mk := func(kind topology.Kind) sim.Time {
+		app := NewReduce(512, 20, DefaultAppCost(), false)
+		return runJob(t, app, 8, 8, kind)
+	}
+	hyper := mk(topology.Hypercube)
+	linear := mk(topology.Linear)
+	if float64(linear) < 1.2*float64(hyper) {
+		t.Errorf("linear %v not clearly slower than hypercube %v", linear, hyper)
+	}
+}
+
+func TestReduceSequentialWork(t *testing.T) {
+	small := NewReduce(100, 2, DefaultAppCost(), false)
+	big := NewReduce(100, 8, DefaultAppCost(), false)
+	if big.SequentialWork() <= small.SequentialWork() {
+		t.Error("more iterations should mean more work")
+	}
+	if small.Name() != "reduce" {
+		t.Error("name")
+	}
+	if small.LoadBytes() <= CodeBytes {
+		t.Error("load bytes should include the vector")
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// rtRig builds a two-node network and one Env with a rank on each node.
+func rtRig(t *testing.T) (*sim.Kernel, *machine.Machine, *Env) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	mach := machine.NewMachine(k, 2, 1<<20, machine.DefaultCostModel())
+	net := comm.NewNetwork(mach, []int{0, 1}, topology.MustBuild(topology.Linear, 2), comm.StoreForward)
+	env := NewEnv(net, 0, []int{0, 1})
+	t.Cleanup(func() { k.Shutdown() })
+	return k, mach, env
+}
+
+func TestRecvWhereSkipsAndParks(t *testing.T) {
+	k, _, env := rtRig(t)
+	var got []string
+	k.Spawn("r1", func(p *sim.Proc) {
+		rt := NewRuntime(p, env, 1)
+		// Wait for "beta" first even though "alpha" arrives earlier.
+		m := rt.RecvWhere(func(m *comm.Message) bool { return m.Tag == "beta" })
+		got = append(got, m.Tag)
+		rt.Release(m)
+		// The parked "alpha" is claimed without a new delivery.
+		m = rt.RecvWhere(func(m *comm.Message) bool { return m.Tag == "alpha" })
+		got = append(got, m.Tag)
+		rt.Release(m)
+		rt.Cleanup()
+	})
+	k.Spawn("r0", func(p *sim.Proc) {
+		rt := NewRuntime(p, env, 0)
+		rt.Send(1, 10, "alpha", nil)
+		rt.Send(1, 10, "beta", nil)
+		rt.Cleanup()
+	})
+	k.Run()
+	if len(got) != 2 || got[0] != "beta" || got[1] != "alpha" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestRecvWhereOldestMatchFirst(t *testing.T) {
+	k, _, env := rtRig(t)
+	var order []string
+	k.Spawn("r1", func(p *sim.Proc) {
+		rt := NewRuntime(p, env, 1)
+		// Let three tagged messages park, then claim them.
+		m := rt.RecvWhere(func(m *comm.Message) bool { return m.Tag == "stop" })
+		rt.Release(m)
+		for i := 0; i < 3; i++ {
+			m := rt.RecvWhere(func(m *comm.Message) bool { return m.Tag == "x" })
+			order = append(order, m.Payload.(string))
+			rt.Release(m)
+		}
+		rt.Cleanup()
+	})
+	k.Spawn("r0", func(p *sim.Proc) {
+		rt := NewRuntime(p, env, 0)
+		for _, v := range []string{"a", "b", "c"} {
+			rt.Send(1, 10, "x", v)
+		}
+		rt.Send(1, 10, "stop", nil)
+		rt.Cleanup()
+	})
+	k.Run()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v, want oldest-first", order)
+	}
+}
+
+func TestCleanupReleasesParkedMessages(t *testing.T) {
+	k, mach, env := rtRig(t)
+	k.Spawn("r1", func(p *sim.Proc) {
+		rt := NewRuntime(p, env, 1)
+		// Wait for the sentinel; the "noise" messages stay parked.
+		m := rt.RecvWhere(func(m *comm.Message) bool { return m.Tag == "stop" })
+		rt.Release(m)
+		rt.Cleanup() // must free the parked noise
+	})
+	k.Spawn("r0", func(p *sim.Proc) {
+		rt := NewRuntime(p, env, 0)
+		rt.Send(1, 5000, "noise", nil)
+		rt.Send(1, 5000, "noise", nil)
+		rt.Send(1, 10, "stop", nil)
+		rt.Cleanup()
+	})
+	k.Run()
+	for i := 0; i < 2; i++ {
+		if used := mach.Node(i).Mem.Used(); used != 0 {
+			t.Errorf("node %d leaked %d bytes (parked messages not cleaned)", i, used)
+		}
+	}
+}
+
+func TestRuntimeAccessors(t *testing.T) {
+	k, _, env := rtRig(t)
+	if env.T() != 2 {
+		t.Errorf("T = %d", env.T())
+	}
+	k.Spawn("r0", func(p *sim.Proc) {
+		rt := NewRuntime(p, env, 0)
+		if rt.T() != 2 || rt.Node() != 0 || rt.Now() != 0 {
+			t.Errorf("accessors: T=%d node=%d now=%v", rt.T(), rt.Node(), rt.Now())
+		}
+		rt.Compute(100)
+		if rt.Now() != 100 {
+			t.Errorf("now after compute = %v", rt.Now())
+		}
+		rt.Cleanup()
+	})
+	k.Run()
+}
+
+func TestAllocFreeDataTracksExactly(t *testing.T) {
+	k, mach, env := rtRig(t)
+	k.Spawn("r0", func(p *sim.Proc) {
+		rt := NewRuntime(p, env, 0)
+		rt.AllocData(1000)
+		rt.AllocData(500)
+		rt.FreeData(300)
+		if used := mach.Node(0).Mem.Used(); used != 1200 {
+			t.Errorf("used = %d, want 1200", used)
+		}
+		rt.Cleanup()
+		if used := mach.Node(0).Mem.Used(); used != 0 {
+			t.Errorf("used after cleanup = %d", used)
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Sort is the paper's divide-and-conquer application (§4.2): coordinators
+// recursively split the array and ship halves to partner processes; leaves
+// selection-sort their sub-array (O(n²), deliberately — the paper uses
+// selection sort to make the work phase dominate); coordinators merge sorted
+// halves (O(n)) on the way back up. A process can play coordinator and
+// worker roles at several levels, exactly as in the paper's Figure 2.
+//
+// The O(n²) work phase is why the fixed architecture (always 16 processes,
+// so sub-arrays of n/16) beats the adaptive one on small partitions: more,
+// smaller sub-arrays cut total comparison work superlinearly.
+type Sort struct {
+	// N is the element count (paper: two size classes).
+	N int
+	// Cost calibrates operation times.
+	Cost AppCost
+	// Verify carries and sorts real keys for correctness tests (small N
+	// only).
+	Verify bool
+	// Algorithm selects the work phase: the paper's O(n²) selection sort
+	// (default) or an O(n log n) merge sort — the E11 ablation that tests
+	// whether the fixed architecture's superlinear speedup survives a
+	// better algorithm.
+	Algorithm SortAlgorithm
+
+	// Checked is set by rank 0 after a successful Verify run.
+	Checked bool
+}
+
+// SortAlgorithm selects the sort work-phase algorithm.
+type SortAlgorithm int
+
+const (
+	// SelectionSortAlg is the paper's choice: n²/2 inner iterations.
+	SelectionSortAlg SortAlgorithm = iota
+	// MergeSortAlg costs n·ceil(log2 n) merge steps.
+	MergeSortAlg
+)
+
+func (a SortAlgorithm) String() string {
+	if a == MergeSortAlg {
+		return "mergesort"
+	}
+	return "selection"
+}
+
+// workCost is the CPU time to sort n elements with the configured
+// algorithm.
+func (a *Sort) workCost(n int64) sim.Time {
+	if a.Algorithm == MergeSortAlg {
+		return nsToTime(n * int64(ceilLog2(n)) * a.Cost.MergeNS)
+	}
+	return nsToTime(n * n / 2 * a.Cost.CmpNS)
+}
+
+// ceilLog2 returns ceil(log2 n) for n >= 1.
+func ceilLog2(n int64) int {
+	l := 0
+	for v := int64(1); v < n; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+// NewSort builds the application for one job.
+func NewSort(n int, cost AppCost, verify bool) *Sort {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: sort N=%d", n))
+	}
+	return &Sort{N: n, Cost: cost, Verify: verify}
+}
+
+// Name implements App.
+func (a *Sort) Name() string { return "sort" }
+
+// LoadBytes implements App: the program plus the unsorted array.
+func (a *Sort) LoadBytes() int64 {
+	return CodeBytes + int64(a.N)*SortElemBytes
+}
+
+// SequentialWork implements App: setup plus one sort of the whole array
+// with the configured algorithm.
+func (a *Sort) SequentialWork() sim.Time {
+	return a.Cost.Setup + a.workCost(int64(a.N))
+}
+
+// trailingZeros of a rank; the coordinator (rank 0) acts at every level, so
+// it reports the full depth.
+func trailingZeros(rank, depth int) int {
+	if rank == 0 {
+		return depth
+	}
+	k := 0
+	for rank&1 == 0 {
+		k++
+		rank >>= 1
+	}
+	return k
+}
+
+// log2 of a power of two; panics otherwise (process counts are powers of
+// two: partition sizes are, and FixedProcs is 16).
+func log2(t int) int {
+	d := 0
+	for v := t; v > 1; v >>= 1 {
+		if v&1 != 0 {
+			panic(fmt.Sprintf("workload: sort needs power-of-two processes, got %d", t))
+		}
+		d++
+	}
+	return d
+}
+
+type chunk struct {
+	n    int
+	keys []int32 // nil unless Verify
+}
+
+// Run implements App.
+func (a *Sort) Run(rt *Runtime, rank int) {
+	t := rt.T()
+	depth := log2(t)
+	k := trailingZeros(rank, depth)
+
+	// Obtain my chunk: rank 0 owns the whole array; everyone else receives
+	// theirs from a parent coordinator.
+	var my chunk
+	if rank == 0 {
+		rt.AllocData(int64(a.N) * SortElemBytes)
+		rt.Compute(a.Cost.Setup)
+		my = chunk{n: a.N}
+		if a.Verify {
+			my.keys = genKeys(a.N)
+		}
+	} else {
+		m := rt.RecvTag("chunk")
+		c := m.Payload.(chunk)
+		my = c
+		// The received message buffer is this process's array storage; the
+		// runtime keeps it held until cleanup.
+		_ = m
+	}
+
+	// Divide phase: at each of my k levels, ship the upper half to the
+	// partner and keep the lower half. Partners are rank + 2^(k-1), ...,
+	// rank + 1, in decreasing span order — the paper's Figure 2 tree.
+	for j := k - 1; j >= 0; j-- {
+		partner := rank + (1 << j)
+		upper := my.n / 2
+		lower := my.n - upper
+		var upperKeys []int32
+		if a.Verify {
+			upperKeys = my.keys[lower:]
+			my.keys = my.keys[:lower]
+		}
+		rt.Send(partner, int64(upper)*SortElemBytes, "chunk", chunk{n: upper, keys: upperKeys})
+		my.n = lower
+	}
+
+	// Work phase: sort my sub-array with the configured algorithm.
+	rt.Compute(a.workCost(int64(my.n)))
+	if a.Verify {
+		if a.Algorithm == MergeSortAlg {
+			my.keys = mergeSortKeys(my.keys)
+		} else {
+			selectionSort(my.keys)
+		}
+	}
+
+	// Merge phase: absorb each child's sorted chunk as it arrives; each
+	// merge is linear in the combined size.
+	for j := 0; j < k; j++ {
+		m := rt.RecvTag("sorted")
+		c := m.Payload.(chunk)
+		my.n += c.n
+		rt.Compute(nsToTime(int64(my.n) * a.Cost.MergeNS))
+		if a.Verify {
+			my.keys = mergeKeys(my.keys, c.keys)
+		}
+		rt.Release(m)
+	}
+
+	// Hand the sorted chunk to my parent coordinator.
+	if rank != 0 {
+		parent := rank - (1 << k)
+		rt.Send(parent, int64(my.n)*SortElemBytes, "sorted", chunk{n: my.n, keys: my.keys})
+		return
+	}
+	if a.Verify {
+		if my.n != a.N || !sortedAndComplete(my.keys, a.N) {
+			panic(fmt.Sprintf("workload: job %d sort result invalid", rt.Env.JobID))
+		}
+		a.Checked = true
+	}
+}
+
+// genKeys builds a deterministic permutation of 0..n-1 via an xorshift
+// shuffle.
+func genKeys(n int) []int32 {
+	keys := make([]int32, n)
+	for i := range keys {
+		keys[i] = int32(i)
+	}
+	state := uint64(88172645463325252)
+	for i := n - 1; i > 0; i-- {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		j := int(state % uint64(i+1))
+		keys[i], keys[j] = keys[j], keys[i]
+	}
+	return keys
+}
+
+func selectionSort(keys []int32) {
+	for i := 0; i < len(keys); i++ {
+		min := i
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[min] {
+				min = j
+			}
+		}
+		keys[i], keys[min] = keys[min], keys[i]
+	}
+}
+
+// mergeSortKeys is a straightforward top-down merge sort (real data for
+// the Verify mode of the mergesort ablation).
+func mergeSortKeys(keys []int32) []int32 {
+	if len(keys) < 2 {
+		return keys
+	}
+	mid := len(keys) / 2
+	return mergeKeys(mergeSortKeys(append([]int32(nil), keys[:mid]...)),
+		mergeSortKeys(append([]int32(nil), keys[mid:]...)))
+}
+
+func mergeKeys(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// sortedAndComplete checks keys == 0..n-1 in order.
+func sortedAndComplete(keys []int32, n int) bool {
+	if len(keys) != n {
+		return false
+	}
+	for i, k := range keys {
+		if k != int32(i) {
+			return false
+		}
+	}
+	return true
+}

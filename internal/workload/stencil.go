@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/sim"
+)
+
+// Stencil is an extension workload: an iterative 5-point Jacobi relaxation
+// over an N x N grid, strip-decomposed over the job's T processes. Every
+// iteration each process exchanges boundary rows with its rank neighbors
+// and then relaxes its strip — the communication-intensive, tightly
+// synchronized counterpart to the paper's fork-and-join matmul (one data
+// distribution, then silence). It makes interconnect topology and
+// scheduling interference far more visible: a descheduled neighbor stalls
+// the whole chain every iteration.
+type Stencil struct {
+	// N is the grid dimension; Iters the number of relaxation sweeps.
+	N, Iters int
+	// Cost calibrates operation times (MulAddNS per grid point per sweep).
+	Cost AppCost
+	// Verify carries real float grids and checks the distributed result
+	// against a sequential reference (small N only).
+	Verify bool
+
+	// Checked is set by rank 0 after a successful Verify run.
+	Checked bool
+}
+
+// NewStencil builds the application for one job.
+func NewStencil(n, iters int, cost AppCost, verify bool) *Stencil {
+	if n < 3 || iters < 1 {
+		panic(fmt.Sprintf("workload: stencil N=%d iters=%d", n, iters))
+	}
+	return &Stencil{N: n, Iters: iters, Cost: cost, Verify: verify}
+}
+
+// Name implements App.
+func (a *Stencil) Name() string { return "stencil" }
+
+// SequentialWork implements App.
+func (a *Stencil) SequentialWork() sim.Time {
+	n := int64(a.N)
+	return a.Cost.Setup + nsToTime(n*n*int64(a.Iters)*a.Cost.MulAddNS)
+}
+
+// LoadBytes implements App.
+func (a *Stencil) LoadBytes() int64 {
+	return CodeBytes + int64(a.N)*int64(a.N)*MatrixElemBytes
+}
+
+// stripRows splits N rows over T ranks (earlier ranks take the remainder).
+func (a *Stencil) stripRows(rank, t int) int {
+	base, extra := a.N/t, a.N%t
+	if rank < extra {
+		return base + 1
+	}
+	return base
+}
+
+// strip carries a process's initial rows (Verify only).
+type strip struct {
+	rows [][]float64
+}
+
+// halo carries one boundary row.
+type halo struct {
+	from int
+	row  []float64
+}
+
+// stripResult carries a relaxed strip back to the coordinator.
+type stripResult struct {
+	rank int
+	rows [][]float64
+}
+
+// Run implements App.
+func (a *Stencil) Run(rt *Runtime, rank int) {
+	t := rt.T()
+	n := a.N
+	rows := a.stripRows(rank, t)
+	if rows < 1 {
+		panic(fmt.Sprintf("workload: stencil N=%d needs at least one row per process (T=%d)", n, t))
+	}
+	rowBytes := int64(n) * MatrixElemBytes
+
+	// Distribution: rank 0 owns the grid and ships strips.
+	var mine [][]float64
+	if rank == 0 {
+		rt.AllocData(int64(n) * rowBytes)
+		rt.Compute(a.Cost.Setup)
+		var grid [][]float64
+		if a.Verify {
+			grid = genMatrix(n, 3)
+		}
+		at := rows
+		for r := 1; r < t; r++ {
+			rr := a.stripRows(r, t)
+			var part [][]float64
+			if a.Verify {
+				part = grid[at : at+rr]
+			}
+			rt.Send(r, int64(rr)*rowBytes, "strip", strip{rows: part})
+			at += rr
+		}
+		if a.Verify {
+			mine = copyRows(grid[:rows])
+		}
+	} else {
+		// The strip comes from rank 0 over possibly many hops; a fast
+		// neighbor's first halo can overtake it, so receive selectively.
+		m := rt.RecvWhere(func(m *comm.Message) bool { return m.Tag == "strip" })
+		if a.Verify {
+			mine = copyRows(m.Payload.(strip).rows)
+		}
+	}
+
+	// Relaxation sweeps with halo exchange. A neighbor's halos arrive in
+	// iteration order (FIFO routes), but the two neighbors can run up to an
+	// iteration apart; the selective receive parks early arrivals.
+	recvFrom := func(nb int) []float64 {
+		m := rt.RecvWhere(func(m *comm.Message) bool {
+			if m.Tag != "halo" {
+				return false
+			}
+			return m.Payload.(halo).from == nb
+		})
+		row := m.Payload.(halo).row
+		rt.Release(m)
+		return row
+	}
+
+	for it := 0; it < a.Iters; it++ {
+		var top, bottom []float64
+		if a.Verify && len(mine) > 0 {
+			top, bottom = mine[0], mine[len(mine)-1]
+		}
+		if rank > 0 {
+			rt.Send(rank-1, rowBytes, "halo", halo{from: rank, row: top})
+		}
+		if rank < t-1 {
+			rt.Send(rank+1, rowBytes, "halo", halo{from: rank, row: bottom})
+		}
+		var above, below []float64
+		if rank > 0 {
+			above = recvFrom(rank - 1)
+		}
+		if rank < t-1 {
+			below = recvFrom(rank + 1)
+		}
+		rt.Compute(nsToTime(int64(rows) * int64(n) * a.Cost.MulAddNS))
+		if a.Verify {
+			mine = relaxStrip(mine, above, below)
+		}
+	}
+
+	// Gather: workers return strips; rank 0 checks against a sequential
+	// reference.
+	if rank != 0 {
+		rt.Send(0, int64(rows)*rowBytes, "result", stripResult{rank: rank, rows: mine})
+		return
+	}
+	strips := make([][][]float64, t)
+	strips[0] = mine
+	for r := 1; r < t; r++ {
+		// Selective: a fast worker's result can arrive (and get parked)
+		// while rank 0 is still waiting on its own halos.
+		m := rt.RecvWhere(func(m *comm.Message) bool { return m.Tag == "result" })
+		if a.Verify {
+			sr := m.Payload.(stripResult)
+			strips[sr.rank] = sr.rows
+		}
+		rt.Release(m)
+	}
+	if a.Verify {
+		var got [][]float64
+		for _, s := range strips {
+			got = append(got, s...)
+		}
+		want := jacobiReference(genMatrix(n, 3), a.Iters)
+		if !sameMatrix(got, want) {
+			panic(fmt.Sprintf("workload: job %d stencil result mismatch", rt.Env.JobID))
+		}
+		a.Checked = true
+	}
+}
+
+func copyRows(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = append([]float64(nil), r...)
+	}
+	return out
+}
+
+// relaxStrip performs one Jacobi sweep on a strip given the neighbor
+// boundary rows (nil above/below at the grid edges, which stay fixed).
+func relaxStrip(mine [][]float64, above, below []float64) [][]float64 {
+	out := copyRows(mine)
+	n := 0
+	if len(mine) > 0 {
+		n = len(mine[0])
+	}
+	rowUp := func(i int) []float64 {
+		if i > 0 {
+			return mine[i-1]
+		}
+		return above
+	}
+	rowDown := func(i int) []float64 {
+		if i < len(mine)-1 {
+			return mine[i+1]
+		}
+		return below
+	}
+	for i := range mine {
+		up, down := rowUp(i), rowDown(i)
+		if up == nil || down == nil {
+			continue // grid boundary rows are fixed
+		}
+		for j := 1; j < n-1; j++ {
+			out[i][j] = (up[j] + down[j] + mine[i][j-1] + mine[i][j+1]) / 4
+		}
+	}
+	return out
+}
+
+// jacobiReference runs the sweeps sequentially on the whole grid.
+func jacobiReference(grid [][]float64, iters int) [][]float64 {
+	cur := copyRows(grid)
+	n := len(grid)
+	for it := 0; it < iters; it++ {
+		next := copyRows(cur)
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				next[i][j] = (cur[i-1][j] + cur[i+1][j] + cur[i][j-1] + cur[i][j+1]) / 4
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Stencil batch sizes for the extension experiment: moderate variance, and
+// iteration-synchronized communication throughout the run.
+const (
+	StencilSmallN = 48
+	StencilLargeN = 96
+	StencilIters  = 40
+)
+
+// StencilBatch builds a 12-small + 4-large stencil batch.
+func StencilBatch(arch Arch, cost AppCost, verify bool) Batch {
+	return BatchSpec{
+		Small: PaperBatchSmall,
+		Large: PaperBatchLarge,
+		Arch:  arch,
+		NewApp: func(class string) App {
+			n := StencilSmallN
+			if class == "large" {
+				n = StencilLargeN
+			}
+			return NewStencil(n, StencilIters, cost, verify)
+		},
+	}.Build()
+}

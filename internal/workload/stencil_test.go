@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestStencilVerifySingleProcess(t *testing.T) {
+	app := NewStencil(12, 5, DefaultAppCost(), true)
+	runJob(t, app, 1, 1, topology.Linear)
+	if !app.Checked {
+		t.Error("single-process stencil not verified")
+	}
+}
+
+func TestStencilVerifyDistributed(t *testing.T) {
+	app := NewStencil(16, 6, DefaultAppCost(), true)
+	runJob(t, app, 4, 2, topology.Linear)
+	if !app.Checked {
+		t.Error("distributed stencil not verified")
+	}
+}
+
+func TestStencilVerifyManyProcs(t *testing.T) {
+	app := NewStencil(20, 4, DefaultAppCost(), true)
+	runJob(t, app, 8, 4, topology.Mesh)
+	if !app.Checked {
+		t.Error("8-process stencil not verified")
+	}
+}
+
+func TestStencilUnevenStrips(t *testing.T) {
+	// 13 rows over 4 processes: strips of 4,3,3,3.
+	app := NewStencil(13, 3, DefaultAppCost(), true)
+	runJob(t, app, 4, 4, topology.Ring)
+	if !app.Checked {
+		t.Error("uneven-strip stencil not verified")
+	}
+	total := 0
+	for r := 0; r < 4; r++ {
+		total += app.stripRows(r, 4)
+	}
+	if total != 13 {
+		t.Errorf("strips sum to %d", total)
+	}
+}
+
+// TestStencilPropertyRandom: random sizes and process counts all verify.
+func TestStencilPropertyRandom(t *testing.T) {
+	f := func(nSel, tSel, iSel uint8) bool {
+		n := int(nSel)%20 + 4
+		procs := []int{1, 2, 4}[int(tSel)%3]
+		if procs > n {
+			procs = 1
+		}
+		iters := int(iSel)%5 + 1
+		app := NewStencil(n, iters, DefaultAppCost(), true)
+		runJob(t, app, procs, procs, topology.Linear)
+		return app.Checked
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(47))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStencilConstructionPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"tiny-grid":  func() { NewStencil(2, 5, DefaultAppCost(), false) },
+		"zero-iters": func() { NewStencil(10, 0, DefaultAppCost(), false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStencilSequentialWorkScaling(t *testing.T) {
+	cost := DefaultAppCost()
+	small := NewStencil(StencilSmallN, StencilIters, cost, false).SequentialWork()
+	large := NewStencil(StencilLargeN, StencilIters, cost, false).SequentialWork()
+	if large <= small {
+		t.Error("large stencil should have more work")
+	}
+	// N doubles -> ~4x work.
+	ratio := float64(large) / float64(small)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("work ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func TestStencilBatch(t *testing.T) {
+	batch := StencilBatch(Fixed, DefaultAppCost(), false)
+	if len(batch) != 16 {
+		t.Fatalf("batch = %d jobs", len(batch))
+	}
+	large := 0
+	for _, j := range batch {
+		if j.App.Name() != "stencil" {
+			t.Fatalf("app = %s", j.App.Name())
+		}
+		if j.Class == "large" {
+			large++
+		}
+	}
+	if large != 4 {
+		t.Errorf("large jobs = %d", large)
+	}
+}
+
+// TestStencilCommunicationDominatesVsMatmul: per job, the stencil injects
+// far more messages than matmul — the property that makes it the
+// topology-stress workload.
+func TestStencilCommunicationDominatesVsMatmul(t *testing.T) {
+	msgs := func(app App, procs int) float64 {
+		k := sim.NewKernel(1)
+		defer k.Shutdown()
+		mach := machine.NewMachine(k, procs, 64<<20, machine.DefaultCostModel())
+		ids := make([]int, procs)
+		for i := range ids {
+			ids[i] = i
+		}
+		net := comm.NewNetwork(mach, ids, topology.MustBuild(topology.Linear, procs), comm.StoreForward)
+		nodeOf := make([]int, procs)
+		for r := range nodeOf {
+			nodeOf[r] = r
+		}
+		env := NewEnv(net, 0, nodeOf)
+		done := 0
+		for r := 0; r < procs; r++ {
+			r := r
+			k.Spawn("rank", func(proc *sim.Proc) {
+				rt := NewRuntime(proc, env, r)
+				app.Run(rt, r)
+				rt.Cleanup()
+				done++
+			})
+		}
+		k.Run()
+		if done != procs {
+			t.Fatal("job incomplete")
+		}
+		return float64(net.Stats().MessagesSent)
+	}
+	stencil := msgs(NewStencil(32, 10, DefaultAppCost(), false), 4)
+	matmul := msgs(NewMatMul(32, DefaultAppCost(), false), 4)
+	if stencil < 5*matmul {
+		t.Errorf("stencil messages %.0f not >> matmul %.0f", stencil, matmul)
+	}
+}

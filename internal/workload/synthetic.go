@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Synthetic is a parameterized fork-join application used by the extension
+// experiments: the coordinator forks T-1 workers, each computes an equal
+// share of a total service demand, and joins. Communication and resident
+// memory are tunable so variance, messaging and memory pressure can be
+// studied independently of the real applications.
+type Synthetic struct {
+	// Work is the total sequential service demand of the job.
+	Work sim.Time
+	// CommBytes is the payload shipped to each worker and back.
+	CommBytes int64
+	// DataBytes is the coordinator's resident data for the job's lifetime.
+	DataBytes int64
+	// Cost supplies the setup time.
+	Cost AppCost
+}
+
+// NewSynthetic builds a synthetic job body.
+func NewSynthetic(work sim.Time, commBytes, dataBytes int64, cost AppCost) *Synthetic {
+	if work <= 0 {
+		panic(fmt.Sprintf("workload: synthetic work %v", work))
+	}
+	return &Synthetic{Work: work, CommBytes: commBytes, DataBytes: dataBytes, Cost: cost}
+}
+
+// Name implements App.
+func (a *Synthetic) Name() string { return "synthetic" }
+
+// LoadBytes implements App: the program plus the resident data.
+func (a *Synthetic) LoadBytes() int64 { return CodeBytes + a.DataBytes }
+
+// SequentialWork implements App.
+func (a *Synthetic) SequentialWork() sim.Time { return a.Cost.Setup + a.Work }
+
+// Run implements App.
+func (a *Synthetic) Run(rt *Runtime, rank int) {
+	t := rt.T()
+	share := a.Work / sim.Time(t)
+	if rank == 0 {
+		rt.AllocData(a.DataBytes)
+		rt.Compute(a.Cost.Setup)
+		for r := 1; r < t; r++ {
+			rt.Send(r, a.CommBytes, "work", nil)
+		}
+		rt.Compute(share + a.Work%sim.Time(t)) // coordinator absorbs the remainder
+		for r := 1; r < t; r++ {
+			m := rt.RecvTag("done")
+			rt.Release(m)
+		}
+		return
+	}
+	m := rt.RecvTag("work")
+	rt.Compute(share)
+	rt.Send(0, a.CommBytes, "done", nil)
+	rt.Release(m)
+}
+
+// TwoPointWorks generates n per-job service demands with the given mean and
+// coefficient of variation using a two-point distribution: nSmall jobs at a
+// low value and n-nSmall at a high value. This mirrors the paper's batch
+// structure (12 small + 4 large jobs "to introduce variance in service
+// times") while making the variance a dial. CV must be achievable for the
+// small-job fraction: cv < sqrt(q/(1-q)) where q = nSmall/n.
+func TwoPointWorks(n, nSmall int, mean sim.Time, cv float64) ([]sim.Time, error) {
+	if n <= 0 || nSmall <= 0 || nSmall >= n {
+		return nil, fmt.Errorf("workload: two-point needs 0 < nSmall < n, got %d of %d", nSmall, n)
+	}
+	if mean <= 0 || cv < 0 {
+		return nil, fmt.Errorf("workload: two-point mean %v cv %v", mean, cv)
+	}
+	q := float64(nSmall) / float64(n)
+	// small = mean(1 - cv*sqrt((1-q)/q)), large = mean(1 + cv*sqrt(q/(1-q)))
+	small := float64(mean) * (1 - cv*math.Sqrt((1-q)/q))
+	large := float64(mean) * (1 + cv*math.Sqrt(q/(1-q)))
+	if small <= 0 {
+		return nil, fmt.Errorf("workload: cv %.2f unreachable with %d/%d small jobs (max %.2f)",
+			cv, nSmall, n, math.Sqrt(q/(1-q)))
+	}
+	works := make([]sim.Time, n)
+	// Place the large jobs with the same odd-spacing rule as the paper
+	// batches so they spread over partitions at every partition count.
+	largeAt := largePositions(n, n-nSmall)
+	for i := range works {
+		if largeAt[i] {
+			works[i] = sim.Time(large)
+		} else {
+			works[i] = sim.Time(small)
+		}
+	}
+	return works, nil
+}
+
+// SyntheticBatch builds a batch of n synthetic jobs with per-job service
+// demands from works; jobs whose demand exceeds the mean are classed
+// "large".
+func SyntheticBatch(works []sim.Time, arch Arch, commBytes, dataBytes int64, cost AppCost) Batch {
+	var mean sim.Time
+	for _, w := range works {
+		mean += w
+	}
+	if len(works) > 0 {
+		mean /= sim.Time(len(works))
+	}
+	batch := make(Batch, len(works))
+	for i, w := range works {
+		class := "small"
+		if w > mean {
+			class = "large"
+		}
+		batch[i] = &Job{ID: i, Class: class, Arch: arch, App: NewSynthetic(w, commBytes, dataBytes, cost)}
+	}
+	return batch
+}
