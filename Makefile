@@ -1,0 +1,34 @@
+# Convenience targets; `make ci` is what the CI workflow runs.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures fault ci fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+figures:
+	$(GO) run ./cmd/ippsbench
+
+fault:
+	$(GO) run ./cmd/faultstudy
+
+ci:
+	./scripts/ci.sh

@@ -1,0 +1,141 @@
+// Command faultstudy runs the fault-degradation study: mean response time
+// versus per-node failure rate for each scheduling policy, with message
+// retry and scheduler repair enabled (and optionally checkpoint/restart).
+// The zero-rate point always runs with the injector attached and is checked
+// against a fault-free run of the same seed — identical numbers are the
+// determinism guarantee of the fault subsystem.
+//
+//	faultstudy                              # mesh+ring, partition 4, matmul
+//	faultstudy -topos mesh -rates 0.5,1,2,4,8
+//	faultstudy -ckpt 100ms -ckpt-cost 200us # with checkpoint/restart
+//	faultstudy -csv > curves.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		topos     = flag.String("topos", "mesh,ring", "comma-separated topologies to study")
+		partition = flag.Int("partition", 4, "partition size")
+		app       = flag.String("app", "matmul", "application (matmul, sort, stencil)")
+		arch      = flag.String("arch", "adaptive", "software architecture (fixed, adaptive)")
+		policies  = flag.String("policies", "static,ts,rrp", "policies to compare")
+		rates     = flag.String("rates", "0.5,1,2,4", "per-node failure rates in failures/second (0 is always included)")
+		horizon   = flag.Duration("horizon", 0, "fault injection horizon (0 = default 2s)")
+		ckpt      = flag.Duration("ckpt", 0, "checkpoint interval (0 = checkpointing off)")
+		ckptCost  = flag.Duration("ckpt-cost", 0, "per-node CPU cost of one checkpoint")
+		drop      = flag.Float64("drop", 0, "message drop probability at faulty points (0 = off)")
+		retry     = flag.Duration("retry", 0, "reliable-delivery retry timeout; must exceed worst-case delivery latency (0 = default 100ms when -drop is set)")
+		seed      = flag.Int64("seed", 0, "simulation seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of tables")
+	)
+	flag.Parse()
+
+	appKind, err := core.ParseApp(*app)
+	if err != nil {
+		fail(err)
+	}
+	archKind, err := workload.ParseArch(*arch)
+	if err != nil {
+		fail(err)
+	}
+	var pols []sched.Policy
+	for _, p := range strings.Split(*policies, ",") {
+		pol, err := sched.ParsePolicy(strings.TrimSpace(p))
+		if err != nil {
+			fail(err)
+		}
+		pols = append(pols, pol)
+	}
+	mtbfs, err := parseRates(*rates)
+	if err != nil {
+		fail(err)
+	}
+	// An empty ladder would silently fall back to the default rates inside
+	// the study; the user asking for "no faulty points" deserves an error.
+	if len(mtbfs) == 0 {
+		fail(fmt.Errorf("-rates %q contains no non-zero failure rate (the zero-rate point is always included)", *rates))
+	}
+
+	first := true
+	for _, tp := range strings.Split(*topos, ",") {
+		kind, err := topology.ParseKind(strings.TrimSpace(tp))
+		if err != nil {
+			fail(err)
+		}
+		study, err := experiments.RunFaultStudy(experiments.FaultStudyConfig{
+			Base: core.Config{
+				PartitionSize: *partition,
+				App:           appKind,
+				Arch:          archKind,
+				Seed:          *seed,
+			},
+			Topology:       kind,
+			Policies:       pols,
+			MTBFs:          mtbfs,
+			Horizon:        sim.FromDuration(*horizon),
+			Checkpoint:     sim.FromDuration(*ckpt),
+			CheckpointCost: sim.FromDuration(*ckptCost),
+			DropProb:       *drop,
+			RetryTimeout:   sim.FromDuration(*retry),
+		})
+		if err != nil {
+			fail(err)
+		}
+		if *csv {
+			out := study.CSV()
+			if !first { // one header for the whole stream
+				out = out[strings.Index(out, "\n")+1:]
+			}
+			fmt.Print(out)
+		} else {
+			if !first {
+				fmt.Println()
+			}
+			fmt.Print(study.Table())
+		}
+		first = false
+	}
+}
+
+// parseRates converts failures-per-node-second values to MTBFs. Zero rates
+// are dropped (the study always includes the zero-rate point).
+func parseRates(s string) ([]sim.Time, error) {
+	var out []sim.Time
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("failure rate %q: %w", f, err)
+		}
+		if r < 0 {
+			return nil, fmt.Errorf("failure rate %v must be >= 0", r)
+		}
+		if r == 0 {
+			continue
+		}
+		out = append(out, sim.Time(float64(sim.Second)/r))
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "faultstudy:", err)
+	os.Exit(1)
+}

@@ -36,7 +36,7 @@ func rig(t *testing.T, kind topology.Kind, n int, mode Mode, memBytes int64) (*s
 	for i := range ids {
 		ids[i] = i
 	}
-	net := NewNetwork(mach, ids, topology.MustBuild(kind, n), mode)
+	net := MustNewNetwork(mach, ids, topology.MustBuild(kind, n), mode)
 	t.Cleanup(func() { k.Shutdown() })
 	return k, mach, net
 }
@@ -249,7 +249,7 @@ func TestWormholeBypassesIntermediateMemory(t *testing.T) {
 	run := func(mode Mode) (int64, sim.Time) {
 		k := sim.NewKernel(1)
 		mach := machine.NewMachine(k, 3, 1<<20, testCost())
-		net := NewNetwork(mach, []int{0, 1, 2}, topology.MustBuild(topology.Linear, 3), mode)
+		net := MustNewNetwork(mach, []int{0, 1, 2}, topology.MustBuild(topology.Linear, 3), mode)
 		src := net.NewMailbox(0)
 		dst := net.NewMailbox(2)
 		var delivered sim.Time
@@ -377,7 +377,7 @@ func TestAllMessagesDeliveredProperty(t *testing.T) {
 		for i := range ids {
 			ids[i] = i
 		}
-		net := NewNetwork(mach, ids, topology.MustBuild(kind, n), StoreForward)
+		net := MustNewNetwork(mach, ids, topology.MustBuild(kind, n), StoreForward)
 		rng := rand.New(rand.NewSource(seed))
 
 		boxes := make([]*Mailbox, n)
@@ -437,7 +437,7 @@ func TestNetworkDeterminism(t *testing.T) {
 		k := sim.NewKernel(5)
 		mach := machine.NewMachine(k, 8, 1<<20, testCost())
 		ids := []int{0, 1, 2, 3, 4, 5, 6, 7}
-		net := NewNetwork(mach, ids, topology.MustBuild(topology.Mesh, 8), StoreForward)
+		net := MustNewNetwork(mach, ids, topology.MustBuild(topology.Mesh, 8), StoreForward)
 		boxes := make([]*Mailbox, 8)
 		for i := range boxes {
 			boxes[i] = net.NewMailbox(i)
@@ -494,13 +494,14 @@ func TestNetworkAccessors(t *testing.T) {
 	}
 }
 
-func TestNetworkGraphSizeMismatchPanics(t *testing.T) {
+func TestNetworkGraphSizeMismatchErrors(t *testing.T) {
 	k := sim.NewKernel(1)
+	defer k.Shutdown()
 	mach := machine.NewMachine(k, 4, 1<<20, testCost())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewNetwork(mach, []int{0, 1}, topology.MustBuild(topology.Linear, 3), StoreForward)
+	if _, err := NewNetwork(mach, []int{0, 1}, topology.MustBuild(topology.Linear, 3), StoreForward); err == nil {
+		t.Fatal("expected an error for a graph/node-count mismatch")
+	}
+	if _, err := NewNetwork(mach, []int{0, 0}, topology.MustBuild(topology.Linear, 2), StoreForward); err == nil {
+		t.Fatal("expected an error for a duplicated node")
+	}
 }

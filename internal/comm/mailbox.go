@@ -12,6 +12,9 @@ type Mailbox struct {
 	addr    Addr
 	queue   []*Message
 	waiters []*sim.Proc
+	// retired marks a mailbox of a killed job: deliveries dead-letter
+	// (see Network.RetireMailbox).
+	retired bool
 }
 
 // Addr returns the mailbox address.
@@ -33,6 +36,9 @@ func (b *Mailbox) deliver(m *Message) {
 // take blocks the calling process until a message is available and removes
 // it from the queue.
 func (b *Mailbox) take(p *sim.Proc) *Message {
+	// Scrub the waiter entry even when the process unwinds out of Park
+	// (abort path); redundant removal on the normal path is harmless.
+	defer b.removeWaiter(p)
 	for len(b.queue) == 0 {
 		b.waiters = append(b.waiters, p)
 		p.Park(fmt.Sprintf("recv on %v", b.addr))

@@ -80,4 +80,7 @@ type Message struct {
 	HopsTaken int
 
 	released bool
+	// uid is nonzero for messages sent under reliable delivery; all copies
+	// (original and retransmissions) share it so duplicates are suppressed.
+	uid int64
 }

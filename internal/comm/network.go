@@ -2,9 +2,11 @@ package comm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -21,6 +23,28 @@ type Stats struct {
 	// TotalLatency accumulates send-to-delivery times for delivered
 	// messages.
 	TotalLatency sim.Time
+	// Robustness counters, all zero on a fault-free run. Drops counts
+	// messages lost to downed links, injected drops, or unroutable
+	// destinations; Retries counts retransmissions; Duplicates counts
+	// suppressed second deliveries of retried messages; DeadLetters counts
+	// deliveries to retired mailboxes; DeliveryFailures counts messages
+	// abandoned after the retry budget was exhausted.
+	Drops, Retries, Duplicates, DeadLetters, DeliveryFailures int64
+}
+
+// Add merges o into s with saturating arithmetic, so aggregating counters
+// across many partitions and long fault runs can never silently wrap.
+func (s *Stats) Add(o Stats) {
+	s.MessagesSent = metrics.SatAdd64(s.MessagesSent, o.MessagesSent)
+	s.MessagesDelivered = metrics.SatAdd64(s.MessagesDelivered, o.MessagesDelivered)
+	s.PayloadBytes = metrics.SatAdd64(s.PayloadBytes, o.PayloadBytes)
+	s.Hops = metrics.SatAdd64(s.Hops, o.Hops)
+	s.TotalLatency = metrics.SatAddTime(s.TotalLatency, o.TotalLatency)
+	s.Drops = metrics.SatAdd64(s.Drops, o.Drops)
+	s.Retries = metrics.SatAdd64(s.Retries, o.Retries)
+	s.Duplicates = metrics.SatAdd64(s.Duplicates, o.Duplicates)
+	s.DeadLetters = metrics.SatAdd64(s.DeadLetters, o.DeadLetters)
+	s.DeliveryFailures = metrics.SatAdd64(s.DeliveryFailures, o.DeliveryFailures)
 }
 
 // Network is the mailbox communication system over one partition: the subset
@@ -38,6 +62,21 @@ type Network struct {
 	routers []*router                // per local node
 	boxes   map[Addr]*Mailbox
 	nextBox []int
+	localOf map[int]int // global node id -> local index
+
+	// Robustness state (see robust.go). downLinks keys are local pairs,
+	// lower first; reroute is the BFS detour table, nil while all links are
+	// up (the fault-free fast path uses the static graph routes).
+	downLinks map[[2]int]bool
+	reroute   [][]int
+	dropFn    func() bool
+	onFailure func(*Message)
+
+	// Reliable-delivery state: per-message retry timers keyed by uid.
+	retryTimeout sim.Time
+	retryCap     int
+	nextUID      int64
+	pending      map[int64]*retryState
 
 	tracer trace.Tracer
 	stats  Stats
@@ -47,9 +86,9 @@ type Network struct {
 // with the topology graph (which must have len(nodeIDs) nodes) and starts
 // the router daemons. Each network is independent: partitions do not share
 // links, matching the paper's per-partition switch configuration.
-func NewNetwork(mach *machine.Machine, nodeIDs []int, g *topology.Graph, mode Mode) *Network {
+func NewNetwork(mach *machine.Machine, nodeIDs []int, g *topology.Graph, mode Mode) (*Network, error) {
 	if g.N != len(nodeIDs) {
-		panic(fmt.Sprintf("comm: graph size %d != node count %d", g.N, len(nodeIDs)))
+		return nil, fmt.Errorf("comm: graph size %d != node count %d", g.N, len(nodeIDs))
 	}
 	n := &Network{
 		mach:    mach,
@@ -61,6 +100,13 @@ func NewNetwork(mach *machine.Machine, nodeIDs []int, g *topology.Graph, mode Mo
 		links:   make(map[[2]int]*machine.Link),
 		boxes:   make(map[Addr]*Mailbox),
 		nextBox: make([]int, len(nodeIDs)),
+		localOf: make(map[int]int, len(nodeIDs)),
+	}
+	for i, id := range nodeIDs {
+		if _, dup := n.localOf[id]; dup {
+			return nil, fmt.Errorf("comm: node %d appears twice in the partition", id)
+		}
+		n.localOf[id] = i
 	}
 	for a := 0; a < g.N; a++ {
 		for _, b := range g.Neighbors(a) {
@@ -72,6 +118,17 @@ func NewNetwork(mach *machine.Machine, nodeIDs []int, g *topology.Graph, mode Mo
 	n.routers = make([]*router, g.N)
 	for i := range n.routers {
 		n.routers[i] = newRouter(n, i)
+	}
+	return n, nil
+}
+
+// MustNewNetwork is NewNetwork but panics on error, for call sites whose
+// inputs were already validated (an error there is an internal invariant
+// violation, not bad configuration).
+func MustNewNetwork(mach *machine.Machine, nodeIDs []int, g *topology.Graph, mode Mode) *Network {
+	n, err := NewNetwork(mach, nodeIDs, g, mode)
+	if err != nil {
+		panic(err)
 	}
 	return n
 }
@@ -175,6 +232,9 @@ func (n *Network) Send(p *sim.Proc, task *machine.Task, m *Message) {
 		fmt.Sprintf("send %q %dB", m.Tag, m.Bytes))
 	switch n.mode {
 	case StoreForward:
+		if n.retryTimeout > 0 {
+			n.registerReliable(m)
+		}
 		// Reserve the source-node buffer, then hand off to the router.
 		n.NodeOf(m.Src.Node).Mem.Alloc(p, n.wireBytes(m), mem.ClassBuffer)
 		n.routers[m.Src.Node].enqueue(m)
@@ -217,12 +277,80 @@ func (n *Network) Release(m *Message) {
 }
 
 // deliver hands a message to its destination mailbox. The buffer stays
-// charged to the destination node until Release.
+// charged to the destination node until Release. Under reliable delivery a
+// copy arriving after its uid was already delivered (a retransmission racing
+// the original) or after its retry budget was declared exhausted is
+// suppressed; a copy for a retired mailbox is dead-lettered. Both free the
+// buffer and settle the retry state.
 func (n *Network) deliver(m *Message) {
+	if m.uid != 0 {
+		if _, outstanding := n.pending[m.uid]; !outstanding {
+			n.stats.Duplicates++
+			n.discard(m)
+			return
+		}
+	}
+	box := n.mailbox(m.Dst)
+	if box.retired {
+		if m.uid != 0 {
+			delete(n.pending, m.uid)
+		}
+		n.stats.DeadLetters++
+		n.discard(m)
+		return
+	}
+	if m.uid != 0 {
+		delete(n.pending, m.uid)
+	}
 	m.DeliveredAt = n.k.Now()
 	n.stats.MessagesDelivered++
 	n.stats.TotalLatency += m.DeliveredAt - m.SentAt
 	trace.Emit(n.tracer, n.k.Now(), "msg", fmt.Sprintf("%s->%s", m.Src, m.Dst),
 		fmt.Sprintf("deliver %q after %d hops, %s", m.Tag, m.HopsTaken, m.DeliveredAt-m.SentAt))
-	n.mailbox(m.Dst).deliver(m)
+	box.deliver(m)
+}
+
+// discard frees the node buffer of a message that reached its destination
+// node but will not be handed to an application mailbox.
+func (n *Network) discard(m *Message) {
+	m.released = true
+	n.NodeOf(m.Dst.Node).Mem.FreeBytes(n.wireBytes(m))
+}
+
+// RetireMailbox takes a mailbox permanently out of service: queued messages
+// are discarded and their buffers freed, and future deliveries dead-letter.
+// The scheduler retires a killed job's mailboxes so in-flight traffic of a
+// dead job cannot leak buffer memory or wake anyone.
+func (n *Network) RetireMailbox(b *Mailbox) {
+	if b.retired {
+		return
+	}
+	b.retired = true
+	for _, m := range b.queue {
+		if !m.released {
+			n.discard(m)
+		}
+	}
+	b.queue = nil
+}
+
+// Links returns the partition's physical links as global endpoint pairs
+// (lower id first), sorted — the deterministic link list a fault injector
+// plans over.
+func (n *Network) Links() [][2]int {
+	out := make([][2]int, 0, len(n.links))
+	for key := range n.links {
+		ga, gb := n.nodes[key[0]], n.nodes[key[1]]
+		if ga > gb {
+			ga, gb = gb, ga
+		}
+		out = append(out, [2]int{ga, gb})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
 }

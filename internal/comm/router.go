@@ -71,13 +71,20 @@ func newRouter(n *Network, local int) *router {
 }
 
 // enqueue routes a message (which holds a buffer on this node) to the
-// delivery queue or the port queue for its next hop.
+// delivery queue or the port queue for its next hop under the current link
+// state. A message whose destination is unreachable (link failures cut the
+// partition) is dropped here; reliable senders recover via retry, and the
+// retry budget converts a persistent cut into a delivery-failure signal.
 func (r *router) enqueue(m *Message) {
 	if m.Dst.Node == r.local {
 		r.deliveryQ.push(m)
 		return
 	}
-	next := r.net.graph.NextHop(r.local, m.Dst.Node)
+	next := r.net.nextHopLocal(r.local, m.Dst.Node)
+	if next < 0 {
+		r.net.dropAt(r.local, m)
+		return
+	}
 	port := r.net.graph.Port(r.local, next)
 	if port < 0 {
 		panic(fmt.Sprintf("comm: node %d has no port toward %d", r.local, next))
@@ -93,15 +100,36 @@ func (r *router) forwardLoop(p *sim.Proc, task *machine.Task, q *msgQueue, nb in
 	for {
 		m := q.pop(p, "router port idle")
 		task.Compute(p, n.cost.RouterHopOverhead)
+		// The link may have failed while the message was queued (or while
+		// this daemon was busy); hand it back to routing for a detour.
+		if n.linkDown(r.local, nb) {
+			r.enqueue(m)
+			continue
+		}
 		wire := n.wireBytes(m)
 		// Store-and-forward: the next node must hold the whole message.
 		n.NodeOf(nb).Mem.Alloc(p, wire, mem.ClassBuffer)
 		half := n.link(r.local, nb)
 		half.Acquire(p)
+		if n.linkDown(r.local, nb) {
+			// Failed while we waited for the channel: give everything back
+			// and re-route.
+			half.Release()
+			n.NodeOf(nb).Mem.FreeBytes(wire)
+			r.enqueue(m)
+			continue
+		}
 		p.Sleep(n.cost.TransferTime(wire)) // DMA: link busy, CPU free
 		half.CountTransfer(wire)
 		half.Release()
 		n.NodeOf(r.local).Mem.FreeBytes(wire)
+		// A link failure during the transfer, or an injected drop, loses the
+		// message on the wire.
+		if n.linkDown(r.local, nb) || (n.dropFn != nil && n.dropFn()) {
+			n.stats.Drops++
+			n.NodeOf(nb).Mem.FreeBytes(wire)
+			continue
+		}
 		m.HopsTaken++
 		n.stats.Hops++
 		n.routers[nb].enqueue(m)

@@ -17,7 +17,7 @@ func whRig(t *testing.T, n int) (*sim.Kernel, *machine.Machine, *Network) {
 	for i := range ids {
 		ids[i] = i
 	}
-	net := NewNetwork(mach, ids, topology.MustBuild(topology.Linear, n), Wormhole)
+	net := MustNewNetwork(mach, ids, topology.MustBuild(topology.Linear, n), Wormhole)
 	t.Cleanup(func() { k.Shutdown() })
 	return k, mach, net
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -130,6 +131,10 @@ type Config struct {
 	// (0 = all admitted, the paper's setting). Used by the MPL-tuning
 	// extension experiment.
 	MaxResident int
+	// Fault, when non-nil, enables fault injection and the recovery
+	// machinery (message retry, checkpoint/restart, scheduler repair). A
+	// zero-valued config is inert and reproduces fault-free results exactly.
+	Fault *fault.Config
 	// Tracer, when non-nil, records job and message events for inspection.
 	Tracer trace.Tracer
 	// SampleEvery enables periodic utilization sampling at this interval;
@@ -193,6 +198,12 @@ func (c Config) buildBatch() workload.Batch {
 // The simulation is fully deterministic for a given Config.
 func Run(cfg Config) (*metrics.Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Processors < 1 {
+		return nil, fmt.Errorf("core: machine needs at least one processor, got %d", cfg.Processors)
+	}
+	if cfg.MemoryBytes < 1 {
+		return nil, fmt.Errorf("core: per-node memory must be positive, got %d bytes", cfg.MemoryBytes)
+	}
 	k := sim.NewKernel(cfg.Seed)
 	defer k.Shutdown()
 	mach := machine.NewMachine(k, cfg.Processors, cfg.MemoryBytes, *cfg.Cost)
@@ -204,6 +215,7 @@ func Run(cfg Config) (*metrics.Result, error) {
 		Policy:        cfg.Policy,
 		BasicQuantum:  cfg.BasicQuantum,
 		MaxResident:   cfg.MaxResident,
+		Fault:         cfg.Fault,
 		Tracer:        cfg.Tracer,
 	})
 	if err != nil {

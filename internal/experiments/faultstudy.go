@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Fault-degradation study (robustness extension): how does each scheduling
+// policy's mean response time degrade as the node failure rate rises? The
+// paper's machine assumed reliable hardware; this study attaches the fault
+// injector (package fault) with message retry and scheduler repair enabled
+// and sweeps the per-node failure rate from zero upward. The zero-rate
+// point runs with the injector attached but nothing to inject, so it must
+// reproduce the fault-free result exactly — the study's built-in
+// determinism check (RunFaultStudy verifies it and fails loudly otherwise).
+
+// FaultPoint is one measurement of a degradation curve.
+type FaultPoint struct {
+	// NodeMTBF is the per-node mean time between failures (0 = the
+	// zero-rate point); Rate is its reciprocal in failures per node-second.
+	NodeMTBF sim.Time
+	Rate     float64
+	// Mean and Makespan are the batch response statistics.
+	Mean, Makespan sim.Time
+	// Faults are the run's fault and repair counters.
+	Faults metrics.FaultStats
+	// Retries counts message retransmissions (link/drop studies).
+	Retries int64
+}
+
+// FaultCurve is one policy's mean-response-vs-failure-rate curve.
+type FaultCurve struct {
+	Policy sched.Policy
+	Points []FaultPoint
+}
+
+// FaultStudy is the full sweep on one topology.
+type FaultStudy struct {
+	Topology      topology.Kind
+	PartitionSize int
+	Horizon       sim.Time
+	Curves        []FaultCurve
+}
+
+// FaultStudyConfig parameterizes RunFaultStudy.
+type FaultStudyConfig struct {
+	// Base selects machine, workload and seed; Policy, Topology and Fault
+	// are overridden per run. PartitionSize 0 defaults to 4.
+	Base core.Config
+	// Topology is the per-partition interconnect under test.
+	Topology topology.Kind
+	// Policies to compare; empty defaults to Static, TimeShared, RRProcess.
+	Policies []sched.Policy
+	// MTBFs is the ladder of per-node mean times between failures; a
+	// zero-rate point is always prepended. Empty defaults to
+	// 2s, 1s, 500ms, 250ms.
+	MTBFs []sim.Time
+	// Horizon bounds fault injection; zero defaults to 2s (about one
+	// fault-free makespan, so faults span most of the run but a harsh
+	// ladder still terminates).
+	Horizon sim.Time
+	// Checkpoint enables checkpoint/restart with this interval (0 = off);
+	// CheckpointCost is the per-node CPU charge of one checkpoint.
+	Checkpoint, CheckpointCost sim.Time
+	// DropProb adds message drops at every non-zero ladder point; RetryTimeout
+	// is the reliable-delivery timeout used with them. The timeout must exceed
+	// the worst-case congested delivery latency, or healthy messages time out
+	// and their jobs are spuriously killed; zero with drops defaults to 100ms.
+	DropProb     float64
+	RetryTimeout sim.Time
+}
+
+func (c FaultStudyConfig) withDefaults() FaultStudyConfig {
+	if c.Base.PartitionSize == 0 {
+		c.Base.PartitionSize = 4
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = []sched.Policy{sched.Static, sched.TimeShared, sched.RRProcess}
+	}
+	if len(c.MTBFs) == 0 {
+		c.MTBFs = []sim.Time{2 * sim.Second, sim.Second, 500 * sim.Millisecond, 250 * sim.Millisecond}
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 2 * sim.Second
+	}
+	return c
+}
+
+// faultConfigAt builds the injector configuration for one ladder point.
+// MTBF 0 yields the inert zero-rate config: injector attached, nothing
+// armed, so the run must match the fault-free baseline exactly.
+func (c FaultStudyConfig) faultConfigAt(mtbf sim.Time) *fault.Config {
+	fc := &fault.Config{
+		Seed:               c.Base.Seed,
+		CheckpointInterval: c.Checkpoint,
+		CheckpointCost:     c.CheckpointCost,
+	}
+	if mtbf <= 0 {
+		return fc
+	}
+	fc.NodeMTBF = mtbf
+	fc.NodeMTTR = mtbf / 10
+	if fc.NodeMTTR < 5*sim.Millisecond {
+		fc.NodeMTTR = 5 * sim.Millisecond
+	}
+	fc.Horizon = c.Horizon
+	// The ladder's harsh end would exhaust a small budget; the study
+	// wants the degradation curve, not an abort.
+	fc.RestartBudget = 1 << 20
+	fc.DropProb = c.DropProb
+	fc.RetryTimeout = c.RetryTimeout
+	if fc.DropProb > 0 && fc.RetryTimeout == 0 {
+		fc.RetryTimeout = 100 * sim.Millisecond
+	}
+	return fc
+}
+
+// RunFaultStudy sweeps the failure-rate ladder for every policy on one
+// topology. The zero-rate point is verified against a fault-free run of the
+// same configuration: any difference means the fault machinery perturbed a
+// run it should not have, and the study fails.
+func RunFaultStudy(sc FaultStudyConfig) (*FaultStudy, error) {
+	sc = sc.withDefaults()
+	study := &FaultStudy{
+		Topology:      sc.Topology,
+		PartitionSize: sc.Base.PartitionSize,
+		Horizon:       sc.Horizon,
+	}
+	for _, policy := range sc.Policies {
+		curve := FaultCurve{Policy: policy}
+		cfg := sc.Base
+		cfg.Policy = policy
+		cfg.Topology = sc.Topology
+
+		// Fault-free reference for the zero-rate check. Checkpointing is
+		// excluded from the comparison: its CPU charge is a real (if small)
+		// perturbation even without faults.
+		refCfg := cfg
+		refCfg.Fault = nil
+		ref, err := core.Run(refCfg)
+		if err != nil {
+			return nil, fmt.Errorf("fault study %s %s baseline: %w", sc.Topology, policy, err)
+		}
+
+		for _, mtbf := range append([]sim.Time{0}, sc.MTBFs...) {
+			runCfg := cfg
+			runCfg.Fault = sc.faultConfigAt(mtbf)
+			res, err := core.Run(runCfg)
+			if err != nil {
+				return nil, fmt.Errorf("fault study %s %s mtbf=%v: %w", sc.Topology, policy, mtbf, err)
+			}
+			if mtbf == 0 && sc.Checkpoint == 0 {
+				if res.MeanResponse() != ref.MeanResponse() || res.Makespan != ref.Makespan {
+					return nil, fmt.Errorf(
+						"fault study %s %s: zero-rate run diverged from fault-free baseline (mean %v vs %v, makespan %v vs %v)",
+						sc.Topology, policy, res.MeanResponse(), ref.MeanResponse(), res.Makespan, ref.Makespan)
+				}
+			}
+			pt := FaultPoint{
+				NodeMTBF: mtbf,
+				Mean:     res.MeanResponse(),
+				Makespan: res.Makespan,
+				Retries:  res.Net.Retries,
+			}
+			if mtbf > 0 {
+				pt.Rate = float64(sim.Second) / float64(mtbf)
+			}
+			if res.Faults != nil {
+				pt.Faults = *res.Faults
+			}
+			curve.Points = append(curve.Points, pt)
+		}
+		study.Curves = append(study.Curves, curve)
+	}
+	return study, nil
+}
+
+// Table renders the study: one block per policy, one row per failure rate.
+func (s *FaultStudy) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault degradation — partition %d, %s topology, horizon %s\n",
+		s.PartitionSize, s.Topology, s.Horizon)
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %8s %8s %8s %12s\n",
+		"policy", "rate(/n·s)", "mean", "makespan", "fails", "kills", "ckpts", "work lost")
+	for _, c := range s.Curves {
+		for _, p := range c.Points {
+			fmt.Fprintf(&b, "%-12s %10.2f %12s %12s %8d %8d %8d %12s\n",
+				c.Policy, p.Rate, fmtSec(p.Mean), fmtSec(p.Makespan),
+				p.Faults.NodesFailed, p.Faults.JobKills, p.Faults.Checkpoints,
+				fmtSec(p.Faults.WorkLost))
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the study as rows for plotting.
+func (s *FaultStudy) CSV() string {
+	var b strings.Builder
+	b.WriteString("topology,partition,policy,rate_per_node_s,mtbf_us,mean_s,makespan_s,nodes_failed,job_kills,requeues,restarts,checkpoints,work_lost_s,retries\n")
+	for _, c := range s.Curves {
+		for _, p := range c.Points {
+			fmt.Fprintf(&b, "%s,%d,%s,%g,%d,%.6f,%.6f,%d,%d,%d,%d,%d,%.6f,%d\n",
+				s.Topology, s.PartitionSize, c.Policy, p.Rate, int64(p.NodeMTBF),
+				p.Mean.Seconds(), p.Makespan.Seconds(),
+				p.Faults.NodesFailed, p.Faults.JobKills, p.Faults.Requeues,
+				p.Faults.Restarts, p.Faults.Checkpoints, p.Faults.WorkLost.Seconds(), p.Retries)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,332 @@
+// Package fault implements a deterministic fault injector for the simulated
+// multicomputer: transient and permanent node failures, link failures, and
+// message drops, plus the configuration knobs for the recovery machinery
+// (message retry, checkpoint/restart) built on top of it.
+//
+// Determinism is the design constraint. The injector draws every random
+// number from its own generator, seeded from the configuration, in a fixed
+// order: the whole fault schedule (the "plan") is generated up front at
+// construction, before the simulation runs, so the same seed and
+// configuration always produce the same failures at the same times no
+// matter what the workload does. Per-message drop decisions use a second
+// independent stream, drawn in kernel event order (also deterministic).
+// A zero-valued Config injects nothing and draws nothing, so attaching an
+// idle injector reproduces fault-free results exactly.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Config describes the fault environment and the recovery knobs of one run.
+// The zero value disables everything.
+type Config struct {
+	// Seed drives the injector's private random streams. Runs differing only
+	// in Seed see different fault schedules.
+	Seed int64
+
+	// NodeMTBF is the mean up-time between failures of each node (exponential
+	// time-to-failure, drawn independently per node). Zero disables node
+	// faults. NodeMTTR is the mean repair time; zero with NodeMTBF set makes
+	// every node failure permanent.
+	NodeMTBF, NodeMTTR sim.Time
+
+	// LinkMTBF / LinkMTTR are the same distributions for physical links.
+	LinkMTBF, LinkMTTR sim.Time
+
+	// DropProb is the probability that a message hop silently loses the
+	// message (a transient link error). Zero disables drops.
+	DropProb float64
+
+	// Horizon bounds the fault plan: no failures are scheduled after it.
+	// Required (>0) when NodeMTBF or LinkMTBF is set.
+	Horizon sim.Time
+
+	// RetryTimeout enables reliable messaging when positive: a message not
+	// delivered within the timeout is retransmitted with exponential backoff
+	// (timeout, 2x, 4x, ...). RetryBudget bounds the retransmissions per
+	// message (0 defaults to 4); when exhausted, a delivery failure is
+	// signalled to the scheduler.
+	RetryTimeout sim.Time
+	RetryBudget  int
+
+	// CheckpointInterval enables job-level coordinated checkpoints when
+	// positive; every interval, each running job snapshots its per-rank
+	// compute progress and CheckpointCost is charged to every node CPU of
+	// its partition at high priority. A restarted job replays work up to
+	// its last checkpoint instantly and loses only the remainder.
+	CheckpointInterval sim.Time
+	CheckpointCost     sim.Time
+
+	// RestartBudget caps how many times one job may be killed and restarted
+	// before the run is abandoned with an error (a permanently broken
+	// configuration would otherwise retry forever). Zero defaults to 32.
+	RestartBudget int
+}
+
+// Active reports whether the configuration injects any faults at all.
+func (c Config) Active() bool {
+	return c.NodeMTBF > 0 || c.LinkMTBF > 0 || c.DropProb > 0
+}
+
+// Reliable reports whether message timeout-and-retry is enabled.
+func (c Config) Reliable() bool { return c.RetryTimeout > 0 }
+
+// Checkpointing reports whether periodic checkpoints are enabled.
+func (c Config) Checkpointing() bool { return c.CheckpointInterval > 0 }
+
+// RetryCap returns the per-message retransmission budget with its default.
+func (c Config) RetryCap() int {
+	if c.RetryBudget > 0 {
+		return c.RetryBudget
+	}
+	return 4
+}
+
+// RestartCap returns the per-job restart budget with its default.
+func (c Config) RestartCap() int {
+	if c.RestartBudget > 0 {
+		return c.RestartBudget
+	}
+	return 32
+}
+
+// Validate rejects inconsistent configurations.
+func (c Config) Validate() error {
+	for _, t := range []struct {
+		name string
+		v    sim.Time
+	}{
+		{"NodeMTBF", c.NodeMTBF}, {"NodeMTTR", c.NodeMTTR},
+		{"LinkMTBF", c.LinkMTBF}, {"LinkMTTR", c.LinkMTTR},
+		{"Horizon", c.Horizon}, {"RetryTimeout", c.RetryTimeout},
+		{"CheckpointInterval", c.CheckpointInterval}, {"CheckpointCost", c.CheckpointCost},
+	} {
+		if t.v < 0 {
+			return fmt.Errorf("fault: negative %s %v", t.name, t.v)
+		}
+	}
+	if c.DropProb < 0 || c.DropProb > 1 {
+		return fmt.Errorf("fault: drop probability %v outside [0,1]", c.DropProb)
+	}
+	if (c.NodeMTBF > 0 || c.LinkMTBF > 0) && c.Horizon <= 0 {
+		return fmt.Errorf("fault: MTBF faults need a positive Horizon")
+	}
+	if c.RetryBudget < 0 {
+		return fmt.Errorf("fault: negative retry budget %d", c.RetryBudget)
+	}
+	if c.RestartBudget < 0 {
+		return fmt.Errorf("fault: negative restart budget %d", c.RestartBudget)
+	}
+	if c.CheckpointCost > 0 && c.CheckpointInterval <= 0 {
+		return fmt.Errorf("fault: checkpoint cost without an interval")
+	}
+	return nil
+}
+
+// EventKind labels one planned fault event.
+type EventKind int
+
+const (
+	// NodeDown takes a node out of service.
+	NodeDown EventKind = iota
+	// NodeUp returns a node to service.
+	NodeUp
+	// LinkDown takes a physical link (both directions) out of service.
+	LinkDown
+	// LinkUp returns a link to service.
+	LinkUp
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case NodeDown:
+		return "node-down"
+	case NodeUp:
+		return "node-up"
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one planned fault. Node events carry Node; link events carry the
+// global endpoint pair A < B. Permanent marks a down event with no matching
+// up event in the plan.
+type Event struct {
+	At        sim.Time
+	Kind      EventKind
+	Node      int
+	A, B      int
+	Permanent bool
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case NodeDown, NodeUp:
+		return fmt.Sprintf("%s %s node %d", e.At, e.Kind, e.Node)
+	default:
+		return fmt.Sprintf("%s %s link %d-%d", e.At, e.Kind, e.A, e.B)
+	}
+}
+
+// Handlers receive applied fault events. The scheduler installs these to
+// run its repair logic; nil handlers are skipped.
+type Handlers struct {
+	NodeDown func(node int, permanent bool)
+	NodeUp   func(node int)
+	LinkDown func(a, b int, permanent bool)
+	LinkUp   func(a, b int)
+}
+
+// Injector owns a pre-generated fault plan plus the per-message drop stream.
+type Injector struct {
+	cfg     Config
+	plan    []Event
+	dropRNG *rand.Rand
+	stats   metrics.FaultStats
+}
+
+// NewInjector generates the fault plan for a machine of the given node count
+// and physical link set (global endpoint pairs; order must be deterministic,
+// e.g. sorted). The plan depends only on cfg, nodes, and links.
+func NewInjector(cfg Config, nodes int, links [][2]int) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nodes < 1 {
+		return nil, fmt.Errorf("fault: machine with %d nodes", nodes)
+	}
+	inj := &Injector{
+		cfg:     cfg,
+		dropRNG: rand.New(rand.NewSource(mix(cfg.Seed, 0x6a09e667f3bcc909))),
+	}
+	planRNG := rand.New(rand.NewSource(mix(cfg.Seed, 0xbb67ae8584caa73b)))
+	if cfg.NodeMTBF > 0 {
+		for n := 0; n < nodes; n++ {
+			n := n
+			inj.planElement(planRNG, cfg.NodeMTBF, cfg.NodeMTTR, func(at sim.Time, isDown, perm bool) {
+				k := NodeUp
+				if isDown {
+					k = NodeDown
+				}
+				inj.plan = append(inj.plan, Event{At: at, Kind: k, Node: n, Permanent: perm})
+			})
+		}
+	}
+	if cfg.LinkMTBF > 0 {
+		for _, l := range links {
+			a, b := l[0], l[1]
+			if a > b {
+				a, b = b, a
+			}
+			inj.planElement(planRNG, cfg.LinkMTBF, cfg.LinkMTTR, func(at sim.Time, isDown, perm bool) {
+				k := LinkUp
+				if isDown {
+					k = LinkDown
+				}
+				inj.plan = append(inj.plan, Event{At: at, Kind: k, A: a, B: b, Permanent: perm})
+			})
+		}
+	}
+	return inj, nil
+}
+
+// planElement draws one element's alternating fail/repair sequence up to the
+// horizon.
+func (inj *Injector) planElement(rng *rand.Rand, mtbf, mttr sim.Time, emit func(at sim.Time, isDown, perm bool)) {
+	t := sim.Time(0)
+	for {
+		t += exponential(rng, mtbf)
+		if t > inj.cfg.Horizon {
+			return
+		}
+		if mttr <= 0 {
+			emit(t, true, true)
+			return
+		}
+		emit(t, true, false)
+		t += exponential(rng, mttr) // >= 1 tick, so down and up never tie
+		emit(t, false, false)
+	}
+}
+
+// exponential draws an exponential variate with the given mean, >= 1 tick.
+func exponential(rng *rand.Rand, mean sim.Time) sim.Time {
+	u := rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	d := sim.Time(-float64(mean) * math.Log(u))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Plan returns the generated fault schedule in planning order (per-element
+// chronological; use for inspection and tests).
+func (inj *Injector) Plan() []Event { return inj.plan }
+
+// Schedule arms every planned event on the kernel. Call once, before Run.
+// Counter updates happen when events fire, so Stats reflects applied faults.
+func (inj *Injector) Schedule(k *sim.Kernel, h Handlers) {
+	for _, ev := range inj.plan {
+		ev := ev
+		k.At(ev.At, func() {
+			switch ev.Kind {
+			case NodeDown:
+				inj.stats.NodesFailed++
+				if h.NodeDown != nil {
+					h.NodeDown(ev.Node, ev.Permanent)
+				}
+			case NodeUp:
+				inj.stats.NodesRepaired++
+				if h.NodeUp != nil {
+					h.NodeUp(ev.Node)
+				}
+			case LinkDown:
+				inj.stats.LinksFailed++
+				if h.LinkDown != nil {
+					h.LinkDown(ev.A, ev.B, ev.Permanent)
+				}
+			case LinkUp:
+				inj.stats.LinksRepaired++
+				if h.LinkUp != nil {
+					h.LinkUp(ev.A, ev.B)
+				}
+			}
+		})
+	}
+}
+
+// DropMessage decides whether one message hop loses its message. It draws
+// from the drop stream only when drops are configured, so a zero DropProb
+// injector is inert.
+func (inj *Injector) DropMessage() bool {
+	if inj.cfg.DropProb <= 0 {
+		return false
+	}
+	return inj.dropRNG.Float64() < inj.cfg.DropProb
+}
+
+// Config returns the injector's configuration.
+func (inj *Injector) Config() Config { return inj.cfg }
+
+// Stats returns the applied-fault counters so far.
+func (inj *Injector) Stats() metrics.FaultStats { return inj.stats }
+
+// mix derives a sub-stream seed from the user seed (splitmix64 finalizer).
+func mix(seed int64, salt uint64) int64 {
+	z := uint64(seed) + salt + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"node faults with horizon", Config{NodeMTBF: 1000, NodeMTTR: 100, Horizon: 10000}, true},
+		{"node faults without horizon", Config{NodeMTBF: 1000}, false},
+		{"link faults without horizon", Config{LinkMTBF: 1000}, false},
+		{"negative mtbf", Config{NodeMTBF: -1, Horizon: 100}, false},
+		{"drop prob too big", Config{DropProb: 1.5}, false},
+		{"drop prob negative", Config{DropProb: -0.1}, false},
+		{"ckpt cost without interval", Config{CheckpointCost: 5}, false},
+		{"ckpt ok", Config{CheckpointInterval: 1000, CheckpointCost: 5}, true},
+		{"negative retry budget", Config{RetryBudget: -1}, false},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, NodeMTBF: 5000, NodeMTTR: 500, LinkMTBF: 8000, LinkMTTR: 300, Horizon: 100000}
+	links := [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	a, err := NewInjector(cfg, 4, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(cfg, 4, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Plan()) == 0 {
+		t.Fatal("plan is empty; expected failures within horizon")
+	}
+	if !reflect.DeepEqual(a.Plan(), b.Plan()) {
+		t.Error("same seed and config produced different plans")
+	}
+	c, err := NewInjector(Config{Seed: 43, NodeMTBF: 5000, NodeMTTR: 500, LinkMTBF: 8000, LinkMTTR: 300, Horizon: 100000}, 4, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Plan(), c.Plan()) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestPlanShape(t *testing.T) {
+	cfg := Config{Seed: 7, NodeMTBF: 2000, NodeMTTR: 100, Horizon: 50000}
+	inj, err := NewInjector(cfg, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per node: alternating down/up, strictly increasing times, within horizon.
+	last := map[int]sim.Time{}
+	wantDown := map[int]bool{0: true, 1: true}
+	for _, ev := range inj.Plan() {
+		if ev.Kind != NodeDown && ev.Kind != NodeUp {
+			t.Fatalf("unexpected link event %v with no links", ev)
+		}
+		if ev.Kind == NodeDown && ev.At > cfg.Horizon {
+			t.Errorf("failure %v beyond horizon", ev)
+		}
+		if (ev.Kind == NodeDown) != wantDown[ev.Node] {
+			t.Errorf("event %v out of down/up alternation", ev)
+		}
+		wantDown[ev.Node] = ev.Kind != NodeDown
+		if ev.At <= last[ev.Node] {
+			t.Errorf("event %v not after previous %v", ev, last[ev.Node])
+		}
+		last[ev.Node] = ev.At
+	}
+}
+
+func TestPermanentFailures(t *testing.T) {
+	cfg := Config{Seed: 3, NodeMTBF: 1000, NodeMTTR: 0, Horizon: 1000000}
+	inj, err := NewInjector(cfg, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downs := 0
+	for _, ev := range inj.Plan() {
+		if ev.Kind != NodeDown || !ev.Permanent {
+			t.Errorf("expected only permanent node-down events, got %v", ev)
+		}
+		downs++
+	}
+	if downs != 3 {
+		t.Errorf("got %d permanent failures for 3 nodes, want 3", downs)
+	}
+}
+
+func TestScheduleFiresHandlers(t *testing.T) {
+	cfg := Config{Seed: 11, NodeMTBF: 3000, NodeMTTR: 200, Horizon: 30000}
+	inj, err := NewInjector(cfg, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(1)
+	defer k.Shutdown()
+	var downs, ups int
+	inj.Schedule(k, Handlers{
+		NodeDown: func(n int, perm bool) { downs++ },
+		NodeUp:   func(n int) { ups++ },
+	})
+	k.Run()
+	if downs == 0 || downs != ups {
+		t.Errorf("downs=%d ups=%d, want equal and nonzero", downs, ups)
+	}
+	st := inj.Stats()
+	if st.NodesFailed != int64(downs) || st.NodesRepaired != int64(ups) {
+		t.Errorf("stats %+v disagree with handler counts %d/%d", st, downs, ups)
+	}
+}
+
+func TestDropStream(t *testing.T) {
+	inj, err := NewInjector(Config{Seed: 5}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if inj.DropMessage() {
+			t.Fatal("zero drop probability dropped a message")
+		}
+	}
+	a, _ := NewInjector(Config{Seed: 5, DropProb: 0.5}, 1, nil)
+	b, _ := NewInjector(Config{Seed: 5, DropProb: 0.5}, 1, nil)
+	var dropped int
+	for i := 0; i < 1000; i++ {
+		da, db := a.DropMessage(), b.DropMessage()
+		if da != db {
+			t.Fatal("drop stream is not deterministic")
+		}
+		if da {
+			dropped++
+		}
+	}
+	if dropped < 400 || dropped > 600 {
+		t.Errorf("dropped %d of 1000 at p=0.5; stream looks biased", dropped)
+	}
+}

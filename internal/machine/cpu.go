@@ -157,6 +157,16 @@ func (t *Task) Name() string { return t.name }
 // Suspended reports whether the task is currently suspended.
 func (t *Task) Suspended() bool { return t.suspended }
 
+// BurstRemaining reports the unexecuted demand of the task's in-flight
+// burst (zero when idle). Accurate after a Suspend, which closes out the
+// running slice; mid-slice it can lag by up to the current slice.
+func (t *Task) BurstRemaining() sim.Time {
+	if t.burst == nil {
+		return 0
+	}
+	return t.burst.remaining
+}
+
 // Compute blocks the calling process for d microseconds of CPU time on this
 // task's node, subject to the node's scheduling discipline: the wall-clock
 // time until return can be much larger than d when the processor is shared.

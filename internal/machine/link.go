@@ -59,10 +59,32 @@ func (h *HalfLink) Acquire(p *sim.Proc) {
 	}
 	w := &linkWaiter{proc: p, since: h.k.Now()}
 	h.waiters = append(h.waiters, w)
+	// Unwind cleanly if the waiting process is aborted: drop the queued
+	// request, or release the hold when the grant raced the abort.
+	defer func() {
+		if r := recover(); r != nil {
+			if w.granted {
+				h.Release()
+			} else {
+				h.removeWaiter(w)
+			}
+			panic(r)
+		}
+	}()
 	for !w.granted {
 		p.Park(fmt.Sprintf("acquire %s", h.name))
 	}
 	h.stats.WaitTime += h.k.Now() - w.since
+}
+
+// removeWaiter deletes a pending acquire from the queue (abort path).
+func (h *HalfLink) removeWaiter(w *linkWaiter) {
+	for i, x := range h.waiters {
+		if x == w {
+			h.waiters = append(h.waiters[:i], h.waiters[i+1:]...)
+			return
+		}
+	}
 }
 
 // Release frees the direction and hands it to the next waiter, if any.

@@ -164,10 +164,34 @@ func (m *MMU) Alloc(p *sim.Proc, bytes int64, class Class) {
 	w := &waiter{proc: p, bytes: bytes, class: class, since: m.k.Now()}
 	m.waiters = append(m.waiters, w)
 	m.stats.BlockedAllocs++
+	// If the process is aborted while blocked here, unwind cleanly: drop the
+	// queued request, or — when the grant raced the abort — return the bytes.
+	defer func() {
+		if r := recover(); r != nil {
+			if w.granted {
+				m.FreeBytes(bytes)
+			} else {
+				m.removeWaiter(w)
+			}
+			panic(r)
+		}
+	}()
 	for !w.granted {
 		p.Park(fmt.Sprintf("mem alloc %dB on node %d", bytes, m.node))
 	}
 	m.stats.BlockedTime += m.k.Now() - w.since
+}
+
+// removeWaiter deletes a pending request from the queue (abort path).
+func (m *MMU) removeWaiter(w *waiter) {
+	for i, x := range m.waiters {
+		if x == w {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			// The head may have changed; later requests may now fit.
+			m.admit()
+			return
+		}
+	}
 }
 
 func (m *MMU) grant(bytes int64, class Class) {

@@ -56,6 +56,62 @@ type NetUsage struct {
 	LinkBusy, LinkWait, MaxLinkBusy sim.Time
 	// HostBusy is the host-link occupancy (job image loading).
 	HostBusy sim.Time
+	// Robustness counters (all zero on a fault-free run): Drops counts
+	// messages lost to link failures or injected drops, Retries counts
+	// retransmissions, Duplicates counts suppressed double deliveries,
+	// DeadLetters counts deliveries to retired mailboxes, and
+	// DeliveryFailures counts messages abandoned after the retry budget.
+	Drops, Retries, Duplicates, DeadLetters, DeliveryFailures int64
+}
+
+// SatAdd64 returns a+b saturating at the int64 extremes instead of silently
+// wrapping — counter aggregation across many partitions and fault events must
+// never overflow into nonsense.
+func SatAdd64(a, b int64) int64 {
+	sum := a + b
+	if b > 0 && sum < a {
+		return 1<<63 - 1
+	}
+	if b < 0 && sum > a {
+		return -1 << 63
+	}
+	return sum
+}
+
+// SatAddTime is SatAdd64 for simulated-time accumulators.
+func SatAddTime(a, b sim.Time) sim.Time { return sim.Time(SatAdd64(int64(a), int64(b))) }
+
+// FaultStats counts fault injection and scheduler repair activity over a run.
+// All accumulation is overflow-safe via Add.
+type FaultStats struct {
+	// NodesFailed/NodesRepaired and LinksFailed/LinksRepaired count injector
+	// events that were applied to the machine.
+	NodesFailed, NodesRepaired int64
+	LinksFailed, LinksRepaired int64
+	// JobKills counts jobs torn down by failures; Requeues counts re-entries
+	// into a ready queue; Restarts counts re-dispatches of killed jobs.
+	JobKills, Requeues, Restarts int64
+	// Checkpoints counts coordinated checkpoints taken; CheckpointWork is
+	// the CPU time they charged.
+	Checkpoints    int64
+	CheckpointWork sim.Time
+	// WorkLost is completed compute discarded by kills: work done since the
+	// job's last checkpoint (all of it when checkpointing is off).
+	WorkLost sim.Time
+}
+
+// Add merges o into f with saturating arithmetic.
+func (f *FaultStats) Add(o FaultStats) {
+	f.NodesFailed = SatAdd64(f.NodesFailed, o.NodesFailed)
+	f.NodesRepaired = SatAdd64(f.NodesRepaired, o.NodesRepaired)
+	f.LinksFailed = SatAdd64(f.LinksFailed, o.LinksFailed)
+	f.LinksRepaired = SatAdd64(f.LinksRepaired, o.LinksRepaired)
+	f.JobKills = SatAdd64(f.JobKills, o.JobKills)
+	f.Requeues = SatAdd64(f.Requeues, o.Requeues)
+	f.Restarts = SatAdd64(f.Restarts, o.Restarts)
+	f.Checkpoints = SatAdd64(f.Checkpoints, o.Checkpoints)
+	f.CheckpointWork = SatAddTime(f.CheckpointWork, o.CheckpointWork)
+	f.WorkLost = SatAddTime(f.WorkLost, o.WorkLost)
 }
 
 // AvgLatency is mean end-to-end message latency.
@@ -86,6 +142,9 @@ type Result struct {
 	Nodes []NodeUsage
 	// Net aggregates message-system counters.
 	Net NetUsage
+	// Faults holds fault-injection and repair counters when a fault injector
+	// was configured; nil on fault-free runs.
+	Faults *FaultStats
 	// Timeline holds periodic utilization samples when sampling was enabled
 	// (see core.Config.SampleEvery); nil otherwise.
 	Timeline Timeline

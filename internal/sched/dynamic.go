@@ -79,10 +79,12 @@ func (s *System) dynDispatch() {
 		for i := range nodes {
 			nodes[i] = start + i
 		}
+		// Block sizes were all validated buildable in New, so failure here is
+		// an internal invariant violation.
 		part := &Partition{
 			idx:  start,
 			size: size,
-			net:  comm.NewNetwork(s.cfg.Machine, nodes, topology.MustBuild(s.cfg.Topology, size), s.cfg.Mode),
+			net:  comm.MustNewNetwork(s.cfg.Machine, nodes, topology.MustBuild(s.cfg.Topology, size), s.cfg.Mode),
 			busy: true,
 		}
 		part.net.SetTracer(s.cfg.Tracer)

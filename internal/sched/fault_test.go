@@ -1,0 +1,295 @@
+package sched
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// faultEnv is a lively but survivable fault environment: transient node
+// failures arrive slowly enough that jobs reach their compute phase (a load
+// is ~8ms on the serialized host link) but fast enough that kills of
+// running jobs are certain, and repairs are quick so the batch always
+// completes once the horizon passes.
+func faultEnv() *fault.Config {
+	return &fault.Config{
+		Seed:         7,
+		NodeMTBF:     120 * sim.Millisecond,
+		NodeMTTR:     10 * sim.Millisecond,
+		Horizon:      500 * sim.Millisecond,
+		RetryTimeout: 2 * sim.Millisecond,
+	}
+}
+
+// checkMemoryClean asserts every node returned all memory: kills must not
+// leak code images, workspaces or message buffers.
+func checkMemoryClean(t *testing.T, mach *machine.Machine) {
+	t.Helper()
+	for _, n := range mach.Nodes {
+		if used := n.Mem.Used(); used != 0 {
+			t.Errorf("node %d still holds %d bytes after the batch", n.ID, used)
+		}
+	}
+}
+
+// runFaulty builds, runs, and sanity-checks one faulty batch.
+func runFaulty(t *testing.T, policy Policy, fc *fault.Config) (*metrics.Result, *machine.Machine) {
+	t.Helper()
+	mach := testMachine(8)
+	cfg := Config{
+		Machine:       mach,
+		PartitionSize: 4,
+		Topology:      topology.Mesh,
+		Policy:        policy,
+		Fault:         fc,
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunBatch(syntheticBatch(4, 120*sim.Millisecond, workload.Adaptive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults == nil {
+		t.Fatal("faulty run reported no fault stats")
+	}
+	checkMemoryClean(t, mach)
+	mach.K.Shutdown()
+	return res, mach
+}
+
+func TestFaultConfigGating(t *testing.T) {
+	mach := testMachine(8)
+	defer mach.K.Shutdown()
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"dynamic+faults", Config{Machine: mach, Policy: DynamicSpace, Topology: topology.Linear,
+			Fault: &fault.Config{NodeMTBF: sim.Second, Horizon: sim.Second}}},
+		{"wormhole+linkfaults", Config{Machine: mach, PartitionSize: 4, Topology: topology.Mesh,
+			Mode: comm.Wormhole,
+			Fault: &fault.Config{LinkMTBF: sim.Second, LinkMTTR: sim.Second,
+				Horizon: sim.Second, RetryTimeout: sim.Millisecond}}},
+		{"drops without retry", Config{Machine: mach, PartitionSize: 4, Topology: topology.Mesh,
+			Fault: &fault.Config{DropProb: 0.1}}},
+		{"invalid fault config", Config{Machine: mach, PartitionSize: 4, Topology: topology.Mesh,
+			Fault: &fault.Config{NodeMTBF: sim.Second}}}, // missing horizon
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: config accepted, want error", tc.name)
+		}
+	}
+}
+
+// TestRepairPerPolicy: under recurring transient node failures every policy
+// detects the losses, requeues the victims, and still completes the batch
+// with all memory returned.
+func TestRepairPerPolicy(t *testing.T) {
+	for _, policy := range []Policy{Static, TimeShared, RRProcess, Gang} {
+		t.Run(policy.String(), func(t *testing.T) {
+			res, _ := runFaulty(t, policy, faultEnv())
+			f := res.Faults
+			if f.NodesFailed == 0 || f.NodesRepaired == 0 {
+				t.Fatalf("no node fault activity: %+v", f)
+			}
+			if f.JobKills == 0 {
+				t.Fatalf("no jobs killed under MTBF %v over %v horizon: %+v",
+					120*sim.Millisecond, 500*sim.Millisecond, f)
+			}
+			if f.Requeues != f.JobKills {
+				t.Errorf("requeues %d != kills %d (no budget was exceeded)", f.Requeues, f.JobKills)
+			}
+			if f.Restarts != f.JobKills {
+				t.Errorf("restarts %d != kills %d", f.Restarts, f.JobKills)
+			}
+			if f.WorkLost <= 0 {
+				t.Errorf("kills without lost work: %+v", f)
+			}
+			if len(res.Jobs) != 4 {
+				t.Errorf("completed %d jobs, want 4", len(res.Jobs))
+			}
+		})
+	}
+}
+
+// TestLinkFaultsSurvived: link failures on a ring partition detour while
+// connected and retry through repairs; the batch completes.
+func TestLinkFaultsSurvived(t *testing.T) {
+	mach := testMachine(8)
+	defer mach.K.Shutdown()
+	sys, err := New(Config{
+		Machine:       mach,
+		PartitionSize: 4,
+		Topology:      topology.Ring,
+		Policy:        TimeShared,
+		Fault: &fault.Config{
+			Seed:         3,
+			LinkMTBF:     30 * sim.Millisecond,
+			LinkMTTR:     10 * sim.Millisecond,
+			Horizon:      300 * sim.Millisecond,
+			RetryTimeout: 2 * sim.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunBatch(syntheticBatch(6, 25*sim.Millisecond, workload.Adaptive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.LinksFailed == 0 || res.Faults.LinksRepaired == 0 {
+		t.Errorf("no link fault activity: %+v", res.Faults)
+	}
+	checkMemoryClean(t, mach)
+}
+
+// TestMessageDropsRecovered: random drops plus retry deliver everything.
+func TestMessageDropsRecovered(t *testing.T) {
+	mach := testMachine(8)
+	defer mach.K.Shutdown()
+	sys, err := New(Config{
+		Machine:       mach,
+		PartitionSize: 4,
+		Topology:      topology.Mesh,
+		Policy:        TimeShared,
+		Fault: &fault.Config{
+			Seed:         11,
+			DropProb:     0.05,
+			RetryTimeout: 2 * sim.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunBatch(syntheticBatch(6, 25*sim.Millisecond, workload.Adaptive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Net.Drops == 0 || res.Net.Retries == 0 {
+		t.Errorf("drops=%d retries=%d, want both > 0", res.Net.Drops, res.Net.Retries)
+	}
+	if res.Net.DeliveryFailures != 0 {
+		t.Errorf("%d delivery failures with working retry", res.Net.DeliveryFailures)
+	}
+	checkMemoryClean(t, mach)
+}
+
+// TestCheckpointRestart: periodic checkpoints are taken and charged, and
+// restarts replay checkpointed work so less is lost than was completed.
+func TestCheckpointRestart(t *testing.T) {
+	fc := faultEnv()
+	fc.CheckpointInterval = 5 * sim.Millisecond
+	fc.CheckpointCost = 100 * sim.Microsecond
+	res, _ := runFaulty(t, TimeShared, fc)
+	f := res.Faults
+	if f.Checkpoints == 0 {
+		t.Fatalf("no checkpoints taken: %+v", f)
+	}
+	if f.CheckpointWork == 0 {
+		t.Errorf("checkpoints charged no work: %+v", f)
+	}
+	if f.JobKills == 0 {
+		t.Fatalf("scenario produced no kills; cannot exercise restart")
+	}
+
+	// The same scenario without checkpointing must lose at least as much
+	// work on its first kill, and the checkpointed run must still count
+	// some loss (work past the last snapshot).
+	bare, _ := runFaulty(t, TimeShared, faultEnv())
+	if f.WorkLost <= 0 || bare.Faults.WorkLost <= 0 {
+		t.Errorf("work lost: ckpt=%v bare=%v, want both > 0", f.WorkLost, bare.Faults.WorkLost)
+	}
+}
+
+// TestRestartBudgetExceeded: a single partition hammered by failures with a
+// budget of one kill must abandon the run with a clear error.
+func TestRestartBudgetExceeded(t *testing.T) {
+	mach := testMachine(4)
+	defer mach.K.Shutdown()
+	sys, err := New(Config{
+		Machine:       mach,
+		PartitionSize: 4,
+		Topology:      topology.Mesh,
+		Policy:        TimeShared,
+		Fault: &fault.Config{
+			Seed:          1,
+			NodeMTBF:      5 * sim.Millisecond,
+			NodeMTTR:      2 * sim.Millisecond,
+			Horizon:       10 * sim.Second,
+			RetryTimeout:  2 * sim.Millisecond,
+			RestartBudget: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.RunBatch(syntheticBatch(1, 500*sim.Millisecond, workload.Adaptive))
+	if err == nil || !strings.Contains(err.Error(), "restart budget") {
+		t.Fatalf("err = %v, want restart-budget error", err)
+	}
+}
+
+// TestFaultDeterminism: the same seeded fault scenario twice gives
+// byte-identical results.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() *metrics.Result {
+		fc := faultEnv()
+		fc.CheckpointInterval = 5 * sim.Millisecond
+		fc.CheckpointCost = 100 * sim.Microsecond
+		res, _ := runFaulty(t, TimeShared, fc)
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical faulty runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestInertFaultConfigMatchesBaseline: attaching a zero-rate fault config
+// (injector present, nothing to inject) reproduces the fault-free result
+// exactly, on two topologies.
+func TestInertFaultConfigMatchesBaseline(t *testing.T) {
+	for _, kind := range []topology.Kind{topology.Ring, topology.Mesh} {
+		t.Run(kind.String(), func(t *testing.T) {
+			run := func(fc *fault.Config) *metrics.Result {
+				mach := testMachine(8)
+				defer mach.K.Shutdown()
+				sys, err := New(Config{
+					Machine:       mach,
+					PartitionSize: 4,
+					Topology:      kind,
+					Policy:        TimeShared,
+					Fault:         fc,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.RunBatch(syntheticBatch(6, 25*sim.Millisecond, workload.Adaptive))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			base := run(nil)
+			inert := run(&fault.Config{Seed: 99})
+			if inert.Faults == nil || *inert.Faults != (metrics.FaultStats{}) {
+				t.Errorf("inert config accumulated fault stats: %+v", inert.Faults)
+			}
+			inert.Faults = nil
+			if !reflect.DeepEqual(base, inert) {
+				t.Errorf("inert fault config changed the result:\nbase:  %+v\ninert: %+v", base, inert)
+			}
+		})
+	}
+}

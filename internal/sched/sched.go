@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/comm"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -114,6 +115,12 @@ type Config struct {
 	// parameter (§2.3). Zero admits everything, the paper's configuration.
 	// Ignored by the static policy (whose set size is always one).
 	MaxResident int
+	// Fault, when non-nil, configures fault injection and the recovery
+	// machinery (message retry, checkpoint/restart, scheduler repair). A
+	// zero-valued config is inert and reproduces fault-free results exactly.
+	// Not supported with the DynamicSpace policy; link faults, drops and
+	// reliable delivery additionally require store-and-forward mode.
+	Fault *fault.Config
 	// Tracer, when non-nil, receives job and message events.
 	Tracer trace.Tracer
 }
@@ -135,6 +142,13 @@ type System struct {
 	pool       *buddy
 	dynParts   []*Partition
 	dynRunning int
+
+	// Fault-injection and repair state (see repair.go).
+	inj        *fault.Injector
+	faultStats metrics.FaultStats
+	stalled    []*jobState // killed jobs waiting for any partition to heal
+	runningNow int
+	fatalErr   error
 }
 
 // Partition is one equal share of the machine with its own interconnect.
@@ -152,7 +166,18 @@ type Partition struct {
 	gangJobs  []*jobState
 	gangIdx   int
 	gangTimer *sim.Timer
+
+	// Fault state: which local nodes are down. A degraded partition accepts
+	// no jobs until every node is repaired.
+	nodeDown  []bool
+	downCount int
+	// jobs are the launched (loading or running) jobs, in admission order,
+	// so a node failure can tear them down deterministically.
+	jobs []*jobState
 }
+
+// degraded reports whether any node of the partition is down.
+func (p *Partition) degraded() bool { return p.downCount > 0 }
 
 // jobState tracks one job through the system.
 type jobState struct {
@@ -161,6 +186,19 @@ type jobState struct {
 	env       *workload.Env
 	procsLeft int
 	part      *Partition
+
+	// Fault-tolerance state. epoch increments on every kill, invalidating
+	// the job's outstanding loader, checkpoint timers and spawned procs;
+	// restarts counts kills against the restart budget.
+	epoch    int
+	restarts int
+	loaded   bool
+	finished bool
+	procs    []*sim.Proc
+	runtimes []*workload.Runtime
+	// ckpt is the per-rank compute snapshot of the last checkpoint; it
+	// survives kills so a restart can replay checkpointed work.
+	ckpt []sim.Time
 }
 
 // New validates the configuration and builds the partitions.
@@ -174,6 +212,22 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.BasicQuantum < 0 {
 		return nil, fmt.Errorf("sched: negative basic quantum %v", cfg.BasicQuantum)
+	}
+	if cfg.Fault != nil {
+		if err := cfg.Fault.Validate(); err != nil {
+			return nil, err
+		}
+		f := *cfg.Fault
+		enabled := f.Active() || f.Reliable() || f.Checkpointing()
+		if cfg.Policy == DynamicSpace && enabled {
+			return nil, fmt.Errorf("sched: fault injection is not supported with dynamic space-sharing")
+		}
+		if cfg.Mode == comm.Wormhole && (f.LinkMTBF > 0 || f.DropProb > 0 || f.Reliable()) {
+			return nil, fmt.Errorf("sched: link faults, message drops and reliable delivery require store-and-forward mode")
+		}
+		if (f.LinkMTBF > 0 || f.DropProb > 0) && !f.Reliable() {
+			return nil, fmt.Errorf("sched: link faults and message drops need RetryTimeout (reliable delivery) to recover lost messages")
+		}
 	}
 	if cfg.Policy == DynamicSpace {
 		// No fixed partitions: blocks come from a buddy pool per job.
@@ -213,10 +267,15 @@ func New(cfg Config) (*System, error) {
 		}
 		// The graph is read-only after construction, so all partitions share
 		// it; links are created per network.
+		net, err := comm.NewNetwork(cfg.Machine, nodes, graph, cfg.Mode)
+		if err != nil {
+			return nil, err
+		}
 		part := &Partition{
-			idx:  i,
-			size: p,
-			net:  comm.NewNetwork(cfg.Machine, nodes, graph, cfg.Mode),
+			idx:      i,
+			size:     p,
+			net:      net,
+			nodeDown: make([]bool, p),
 		}
 		part.net.SetTracer(cfg.Tracer)
 		s.parts = append(s.parts, part)
@@ -224,6 +283,9 @@ func New(cfg Config) (*System, error) {
 	// The local schedulers' job-switch overhead applies machine-wide.
 	for _, n := range cfg.Machine.Nodes {
 		n.CPU.SetSwitchCost(cfg.Machine.Cost.JobSwitch)
+	}
+	if err := s.wireFaults(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -235,8 +297,9 @@ func (s *System) Partitions() int { return len(s.parts) }
 // samplers to decide when to stop).
 func (s *System) Remaining() int { return s.remaining }
 
-// Running reports jobs dispatched but not yet completed.
-func (s *System) Running() int { return s.started - (len(s.records)) }
+// Running reports jobs dispatched but not yet completed (jobs killed by a
+// fault and awaiting re-dispatch are not running).
+func (s *System) Running() int { return s.runningNow }
 
 // RunBatch submits the batch at time zero, runs the simulation to
 // completion, and returns the measured result. It fails if any job cannot
@@ -281,6 +344,9 @@ func (s *System) RunBatch(batch workload.Batch) (*metrics.Result, error) {
 	}
 
 	s.k.Run()
+	if s.fatalErr != nil {
+		return nil, s.fatalErr
+	}
 	if s.remaining > 0 {
 		return nil, fmt.Errorf("sched: %d jobs did not complete\n%s", s.remaining, s.Diagnose())
 	}
@@ -334,8 +400,24 @@ func (s *System) arriveStatic(js *jobState) {
 }
 
 // admit starts a job on a time-shared partition, or queues it when the
-// partition's job set is full.
+// partition's job set is full. A degraded partition is substituted by the
+// healthiest surviving one; with no partition up, the job stalls until a
+// repair.
 func (s *System) admit(part *Partition, js *jobState) {
+	if part.degraded() {
+		alt := s.survivingPartition()
+		if alt == nil {
+			s.stalled = append(s.stalled, js)
+			return
+		}
+		part = alt
+	}
+	s.place(part, js)
+}
+
+// place starts a job on a healthy time-shared partition, honouring the
+// MaxResident admission cap.
+func (s *System) place(part *Partition, js *jobState) {
 	if s.cfg.MaxResident > 0 && part.resident >= s.cfg.MaxResident {
 		part.queue = append(part.queue, js)
 		return
@@ -344,10 +426,10 @@ func (s *System) admit(part *Partition, js *jobState) {
 	s.launch(part, js)
 }
 
-// dispatchNext hands the FCFS queue head to a free partition (static
-// policy).
+// dispatchNext hands the FCFS queue head to a free, healthy partition
+// (static policy).
 func (s *System) dispatchNext(part *Partition) {
-	if part.busy || len(s.pending) == 0 {
+	if part.busy || part.degraded() || len(s.pending) == 0 {
 		return
 	}
 	js := s.pending[0]
@@ -362,8 +444,18 @@ func (s *System) dispatchNext(part *Partition) {
 // its processes run.
 func (s *System) launch(part *Partition, js *jobState) {
 	s.started++
+	s.runningNow++
+	if js.restarts > 0 {
+		s.faultStats.Restarts++
+	}
 	js.rec.Started = s.k.Now()
 	js.rec.Partition = part.idx
+	js.part = part
+	part.jobs = append(part.jobs, js)
+	// The loader is never aborted (it may hold the shared host link); a kill
+	// bumps the job's epoch instead, and the loader backs out at its next
+	// epoch check without leaving memory behind.
+	epoch := js.epoch
 	trace.Emit(s.cfg.Tracer, s.k.Now(), "job", js.job.String(),
 		fmt.Sprintf("dispatched to partition %d", part.idx))
 	s.k.Spawn(fmt.Sprintf("load job%d", js.job.ID), func(p *sim.Proc) {
@@ -373,12 +465,24 @@ func (s *System) launch(part *Partition, js *jobState) {
 		p.Sleep(s.cfg.Machine.Cost.LoadTime(bytes))
 		host.CountTransfer(bytes)
 		host.Release()
+		if js.epoch != epoch {
+			return // job was killed while its image was on the host link
+		}
 		// The job's program image stays resident on every partition node
 		// for its lifetime; at high multiprogramming levels this code
 		// residency is what presses the 4 MB nodes.
 		for i := 0; i < part.size; i++ {
 			part.net.NodeOf(i).Mem.Alloc(p, workload.CodeBytes, mem.ClassData)
+			if js.epoch != epoch {
+				// Killed while waiting for node memory: give back what we
+				// took and stop.
+				for j := 0; j <= i; j++ {
+					part.net.NodeOf(j).Mem.FreeBytes(workload.CodeBytes)
+				}
+				return
+			}
 		}
+		js.loaded = true
 		trace.Emit(s.cfg.Tracer, s.k.Now(), "load", js.job.String(),
 			fmt.Sprintf("image resident (%dB)", bytes))
 		s.startProcs(part, js)
@@ -404,6 +508,11 @@ func (s *System) startProcs(part *Partition, js *jobState) {
 	js.env = env
 	js.procsLeft = t
 	js.rec.Processes = t
+	js.procs = make([]*sim.Proc, t)
+	js.runtimes = make([]*workload.Runtime, t)
+	if js.ckpt == nil {
+		js.ckpt = make([]sim.Time, t)
+	}
 
 	quantum := s.quantumFor(part, t)
 	for r := 0; r < t; r++ {
@@ -416,21 +525,42 @@ func (s *System) startProcs(part *Partition, js *jobState) {
 	if s.cfg.Policy == Gang {
 		s.gangJoin(part, js)
 	}
+	epoch := js.epoch
 	for r := 0; r < t; r++ {
 		binding := env.Ranks[r]
 		r := r
-		s.k.Spawn(fmt.Sprintf("job%d.r%d", js.job.ID, r), func(p *sim.Proc) {
+		js.procs[r] = s.k.Spawn(fmt.Sprintf("job%d.r%d", js.job.ID, r), func(p *sim.Proc) {
+			var rt *workload.Runtime
+			defer func() {
+				// A kill aborts the process; reclaim whatever it still held
+				// and let the unwind finish. Any other panic propagates.
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(sim.Aborted); !ok {
+						panic(rec)
+					}
+					if rt != nil {
+						rt.Cleanup()
+					}
+				}
+			}()
 			// Process creation cost, charged to the job itself.
 			binding.Task.Compute(p, s.cfg.Machine.Cost.SpawnOverhead)
-			rt := workload.NewRuntime(p, env, r)
+			rt = workload.NewRuntime(p, env, r)
+			js.runtimes[r] = rt
+			if c := js.ckpt[r]; c > 0 {
+				rt.SetCredit(c)
+			}
 			// The process's workspace is resident until the job ends;
 			// Cleanup returns it with everything else the process holds.
 			rt.AllocData(workload.WorkspaceBytes)
 			js.job.App.Run(rt, r)
 			rt.Cleanup()
-			s.procDone(js)
+			if js.epoch == epoch {
+				s.procDone(js)
+			}
 		})
 	}
+	s.armCheckpoint(js)
 }
 
 // quantumFor computes the per-process timeslice for a job with t processes
@@ -458,6 +588,9 @@ func (s *System) procDone(js *jobState) {
 	if js.procsLeft > 0 {
 		return
 	}
+	js.finished = true
+	s.runningNow--
+	removeJob(js.part, js)
 	js.rec.Completed = s.k.Now()
 	s.records = append(s.records, js.rec)
 	s.remaining--
@@ -476,12 +609,7 @@ func (s *System) procDone(js *jobState) {
 			s.gangLeave(part, js)
 		}
 		part.resident--
-		if len(part.queue) > 0 {
-			next := part.queue[0]
-			part.queue = part.queue[1:]
-			part.resident++
-			s.launch(part, next)
-		}
+		s.drainQueue(part)
 	case DynamicSpace:
 		s.dynComplete(js)
 	}
@@ -512,12 +640,9 @@ func (s *System) buildResult() *metrics.Result {
 			MemBlockedTime:   ms.BlockedTime,
 		})
 	}
+	var agg comm.Stats
 	for _, part := range append(append([]*Partition(nil), s.parts...), s.dynParts...) {
-		st := part.net.Stats()
-		res.Net.Messages += st.MessagesSent
-		res.Net.PayloadBytes += st.PayloadBytes
-		res.Net.Hops += st.Hops
-		res.Net.TotalLatency += st.TotalLatency
+		agg.Add(part.net.Stats())
 		total, max := part.net.LinkStats()
 		res.Net.LinkBusy += total.BusyTime
 		res.Net.LinkWait += total.WaitTime
@@ -525,6 +650,22 @@ func (s *System) buildResult() *metrics.Result {
 			res.Net.MaxLinkBusy = max.BusyTime
 		}
 	}
+	res.Net.Messages = agg.MessagesSent
+	res.Net.PayloadBytes = agg.PayloadBytes
+	res.Net.Hops = agg.Hops
+	res.Net.TotalLatency = agg.TotalLatency
+	res.Net.Drops = agg.Drops
+	res.Net.Retries = agg.Retries
+	res.Net.Duplicates = agg.Duplicates
+	res.Net.DeadLetters = agg.DeadLetters
+	res.Net.DeliveryFailures = agg.DeliveryFailures
 	res.Net.HostBusy = s.cfg.Machine.Host.Stats().BusyTime
+	if s.cfg.Fault != nil {
+		fs := s.faultStats
+		if s.inj != nil {
+			fs.Add(s.inj.Stats())
+		}
+		res.Faults = &fs
+	}
 	return res
 }

@@ -2,6 +2,14 @@ package sim
 
 import "fmt"
 
+// Aborted is the panic value a process unwinds with after Abort. Spawned
+// bodies that support cancellation recover it, run their cleanup, and return;
+// an unrecovered Aborted propagates out of the kernel loop like any other
+// process panic, so aborting a process that does not expect it fails loudly.
+type Aborted struct{}
+
+func (Aborted) Error() string { return "sim: process aborted" }
+
 // Proc is a simulated process: a Go function running on its own goroutine
 // under the kernel's strict hand-off discipline. A Proc may park itself
 // (Park, Sleep) and be woken by kernel-context code (Wake). Blocking
@@ -18,6 +26,7 @@ type Proc struct {
 	parkReason string
 	permit     bool // a Wake arrived while the process was running
 	kill       bool
+	aborted    bool
 	finished   bool
 }
 
@@ -88,6 +97,9 @@ func (p *Proc) Now() Time { return p.k.now }
 //
 // Park must only be called by the process itself.
 func (p *Proc) Park(reason string) {
+	if p.aborted {
+		panic(Aborted{})
+	}
 	if p.permit {
 		p.permit = false
 		return
@@ -99,7 +111,28 @@ func (p *Proc) Park(reason string) {
 	if p.kill {
 		panic(killSentinel{})
 	}
+	if p.aborted {
+		panic(Aborted{})
+	}
 }
+
+// Abort requests the process to unwind with an Aborted panic at its next
+// park point (or immediately on resume if it is parked now). Blocking
+// primitives deregister their wait state during the unwind, so an aborted
+// process leaves no dangling waiters. Abort must be called from kernel
+// context; aborting a finished process is a no-op.
+func (p *Proc) Abort() {
+	if p.finished || p.aborted {
+		return
+	}
+	p.aborted = true
+	if p.parked {
+		p.Wake()
+	}
+}
+
+// Aborting reports whether an abort has been requested for the process.
+func (p *Proc) Aborting() bool { return p.aborted }
 
 // Wake makes a parked process runnable again. The process resumes via a
 // kernel event at the current simulated time (after already-queued events).

@@ -56,6 +56,16 @@ type Runtime struct {
 	dataBytes int64
 	held      []*comm.Message // in receive order, so cleanup is deterministic
 	parked    []*comm.Message // received but not yet claimed by RecvWhere
+
+	// Checkpoint/restart accounting. done accumulates completed compute;
+	// pending is the demand of the Compute call in flight, so progress of a
+	// burst interrupted by a kill still counts; credit is work restored from
+	// a checkpoint that Compute replays instantly instead of re-charging the
+	// CPU (communication is always replayed at full cost — the recovery
+	// model restores computation state, not message logs).
+	done    sim.Time
+	pending sim.Time
+	credit  sim.Time
 }
 
 // NewRuntime makes the runtime for one rank; the scheduler calls this when
@@ -74,9 +84,49 @@ func (rt *Runtime) Node() int { return rt.Env.Ranks[rt.Rank].Node }
 func (rt *Runtime) Now() sim.Time { return rt.P.Now() }
 
 // Compute consumes d microseconds of CPU at the job's (low) priority,
-// sharing the node per the T805 rules.
+// sharing the node per the T805 rules. Work covered by restored checkpoint
+// credit completes instantly; only the remainder is charged to the CPU.
 func (rt *Runtime) Compute(d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	if rt.credit > 0 {
+		use := rt.credit
+		if use > d {
+			use = d
+		}
+		rt.credit -= use
+		rt.done += use
+		d -= use
+		if d == 0 {
+			return
+		}
+	}
+	rt.pending = d
 	rt.Env.Ranks[rt.Rank].Task.Compute(rt.P, d)
+	rt.pending = 0
+	rt.done += d
+}
+
+// ComputeDone reports the compute this rank has completed so far, including
+// the executed part of an interrupted in-flight burst — the quantity
+// checkpoints snapshot and kills lose.
+func (rt *Runtime) ComputeDone() sim.Time {
+	partial := rt.pending - rt.Env.Ranks[rt.Rank].Task.BurstRemaining()
+	if partial < 0 {
+		partial = 0
+	}
+	return rt.done + partial
+}
+
+// SetCredit grants restored-checkpoint compute that future Compute calls
+// replay instantly. The scheduler calls it when restarting a job from its
+// last checkpoint.
+func (rt *Runtime) SetCredit(c sim.Time) {
+	if c < 0 {
+		panic(fmt.Sprintf("workload: negative checkpoint credit %v", c))
+	}
+	rt.credit = c
 }
 
 // Send transmits bytes of payload to another rank of the same job

@@ -14,7 +14,7 @@ func rtRig(t *testing.T) (*sim.Kernel, *machine.Machine, *Env) {
 	t.Helper()
 	k := sim.NewKernel(1)
 	mach := machine.NewMachine(k, 2, 1<<20, machine.DefaultCostModel())
-	net := comm.NewNetwork(mach, []int{0, 1}, topology.MustBuild(topology.Linear, 2), comm.StoreForward)
+	net := comm.MustNewNetwork(mach, []int{0, 1}, topology.MustBuild(topology.Linear, 2), comm.StoreForward)
 	env := NewEnv(net, 0, []int{0, 1})
 	t.Cleanup(func() { k.Shutdown() })
 	return k, mach, env

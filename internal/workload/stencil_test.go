@@ -130,7 +130,7 @@ func TestStencilCommunicationDominatesVsMatmul(t *testing.T) {
 		for i := range ids {
 			ids[i] = i
 		}
-		net := comm.NewNetwork(mach, ids, topology.MustBuild(topology.Linear, procs), comm.StoreForward)
+		net := comm.MustNewNetwork(mach, ids, topology.MustBuild(topology.Linear, procs), comm.StoreForward)
 		nodeOf := make([]int, procs)
 		for r := range nodeOf {
 			nodeOf[r] = r

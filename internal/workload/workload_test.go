@@ -22,7 +22,7 @@ func runJob(tb testing.TB, app App, t, p int, kind topology.Kind) sim.Time {
 	for i := range ids {
 		ids[i] = i
 	}
-	net := comm.NewNetwork(mach, ids, topology.MustBuild(kind, p), comm.StoreForward)
+	net := comm.MustNewNetwork(mach, ids, topology.MustBuild(kind, p), comm.StoreForward)
 	nodeOf := make([]int, t)
 	for r := range nodeOf {
 		nodeOf[r] = r % p
@@ -422,7 +422,7 @@ func TestRuntimePanics(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			k := sim.NewKernel(1)
 			mach := machine.NewMachine(k, 1, 1<<20, machine.DefaultCostModel())
-			net := comm.NewNetwork(mach, []int{0}, topology.MustBuild(topology.Linear, 1), comm.StoreForward)
+			net := comm.MustNewNetwork(mach, []int{0}, topology.MustBuild(topology.Linear, 1), comm.StoreForward)
 			env := NewEnv(net, 0, []int{0})
 			k.Spawn("r", func(p *sim.Proc) {
 				fn(NewRuntime(p, env, 0))
@@ -503,7 +503,7 @@ func TestMatMulFixedArchCostsMoreTraffic(t *testing.T) {
 		for i := range ids {
 			ids[i] = i
 		}
-		net := comm.NewNetwork(mach, ids, topology.MustBuild(topology.Linear, p), comm.StoreForward)
+		net := comm.MustNewNetwork(mach, ids, topology.MustBuild(topology.Linear, p), comm.StoreForward)
 		nodeOf := make([]int, procs)
 		for r := range nodeOf {
 			nodeOf[r] = r % p

@@ -1,0 +1,15 @@
+#!/bin/sh
+# CI pipeline: build, vet, race-enabled tests, benchmark smoke.
+# Run locally with `make ci` or `./scripts/ci.sh`.
+set -eux
+
+go build ./...
+go vet ./...
+gofmt -l . | tee /tmp/gofmt.out
+test ! -s /tmp/gofmt.out
+
+go test -race ./...
+
+# Benchmark smoke: one iteration of the cheapest figure, just to prove the
+# harness still runs. Full benchmarks are a manual `make bench`.
+go test -run '^$' -bench BenchmarkFigure3 -benchtime 1x .
