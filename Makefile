@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures fault ci fmt
+.PHONY: all build vet test race bench sweep-bench determinism figures fault ci fmt
 
 all: build
 
@@ -23,6 +23,12 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+sweep-bench:
+	$(GO) test -run '^$$' -bench BenchmarkSweepParallel .
+
+determinism:
+	$(GO) test -race -run 'Determinism' -count=1 ./internal/engine ./internal/experiments
 
 figures:
 	$(GO) run ./cmd/ippsbench

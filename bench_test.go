@@ -12,9 +12,12 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -24,7 +27,7 @@ import (
 
 // benchFigure regenerates one of Figures 3-6 per iteration and reports the
 // pure-time-sharing (16L) and 4-partition cells.
-func benchFigure(b *testing.B, f func(core.Config) (*experiments.Figure, error)) {
+func benchFigure(b *testing.B, f func(core.Config, ...engine.Options) (*experiments.Figure, error)) {
 	b.Helper()
 	var fig *experiments.Figure
 	for i := 0; i < b.N; i++ {
@@ -156,6 +159,53 @@ func BenchmarkSingleRunPureTS(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// sweepBenchPlan builds the fixed 32-point plan behind
+// BenchmarkSweepParallel: partitions {2,4,8,16} × topologies {linear,mesh}
+// × seeds 0..3, hybrid matmul adaptive — a representative mid-size sweep.
+func sweepBenchPlan() *engine.Plan[float64] {
+	g := engine.Grid{
+		Base:       core.Config{Policy: sched.TimeShared, App: core.MatMul, Arch: workload.Adaptive},
+		Partitions: []int{2, 4, 8, 16},
+		Topologies: []topology.Kind{topology.Linear, topology.Mesh},
+		Seeds:      []int64{0, 1, 2, 3},
+	}
+	plan := engine.NewPlan[float64]("bench-sweep")
+	g.Enumerate(func(d engine.Dims, cfg core.Config) {
+		plan.Add(fmt.Sprintf("%d%s/s%d", d.Partition, d.Topology.Letter(), d.Seed), func() (float64, error) {
+			res, err := core.Run(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.MeanResponse().Seconds(), nil
+		})
+	})
+	return plan
+}
+
+// BenchmarkSweepParallel measures engine.Execute over the fixed 32-point
+// plan at 1, 2 and NumCPU workers; the ns/op ratio between the sub-benches
+// is the sweep-level parallel speedup. The summed mean response is reported
+// as a custom metric so a determinism regression shows up as a metric
+// change between worker counts.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, w := range []int{1, 2, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				results, err := engine.Execute(sweepBenchPlan(), engine.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum = 0
+				for _, r := range results {
+					sum += r
+				}
+			}
+			b.ReportMetric(sum, "sim-sum-mean-s")
+		})
 	}
 }
 

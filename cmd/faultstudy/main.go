@@ -18,11 +18,10 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/sched"
 	"repro/internal/sim"
-	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -39,9 +38,9 @@ func main() {
 		ckptCost  = flag.Duration("ckpt-cost", 0, "per-node CPU cost of one checkpoint")
 		drop      = flag.Float64("drop", 0, "message drop probability at faulty points (0 = off)")
 		retry     = flag.Duration("retry", 0, "reliable-delivery retry timeout; must exceed worst-case delivery latency (0 = default 100ms when -drop is set)")
-		seed      = flag.Int64("seed", 0, "simulation seed")
 		csv       = flag.Bool("csv", false, "emit CSV instead of tables")
 	)
+	cf := cliflags.Register()
 	flag.Parse()
 
 	appKind, err := core.ParseApp(*app)
@@ -52,13 +51,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	var pols []sched.Policy
-	for _, p := range strings.Split(*policies, ",") {
-		pol, err := sched.ParsePolicy(strings.TrimSpace(p))
-		if err != nil {
-			fail(err)
-		}
-		pols = append(pols, pol)
+	pols, err := cliflags.Policies(*policies)
+	if err != nil {
+		fail(err)
 	}
 	mtbfs, err := parseRates(*rates)
 	if err != nil {
@@ -69,19 +64,19 @@ func main() {
 	if len(mtbfs) == 0 {
 		fail(fmt.Errorf("-rates %q contains no non-zero failure rate (the zero-rate point is always included)", *rates))
 	}
+	kinds, err := cliflags.Topologies(*topos)
+	if err != nil {
+		fail(err)
+	}
 
 	first := true
-	for _, tp := range strings.Split(*topos, ",") {
-		kind, err := topology.ParseKind(strings.TrimSpace(tp))
-		if err != nil {
-			fail(err)
-		}
+	for _, kind := range kinds {
 		study, err := experiments.RunFaultStudy(experiments.FaultStudyConfig{
 			Base: core.Config{
 				PartitionSize: *partition,
 				App:           appKind,
 				Arch:          archKind,
-				Seed:          *seed,
+				Seed:          *cf.Seed,
 			},
 			Topology:       kind,
 			Policies:       pols,
@@ -91,7 +86,7 @@ func main() {
 			CheckpointCost: sim.FromDuration(*ckptCost),
 			DropProb:       *drop,
 			RetryTimeout:   sim.FromDuration(*retry),
-		})
+		}, cf.Options())
 		if err != nil {
 			fail(err)
 		}

@@ -1,0 +1,105 @@
+// Package cliflags centralizes what the simulator commands' flag handling
+// shares: the -seed/-j pair every tool registers, and the comma-separated
+// dimension parsers behind sweep-style flags. Keeping them here means a new
+// dimension or a changed default lands in every tool at once.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Common holds the flags every simulator command shares.
+type Common struct {
+	// Seed is the base simulation seed.
+	Seed *int64
+	// Workers bounds concurrent simulation points; 0 means all CPUs.
+	// The worker count never changes output, only wall-clock time.
+	Workers *int
+}
+
+// Register installs -seed and -j on the default flag set. Call it before
+// flag.Parse.
+func Register() Common {
+	return Common{
+		Seed:    flag.Int64("seed", 0, "simulation seed"),
+		Workers: flag.Int("j", 0, "parallel simulation workers (0 = all CPUs; any value gives identical output)"),
+	}
+}
+
+// Base is the starting core.Config the common flags describe.
+func (c Common) Base() core.Config { return core.Config{Seed: *c.Seed} }
+
+// Options is the engine configuration the common flags describe.
+func (c Common) Options() engine.Options { return engine.Options{Workers: *c.Workers} }
+
+// Split breaks a comma-separated list into trimmed, non-empty fields.
+func Split(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
+	var out []T
+	for _, f := range Split(s) {
+		v, err := parse(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Policies parses a comma-separated scheduling-policy list.
+func Policies(s string) ([]sched.Policy, error) { return parseList(s, sched.ParsePolicy) }
+
+// Topologies parses a comma-separated topology list.
+func Topologies(s string) ([]topology.Kind, error) { return parseList(s, topology.ParseKind) }
+
+// Apps parses a comma-separated application list.
+func Apps(s string) ([]core.AppKind, error) { return parseList(s, core.ParseApp) }
+
+// Archs parses a comma-separated software-architecture list.
+func Archs(s string) ([]workload.Arch, error) { return parseList(s, workload.ParseArch) }
+
+// Modes parses a comma-separated switching-mode list.
+func Modes(s string) ([]comm.Mode, error) { return parseList(s, comm.ParseMode) }
+
+// Ints parses a comma-separated integer list.
+func Ints(s string) ([]int, error) {
+	return parseList(s, func(f string) (int, error) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return 0, fmt.Errorf("integer %q: %w", f, err)
+		}
+		return v, nil
+	})
+}
+
+// QuantaUS parses a comma-separated list of quanta given in microseconds.
+func QuantaUS(s string) ([]sim.Time, error) {
+	return parseList(s, func(f string) (sim.Time, error) {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("quantum %q: %w", f, err)
+		}
+		return sim.Time(v), nil
+	})
+}

@@ -6,9 +6,11 @@
 //	ippsbench                  # everything (Figures 3-6, E1-E8)
 //	ippsbench -run f3,f5       # just Figure 3 and Figure 5
 //	ippsbench -run e1 -format csv
+//	ippsbench -j 4             # cap the simulation worker pool
 //	ippsbench -list            # list available experiment ids
 //
-// Each experiment is deterministic: repeated runs print identical numbers.
+// Each experiment is deterministic: repeated runs print identical numbers,
+// whatever -j says.
 package main
 
 import (
@@ -18,18 +20,20 @@ import (
 	"strings"
 	"time"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
 type experiment struct {
 	id, title string
-	run       func(base core.Config, csv bool) (string, error)
+	run       func(base core.Config, csv bool, opts engine.Options) (string, error)
 }
 
-func figure(f func(core.Config) (*experiments.Figure, error)) func(core.Config, bool) (string, error) {
-	return func(base core.Config, csv bool) (string, error) {
-		fig, err := f(base)
+func figure(f func(core.Config, ...engine.Options) (*experiments.Figure, error)) func(core.Config, bool, engine.Options) (string, error) {
+	return func(base core.Config, csv bool, opts engine.Options) (string, error) {
+		fig, err := f(base, opts)
 		if err != nil {
 			return "", err
 		}
@@ -45,8 +49,8 @@ var all = []experiment{
 	{"f4", "Figure 4: matmul, adaptive architecture", figure(experiments.Figure4)},
 	{"f5", "Figure 5: sort, fixed architecture", figure(experiments.Figure5)},
 	{"f6", "Figure 6: sort, adaptive architecture", figure(experiments.Figure6)},
-	{"e1", "E1: service-time variance sensitivity", func(base core.Config, csv bool) (string, error) {
-		points, err := experiments.VarianceSweep(experiments.DefaultCVs, base)
+	{"e1", "E1: service-time variance sensitivity", func(base core.Config, csv bool, opts engine.Options) (string, error) {
+		points, err := experiments.VarianceSweep(experiments.DefaultCVs, base, opts)
 		if err != nil {
 			return "", err
 		}
@@ -55,8 +59,8 @@ var all = []experiment{
 		}
 		return experiments.VarianceTable(points), nil
 	}},
-	{"e2", "E2: wormhole routing ablation", func(base core.Config, csv bool) (string, error) {
-		cells, err := experiments.WormholeAblation(base)
+	{"e2", "E2: wormhole routing ablation", func(base core.Config, csv bool, opts engine.Options) (string, error) {
+		cells, err := experiments.WormholeAblation(base, opts)
 		if err != nil {
 			return "", err
 		}
@@ -65,8 +69,8 @@ var all = []experiment{
 		}
 		return experiments.AblationTable(cells), nil
 	}},
-	{"e3", "E3: basic quantum sweep", func(base core.Config, csv bool) (string, error) {
-		points, err := experiments.QuantumSweep(experiments.DefaultQuanta, base)
+	{"e3", "E3: basic quantum sweep", func(base core.Config, csv bool, opts engine.Options) (string, error) {
+		points, err := experiments.QuantumSweep(experiments.DefaultQuanta, base, opts)
 		if err != nil {
 			return "", err
 		}
@@ -75,8 +79,8 @@ var all = []experiment{
 		}
 		return experiments.QuantumTable(points), nil
 	}},
-	{"e4", "E4: RR-job vs RR-process fairness", func(base core.Config, csv bool) (string, error) {
-		r, err := experiments.RunRRComparison(base)
+	{"e4", "E4: RR-job vs RR-process fairness", func(base core.Config, csv bool, opts engine.Options) (string, error) {
+		r, err := experiments.RunRRComparison(base, opts)
 		if err != nil {
 			return "", err
 		}
@@ -85,8 +89,8 @@ var all = []experiment{
 		}
 		return experiments.RRTable(r), nil
 	}},
-	{"e5", "E5: multiprogramming level tuning", func(base core.Config, csv bool) (string, error) {
-		points, err := experiments.MPLSweep(experiments.DefaultMPLs, base)
+	{"e5", "E5: multiprogramming level tuning", func(base core.Config, csv bool, opts engine.Options) (string, error) {
+		points, err := experiments.MPLSweep(experiments.DefaultMPLs, base, opts)
 		if err != nil {
 			return "", err
 		}
@@ -95,8 +99,8 @@ var all = []experiment{
 		}
 		return experiments.MPLTable(points), nil
 	}},
-	{"e6", "E6: open-system load sweep (static/hybrid/dynamic)", func(base core.Config, csv bool) (string, error) {
-		points, err := experiments.OpenLoadSweep(experiments.DefaultLoads, base)
+	{"e6", "E6: open-system load sweep (static/hybrid/dynamic)", func(base core.Config, csv bool, opts engine.Options) (string, error) {
+		points, err := experiments.OpenLoadSweep(experiments.DefaultLoads, base, opts)
 		if err != nil {
 			return "", err
 		}
@@ -105,8 +109,8 @@ var all = []experiment{
 		}
 		return experiments.LoadTable(points), nil
 	}},
-	{"e7", "E7: gang scheduling vs RR-job", func(base core.Config, csv bool) (string, error) {
-		cells, err := experiments.GangVsRRJob(base)
+	{"e7", "E7: gang scheduling vs RR-job", func(base core.Config, csv bool, opts engine.Options) (string, error) {
+		cells, err := experiments.GangVsRRJob(base, opts)
 		if err != nil {
 			return "", err
 		}
@@ -115,8 +119,8 @@ var all = []experiment{
 		}
 		return experiments.GangTable(cells), nil
 	}},
-	{"e8", "E8: topology stress with the halo-exchange stencil", func(base core.Config, csv bool) (string, error) {
-		cells, err := experiments.StencilTopology(base)
+	{"e8", "E8: topology stress with the halo-exchange stencil", func(base core.Config, csv bool, opts engine.Options) (string, error) {
+		cells, err := experiments.StencilTopology(base, opts)
 		if err != nil {
 			return "", err
 		}
@@ -125,8 +129,8 @@ var all = []experiment{
 		}
 		return experiments.StencilTable(cells), nil
 	}},
-	{"e9", "E9: machine-size scalability (16-64 nodes)", func(base core.Config, csv bool) (string, error) {
-		cells, err := experiments.Scalability(experiments.DefaultScales, base)
+	{"e9", "E9: machine-size scalability (16-64 nodes)", func(base core.Config, csv bool, opts engine.Options) (string, error) {
+		cells, err := experiments.Scalability(experiments.DefaultScales, base, opts)
 		if err != nil {
 			return "", err
 		}
@@ -135,8 +139,8 @@ var all = []experiment{
 		}
 		return experiments.ScaleTable(cells), nil
 	}},
-	{"e10", "E10: binomial-tree broadcast ablation", func(base core.Config, csv bool) (string, error) {
-		cells, err := experiments.BroadcastAblation(base)
+	{"e10", "E10: binomial-tree broadcast ablation", func(base core.Config, csv bool, opts engine.Options) (string, error) {
+		cells, err := experiments.BroadcastAblation(base, opts)
 		if err != nil {
 			return "", err
 		}
@@ -145,8 +149,8 @@ var all = []experiment{
 		}
 		return experiments.BroadcastTable(cells), nil
 	}},
-	{"e11", "E11: sort-algorithm ablation (selection vs merge)", func(base core.Config, csv bool) (string, error) {
-		cells, err := experiments.SortAlgorithmAblation(base)
+	{"e11", "E11: sort-algorithm ablation (selection vs merge)", func(base core.Config, csv bool, opts engine.Options) (string, error) {
+		cells, err := experiments.SortAlgorithmAblation(base, opts)
 		if err != nil {
 			return "", err
 		}
@@ -155,8 +159,8 @@ var all = []experiment{
 		}
 		return experiments.SortAlgTable(cells), nil
 	}},
-	{"e12", "E12: butterfly all-reduce vs topology", func(base core.Config, csv bool) (string, error) {
-		cells, err := experiments.CollectiveTopology(base)
+	{"e12", "E12: butterfly all-reduce vs topology", func(base core.Config, csv bool, opts engine.Options) (string, error) {
+		cells, err := experiments.CollectiveTopology(base, opts)
 		if err != nil {
 			return "", err
 		}
@@ -171,8 +175,8 @@ func main() {
 	runList := flag.String("run", "all", "comma-separated experiment ids (f3..f6, e1..e12) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "table", "output format: table or csv")
-	seed := flag.Int64("seed", 0, "simulation seed")
 	quiet := flag.Bool("q", false, "suppress timing lines")
+	cf := cliflags.Register()
 	flag.Parse()
 
 	if *list {
@@ -204,14 +208,14 @@ func main() {
 		}
 	}
 
-	base := core.Config{Seed: *seed}
+	base := cf.Base()
 	start := time.Now()
 	for _, e := range all {
 		if *runList != "all" && !wanted[e.id] {
 			continue
 		}
 		t0 := time.Now()
-		out, err := e.run(base, csv)
+		out, err := e.run(base, csv, cf.Options())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ippsbench: %s: %v\n", e.id, err)
 			os.Exit(1)

@@ -3,6 +3,9 @@
 // canned experiments of cmd/ippsbench.
 //
 // Dimensions take comma-separated lists; every combination is simulated.
+// The product is declared as an engine.Grid and executed on the worker
+// pool (-j), with rows printed in enumeration order regardless of which
+// worker finished first.
 //
 //	sweep -policies static,ts -partitions 2,4,8 -topos linear,mesh -apps matmul
 //	sweep -policies static,ts,gang,dynamic -apps stencil -archs fixed -quanta 1000,2000,5000
@@ -15,15 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/comm"
+	"repro/cmd/internal/cliflags"
 	"repro/internal/core"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/topology"
-	"repro/internal/workload"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -35,91 +33,73 @@ func main() {
 		archs      = flag.String("archs", "fixed", "software architectures")
 		quanta     = flag.String("quanta", "0", "basic quanta in µs (0 = hardware)")
 		mode       = flag.String("mode", "saf", "switching mode for all runs")
-		seed       = flag.Int64("seed", 0, "simulation seed")
 	)
+	cf := cliflags.Register()
 	flag.Parse()
 
-	md, err := comm.ParseMode(*mode)
+	pols, err := cliflags.Policies(*policies)
+	if err != nil {
+		fail(err)
+	}
+	psizes, err := cliflags.Ints(*partitions)
+	if err != nil {
+		fail(fmt.Errorf("partition: %w", err))
+	}
+	kinds, err := cliflags.Topologies(*topos)
+	if err != nil {
+		fail(err)
+	}
+	appKinds, err := cliflags.Apps(*apps)
+	if err != nil {
+		fail(err)
+	}
+	archKinds, err := cliflags.Archs(*archs)
+	if err != nil {
+		fail(err)
+	}
+	qs, err := cliflags.QuantaUS(*quanta)
+	if err != nil {
+		fail(err)
+	}
+	modes, err := cliflags.Modes(*mode)
 	if err != nil {
 		fail(err)
 	}
 
-	fmt.Println("policy,partition,topology,app,arch,quantum_us,mean_s,max_s,makespan_s,util,overhead,mem_blocked_s,messages,avg_hops")
-	for _, pol := range split(*policies) {
-		policy, err := sched.ParsePolicy(pol)
-		if err != nil {
-			fail(err)
-		}
-		for _, ps := range split(*partitions) {
-			psize, err := strconv.Atoi(ps)
+	grid := engine.Grid{
+		Base:       cf.Base(),
+		Policies:   pols,
+		Partitions: psizes,
+		Topologies: kinds,
+		Apps:       appKinds,
+		Archs:      archKinds,
+		Modes:      modes,
+		Quanta:     qs,
+	}
+	plan := engine.NewPlan[string]("sweep")
+	grid.Enumerate(func(d engine.Dims, cfg core.Config) {
+		plan.Add(fmt.Sprintf("%v/%d%s", d.Policy, d.Partition, d.Topology.Letter()), func() (string, error) {
+			res, err := core.Run(cfg)
 			if err != nil {
-				fail(fmt.Errorf("partition %q: %w", ps, err))
+				return "", fmt.Errorf("%v %d%s %v %v: %v", d.Policy, d.Partition, d.Topology.Letter(), d.App, d.Arch, err)
 			}
-			for _, tp := range split(*topos) {
-				kind, err := topology.ParseKind(tp)
-				if err != nil {
-					fail(err)
-				}
-				for _, ap := range split(*apps) {
-					appKind, err := core.ParseApp(ap)
-					if err != nil {
-						fail(err)
-					}
-					for _, ar := range split(*archs) {
-						arch, err := workload.ParseArch(ar)
-						if err != nil {
-							fail(err)
-						}
-						for _, qs := range split(*quanta) {
-							quantum, err := strconv.ParseInt(qs, 10, 64)
-							if err != nil {
-								fail(fmt.Errorf("quantum %q: %w", qs, err))
-							}
-							runOne(policy, psize, kind, appKind, arch, sim.Time(quantum), md, *seed)
-						}
-					}
-				}
-			}
-		}
-	}
-}
+			return fmt.Sprintf("%s,%d,%s,%s,%s,%d,%.6f,%.6f,%.6f,%.4f,%.4f,%.6f,%d,%.2f\n",
+				d.Policy, d.Partition, d.Topology, d.App, d.Arch, int64(d.Quantum),
+				res.MeanResponse().Seconds(), res.MaxResponse().Seconds(), res.Makespan.Seconds(),
+				res.CPUUtilization(), res.SystemOverheadFraction(), res.TotalMemBlockedTime().Seconds(),
+				res.Net.Messages, res.Net.AvgHops()), nil
+		})
+	})
 
-func runOne(policy sched.Policy, psize int, kind topology.Kind, app core.AppKind,
-	arch workload.Arch, quantum sim.Time, mode comm.Mode, seed int64) {
-	cfg := core.Config{
-		PartitionSize: psize,
-		Topology:      kind,
-		Policy:        policy,
-		App:           app,
-		Arch:          arch,
-		Mode:          mode,
-		BasicQuantum:  quantum,
-		Seed:          seed,
-	}
-	if policy == sched.DynamicSpace {
-		cfg.PartitionSize = 0 // dynamic ignores fixed partitioning
-	}
-	res, err := core.Run(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v %d%s %v %v: %v\n", policy, psize, kind.Letter(), app, arch, err)
-		return
-	}
-	fmt.Printf("%s,%d,%s,%s,%s,%d,%.6f,%.6f,%.6f,%.4f,%.4f,%.6f,%d,%.2f\n",
-		policy, psize, kind, app, arch, int64(quantum),
-		res.MeanResponse().Seconds(), res.MaxResponse().Seconds(), res.Makespan.Seconds(),
-		res.CPUUtilization(), res.SystemOverheadFraction(), res.TotalMemBlockedTime().Seconds(),
-		res.Net.Messages, res.Net.AvgHops())
-}
-
-func split(s string) []string {
-	parts := strings.Split(s, ",")
-	out := parts[:0]
-	for _, p := range parts {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
+	rows, errs := engine.ExecuteAll(plan, cf.Options())
+	fmt.Println("policy,partition,topology,app,arch,quantum_us,mean_s,max_s,makespan_s,util,overhead,mem_blocked_s,messages,avg_hops")
+	for i, row := range rows {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", errs[i])
+			continue
 		}
+		fmt.Print(row)
 	}
-	return out
 }
 
 func fail(err error) {

@@ -12,15 +12,15 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/cmd/internal/cliflags"
 	"repro/internal/experiments"
 )
 
 func main() {
-	seed := flag.Int64("seed", 0, "simulation seed")
+	cf := cliflags.Register()
 	flag.Parse()
 
-	claims, err := experiments.ValidateAll(core.Config{Seed: *seed})
+	claims, err := experiments.ValidateAll(cf.Base(), cf.Options())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "validate:", err)
 		os.Exit(1)

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// slowPoint burns a little scheduling time so workers genuinely interleave.
+func slowPoint(i int) func() (int, error) {
+	return func() (int, error) {
+		x := i
+		for j := 0; j < 1000; j++ {
+			x = (x*31 + j) % 9973
+		}
+		return i*i + x%1, nil
+	}
+}
+
+func buildPlan(n int) *Plan[int] {
+	p := NewPlan[int]("test")
+	for i := 0; i < n; i++ {
+		p.Add(fmt.Sprintf("p%d", i), slowPoint(i))
+	}
+	return p
+}
+
+// TestExecuteDeterminismAcrossWorkers: the engine's core contract — the
+// result slice is identical for every worker count.
+func TestExecuteDeterminismAcrossWorkers(t *testing.T) {
+	want, err := Execute(buildPlan(64), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8, 64, 200} {
+		got, err := Execute(buildPlan(64), Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d diverged from sequential results", w)
+		}
+	}
+}
+
+// TestExecutePanicIsolation: a panicking point becomes that point's error;
+// other points still complete, and the panic's stack is preserved.
+func TestExecutePanicIsolation(t *testing.T) {
+	p := NewPlan[int]("panicky")
+	p.Add("ok0", func() (int, error) { return 10, nil })
+	p.Add("boom", func() (int, error) { panic("kernel exploded") })
+	p.Add("ok2", func() (int, error) { return 30, nil })
+	results, errs := ExecuteAll(p, Options{Workers: 4})
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy points errored: %v %v", errs[0], errs[2])
+	}
+	if results[0] != 10 || results[2] != 30 {
+		t.Errorf("healthy results = %d, %d", results[0], results[2])
+	}
+	var pe *PointError
+	if !errors.As(errs[1], &pe) {
+		t.Fatalf("panic not converted to PointError: %v", errs[1])
+	}
+	if pe.Index != 1 || pe.Label != "boom" || pe.Plan != "panicky" {
+		t.Errorf("PointError metadata = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "kernel exploded") {
+		t.Errorf("panic value lost: %v", pe)
+	}
+}
+
+// TestExecuteFirstErrorDeterministic: with several failures, Execute
+// reports the lowest-indexed one — what a sequential loop would hit first —
+// regardless of which worker failed first in wall-clock time.
+func TestExecuteFirstErrorDeterministic(t *testing.T) {
+	mk := func() *Plan[int] {
+		p := NewPlan[int]("errs")
+		for i := 0; i < 16; i++ {
+			i := i
+			p.Add(fmt.Sprintf("p%d", i), func() (int, error) {
+				if i%3 == 2 { // points 2, 5, 8, 11, 14 fail
+					return 0, fmt.Errorf("point %d failed", i)
+				}
+				return i, nil
+			})
+		}
+		return p
+	}
+	for _, w := range []int{1, 8} {
+		_, err := Execute(mk(), Options{Workers: w})
+		if err == nil || err.Error() != "point 2 failed" {
+			t.Errorf("workers=%d: first error = %v, want point 2", w, err)
+		}
+	}
+}
+
+// TestExecuteBoundsWorkers: no more than Workers points run concurrently.
+func TestExecuteBoundsWorkers(t *testing.T) {
+	const limit = 3
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	p := NewPlan[int]("bounded")
+	for i := 0; i < 40; i++ {
+		p.Add("", func() (int, error) {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			mu.Unlock()
+			defer cur.Add(-1)
+			x := 0
+			for j := 0; j < 5000; j++ {
+				x += j
+			}
+			return x, nil
+		})
+	}
+	if _, err := Execute(p, Options{Workers: limit}); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > limit {
+		t.Errorf("peak concurrency %d exceeds worker limit %d", got, limit)
+	}
+}
+
+// TestExecuteEmptyPlan: a no-point plan returns an empty slice, no error.
+func TestExecuteEmptyPlan(t *testing.T) {
+	results, err := Execute(NewPlan[int]("empty"), Options{Workers: 8})
+	if err != nil || len(results) != 0 {
+		t.Errorf("empty plan: results=%v err=%v", results, err)
+	}
+}
+
+func TestPickDefaults(t *testing.T) {
+	if got := Pick(); got.Workers != 0 {
+		t.Errorf("Pick() = %+v", got)
+	}
+	if got := Pick(Options{Workers: 5}); got.Workers != 5 {
+		t.Errorf("Pick(5) = %+v", got)
+	}
+	if w := (Options{}).workers(); w < 1 {
+		t.Errorf("default workers = %d", w)
+	}
+}
+
+// TestGridEnumeration: the cartesian product has the right size, order and
+// the dynamic-policy partition override.
+func TestGridEnumeration(t *testing.T) {
+	g := Grid{
+		Policies:   []sched.Policy{sched.Static, sched.DynamicSpace},
+		Partitions: []int{2, 4},
+		Topologies: []topology.Kind{topology.Linear, topology.Mesh},
+		Seeds:      []int64{0, 7},
+	}
+	cfgs := g.Configs()
+	if len(cfgs) != 2*2*2*2 {
+		t.Fatalf("product size = %d, want 16", len(cfgs))
+	}
+	// Policies are outermost, seeds innermost.
+	if cfgs[0].Policy != sched.Static || cfgs[0].Seed != 0 || cfgs[1].Seed != 7 {
+		t.Errorf("nesting order wrong: %+v %+v", cfgs[0], cfgs[1])
+	}
+	var dims []Dims
+	g.Enumerate(func(d Dims, cfg core.Config) {
+		dims = append(dims, d)
+		if d.Policy == sched.DynamicSpace {
+			if cfg.PartitionSize != 0 {
+				t.Errorf("dynamic config kept partition %d", cfg.PartitionSize)
+			}
+			if d.Partition == 0 {
+				t.Error("Dims lost the requested partition size")
+			}
+		} else if cfg.PartitionSize != d.Partition {
+			t.Errorf("partition mismatch: cfg %d dims %d", cfg.PartitionSize, d.Partition)
+		}
+	})
+	if len(dims) != len(cfgs) {
+		t.Errorf("Enumerate visited %d, Configs %d", len(dims), len(cfgs))
+	}
+}

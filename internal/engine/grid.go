@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Grid declares a cartesian product over core.Config dimensions plus
+// seeds — the declarative form of the nested loops the sweep tools used to
+// hand-roll. A nil dimension contributes the Base value only, so a Grid
+// with no dimensions set enumerates exactly one configuration.
+type Grid struct {
+	Base core.Config
+
+	Policies   []sched.Policy
+	Partitions []int
+	Topologies []topology.Kind
+	Apps       []core.AppKind
+	Archs      []workload.Arch
+	Modes      []comm.Mode
+	Quanta     []sim.Time
+	Seeds      []int64
+}
+
+// Dims is one tuple of the product. It preserves the requested dimension
+// values even where the derived Config diverges (dynamic space-sharing
+// ignores the fixed partition size), so sweep output can be labeled by what
+// was asked for.
+type Dims struct {
+	Policy    sched.Policy
+	Partition int
+	Topology  topology.Kind
+	App       core.AppKind
+	Arch      workload.Arch
+	Mode      comm.Mode
+	Quantum   sim.Time
+	Seed      int64
+}
+
+// Enumerate calls f for every combination in a fixed nesting order —
+// policies outermost, then partitions, topologies, apps, architectures,
+// switching modes, quanta, and seeds innermost — matching the historical
+// sweep-tool ordering so migrated output stays byte-identical.
+func (g Grid) Enumerate(f func(Dims, core.Config)) {
+	policies := g.Policies
+	if len(policies) == 0 {
+		policies = []sched.Policy{g.Base.Policy}
+	}
+	partitions := g.Partitions
+	if len(partitions) == 0 {
+		partitions = []int{g.Base.PartitionSize}
+	}
+	topologies := g.Topologies
+	if len(topologies) == 0 {
+		topologies = []topology.Kind{g.Base.Topology}
+	}
+	apps := g.Apps
+	if len(apps) == 0 {
+		apps = []core.AppKind{g.Base.App}
+	}
+	archs := g.Archs
+	if len(archs) == 0 {
+		archs = []workload.Arch{g.Base.Arch}
+	}
+	modes := g.Modes
+	if len(modes) == 0 {
+		modes = []comm.Mode{g.Base.Mode}
+	}
+	quanta := g.Quanta
+	if len(quanta) == 0 {
+		quanta = []sim.Time{g.Base.BasicQuantum}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{g.Base.Seed}
+	}
+	for _, pol := range policies {
+		for _, psize := range partitions {
+			for _, kind := range topologies {
+				for _, app := range apps {
+					for _, arch := range archs {
+						for _, mode := range modes {
+							for _, q := range quanta {
+								for _, seed := range seeds {
+									cfg := g.Base
+									cfg.Policy = pol
+									cfg.PartitionSize = psize
+									cfg.Topology = kind
+									cfg.App = app
+									cfg.Arch = arch
+									cfg.Mode = mode
+									cfg.BasicQuantum = q
+									cfg.Seed = seed
+									if pol == sched.DynamicSpace {
+										cfg.PartitionSize = 0 // dynamic ignores fixed partitioning
+									}
+									f(Dims{
+										Policy:    pol,
+										Partition: psize,
+										Topology:  kind,
+										App:       app,
+										Arch:      arch,
+										Mode:      mode,
+										Quantum:   q,
+										Seed:      seed,
+									}, cfg)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Configs materializes the product in enumeration order.
+func (g Grid) Configs() []core.Config {
+	var out []core.Config
+	g.Enumerate(func(_ Dims, cfg core.Config) { out = append(out, cfg) })
+	return out
+}

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -27,7 +27,7 @@ type BroadcastCell struct {
 // the paper's 15 sequential sends with a binomial-tree broadcast is the
 // textbook fix; this ablation measures how much of the response time it
 // buys under both policies on the one-partition machine.
-func BroadcastAblation(base core.Config) ([]BroadcastCell, error) {
+func BroadcastAblation(base core.Config, opts ...engine.Options) ([]BroadcastCell, error) {
 	size := machineSize(base)
 	base.PartitionSize = size
 	appCost := workload.DefaultAppCost()
@@ -45,52 +45,41 @@ func BroadcastAblation(base core.Config) ([]BroadcastCell, error) {
 			},
 		}.Build()
 	}
-	var out []BroadcastCell
+	plan := engine.NewPlan[BroadcastCell]("E10 broadcast")
 	for _, kind := range []topology.Kind{topology.Linear, topology.Mesh} {
 		for _, policy := range []sched.Policy{sched.Static, sched.TimeShared} {
-			cell := BroadcastCell{Label: fmt.Sprintf("%d%s %s", size, kind.Letter(), policy)}
-			for _, tree := range []bool{false, true} {
-				cfg := base
-				cfg.Topology = kind
-				cfg.Policy = policy
-				cfg.Batch = mkBatch(tree)
-				res, err := core.Run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s tree=%v: %w", cell.Label, tree, err)
+			kind, policy := kind, policy
+			label := fmt.Sprintf("%d%s %s", size, kind.Letter(), policy)
+			plan.Add(label, func() (BroadcastCell, error) {
+				cell := BroadcastCell{Label: label}
+				for _, tree := range []bool{false, true} {
+					cfg := base
+					cfg.Topology = kind
+					cfg.Policy = policy
+					cfg.Batch = mkBatch(tree)
+					res, err := core.Run(cfg)
+					if err != nil {
+						return BroadcastCell{}, fmt.Errorf("%s tree=%v: %w", cell.Label, tree, err)
+					}
+					if tree {
+						cell.Tree = res.MeanResponse()
+					} else {
+						cell.Seq = res.MeanResponse()
+					}
 				}
-				if tree {
-					cell.Tree = res.MeanResponse()
-				} else {
-					cell.Seq = res.MeanResponse()
-				}
-			}
-			out = append(out, cell)
+				return cell, nil
+			})
 		}
 	}
-	return out, nil
+	return engine.Execute(plan, opts...)
 }
 
 // BroadcastTable renders E10.
 func BroadcastTable(cells []BroadcastCell) string {
-	var b strings.Builder
-	b.WriteString("E10 — Binomial-tree vs sequential B distribution (matmul fixed, one partition)\n")
-	fmt.Fprintf(&b, "%-18s %12s %12s %10s\n", "config", "sequential", "tree", "tree/seq")
+	t := newText("E10 — Binomial-tree vs sequential B distribution (matmul fixed, one partition)")
+	t.linef("%-18s %12s %12s %10s\n", "config", "sequential", "tree", "tree/seq")
 	for _, c := range cells {
-		ratio := 0.0
-		if c.Seq > 0 {
-			ratio = float64(c.Tree) / float64(c.Seq)
-		}
-		fmt.Fprintf(&b, "%-18s %12s %12s %10.2f\n", c.Label, fmtSec(c.Seq), fmtSec(c.Tree), ratio)
+		t.linef("%-18s %12s %12s %10.2f\n", c.Label, fmtSec(c.Seq), fmtSec(c.Tree), safeRatio(c.Tree, c.Seq))
 	}
-	return b.String()
-}
-
-// BroadcastCSV renders E10 as CSV.
-func BroadcastCSV(cells []BroadcastCell) string {
-	var b strings.Builder
-	b.WriteString("config,sequential_s,tree_s\n")
-	for _, c := range cells {
-		fmt.Fprintf(&b, "%s,%.6f,%.6f\n", c.Label, c.Seq.Seconds(), c.Tree.Seconds())
-	}
-	return b.String()
+	return t.String()
 }

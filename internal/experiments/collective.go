@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -37,58 +37,50 @@ func reduceApp(class string) workload.App {
 // one hop on a hypercube, up to T/2 hops on a linear array. It measures the
 // strongest topology contrast available on the machine, including the
 // extension torus, for a lone job and for a time-shared batch.
-func CollectiveTopology(base core.Config) ([]CollectiveCell, error) {
+func CollectiveTopology(base core.Config, opts ...engine.Options) ([]CollectiveCell, error) {
 	base.PartitionSize = 8
 	base.Arch = workload.Adaptive
-	var out []CollectiveCell
+	plan := engine.NewPlan[CollectiveCell]("E12 collective")
 	for _, kind := range topology.AllKinds() {
-		cell := CollectiveCell{Label: fmt.Sprintf("8%s", kind.Letter())}
+		kind := kind
+		plan.Add(kind.String(), func() (CollectiveCell, error) {
+			cell := CollectiveCell{Label: fmt.Sprintf("8%s", kind.Letter())}
 
-		single := base
-		single.Topology = kind
-		single.Policy = sched.Static
-		single.Batch = workload.Batch{{ID: 0, Class: "large", Arch: workload.Adaptive, App: reduceApp("large")}}
-		res, err := core.Run(single)
-		if err != nil {
-			return nil, fmt.Errorf("single %v: %w", kind, err)
-		}
-		cell.Single = res.MeanResponse()
-		cell.AvgHops = res.Net.AvgHops()
+			single := base
+			single.Topology = kind
+			single.Policy = sched.Static
+			single.Batch = workload.Batch{{ID: 0, Class: "large", Arch: workload.Adaptive, App: reduceApp("large")}}
+			res, err := core.Run(single)
+			if err != nil {
+				return CollectiveCell{}, fmt.Errorf("single %v: %w", kind, err)
+			}
+			cell.Single = res.MeanResponse()
+			cell.AvgHops = res.Net.AvgHops()
 
-		ts := base
-		ts.Topology = kind
-		ts.Policy = sched.TimeShared
-		ts.Batch = workload.BatchSpec{
-			Small: workload.PaperBatchSmall, Large: workload.PaperBatchLarge,
-			Arch: workload.Adaptive, NewApp: reduceApp,
-		}.Build()
-		tres, err := core.Run(ts)
-		if err != nil {
-			return nil, fmt.Errorf("ts %v: %w", kind, err)
-		}
-		cell.TS = tres.MeanResponse()
-		out = append(out, cell)
+			ts := base
+			ts.Topology = kind
+			ts.Policy = sched.TimeShared
+			ts.Batch = workload.BatchSpec{
+				Small: workload.PaperBatchSmall, Large: workload.PaperBatchLarge,
+				Arch: workload.Adaptive, NewApp: reduceApp,
+			}.Build()
+			tres, err := core.Run(ts)
+			if err != nil {
+				return CollectiveCell{}, fmt.Errorf("ts %v: %w", kind, err)
+			}
+			cell.TS = tres.MeanResponse()
+			return cell, nil
+		})
 	}
-	return out, nil
+	return engine.Execute(plan, opts...)
 }
 
 // CollectiveTable renders E12.
 func CollectiveTable(cells []CollectiveCell) string {
-	var b strings.Builder
-	b.WriteString("E12 — Butterfly all-reduce vs topology (iterative-solver workload, 8-node partitions)\n")
-	fmt.Fprintf(&b, "%-6s %12s %12s %10s\n", "topo", "single job", "TS batch", "avg hops")
+	t := newText("E12 — Butterfly all-reduce vs topology (iterative-solver workload, 8-node partitions)")
+	t.linef("%-6s %12s %12s %10s\n", "topo", "single job", "TS batch", "avg hops")
 	for _, c := range cells {
-		fmt.Fprintf(&b, "%-6s %12s %12s %10.2f\n", c.Label, fmtSec(c.Single), fmtSec(c.TS), c.AvgHops)
+		t.linef("%-6s %12s %12s %10.2f\n", c.Label, fmtSec(c.Single), fmtSec(c.TS), c.AvgHops)
 	}
-	return b.String()
-}
-
-// CollectiveCSV renders E12 as CSV.
-func CollectiveCSV(cells []CollectiveCell) string {
-	var b strings.Builder
-	b.WriteString("label,single_s,ts_s,avg_hops\n")
-	for _, c := range cells {
-		fmt.Fprintf(&b, "%s,%.6f,%.6f,%.2f\n", c.Label, c.Single.Seconds(), c.TS.Seconds(), c.AvgHops)
-	}
-	return b.String()
+	return t.String()
 }

@@ -5,13 +5,14 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sim"
 )
 
 // The figure tests run the full paper-scale configurations (a few hundred
 // milliseconds each); they are the executable form of EXPERIMENTS.md.
 
-func runFigure(t *testing.T, f func(core.Config) (*Figure, error)) *Figure {
+func runFigure(t *testing.T, f func(core.Config, ...engine.Options) (*Figure, error)) *Figure {
 	t.Helper()
 	fig, err := f(core.Config{})
 	if err != nil {

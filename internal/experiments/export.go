@@ -1,103 +1,141 @@
 package experiments
 
-import (
-	"fmt"
-	"strings"
-)
+// CSV exporters for every figure and extension sweep. Each declares its
+// header columns and typed cells; formatting and escaping live in the
+// shared row-writer (render.go). Times are in seconds.
 
 // CSV renders the figure as comma-separated values (one row per cell) for
-// plotting outside the harness. Times are in seconds.
+// plotting outside the harness.
 func (f *Figure) CSV() string {
-	var b strings.Builder
-	b.WriteString("label,partition,topology,static_avg_s,static_best_s,static_worst_s,ts_s,ts_over_static,ts_mem_blocked_s,ts_overhead_frac\n")
+	w := newCSV("label", "partition", "topology", "static_avg_s", "static_best_s",
+		"static_worst_s", "ts_s", "ts_over_static", "ts_mem_blocked_s", "ts_overhead_frac")
 	for _, c := range f.Cells {
-		fmt.Fprintf(&b, "%s,%d,%s,%.6f,%.6f,%.6f,%.6f,%.4f,%.6f,%.4f\n",
-			c.Label, c.PartitionSize, c.Topology,
-			c.Static.Seconds(), c.StaticBest.Seconds(), c.StaticWorst.Seconds(),
-			c.TS.Seconds(), c.Ratio(), c.TSMemBlocked.Seconds(), c.TSOverheadFrac)
+		w.row(c.Label, c.PartitionSize, c.Topology,
+			secs(c.Static), secs(c.StaticBest), secs(c.StaticWorst),
+			secs(c.TS), fix4(c.Ratio()), secs(c.TSMemBlocked), fix4(c.TSOverheadFrac))
 	}
-	return b.String()
+	return w.String()
 }
 
 // VarianceCSV renders E1.
 func VarianceCSV(points []VariancePoint) string {
-	var b strings.Builder
-	b.WriteString("cv,static_s,ts_s\n")
+	w := newCSV("cv", "static_s", "ts_s")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%.2f,%.6f,%.6f\n", p.CV, p.Static.Seconds(), p.TS.Seconds())
+		w.row(fix2(p.CV), secs(p.Static), secs(p.TS))
 	}
-	return b.String()
+	return w.String()
 }
 
 // AblationCSV renders E2.
 func AblationCSV(cells []AblationCell) string {
-	var b strings.Builder
-	b.WriteString("label,saf_s,wormhole_s,saf_mem_blocked_s,wh_mem_blocked_s\n")
+	w := newCSV("label", "saf_s", "wormhole_s", "saf_mem_blocked_s", "wh_mem_blocked_s")
 	for _, c := range cells {
-		fmt.Fprintf(&b, "%s,%.6f,%.6f,%.6f,%.6f\n",
-			c.Label, c.SAF.Seconds(), c.WH.Seconds(), c.SAFBlock.Seconds(), c.WHBlock.Seconds())
+		w.row(c.Label, secs(c.SAF), secs(c.WH), secs(c.SAFBlock), secs(c.WHBlock))
 	}
-	return b.String()
+	return w.String()
 }
 
 // QuantumCSV renders E3.
 func QuantumCSV(points []QuantumPoint) string {
-	var b strings.Builder
-	b.WriteString("quantum_us,ts_s,overhead_frac\n")
+	w := newCSV("quantum_us", "ts_s", "overhead_frac")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%d,%.6f,%.4f\n", int64(p.Q), p.TS.Seconds(), p.OverheadFrac)
+		w.row(int64(p.Q), secs(p.TS), fix4(p.OverheadFrac))
 	}
-	return b.String()
+	return w.String()
 }
 
 // RRCSV renders E4.
 func RRCSV(r *RRComparisonResult) string {
-	var b strings.Builder
-	b.WriteString("policy,narrow_s,wide_s\n")
-	fmt.Fprintf(&b, "rr-job,%.6f,%.6f\n", r.RRJobSmall.Seconds(), r.RRJobBig.Seconds())
-	fmt.Fprintf(&b, "rr-process,%.6f,%.6f\n", r.RRProcSmall.Seconds(), r.RRProcBig.Seconds())
-	return b.String()
+	w := newCSV("policy", "narrow_s", "wide_s")
+	w.row("rr-job", secs(r.RRJobSmall), secs(r.RRJobBig))
+	w.row("rr-process", secs(r.RRProcSmall), secs(r.RRProcBig))
+	return w.String()
 }
 
 // MPLCSV renders E5.
 func MPLCSV(points []MPLPoint) string {
-	var b strings.Builder
-	b.WriteString("mpl,ts_s,mem_blocked_s\n")
+	w := newCSV("mpl", "ts_s", "mem_blocked_s")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%d,%.6f,%.6f\n", p.MaxResident, p.Mean.Seconds(), p.MemBlocked.Seconds())
+		w.row(p.MaxResident, secs(p.Mean), secs(p.MemBlocked))
 	}
-	return b.String()
+	return w.String()
 }
 
 // LoadCSV renders E6.
 func LoadCSV(points []LoadPoint) string {
-	var b strings.Builder
-	b.WriteString("rho,static4_s,hybrid4_s,dynamic_s\n")
+	w := newCSV("rho", "static4_s", "hybrid4_s", "dynamic_s")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%.2f,%.6f,%.6f,%.6f\n",
-			p.Rho, p.Static4.Seconds(), p.Hybrid4.Seconds(), p.Dynamic.Seconds())
+		w.row(fix2(p.Rho), secs(p.Static4), secs(p.Hybrid4), secs(p.Dynamic))
 	}
-	return b.String()
+	return w.String()
 }
 
 // GangCSV renders E7.
 func GangCSV(cells []GangCell) string {
-	var b strings.Builder
-	b.WriteString("app,rrjob_s,gang_s,rrjob_overhead,gang_overhead\n")
+	w := newCSV("app", "rrjob_s", "gang_s", "rrjob_overhead", "gang_overhead")
 	for _, c := range cells {
-		fmt.Fprintf(&b, "%s,%.6f,%.6f,%.4f,%.4f\n",
-			c.App, c.RRJob.Seconds(), c.Gang.Seconds(), c.RRJobOvh, c.GangOverhead)
+		w.row(c.App, secs(c.RRJob), secs(c.Gang), fix4(c.RRJobOvh), fix4(c.GangOverhead))
 	}
-	return b.String()
+	return w.String()
 }
 
 // StencilCSV renders E8.
 func StencilCSV(cells []StencilCell) string {
-	var b strings.Builder
-	b.WriteString("label,static_s,ts_s,ts_avg_msg_latency_us\n")
+	w := newCSV("label", "static_s", "ts_s", "ts_avg_msg_latency_us")
 	for _, c := range cells {
-		fmt.Fprintf(&b, "%s,%.6f,%.6f,%d\n",
-			c.Label, c.Static.Seconds(), c.TS.Seconds(), int64(c.TSAvgLat))
+		w.row(c.Label, secs(c.Static), secs(c.TS), int64(c.TSAvgLat))
 	}
-	return b.String()
+	return w.String()
+}
+
+// ScaleCSV renders E9.
+func ScaleCSV(cells []ScaleCell) string {
+	w := newCSV("nodes", "static_s", "ts_s", "ts_mem_blocked_s", "ts_overhead_frac")
+	for _, c := range cells {
+		w.row(c.Machine, secs(c.Static), secs(c.TS), secs(c.TSMemBlock), fix4(c.TSOverhead))
+	}
+	return w.String()
+}
+
+// BroadcastCSV renders E10.
+func BroadcastCSV(cells []BroadcastCell) string {
+	w := newCSV("config", "sequential_s", "tree_s")
+	for _, c := range cells {
+		w.row(c.Label, secs(c.Seq), secs(c.Tree))
+	}
+	return w.String()
+}
+
+// SortAlgCSV renders E11.
+func SortAlgCSV(cells []SortAlgCell) string {
+	w := newCSV("algorithm", "partition", "fixed_s", "adaptive_s")
+	for _, c := range cells {
+		w.row(c.Algorithm, c.PartitionSize, secs(c.Fixed), secs(c.Adaptive))
+	}
+	return w.String()
+}
+
+// CollectiveCSV renders E12.
+func CollectiveCSV(cells []CollectiveCell) string {
+	w := newCSV("label", "single_s", "ts_s", "avg_hops")
+	for _, c := range cells {
+		w.row(c.Label, secs(c.Single), secs(c.TS), fix2(c.AvgHops))
+	}
+	return w.String()
+}
+
+// CSV renders the fault study as rows for plotting.
+func (s *FaultStudy) CSV() string {
+	w := newCSV("topology", "partition", "policy", "rate_per_node_s", "mtbf_us",
+		"mean_s", "makespan_s", "nodes_failed", "job_kills", "requeues", "restarts",
+		"checkpoints", "work_lost_s", "retries")
+	for _, c := range s.Curves {
+		for _, p := range c.Points {
+			w.row(s.Topology, s.PartitionSize, c.Policy, p.Rate, int64(p.NodeMTBF),
+				secs(p.Mean), secs(p.Makespan),
+				p.Faults.NodesFailed, p.Faults.JobKills, p.Faults.Requeues,
+				p.Faults.Restarts, p.Faults.Checkpoints, secs(p.Faults.WorkLost), p.Retries)
+		}
+	}
+	return w.String()
 }

@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -44,7 +44,7 @@ type VariancePoint struct {
 // claim with the synthetic fork-join workload: as the coefficient of
 // variation of job service demand grows, the hybrid policy overtakes static
 // space-sharing.
-func VarianceSweep(cvs []float64, base core.Config) ([]VariancePoint, error) {
+func VarianceSweep(cvs []float64, base core.Config, opts ...engine.Options) ([]VariancePoint, error) {
 	if base.PartitionSize == 0 {
 		base.PartitionSize = 4
 	}
@@ -52,49 +52,47 @@ func VarianceSweep(cvs []float64, base core.Config) ([]VariancePoint, error) {
 		base.Topology = topology.Mesh
 	}
 	appCost := workload.DefaultAppCost()
-	var out []VariancePoint
+	plan := engine.NewPlan[VariancePoint]("E1 variance")
 	for _, cv := range cvs {
-		// The paper's own 12-small/4-large composition; it reaches CV
-		// sqrt(12/4) ≈ 1.73, so sweeps should stay within (0, 1.7].
-		nSmall := workload.PaperBatchSmall
-		works, err := workload.TwoPointWorks(16, nSmall, 20*sim.Second, cv)
-		if err != nil {
-			return nil, fmt.Errorf("cv %.2f: %w", cv, err)
-		}
-		mkBatch := func() workload.Batch {
-			return workload.SyntheticBatch(works, workload.Adaptive, 64<<10, 256<<10, appCost)
-		}
-		cfg := base
-		cfg.Batch = mkBatch()
-		staticMean, _, _, err := core.StaticAveraged(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("cv %.2f static: %w", cv, err)
-		}
-		cfg = base
-		cfg.Batch = mkBatch()
-		cfg.Policy = sched.TimeShared
-		ts, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("cv %.2f ts: %w", cv, err)
-		}
-		out = append(out, VariancePoint{CV: cv, Static: staticMean, TS: ts.MeanResponse()})
+		cv := cv
+		plan.Add(fmt.Sprintf("cv=%.2f", cv), func() (VariancePoint, error) {
+			// The paper's own 12-small/4-large composition; it reaches CV
+			// sqrt(12/4) ≈ 1.73, so sweeps should stay within (0, 1.7].
+			nSmall := workload.PaperBatchSmall
+			works, err := workload.TwoPointWorks(16, nSmall, 20*sim.Second, cv)
+			if err != nil {
+				return VariancePoint{}, fmt.Errorf("cv %.2f: %w", cv, err)
+			}
+			mkBatch := func() workload.Batch {
+				return workload.SyntheticBatch(works, workload.Adaptive, 64<<10, 256<<10, appCost)
+			}
+			cfg := base
+			cfg.Batch = mkBatch()
+			staticMean, _, _, err := core.StaticAveraged(cfg)
+			if err != nil {
+				return VariancePoint{}, fmt.Errorf("cv %.2f static: %w", cv, err)
+			}
+			cfg = base
+			cfg.Batch = mkBatch()
+			cfg.Policy = sched.TimeShared
+			ts, err := core.Run(cfg)
+			if err != nil {
+				return VariancePoint{}, fmt.Errorf("cv %.2f ts: %w", cv, err)
+			}
+			return VariancePoint{CV: cv, Static: staticMean, TS: ts.MeanResponse()}, nil
+		})
 	}
-	return out, nil
+	return engine.Execute(plan, opts...)
 }
 
 // VarianceTable renders E1.
 func VarianceTable(points []VariancePoint) string {
-	var b strings.Builder
-	b.WriteString("E1 — Service-time variance sensitivity (synthetic fork-join, hybrid vs static)\n")
-	fmt.Fprintf(&b, "%-6s %12s %12s %10s\n", "CV", "static(avg)", "hybrid", "TS/static")
+	t := newText("E1 — Service-time variance sensitivity (synthetic fork-join, hybrid vs static)")
+	t.linef("%-6s %12s %12s %10s\n", "CV", "static(avg)", "hybrid", "TS/static")
 	for _, p := range points {
-		ratio := 0.0
-		if p.Static > 0 {
-			ratio = float64(p.TS) / float64(p.Static)
-		}
-		fmt.Fprintf(&b, "%-6.2f %12s %12s %10.2f\n", p.CV, fmtSec(p.Static), fmtSec(p.TS), ratio)
+		t.linef("%-6.2f %12s %12s %10.2f\n", p.CV, fmtSec(p.Static), fmtSec(p.TS), safeRatio(p.TS, p.Static))
 	}
-	return b.String()
+	return t.String()
 }
 
 // ---------------------------------------------------------------------------
@@ -114,53 +112,51 @@ type AblationCell struct {
 // network topology". We run the pure time-sharing matmul configuration
 // (partition = machine, the most congested point) across topologies under
 // both switching modes.
-func WormholeAblation(base core.Config) ([]AblationCell, error) {
+func WormholeAblation(base core.Config, opts ...engine.Options) ([]AblationCell, error) {
 	base.App = core.MatMul
 	base.Arch = workload.Fixed
 	base.Policy = sched.TimeShared
 	size := machineSize(base)
 	base.PartitionSize = size
-	var out []AblationCell
+	plan := engine.NewPlan[AblationCell]("E2 wormhole")
 	for _, kind := range topology.Kinds() {
 		if kind == topology.Hypercube && base.PartitionSize == size {
 			continue
 		}
-		cfg := base
-		cfg.Topology = kind
-		saf, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("saf %v: %w", kind, err)
-		}
-		cfg.Mode = comm.Wormhole
-		wh, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("wormhole %v: %w", kind, err)
-		}
-		out = append(out, AblationCell{
-			Label:    fmt.Sprintf("%d%s", base.PartitionSize, kind.Letter()),
-			SAF:      saf.MeanResponse(),
-			WH:       wh.MeanResponse(),
-			SAFBlock: saf.TotalMemBlockedTime(),
-			WHBlock:  wh.TotalMemBlockedTime(),
+		kind := kind
+		plan.Add(kind.String(), func() (AblationCell, error) {
+			cfg := base
+			cfg.Topology = kind
+			saf, err := core.Run(cfg)
+			if err != nil {
+				return AblationCell{}, fmt.Errorf("saf %v: %w", kind, err)
+			}
+			cfg.Mode = comm.Wormhole
+			wh, err := core.Run(cfg)
+			if err != nil {
+				return AblationCell{}, fmt.Errorf("wormhole %v: %w", kind, err)
+			}
+			return AblationCell{
+				Label:    fmt.Sprintf("%d%s", base.PartitionSize, kind.Letter()),
+				SAF:      saf.MeanResponse(),
+				WH:       wh.MeanResponse(),
+				SAFBlock: saf.TotalMemBlockedTime(),
+				WHBlock:  wh.TotalMemBlockedTime(),
+			}, nil
 		})
 	}
-	return out, nil
+	return engine.Execute(plan, opts...)
 }
 
 // AblationTable renders E2.
 func AblationTable(cells []AblationCell) string {
-	var b strings.Builder
-	b.WriteString("E2 — Wormhole vs store-and-forward (pure time-sharing, matmul fixed)\n")
-	fmt.Fprintf(&b, "%-6s %12s %12s %10s %14s %14s\n", "topo", "SAF", "wormhole", "WH/SAF", "SAF memBlock", "WH memBlock")
+	t := newText("E2 — Wormhole vs store-and-forward (pure time-sharing, matmul fixed)")
+	t.linef("%-6s %12s %12s %10s %14s %14s\n", "topo", "SAF", "wormhole", "WH/SAF", "SAF memBlock", "WH memBlock")
 	for _, c := range cells {
-		ratio := 0.0
-		if c.SAF > 0 {
-			ratio = float64(c.WH) / float64(c.SAF)
-		}
-		fmt.Fprintf(&b, "%-6s %12s %12s %10.2f %14s %14s\n",
-			c.Label, fmtSec(c.SAF), fmtSec(c.WH), ratio, fmtSec(c.SAFBlock), fmtSec(c.WHBlock))
+		t.linef("%-6s %12s %12s %10.2f %14s %14s\n",
+			c.Label, fmtSec(c.SAF), fmtSec(c.WH), safeRatio(c.WH, c.SAF), fmtSec(c.SAFBlock), fmtSec(c.WHBlock))
 	}
-	return b.String()
+	return t.String()
 }
 
 // ---------------------------------------------------------------------------
@@ -177,7 +173,7 @@ type QuantumPoint struct {
 // quantum q is a tuning knob (Q = (P/T)q). Small quanta approach processor
 // sharing but multiply job-switch overhead; large quanta approach
 // run-to-completion.
-func QuantumSweep(quanta []sim.Time, base core.Config) ([]QuantumPoint, error) {
+func QuantumSweep(quanta []sim.Time, base core.Config, opts ...engine.Options) ([]QuantumPoint, error) {
 	base.App = core.MatMul
 	base.Arch = workload.Adaptive
 	base.Policy = sched.TimeShared
@@ -187,28 +183,30 @@ func QuantumSweep(quanta []sim.Time, base core.Config) ([]QuantumPoint, error) {
 	if base.Topology == 0 {
 		base.Topology = topology.Mesh
 	}
-	var out []QuantumPoint
+	plan := engine.NewPlan[QuantumPoint]("E3 quantum")
 	for _, q := range quanta {
-		cfg := base
-		cfg.BasicQuantum = q
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("q=%v: %w", q, err)
-		}
-		out = append(out, QuantumPoint{Q: q, TS: res.MeanResponse(), OverheadFrac: res.SystemOverheadFraction()})
+		q := q
+		plan.Add(q.String(), func() (QuantumPoint, error) {
+			cfg := base
+			cfg.BasicQuantum = q
+			res, err := core.Run(cfg)
+			if err != nil {
+				return QuantumPoint{}, fmt.Errorf("q=%v: %w", q, err)
+			}
+			return QuantumPoint{Q: q, TS: res.MeanResponse(), OverheadFrac: res.SystemOverheadFraction()}, nil
+		})
 	}
-	return out, nil
+	return engine.Execute(plan, opts...)
 }
 
 // QuantumTable renders E3.
 func QuantumTable(points []QuantumPoint) string {
-	var b strings.Builder
-	b.WriteString("E3 — Basic quantum sweep (hybrid, matmul adaptive, 4-node mesh partitions)\n")
-	fmt.Fprintf(&b, "%-10s %12s %10s\n", "q", "hybrid", "overhead")
+	t := newText("E3 — Basic quantum sweep (hybrid, matmul adaptive, 4-node mesh partitions)")
+	t.linef("%-10s %12s %10s\n", "q", "hybrid", "overhead")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%-10s %12s %9.1f%%\n", p.Q, fmtSec(p.TS), 100*p.OverheadFrac)
+		t.linef("%-10s %12s %9.1f%%\n", p.Q, fmtSec(p.TS), 100*p.OverheadFrac)
 	}
-	return b.String()
+	return t.String()
 }
 
 // ---------------------------------------------------------------------------
@@ -223,8 +221,9 @@ type RRComparisonResult struct {
 	RRJobBig, RRProcBig     sim.Time
 }
 
-// RunRRComparison executes E4.
-func RunRRComparison(base core.Config) (*RRComparisonResult, error) {
+// RunRRComparison executes E4. The two policies' runs are independent
+// points on the engine pool.
+func RunRRComparison(base core.Config, opts ...engine.Options) (*RRComparisonResult, error) {
 	if base.PartitionSize == 0 {
 		base.PartitionSize = 4
 	}
@@ -246,33 +245,40 @@ func RunRRComparison(base core.Config) (*RRComparisonResult, error) {
 		}
 		return batch
 	}
-	out := &RRComparisonResult{}
-	for _, pol := range []sched.Policy{sched.TimeShared, sched.RRProcess} {
-		cfg := base
-		cfg.Policy = pol
-		cfg.Batch = mkBatch()
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%v: %w", pol, err)
-		}
-		by := res.MeanResponseByClass()
-		if pol == sched.TimeShared {
-			out.RRJobSmall, out.RRJobBig = by["small"], by["large"]
-		} else {
-			out.RRProcSmall, out.RRProcBig = by["small"], by["large"]
-		}
+	type classMeans struct{ small, big sim.Time }
+	policies := []sched.Policy{sched.TimeShared, sched.RRProcess}
+	plan := engine.NewPlan[classMeans]("E4 rr")
+	for _, pol := range policies {
+		pol := pol
+		plan.Add(pol.String(), func() (classMeans, error) {
+			cfg := base
+			cfg.Policy = pol
+			cfg.Batch = mkBatch()
+			res, err := core.Run(cfg)
+			if err != nil {
+				return classMeans{}, fmt.Errorf("%v: %w", pol, err)
+			}
+			by := res.MeanResponseByClass()
+			return classMeans{small: by["small"], big: by["large"]}, nil
+		})
 	}
-	return out, nil
+	means, err := engine.Execute(plan, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &RRComparisonResult{
+		RRJobSmall: means[0].small, RRJobBig: means[0].big,
+		RRProcSmall: means[1].small, RRProcBig: means[1].big,
+	}, nil
 }
 
 // RRTable renders E4.
 func RRTable(r *RRComparisonResult) string {
-	var b strings.Builder
-	b.WriteString("E4 — RR-job vs RR-process (15 narrow jobs + 1 wide job, equal total demand)\n")
-	fmt.Fprintf(&b, "%-12s %14s %14s\n", "policy", "narrow mean", "wide job")
-	fmt.Fprintf(&b, "%-12s %14s %14s\n", "rr-job", fmtSec(r.RRJobSmall), fmtSec(r.RRJobBig))
-	fmt.Fprintf(&b, "%-12s %14s %14s\n", "rr-process", fmtSec(r.RRProcSmall), fmtSec(r.RRProcBig))
-	return b.String()
+	t := newText("E4 — RR-job vs RR-process (15 narrow jobs + 1 wide job, equal total demand)")
+	t.linef("%-12s %14s %14s\n", "policy", "narrow mean", "wide job")
+	t.linef("%-12s %14s %14s\n", "rr-job", fmtSec(r.RRJobSmall), fmtSec(r.RRJobBig))
+	t.linef("%-12s %14s %14s\n", "rr-process", fmtSec(r.RRProcSmall), fmtSec(r.RRProcBig))
+	return t.String()
 }
 
 // ---------------------------------------------------------------------------
@@ -290,7 +296,7 @@ type MPLPoint struct {
 // and 8 jobs queued per partition, we bound how many are resident at once:
 // MaxResident=1 degenerates to static, larger values trade sharing against
 // memory and message contention.
-func MPLSweep(residents []int, base core.Config) ([]MPLPoint, error) {
+func MPLSweep(residents []int, base core.Config, opts ...engine.Options) ([]MPLPoint, error) {
 	base.App = core.MatMul
 	base.Arch = workload.Adaptive
 	base.Policy = sched.TimeShared
@@ -300,30 +306,32 @@ func MPLSweep(residents []int, base core.Config) ([]MPLPoint, error) {
 	if base.Topology == 0 {
 		base.Topology = topology.Mesh
 	}
-	var out []MPLPoint
+	plan := engine.NewPlan[MPLPoint]("E5 mpl")
 	for _, r := range residents {
-		cfg := base
-		cfg.MaxResident = r
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("mpl=%d: %w", r, err)
-		}
-		out = append(out, MPLPoint{MaxResident: r, Mean: res.MeanResponse(), MemBlocked: res.TotalMemBlockedTime()})
+		r := r
+		plan.Add(fmt.Sprintf("mpl=%d", r), func() (MPLPoint, error) {
+			cfg := base
+			cfg.MaxResident = r
+			res, err := core.Run(cfg)
+			if err != nil {
+				return MPLPoint{}, fmt.Errorf("mpl=%d: %w", r, err)
+			}
+			return MPLPoint{MaxResident: r, Mean: res.MeanResponse(), MemBlocked: res.TotalMemBlockedTime()}, nil
+		})
 	}
-	return out, nil
+	return engine.Execute(plan, opts...)
 }
 
 // MPLTable renders E5.
 func MPLTable(points []MPLPoint) string {
-	var b strings.Builder
-	b.WriteString("E5 — Multiprogramming level tuning (hybrid, matmul adaptive, 8-node mesh partitions)\n")
-	fmt.Fprintf(&b, "%-6s %12s %14s\n", "MPL", "hybrid", "memBlock")
+	t := newText("E5 — Multiprogramming level tuning (hybrid, matmul adaptive, 8-node mesh partitions)")
+	t.linef("%-6s %12s %14s\n", "MPL", "hybrid", "memBlock")
 	for _, p := range points {
 		label := fmt.Sprintf("%d", p.MaxResident)
 		if p.MaxResident == 0 {
 			label = "all"
 		}
-		fmt.Fprintf(&b, "%-6s %12s %14s\n", label, fmtSec(p.Mean), fmtSec(p.MemBlocked))
+		t.linef("%-6s %12s %14s\n", label, fmtSec(p.Mean), fmtSec(p.MemBlocked))
 	}
-	return b.String()
+	return t.String()
 }

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -69,56 +69,77 @@ const LoadReplications = 5
 // (the §2.1 family the paper cites but does not implement) adapt partition
 // sizes to the queue. Each point averages LoadReplications arrival
 // sequences.
-func OpenLoadSweep(rhos []float64, base core.Config) ([]LoadPoint, error) {
-	var out []LoadPoint
+//
+// Every rho × policy pair is one engine point; the replications inside a
+// point run sequentially (the plan already saturates the pool).
+func OpenLoadSweep(rhos []float64, base core.Config, opts ...engine.Options) ([]LoadPoint, error) {
+	type policyCell struct {
+		mean sim.Time
+		rel  float64
+	}
+	policies := []struct {
+		policy sched.Policy
+		psize  int
+	}{
+		{sched.Static, 4},
+		{sched.TimeShared, 4},
+		{sched.DynamicSpace, 0},
+	}
+	plan := engine.NewPlan[policyCell]("E6 load")
 	for _, rho := range rhos {
-		point := LoadPoint{Rho: rho}
-		for _, pc := range []struct {
-			policy sched.Policy
-			psize  int
-			dst    *sim.Time
-		}{
-			{sched.Static, 4, &point.Static4},
-			{sched.TimeShared, 4, &point.Hybrid4},
-			{sched.DynamicSpace, 0, &point.Dynamic},
-		} {
-			summary, err := stats.Replicate(LoadReplications, func(rep int64) (float64, error) {
-				cfg := base
-				cfg.Policy = pc.policy
-				cfg.PartitionSize = pc.psize
-				if cfg.Topology == 0 {
-					cfg.Topology = topology.Mesh
-				}
-				cfg.Batch = openBatch(rho, base.Seed+7+rep*131)
-				res, err := core.Run(cfg)
+		rho := rho
+		for _, pc := range policies {
+			pc := pc
+			plan.Add(fmt.Sprintf("rho=%.2f/%v", rho, pc.policy), func() (policyCell, error) {
+				summary, err := stats.Replicate(LoadReplications, func(rep int64) (float64, error) {
+					cfg := base
+					cfg.Policy = pc.policy
+					cfg.PartitionSize = pc.psize
+					if cfg.Topology == 0 {
+						cfg.Topology = topology.Mesh
+					}
+					cfg.Batch = openBatch(rho, base.Seed+7+rep*131)
+					res, err := core.Run(cfg)
+					if err != nil {
+						return 0, err
+					}
+					return float64(res.MeanResponse()), nil
+				}, engine.Options{Workers: 1})
 				if err != nil {
-					return 0, err
+					return policyCell{}, fmt.Errorf("rho %.2f %v: %w", rho, pc.policy, err)
 				}
-				return float64(res.MeanResponse()), nil
+				return policyCell{mean: sim.Time(summary.Mean), rel: summary.RelativeCI()}, nil
 			})
-			if err != nil {
-				return nil, fmt.Errorf("rho %.2f %v: %w", rho, pc.policy, err)
-			}
-			*pc.dst = sim.Time(summary.Mean)
-			if rel := summary.RelativeCI(); rel > point.MaxRelCI {
-				point.MaxRelCI = rel
+		}
+	}
+	cells, err := engine.Execute(plan, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LoadPoint, len(rhos))
+	for i, rho := range rhos {
+		point := LoadPoint{Rho: rho}
+		row := cells[i*len(policies) : (i+1)*len(policies)]
+		point.Static4, point.Hybrid4, point.Dynamic = row[0].mean, row[1].mean, row[2].mean
+		for _, c := range row {
+			if c.rel > point.MaxRelCI {
+				point.MaxRelCI = c.rel
 			}
 		}
-		out = append(out, point)
+		out[i] = point
 	}
 	return out, nil
 }
 
 // LoadTable renders E6.
 func LoadTable(points []LoadPoint) string {
-	var b strings.Builder
-	b.WriteString("E6 — Open-system load sweep (matmul adaptive, Poisson arrivals)\n")
-	fmt.Fprintf(&b, "%-6s %12s %12s %12s %10s\n", "load", "static-4", "hybrid-4", "dynamic", "max ±CI")
+	t := newText("E6 — Open-system load sweep (matmul adaptive, Poisson arrivals)")
+	t.linef("%-6s %12s %12s %12s %10s\n", "load", "static-4", "hybrid-4", "dynamic", "max ±CI")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%-6.2f %12s %12s %12s %9.0f%%\n",
+		t.linef("%-6.2f %12s %12s %12s %9.0f%%\n",
 			p.Rho, fmtSec(p.Static4), fmtSec(p.Hybrid4), fmtSec(p.Dynamic), 100*p.MaxRelCI)
 	}
-	return b.String()
+	return t.String()
 }
 
 // ---------------------------------------------------------------------------
@@ -137,7 +158,7 @@ type GangCell struct {
 // loosely-coupled paper workloads the difference is small, but for the
 // tightly-synchronized stencil the uncoordinated policy makes every halo
 // exchange wait for a descheduled partner.
-func GangVsRRJob(base core.Config) ([]GangCell, error) {
+func GangVsRRJob(base core.Config, opts ...engine.Options) ([]GangCell, error) {
 	if base.PartitionSize == 0 {
 		base.PartitionSize = 8
 	}
@@ -145,46 +166,52 @@ func GangVsRRJob(base core.Config) ([]GangCell, error) {
 		base.Topology = topology.Mesh
 	}
 	base.Arch = workload.Fixed
-	var out []GangCell
-	for _, app := range []core.AppKind{core.MatMul, core.Stencil} {
-		cell := GangCell{App: app.String()}
-		for _, pc := range []struct {
-			policy sched.Policy
-			dst    *sim.Time
-			ovh    *float64
-		}{
-			{sched.TimeShared, &cell.RRJob, &cell.RRJobOvh},
-			{sched.Gang, &cell.Gang, &cell.GangOverhead},
-		} {
-			cfg := base
-			cfg.App = app
-			cfg.Policy = pc.policy
-			res, err := core.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%v %v: %w", app, pc.policy, err)
-			}
-			*pc.dst = res.MeanResponse()
-			*pc.ovh = res.SystemOverheadFraction()
+	type runCell struct {
+		mean sim.Time
+		ovh  float64
+	}
+	apps := []core.AppKind{core.MatMul, core.Stencil}
+	policies := []sched.Policy{sched.TimeShared, sched.Gang}
+	plan := engine.NewPlan[runCell]("E7 gang")
+	for _, app := range apps {
+		app := app
+		for _, pol := range policies {
+			pol := pol
+			plan.Add(fmt.Sprintf("%v/%v", app, pol), func() (runCell, error) {
+				cfg := base
+				cfg.App = app
+				cfg.Policy = pol
+				res, err := core.Run(cfg)
+				if err != nil {
+					return runCell{}, fmt.Errorf("%v %v: %w", app, pol, err)
+				}
+				return runCell{mean: res.MeanResponse(), ovh: res.SystemOverheadFraction()}, nil
+			})
 		}
-		out = append(out, cell)
+	}
+	cells, err := engine.Execute(plan, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GangCell, len(apps))
+	for i, app := range apps {
+		rrj, gang := cells[i*2], cells[i*2+1]
+		out[i] = GangCell{App: app.String(),
+			RRJob: rrj.mean, RRJobOvh: rrj.ovh,
+			Gang: gang.mean, GangOverhead: gang.ovh}
 	}
 	return out, nil
 }
 
 // GangTable renders E7.
 func GangTable(cells []GangCell) string {
-	var b strings.Builder
-	b.WriteString("E7 — Gang scheduling vs RR-job (fixed architecture, 8-node mesh partitions)\n")
-	fmt.Fprintf(&b, "%-10s %12s %12s %12s %10s %10s\n", "app", "rr-job", "gang", "gang/rrjob", "rrj ovh", "gang ovh")
+	t := newText("E7 — Gang scheduling vs RR-job (fixed architecture, 8-node mesh partitions)")
+	t.linef("%-10s %12s %12s %12s %10s %10s\n", "app", "rr-job", "gang", "gang/rrjob", "rrj ovh", "gang ovh")
 	for _, c := range cells {
-		ratio := 0.0
-		if c.RRJob > 0 {
-			ratio = float64(c.Gang) / float64(c.RRJob)
-		}
-		fmt.Fprintf(&b, "%-10s %12s %12s %12.2f %9.1f%% %9.1f%%\n",
-			c.App, fmtSec(c.RRJob), fmtSec(c.Gang), ratio, 100*c.RRJobOvh, 100*c.GangOverhead)
+		t.linef("%-10s %12s %12s %12.2f %9.1f%% %9.1f%%\n",
+			c.App, fmtSec(c.RRJob), fmtSec(c.Gang), safeRatio(c.Gang, c.RRJob), 100*c.RRJobOvh, 100*c.GangOverhead)
 	}
-	return b.String()
+	return t.String()
 }
 
 // ---------------------------------------------------------------------------
@@ -203,50 +230,48 @@ type StencilCell struct {
 // synchronizes neighbors every sweep, so topology (and scheduling
 // interference with communication) dominates — the workload the paper's
 // introduction gestures at when motivating topology experiments.
-func StencilTopology(base core.Config) ([]StencilCell, error) {
+func StencilTopology(base core.Config, opts ...engine.Options) ([]StencilCell, error) {
 	base.App = core.Stencil
 	base.Arch = workload.Fixed
 	size := machineSize(base)
 	base.PartitionSize = 8
-	var out []StencilCell
+	plan := engine.NewPlan[StencilCell]("E8 stencil")
 	for _, kind := range topology.Kinds() {
 		if kind == topology.Hypercube && base.PartitionSize == size {
 			continue
 		}
-		cfg := base
-		cfg.Topology = kind
-		staticMean, _, _, err := core.StaticAveraged(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("static %v: %w", kind, err)
-		}
-		tsCfg := cfg
-		tsCfg.Policy = sched.TimeShared
-		tsCfg.Order = core.Submission
-		ts, err := core.Run(tsCfg)
-		if err != nil {
-			return nil, fmt.Errorf("ts %v: %w", kind, err)
-		}
-		out = append(out, StencilCell{
-			Label:    fmt.Sprintf("%d%s", base.PartitionSize, kind.Letter()),
-			Static:   staticMean,
-			TS:       ts.MeanResponse(),
-			TSAvgLat: ts.Net.AvgLatency(),
+		kind := kind
+		plan.Add(kind.String(), func() (StencilCell, error) {
+			cfg := base
+			cfg.Topology = kind
+			staticMean, _, _, err := core.StaticAveraged(cfg)
+			if err != nil {
+				return StencilCell{}, fmt.Errorf("static %v: %w", kind, err)
+			}
+			tsCfg := cfg
+			tsCfg.Policy = sched.TimeShared
+			tsCfg.Order = core.Submission
+			ts, err := core.Run(tsCfg)
+			if err != nil {
+				return StencilCell{}, fmt.Errorf("ts %v: %w", kind, err)
+			}
+			return StencilCell{
+				Label:    fmt.Sprintf("%d%s", base.PartitionSize, kind.Letter()),
+				Static:   staticMean,
+				TS:       ts.MeanResponse(),
+				TSAvgLat: ts.Net.AvgLatency(),
+			}, nil
 		})
 	}
-	return out, nil
+	return engine.Execute(plan, opts...)
 }
 
 // StencilTable renders E8.
 func StencilTable(cells []StencilCell) string {
-	var b strings.Builder
-	b.WriteString("E8 — Topology stress, halo-exchange stencil (fixed arch, 8-node partitions)\n")
-	fmt.Fprintf(&b, "%-6s %12s %12s %10s %14s\n", "topo", "static(avg)", "TS/hybrid", "TS/stat", "TS msg latency")
+	t := newText("E8 — Topology stress, halo-exchange stencil (fixed arch, 8-node partitions)")
+	t.linef("%-6s %12s %12s %10s %14s\n", "topo", "static(avg)", "TS/hybrid", "TS/stat", "TS msg latency")
 	for _, c := range cells {
-		ratio := 0.0
-		if c.Static > 0 {
-			ratio = float64(c.TS) / float64(c.Static)
-		}
-		fmt.Fprintf(&b, "%-6s %12s %12s %10.2f %14s\n", c.Label, fmtSec(c.Static), fmtSec(c.TS), ratio, c.TSAvgLat)
+		t.linef("%-6s %12s %12s %10.2f %14s\n", c.Label, fmtSec(c.Static), fmtSec(c.TS), safeRatio(c.TS, c.Static), c.TSAvgLat)
 	}
-	return b.String()
+	return t.String()
 }

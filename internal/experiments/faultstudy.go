@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -126,15 +126,27 @@ func (c FaultStudyConfig) faultConfigAt(mtbf sim.Time) *fault.Config {
 // topology. The zero-rate point is verified against a fault-free run of the
 // same configuration: any difference means the fault machinery perturbed a
 // run it should not have, and the study fails.
-func RunFaultStudy(sc FaultStudyConfig) (*FaultStudy, error) {
+//
+// The whole (policy × ladder) grid, baselines included, is one engine plan;
+// the zero-rate check happens after collection, walking curves in the order
+// the sequential sweep used so the first reported failure is the same.
+func RunFaultStudy(sc FaultStudyConfig, opts ...engine.Options) (*FaultStudy, error) {
 	sc = sc.withDefaults()
 	study := &FaultStudy{
 		Topology:      sc.Topology,
 		PartitionSize: sc.Base.PartitionSize,
 		Horizon:       sc.Horizon,
 	}
+	// Run result for one point; baselines only fill mean and makespan.
+	type runOut struct {
+		point          FaultPoint
+		mean, makespan sim.Time
+	}
+	mtbfs := append([]sim.Time{0}, sc.MTBFs...)
+	stride := 1 + len(mtbfs) // baseline + ladder per policy
+	plan := engine.NewPlan[runOut](fmt.Sprintf("fault %s", sc.Topology))
 	for _, policy := range sc.Policies {
-		curve := FaultCurve{Policy: policy}
+		policy := policy
 		cfg := sc.Base
 		cfg.Policy = policy
 		cfg.Topology = sc.Topology
@@ -142,40 +154,61 @@ func RunFaultStudy(sc FaultStudyConfig) (*FaultStudy, error) {
 		// Fault-free reference for the zero-rate check. Checkpointing is
 		// excluded from the comparison: its CPU charge is a real (if small)
 		// perturbation even without faults.
-		refCfg := cfg
-		refCfg.Fault = nil
-		ref, err := core.Run(refCfg)
-		if err != nil {
-			return nil, fmt.Errorf("fault study %s %s baseline: %w", sc.Topology, policy, err)
-		}
-
-		for _, mtbf := range append([]sim.Time{0}, sc.MTBFs...) {
-			runCfg := cfg
-			runCfg.Fault = sc.faultConfigAt(mtbf)
-			res, err := core.Run(runCfg)
+		plan.Add(fmt.Sprintf("%s/baseline", policy), func() (runOut, error) {
+			refCfg := cfg
+			refCfg.Fault = nil
+			ref, err := core.Run(refCfg)
 			if err != nil {
-				return nil, fmt.Errorf("fault study %s %s mtbf=%v: %w", sc.Topology, policy, mtbf, err)
+				return runOut{}, fmt.Errorf("fault study %s %s baseline: %w", sc.Topology, policy, err)
 			}
+			return runOut{mean: ref.MeanResponse(), makespan: ref.Makespan}, nil
+		})
+		for _, mtbf := range mtbfs {
+			mtbf := mtbf
+			plan.Add(fmt.Sprintf("%s/mtbf=%v", policy, mtbf), func() (runOut, error) {
+				runCfg := cfg
+				runCfg.Fault = sc.faultConfigAt(mtbf)
+				res, err := core.Run(runCfg)
+				if err != nil {
+					return runOut{}, fmt.Errorf("fault study %s %s mtbf=%v: %w", sc.Topology, policy, mtbf, err)
+				}
+				pt := FaultPoint{
+					NodeMTBF: mtbf,
+					Mean:     res.MeanResponse(),
+					Makespan: res.Makespan,
+					Retries:  res.Net.Retries,
+				}
+				if mtbf > 0 {
+					pt.Rate = float64(sim.Second) / float64(mtbf)
+				}
+				if res.Faults != nil {
+					pt.Faults = *res.Faults
+				}
+				return runOut{point: pt, mean: res.MeanResponse(), makespan: res.Makespan}, nil
+			})
+		}
+	}
+	outs, errs := engine.ExecuteAll(plan, opts...)
+	for pi, policy := range sc.Policies {
+		if err := errs[pi*stride]; err != nil {
+			return nil, err
+		}
+		ref := outs[pi*stride]
+		curve := FaultCurve{Policy: policy}
+		for mi, mtbf := range mtbfs {
+			idx := pi*stride + 1 + mi
+			if err := errs[idx]; err != nil {
+				return nil, err
+			}
+			res := outs[idx]
 			if mtbf == 0 && sc.Checkpoint == 0 {
-				if res.MeanResponse() != ref.MeanResponse() || res.Makespan != ref.Makespan {
+				if res.mean != ref.mean || res.makespan != ref.makespan {
 					return nil, fmt.Errorf(
 						"fault study %s %s: zero-rate run diverged from fault-free baseline (mean %v vs %v, makespan %v vs %v)",
-						sc.Topology, policy, res.MeanResponse(), ref.MeanResponse(), res.Makespan, ref.Makespan)
+						sc.Topology, policy, res.mean, ref.mean, res.makespan, ref.makespan)
 				}
 			}
-			pt := FaultPoint{
-				NodeMTBF: mtbf,
-				Mean:     res.MeanResponse(),
-				Makespan: res.Makespan,
-				Retries:  res.Net.Retries,
-			}
-			if mtbf > 0 {
-				pt.Rate = float64(sim.Second) / float64(mtbf)
-			}
-			if res.Faults != nil {
-				pt.Faults = *res.Faults
-			}
-			curve.Points = append(curve.Points, pt)
+			curve.Points = append(curve.Points, res.point)
 		}
 		study.Curves = append(study.Curves, curve)
 	}
@@ -184,34 +217,17 @@ func RunFaultStudy(sc FaultStudyConfig) (*FaultStudy, error) {
 
 // Table renders the study: one block per policy, one row per failure rate.
 func (s *FaultStudy) Table() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Fault degradation — partition %d, %s topology, horizon %s\n",
-		s.PartitionSize, s.Topology, s.Horizon)
-	fmt.Fprintf(&b, "%-12s %10s %12s %12s %8s %8s %8s %12s\n",
+	t := newText(fmt.Sprintf("Fault degradation — partition %d, %s topology, horizon %s",
+		s.PartitionSize, s.Topology, s.Horizon))
+	t.linef("%-12s %10s %12s %12s %8s %8s %8s %12s\n",
 		"policy", "rate(/n·s)", "mean", "makespan", "fails", "kills", "ckpts", "work lost")
 	for _, c := range s.Curves {
 		for _, p := range c.Points {
-			fmt.Fprintf(&b, "%-12s %10.2f %12s %12s %8d %8d %8d %12s\n",
+			t.linef("%-12s %10.2f %12s %12s %8d %8d %8d %12s\n",
 				c.Policy, p.Rate, fmtSec(p.Mean), fmtSec(p.Makespan),
 				p.Faults.NodesFailed, p.Faults.JobKills, p.Faults.Checkpoints,
 				fmtSec(p.Faults.WorkLost))
 		}
 	}
-	return b.String()
-}
-
-// CSV renders the study as rows for plotting.
-func (s *FaultStudy) CSV() string {
-	var b strings.Builder
-	b.WriteString("topology,partition,policy,rate_per_node_s,mtbf_us,mean_s,makespan_s,nodes_failed,job_kills,requeues,restarts,checkpoints,work_lost_s,retries\n")
-	for _, c := range s.Curves {
-		for _, p := range c.Points {
-			fmt.Fprintf(&b, "%s,%d,%s,%g,%d,%.6f,%.6f,%d,%d,%d,%d,%d,%.6f,%d\n",
-				s.Topology, s.PartitionSize, c.Policy, p.Rate, int64(p.NodeMTBF),
-				p.Mean.Seconds(), p.Makespan.Seconds(),
-				p.Faults.NodesFailed, p.Faults.JobKills, p.Faults.Requeues,
-				p.Faults.Restarts, p.Faults.Checkpoints, p.Faults.WorkLost.Seconds(), p.Retries)
-		}
-	}
-	return b.String()
+	return t.String()
 }

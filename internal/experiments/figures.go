@@ -5,13 +5,18 @@
 // with a text table matching the paper's presentation: mean response time
 // per partition configuration, static (averaged over best and worst
 // submission orders, per §5.1) versus time-sharing/hybrid.
+//
+// Every driver builds an engine.Plan of independent points and runs it via
+// engine.Execute, so sweeps scale with host cores; pass engine.Options to
+// tune the worker count. Results are keyed by point index, so any worker
+// count — including 1 — produces identical output.
 package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -46,10 +51,7 @@ type Cell struct {
 
 // Ratio is TS divided by static mean response (>1 means static wins).
 func (c Cell) Ratio() float64 {
-	if c.Static == 0 {
-		return 0
-	}
-	return float64(c.TS) / float64(c.Static)
+	return safeRatio(c.TS, c.Static)
 }
 
 // Figure is one reproduced evaluation figure.
@@ -99,47 +101,56 @@ func sweepConfigs(machineSize int) []struct {
 
 // RunFigure produces one of Figures 3-6: the given application and software
 // architecture across every partition size and topology, static versus
-// time-sharing/hybrid.
-func RunFigure(id, title string, app core.AppKind, arch workload.Arch, base core.Config) (*Figure, error) {
+// time-sharing/hybrid. Cells are independent simulations and run on the
+// engine's worker pool.
+func RunFigure(id, title string, app core.AppKind, arch workload.Arch, base core.Config, opts ...engine.Options) (*Figure, error) {
 	fig := &Figure{ID: id, Title: title, App: app, Arch: arch}
 	base.App = app
 	base.Arch = arch
+	plan := engine.NewPlan[Cell](id)
 	for _, sc := range sweepConfigs(machineSize(base)) {
-		cfg := base
-		cfg.PartitionSize = sc.P
-		cfg.Topology = sc.Kind
-
-		staticMean, best, worst, err := core.StaticAveraged(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s %d%s static: %w", id, sc.P, sc.Kind.Letter(), err)
-		}
-		tsCfg := cfg
-		tsCfg.Policy = sched.TimeShared
-		tsCfg.Order = core.Submission
-		ts, err := core.Run(tsCfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s %d%s ts: %w", id, sc.P, sc.Kind.Letter(), err)
-		}
-
 		label := fmt.Sprintf("%d%s", sc.P, sc.Kind.Letter())
 		if sc.P == 1 {
 			label = "1"
 		}
-		fig.Cells = append(fig.Cells, Cell{
-			PartitionSize:  sc.P,
-			Topology:       sc.Kind,
-			Label:          label,
-			Static:         staticMean,
-			StaticBest:     best.MeanResponse(),
-			StaticWorst:    worst.MeanResponse(),
-			TS:             ts.MeanResponse(),
-			TSMemBlocked:   ts.TotalMemBlockedTime(),
-			TSOverheadFrac: ts.SystemOverheadFraction(),
-			TSAvgMsgLat:    ts.Net.AvgLatency(),
-			StaticUtil:     (best.CPUUtilization() + worst.CPUUtilization()) / 2,
-			TSUtil:         ts.CPUUtilization(),
+		sc := sc
+		plan.Add(label, func() (Cell, error) {
+			cfg := base
+			cfg.PartitionSize = sc.P
+			cfg.Topology = sc.Kind
+
+			staticMean, best, worst, err := core.StaticAveraged(cfg)
+			if err != nil {
+				return Cell{}, fmt.Errorf("%s %d%s static: %w", id, sc.P, sc.Kind.Letter(), err)
+			}
+			tsCfg := cfg
+			tsCfg.Policy = sched.TimeShared
+			tsCfg.Order = core.Submission
+			ts, err := core.Run(tsCfg)
+			if err != nil {
+				return Cell{}, fmt.Errorf("%s %d%s ts: %w", id, sc.P, sc.Kind.Letter(), err)
+			}
+			return Cell{
+				PartitionSize:  sc.P,
+				Topology:       sc.Kind,
+				Label:          label,
+				Static:         staticMean,
+				StaticBest:     best.MeanResponse(),
+				StaticWorst:    worst.MeanResponse(),
+				TS:             ts.MeanResponse(),
+				TSMemBlocked:   ts.TotalMemBlockedTime(),
+				TSOverheadFrac: ts.SystemOverheadFraction(),
+				TSAvgMsgLat:    ts.Net.AvgLatency(),
+				StaticUtil:     (best.CPUUtilization() + worst.CPUUtilization()) / 2,
+				TSUtil:         ts.CPUUtilization(),
+			}, nil
 		})
 	}
+	cells, err := engine.Execute(plan, opts...)
+	if err != nil {
+		return nil, err
+	}
+	fig.Cells = cells
 	return fig, nil
 }
 
@@ -152,47 +163,42 @@ func machineSize(c core.Config) int {
 
 // Figure3 reproduces "Mean response time for the matrix multiplication
 // application — Fixed software architecture".
-func Figure3(base core.Config) (*Figure, error) {
+func Figure3(base core.Config, opts ...engine.Options) (*Figure, error) {
 	return RunFigure("Figure 3", "Matrix multiplication, fixed software architecture",
-		core.MatMul, workload.Fixed, base)
+		core.MatMul, workload.Fixed, base, opts...)
 }
 
 // Figure4 reproduces the adaptive-architecture matmul figure.
-func Figure4(base core.Config) (*Figure, error) {
+func Figure4(base core.Config, opts ...engine.Options) (*Figure, error) {
 	return RunFigure("Figure 4", "Matrix multiplication, adaptive software architecture",
-		core.MatMul, workload.Adaptive, base)
+		core.MatMul, workload.Adaptive, base, opts...)
 }
 
 // Figure5 reproduces the fixed-architecture sort figure.
-func Figure5(base core.Config) (*Figure, error) {
+func Figure5(base core.Config, opts ...engine.Options) (*Figure, error) {
 	return RunFigure("Figure 5", "Sort, fixed software architecture",
-		core.Sort, workload.Fixed, base)
+		core.Sort, workload.Fixed, base, opts...)
 }
 
 // Figure6 reproduces the adaptive-architecture sort figure.
-func Figure6(base core.Config) (*Figure, error) {
+func Figure6(base core.Config, opts ...engine.Options) (*Figure, error) {
 	return RunFigure("Figure 6", "Sort, adaptive software architecture",
-		core.Sort, workload.Adaptive, base)
+		core.Sort, workload.Adaptive, base, opts...)
 }
 
 // Table renders the figure in the paper's orientation: one row per
 // partition configuration, static vs time-sharing columns.
 func (f *Figure) Table() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
-	fmt.Fprintf(&b, "%-6s %12s %12s %12s %12s %8s %14s %8s\n",
+	t := newText(fmt.Sprintf("%s — %s", f.ID, f.Title))
+	t.linef("%-6s %12s %12s %12s %12s %8s %14s %8s\n",
 		"part", "static(avg)", "static-best", "static-worst", "TS/hybrid", "TS/stat", "TS memBlock", "TS ovh")
 	for _, c := range f.Cells {
-		fmt.Fprintf(&b, "%-6s %12s %12s %12s %12s %8.2f %14s %7.1f%%\n",
+		t.linef("%-6s %12s %12s %12s %12s %8.2f %14s %7.1f%%\n",
 			c.Label,
 			fmtSec(c.Static), fmtSec(c.StaticBest), fmtSec(c.StaticWorst), fmtSec(c.TS),
 			c.Ratio(), fmtSec(c.TSMemBlocked), 100*c.TSOverheadFrac)
 	}
-	return b.String()
-}
-
-func fmtSec(t sim.Time) string {
-	return fmt.Sprintf("%.3fs", t.Seconds())
+	return t.String()
 }
 
 // Find returns the cell with the given label, or nil.

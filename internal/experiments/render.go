@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// This file is the single row-writer behind every figure/sweep printer:
+// one place that formats titles and headers, renders floats at the
+// conventional precisions, and applies CSV escaping. The per-experiment
+// printers declare their columns and hand cells to these writers instead of
+// hand-rolling fmt strings.
+
+// Cell value wrappers select the canonical rendering for CSV cells:
+//
+//	secs  simulated time as seconds, 6 decimals (the plotting precision)
+//	fix2  fixed 2-decimal float (CVs, loads, ratios shown coarsely)
+//	fix4  fixed 4-decimal float (fractions, fine ratios)
+//
+// Plain string, int, int64, float64 (%g) and fmt.Stringer cells render
+// directly; strings pass through csvEscape.
+type (
+	secs sim.Time
+	fix2 float64
+	fix4 float64
+)
+
+// csvWriter accumulates one CSV document: a header row and typed cells.
+type csvWriter struct {
+	b strings.Builder
+}
+
+// newCSV starts a document with the given header columns.
+func newCSV(cols ...string) *csvWriter {
+	w := &csvWriter{}
+	for i, c := range cols {
+		if i > 0 {
+			w.b.WriteByte(',')
+		}
+		w.b.WriteString(csvEscape(c))
+	}
+	w.b.WriteByte('\n')
+	return w
+}
+
+// row appends one record; each cell renders per its wrapper type.
+func (w *csvWriter) row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			w.b.WriteByte(',')
+		}
+		w.b.WriteString(csvCell(c))
+	}
+	w.b.WriteByte('\n')
+}
+
+func (w *csvWriter) String() string { return w.b.String() }
+
+func csvCell(c any) string {
+	switch v := c.(type) {
+	case secs:
+		return fmt.Sprintf("%.6f", sim.Time(v).Seconds())
+	case fix2:
+		return fmt.Sprintf("%.2f", float64(v))
+	case fix4:
+		return fmt.Sprintf("%.4f", float64(v))
+	case float64:
+		return fmt.Sprintf("%g", v)
+	case int:
+		return strconv.Itoa(v)
+	case int64:
+		return strconv.FormatInt(v, 10)
+	case string:
+		return csvEscape(v)
+	case fmt.Stringer:
+		return csvEscape(v.String())
+	default:
+		return csvEscape(fmt.Sprint(v))
+	}
+}
+
+// csvEscape quotes a field that contains a separator, quote or newline —
+// RFC 4180 style. Fields that need no quoting pass through unchanged, so
+// historical output bytes are preserved.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// textTable accumulates one human-readable table: a title line, a header
+// line and formatted rows. Header and row layouts are fmt strings so each
+// experiment keeps its historical column widths exactly.
+type textTable struct {
+	b strings.Builder
+}
+
+// newText starts a table with its title line.
+func newText(title string) *textTable {
+	t := &textTable{}
+	t.b.WriteString(title)
+	t.b.WriteByte('\n')
+	return t
+}
+
+// linef appends one formatted line (header or row).
+func (t *textTable) linef(format string, args ...any) {
+	fmt.Fprintf(&t.b, format, args...)
+}
+
+func (t *textTable) String() string { return t.b.String() }
+
+// fmtSec renders simulated time as seconds for table cells.
+func fmtSec(t sim.Time) string {
+	return fmt.Sprintf("%.3fs", t.Seconds())
+}
+
+// safeRatio is num/den with the zero-denominator guard every ratio column
+// needs.
+func safeRatio(num, den sim.Time) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -32,7 +32,7 @@ var DefaultScales = []int{16, 32, 64}
 // partitions, and compare static space-sharing with the hybrid policy.
 // The batch per processor is held constant, so an ideally scalable system
 // would show flat response times.
-func Scalability(sizes []int, base core.Config) ([]ScaleCell, error) {
+func Scalability(sizes []int, base core.Config, opts ...engine.Options) ([]ScaleCell, error) {
 	if base.Topology == 0 {
 		base.Topology = topology.Mesh
 	}
@@ -40,73 +40,62 @@ func Scalability(sizes []int, base core.Config) ([]ScaleCell, error) {
 		base.PartitionSize = 8
 	}
 	appCost := workload.DefaultAppCost()
-	var out []ScaleCell
+	plan := engine.NewPlan[ScaleCell]("E9 scalability")
 	for _, size := range sizes {
+		// Validate while building the plan so a bad size fails before any
+		// simulation runs, exactly as the sequential loop did.
 		if size%base.PartitionSize != 0 {
 			return nil, fmt.Errorf("machine %d not divisible by partition %d", size, base.PartitionSize)
 		}
-		mkBatch := func() workload.Batch {
-			return workload.BatchSpec{
-				Small: size * 3 / 4, Large: size / 4, Arch: workload.Adaptive,
-				NewApp: func(class string) workload.App {
-					n := workload.MatMulSmallN
-					if class == "large" {
-						n = workload.MatMulLargeN
-					}
-					return workload.NewMatMul(n, appCost, false)
-				},
-			}.Build()
-		}
-		cell := ScaleCell{Machine: size}
+		size := size
+		plan.Add(fmt.Sprintf("n=%d", size), func() (ScaleCell, error) {
+			mkBatch := func() workload.Batch {
+				return workload.BatchSpec{
+					Small: size * 3 / 4, Large: size / 4, Arch: workload.Adaptive,
+					NewApp: func(class string) workload.App {
+						n := workload.MatMulSmallN
+						if class == "large" {
+							n = workload.MatMulLargeN
+						}
+						return workload.NewMatMul(n, appCost, false)
+					},
+				}.Build()
+			}
+			cell := ScaleCell{Machine: size}
 
-		cfg := base
-		cfg.Processors = size
-		cfg.Batch = mkBatch()
-		staticMean, _, _, err := core.StaticAveraged(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("static %d: %w", size, err)
-		}
-		cell.Static = staticMean
+			cfg := base
+			cfg.Processors = size
+			cfg.Batch = mkBatch()
+			staticMean, _, _, err := core.StaticAveraged(cfg)
+			if err != nil {
+				return ScaleCell{}, fmt.Errorf("static %d: %w", size, err)
+			}
+			cell.Static = staticMean
 
-		cfg = base
-		cfg.Processors = size
-		cfg.Batch = mkBatch()
-		cfg.Policy = sched.TimeShared
-		ts, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ts %d: %w", size, err)
-		}
-		cell.TS = ts.MeanResponse()
-		cell.TSMemBlock = ts.TotalMemBlockedTime()
-		cell.TSOverhead = ts.SystemOverheadFraction()
-		out = append(out, cell)
+			cfg = base
+			cfg.Processors = size
+			cfg.Batch = mkBatch()
+			cfg.Policy = sched.TimeShared
+			ts, err := core.Run(cfg)
+			if err != nil {
+				return ScaleCell{}, fmt.Errorf("ts %d: %w", size, err)
+			}
+			cell.TS = ts.MeanResponse()
+			cell.TSMemBlock = ts.TotalMemBlockedTime()
+			cell.TSOverhead = ts.SystemOverheadFraction()
+			return cell, nil
+		})
 	}
-	return out, nil
+	return engine.Execute(plan, opts...)
 }
 
 // ScaleTable renders E9.
 func ScaleTable(cells []ScaleCell) string {
-	var b strings.Builder
-	b.WriteString("E9 — Machine-size scalability (matmul adaptive, one job per processor, 8-node mesh partitions)\n")
-	fmt.Fprintf(&b, "%-8s %12s %12s %10s %14s %8s\n", "nodes", "static(avg)", "hybrid", "TS/stat", "TS memBlock", "TS ovh")
+	t := newText("E9 — Machine-size scalability (matmul adaptive, one job per processor, 8-node mesh partitions)")
+	t.linef("%-8s %12s %12s %10s %14s %8s\n", "nodes", "static(avg)", "hybrid", "TS/stat", "TS memBlock", "TS ovh")
 	for _, c := range cells {
-		ratio := 0.0
-		if c.Static > 0 {
-			ratio = float64(c.TS) / float64(c.Static)
-		}
-		fmt.Fprintf(&b, "%-8d %12s %12s %10.2f %14s %7.1f%%\n",
-			c.Machine, fmtSec(c.Static), fmtSec(c.TS), ratio, fmtSec(c.TSMemBlock), 100*c.TSOverhead)
+		t.linef("%-8d %12s %12s %10.2f %14s %7.1f%%\n",
+			c.Machine, fmtSec(c.Static), fmtSec(c.TS), safeRatio(c.TS, c.Static), fmtSec(c.TSMemBlock), 100*c.TSOverhead)
 	}
-	return b.String()
-}
-
-// ScaleCSV renders E9 as CSV.
-func ScaleCSV(cells []ScaleCell) string {
-	var b strings.Builder
-	b.WriteString("nodes,static_s,ts_s,ts_mem_blocked_s,ts_overhead_frac\n")
-	for _, c := range cells {
-		fmt.Fprintf(&b, "%d,%.6f,%.6f,%.6f,%.4f\n",
-			c.Machine, c.Static.Seconds(), c.TS.Seconds(), c.TSMemBlock.Seconds(), c.TSOverhead)
-	}
-	return b.String()
+	return t.String()
 }

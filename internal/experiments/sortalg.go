@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -24,10 +24,7 @@ type SortAlgCell struct {
 
 // Speedup is adaptive over fixed: > 1 means the fixed architecture wins.
 func (c SortAlgCell) Speedup() float64 {
-	if c.Fixed == 0 {
-		return 0
-	}
-	return float64(c.Adaptive) / float64(c.Fixed)
+	return safeRatio(c.Adaptive, c.Fixed)
 }
 
 // SortAlgorithmAblation is extension experiment E11. §5.3 points out the
@@ -37,7 +34,7 @@ func (c SortAlgCell) Speedup() float64 {
 // architecture's substantial speedups to exactly that superlinearity.
 // Swapping in an O(n log n) merge sort tests whether the architectural
 // conclusion is an artifact of the algorithm choice.
-func SortAlgorithmAblation(base core.Config) ([]SortAlgCell, error) {
+func SortAlgorithmAblation(base core.Config, opts ...engine.Options) ([]SortAlgCell, error) {
 	if base.Topology == 0 {
 		base.Topology = topology.Mesh
 	}
@@ -56,48 +53,40 @@ func SortAlgorithmAblation(base core.Config) ([]SortAlgCell, error) {
 			},
 		}.Build()
 	}
-	var out []SortAlgCell
+	plan := engine.NewPlan[SortAlgCell]("E11 sortalg")
 	for _, alg := range []workload.SortAlgorithm{workload.SelectionSortAlg, workload.MergeSortAlg} {
 		for _, psize := range []int{2, 8} {
-			cell := SortAlgCell{Algorithm: alg.String(), PartitionSize: psize}
-			for _, arch := range []workload.Arch{workload.Fixed, workload.Adaptive} {
-				cfg := base
-				cfg.PartitionSize = psize
-				cfg.Batch = mkBatch(alg, arch)
-				mean, _, _, err := core.StaticAveraged(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%v p=%d %v: %w", alg, psize, arch, err)
+			alg, psize := alg, psize
+			plan.Add(fmt.Sprintf("%v/p=%d", alg, psize), func() (SortAlgCell, error) {
+				cell := SortAlgCell{Algorithm: alg.String(), PartitionSize: psize}
+				for _, arch := range []workload.Arch{workload.Fixed, workload.Adaptive} {
+					cfg := base
+					cfg.PartitionSize = psize
+					cfg.Batch = mkBatch(alg, arch)
+					mean, _, _, err := core.StaticAveraged(cfg)
+					if err != nil {
+						return SortAlgCell{}, fmt.Errorf("%v p=%d %v: %w", alg, psize, arch, err)
+					}
+					if arch == workload.Fixed {
+						cell.Fixed = mean
+					} else {
+						cell.Adaptive = mean
+					}
 				}
-				if arch == workload.Fixed {
-					cell.Fixed = mean
-				} else {
-					cell.Adaptive = mean
-				}
-			}
-			out = append(out, cell)
+				return cell, nil
+			})
 		}
 	}
-	return out, nil
+	return engine.Execute(plan, opts...)
 }
 
 // SortAlgTable renders E11.
 func SortAlgTable(cells []SortAlgCell) string {
-	var b strings.Builder
-	b.WriteString("E11 — Sort-algorithm ablation (static policy, mesh partitions)\n")
-	fmt.Fprintf(&b, "%-11s %-10s %12s %12s %16s\n", "algorithm", "partition", "fixed arch", "adaptive", "fixed speedup")
+	t := newText("E11 — Sort-algorithm ablation (static policy, mesh partitions)")
+	t.linef("%-11s %-10s %12s %12s %16s\n", "algorithm", "partition", "fixed arch", "adaptive", "fixed speedup")
 	for _, c := range cells {
-		fmt.Fprintf(&b, "%-11s %-10d %12s %12s %15.1fx\n",
+		t.linef("%-11s %-10d %12s %12s %15.1fx\n",
 			c.Algorithm, c.PartitionSize, fmtSec(c.Fixed), fmtSec(c.Adaptive), c.Speedup())
 	}
-	return b.String()
-}
-
-// SortAlgCSV renders E11 as CSV.
-func SortAlgCSV(cells []SortAlgCell) string {
-	var b strings.Builder
-	b.WriteString("algorithm,partition,fixed_s,adaptive_s\n")
-	for _, c := range cells {
-		fmt.Fprintf(&b, "%s,%d,%.6f,%.6f\n", c.Algorithm, c.PartitionSize, c.Fixed.Seconds(), c.Adaptive.Seconds())
-	}
-	return b.String()
+	return t.String()
 }

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sim"
 )
 
@@ -26,31 +26,30 @@ func (c Claim) OK() bool { return c.Got == c.Expected }
 // ValidateAll regenerates the evaluation and checks every claim from the
 // paper's text against it, returning the reproduction certificate that
 // cmd/validate prints and the test suite asserts.
-func ValidateAll(base core.Config) ([]Claim, error) {
-	f3, err := Figure3(base)
+//
+// The six regenerated studies are themselves one engine plan, and each
+// study fans its own cells over the same worker setting; a failure surfaces
+// as the earliest study's error, as in the sequential version.
+func ValidateAll(base core.Config, opts ...engine.Options) ([]Claim, error) {
+	plan := engine.NewPlan[any]("validate")
+	plan.Add("figure3", func() (any, error) { return Figure3(base, opts...) })
+	plan.Add("figure4", func() (any, error) { return Figure4(base, opts...) })
+	plan.Add("figure5", func() (any, error) { return Figure5(base, opts...) })
+	plan.Add("figure6", func() (any, error) { return Figure6(base, opts...) })
+	plan.Add("variance", func() (any, error) {
+		return VarianceSweep([]float64{0.2, 1.0, 1.7}, base, opts...)
+	})
+	plan.Add("ablation", func() (any, error) { return WormholeAblation(base, opts...) })
+	studies, err := engine.Execute(plan, opts...)
 	if err != nil {
 		return nil, err
 	}
-	f4, err := Figure4(base)
-	if err != nil {
-		return nil, err
-	}
-	f5, err := Figure5(base)
-	if err != nil {
-		return nil, err
-	}
-	f6, err := Figure6(base)
-	if err != nil {
-		return nil, err
-	}
-	variance, err := VarianceSweep([]float64{0.2, 1.0, 1.7}, base)
-	if err != nil {
-		return nil, err
-	}
-	ablation, err := WormholeAblation(base)
-	if err != nil {
-		return nil, err
-	}
+	f3 := studies[0].(*Figure)
+	f4 := studies[1].(*Figure)
+	f5 := studies[2].(*Figure)
+	f6 := studies[3].(*Figure)
+	variance := studies[4].([]VariancePoint)
+	ablation := studies[5].([]AblationCell)
 
 	var claims []Claim
 	add := func(id, desc string, expected, got bool, detail string) {
@@ -157,16 +156,13 @@ func ValidateAll(base core.Config) ([]Claim, error) {
 }
 
 func ratioOf(p VariancePoint) float64 {
-	if p.Static == 0 {
-		return 0
-	}
-	return float64(p.TS) / float64(p.Static)
+	return safeRatio(p.TS, p.Static)
 }
 
 // CertificateTable renders the claims with check marks.
 func CertificateTable(claims []Claim) string {
-	var b strings.Builder
-	b.WriteString("Reproduction certificate (paper claims vs this simulator)\n\n")
+	t := newText("Reproduction certificate (paper claims vs this simulator)")
+	t.linef("\n")
 	ok := 0
 	for _, c := range claims {
 		mark := "FAIL"
@@ -174,8 +170,8 @@ func CertificateTable(claims []Claim) string {
 			mark = "ok"
 			ok++
 		}
-		fmt.Fprintf(&b, "[%-4s] %-28s %s\n        %s\n", mark, c.ID, c.Description, c.Detail)
+		t.linef("[%-4s] %-28s %s\n        %s\n", mark, c.ID, c.Description, c.Detail)
 	}
-	fmt.Fprintf(&b, "\n%d/%d checks match the documented expectations.\n", ok, len(claims))
-	return b.String()
+	t.linef("\n%d/%d checks match the documented expectations.\n", ok, len(claims))
+	return t.String()
 }

@@ -11,6 +11,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/engine"
 )
 
 // Accumulator computes streaming mean and variance (Welford's algorithm),
@@ -101,14 +103,28 @@ func (s Summary) RelativeCI() float64 {
 }
 
 // Replicate runs f for seeds 0..n-1 and summarizes the returned metric.
-// Any error aborts the replication.
-func Replicate(n int, f func(seed int64) (float64, error)) (Summary, error) {
-	var acc Accumulator
+// Any error aborts the replication, reporting the lowest failing seed.
+// Replications run on the engine worker pool; observations fold into the
+// accumulator in seed order, so the summary is identical for any worker
+// count.
+func Replicate(n int, f func(seed int64) (float64, error), opts ...engine.Options) (Summary, error) {
+	plan := engine.NewPlan[float64]("stats.Replicate")
 	for i := 0; i < n; i++ {
-		x, err := f(int64(i))
-		if err != nil {
-			return Summary{}, fmt.Errorf("stats: replication %d: %w", i, err)
-		}
+		i := i
+		plan.Add(fmt.Sprintf("seed=%d", i), func() (float64, error) {
+			x, err := f(int64(i))
+			if err != nil {
+				return 0, fmt.Errorf("stats: replication %d: %w", i, err)
+			}
+			return x, nil
+		})
+	}
+	xs, err := engine.Execute(plan, opts...)
+	if err != nil {
+		return Summary{}, err
+	}
+	var acc Accumulator
+	for _, x := range xs {
 		acc.Add(x)
 	}
 	return acc.Summarize(), nil

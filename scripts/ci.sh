@@ -10,6 +10,14 @@ test ! -s /tmp/gofmt.out
 
 go test -race ./...
 
-# Benchmark smoke: one iteration of the cheapest figure, just to prove the
-# harness still runs. Full benchmarks are a manual `make bench`.
+# Engine determinism gate: the worker pool must produce byte-identical
+# results at every worker count, data-race free. Redundant with the full
+# race run above, but kept explicit so a refactor that renames or skips
+# these tests fails loudly here.
+go test -race -run 'Determinism' -count=1 ./internal/engine ./internal/experiments
+
+# Benchmark smoke: one iteration of the cheapest figure plus the parallel
+# sweep benchmark, just to prove the harness still runs. Full benchmarks
+# are a manual `make bench` / `make sweep-bench`.
 go test -run '^$' -bench BenchmarkFigure3 -benchtime 1x .
+go test -run '^$' -bench BenchmarkSweepParallel -benchtime 1x .
