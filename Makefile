@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench sweep-bench determinism figures fault ci fmt
+.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism figures fault ci fmt
 
 all: build
 
@@ -23,6 +23,15 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# One iteration of the kernel hot-path benchmarks: proves they compile and
+# run without paying for stable numbers. CI runs this.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkNetworkAllToAll' -benchmem -benchtime 1x .
+
+# Full-precision kernel benchmarks, appended as a dated BENCH_*.json entry.
+bench-ledger:
+	./scripts/bench.sh
 
 sweep-bench:
 	$(GO) test -run '^$$' -bench BenchmarkSweepParallel .

@@ -43,6 +43,12 @@ func main() {
 	cf := cliflags.Register()
 	flag.Parse()
 
+	stopProf, err := cf.StartProfiling()
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
+
 	appKind, err := core.ParseApp(*app)
 	if err != nil {
 		fail(err)

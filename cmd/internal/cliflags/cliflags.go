@@ -1,12 +1,17 @@
 // Package cliflags centralizes what the simulator commands' flag handling
-// shares: the -seed/-j pair every tool registers, and the comma-separated
-// dimension parsers behind sweep-style flags. Keeping them here means a new
-// dimension or a changed default lands in every tool at once.
+// shares: the -seed/-j pair every tool registers, the profiling trio
+// (-cpuprofile/-memprofile/-trace), and the comma-separated dimension
+// parsers behind sweep-style flags. Keeping them here means a new dimension
+// or a changed default lands in every tool at once.
 package cliflags
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strconv"
 	"strings"
 
@@ -26,15 +31,78 @@ type Common struct {
 	// Workers bounds concurrent simulation points; 0 means all CPUs.
 	// The worker count never changes output, only wall-clock time.
 	Workers *int
+	// CPUProfile, MemProfile and TracePath are profiling output files
+	// (empty disables each). See StartProfiling.
+	CPUProfile, MemProfile, TracePath *string
 }
 
-// Register installs -seed and -j on the default flag set. Call it before
-// flag.Parse.
+// Register installs -seed, -j and the profiling flags on the default flag
+// set. Call it before flag.Parse.
 func Register() Common {
 	return Common{
-		Seed:    flag.Int64("seed", 0, "simulation seed"),
-		Workers: flag.Int("j", 0, "parallel simulation workers (0 = all CPUs; any value gives identical output)"),
+		Seed:       flag.Int64("seed", 0, "simulation seed"),
+		Workers:    flag.Int("j", 0, "parallel simulation workers (0 = all CPUs; any value gives identical output)"),
+		CPUProfile: flag.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		MemProfile: flag.String("memprofile", "", "write a pprof heap profile to this file at exit"),
+		TracePath:  flag.String("trace", "", "write a runtime execution trace to this file"),
 	}
+}
+
+// StartProfiling starts CPU profiling and execution tracing as requested by
+// the flags and returns the stop function that finishes them (and writes the
+// heap profile, after a GC so it reflects live data). Call it after
+// flag.Parse; run stop before the program exits. With no profiling flags set
+// both calls are no-ops.
+func (c Common) StartProfiling() (stop func(), err error) {
+	var cpuF, traceF *os.File
+	if *c.CPUProfile != "" {
+		cpuF, err = os.Create(*c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if *c.TracePath != "" {
+		traceF, err = os.Create(*c.TracePath)
+		if err == nil {
+			err = rtrace.Start(traceF)
+		}
+		if err != nil {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			if traceF != nil {
+				traceF.Close()
+			}
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			rtrace.Stop()
+			traceF.Close()
+		}
+		if *c.MemProfile != "" {
+			f, err := os.Create(*c.MemProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // Base is the starting core.Config the common flags describe.

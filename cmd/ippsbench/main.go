@@ -179,6 +179,13 @@ func main() {
 	cf := cliflags.Register()
 	flag.Parse()
 
+	stopProf, err := cf.StartProfiling()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ippsbench:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
+
 	if *list {
 		for _, e := range all {
 			fmt.Printf("%-4s %s\n", e.id, e.title)

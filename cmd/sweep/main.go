@@ -37,6 +37,12 @@ func main() {
 	cf := cliflags.Register()
 	flag.Parse()
 
+	stopProf, err := cf.StartProfiling()
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
+
 	pols, err := cliflags.Policies(*policies)
 	if err != nil {
 		fail(err)

@@ -20,12 +20,20 @@ func main() {
 	cf := cliflags.Register()
 	flag.Parse()
 
-	claims, err := experiments.ValidateAll(cf.Base(), cf.Options())
+	stopProf, err := cf.StartProfiling()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "validate:", err)
 		os.Exit(1)
 	}
+
+	claims, err := experiments.ValidateAll(cf.Base(), cf.Options())
+	if err != nil {
+		stopProf()
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
 	fmt.Print(experiments.CertificateTable(claims))
+	stopProf() // before any non-zero exit, so profiles cover the run
 	for _, c := range claims {
 		if !c.OK() {
 			os.Exit(1)

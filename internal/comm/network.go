@@ -64,6 +64,13 @@ type Network struct {
 	nextBox []int
 	localOf map[int]int // global node id -> local index
 
+	// portTo is the precomputed fault-free forwarding table:
+	// portTo[src][dst] is the output port of the deterministic static route
+	// (-1 on the diagonal). Built once at NewNetwork, it makes the hot
+	// routing decision a single indexed load; the BFS detour table below is
+	// consulted only while links are down.
+	portTo [][]int8
+
 	// Robustness state (see robust.go). downLinks keys are local pairs,
 	// lower first; reroute is the BFS detour table, nil while all links are
 	// up (the fault-free fast path uses the static graph routes).
@@ -114,6 +121,18 @@ func NewNetwork(mach *machine.Machine, nodeIDs []int, g *topology.Graph, mode Mo
 				n.links[[2]int{a, b}] = machine.NewLink(n.k, nodeIDs[a], nodeIDs[b])
 			}
 		}
+	}
+	n.portTo = make([][]int8, g.N)
+	for s := 0; s < g.N; s++ {
+		row := make([]int8, g.N)
+		for d := 0; d < g.N; d++ {
+			if d == s {
+				row[d] = -1
+				continue
+			}
+			row[d] = int8(g.Port(s, g.NextHop(s, d)))
+		}
+		n.portTo[s] = row
 	}
 	n.routers = make([]*router, g.N)
 	for i := range n.routers {

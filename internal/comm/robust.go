@@ -199,7 +199,7 @@ func (n *Network) armRetry(uid int64, attempt int) {
 	for i := 1; i < attempt && backoff < sim.Time(1)<<40; i++ {
 		backoff *= 2
 	}
-	n.k.After(backoff, func() { n.retryFire(uid, attempt) })
+	n.k.AfterFunc(backoff, func() { n.retryFire(uid, attempt) })
 }
 
 // retryFire handles a delivery timeout: retransmit if budget remains, else

@@ -80,6 +80,12 @@ func (r *router) enqueue(m *Message) {
 		r.deliveryQ.push(m)
 		return
 	}
+	if r.net.reroute == nil {
+		// Fault-free fast path: the static route's output port is one
+		// precomputed table load, no next-hop or port scan.
+		r.portQ[r.net.portTo[r.local][m.Dst.Node]].push(m)
+		return
+	}
 	next := r.net.nextHopLocal(r.local, m.Dst.Node)
 	if next < 0 {
 		r.net.dropAt(r.local, m)
@@ -97,6 +103,11 @@ func (r *router) enqueue(m *Message) {
 // memory contention delays messages), link serialization, then hand-off.
 func (r *router) forwardLoop(p *sim.Proc, task *machine.Task, q *msgQueue, nb int) {
 	n := r.net
+	// The physical link set is fixed for the network's lifetime (only the
+	// up/down state changes), so resolve this port's half-link once instead
+	// of a map lookup per message.
+	half := n.link(r.local, nb)
+	nbMem := n.NodeOf(nb).Mem
 	for {
 		m := q.pop(p, "router port idle")
 		task.Compute(p, n.cost.RouterHopOverhead)
@@ -108,14 +119,13 @@ func (r *router) forwardLoop(p *sim.Proc, task *machine.Task, q *msgQueue, nb in
 		}
 		wire := n.wireBytes(m)
 		// Store-and-forward: the next node must hold the whole message.
-		n.NodeOf(nb).Mem.Alloc(p, wire, mem.ClassBuffer)
-		half := n.link(r.local, nb)
+		nbMem.Alloc(p, wire, mem.ClassBuffer)
 		half.Acquire(p)
 		if n.linkDown(r.local, nb) {
 			// Failed while we waited for the channel: give everything back
 			// and re-route.
 			half.Release()
-			n.NodeOf(nb).Mem.FreeBytes(wire)
+			nbMem.FreeBytes(wire)
 			r.enqueue(m)
 			continue
 		}
@@ -127,7 +137,7 @@ func (r *router) forwardLoop(p *sim.Proc, task *machine.Task, q *msgQueue, nb in
 		// message on the wire.
 		if n.linkDown(r.local, nb) || (n.dropFn != nil && n.dropFn()) {
 			n.stats.Drops++
-			n.NodeOf(nb).Mem.FreeBytes(wire)
+			nbMem.FreeBytes(wire)
 			continue
 		}
 		m.HopsTaken++

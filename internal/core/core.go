@@ -260,10 +260,10 @@ func installSampler(k *sim.Kernel, mach *machine.Machine, sys *sched.System, cfg
 		})
 		prevLow, prevHigh, prevSwitch = low, high, sw
 		if sys.Remaining() > 0 {
-			k.After(cfg.SampleEvery, sample)
+			k.AfterFunc(cfg.SampleEvery, sample)
 		}
 	}
-	k.After(cfg.SampleEvery, sample)
+	k.AfterFunc(cfg.SampleEvery, sample)
 }
 
 // StaticAveraged runs the static policy in its best (smallest-first) and

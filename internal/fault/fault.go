@@ -280,7 +280,7 @@ func (inj *Injector) Plan() []Event { return inj.plan }
 func (inj *Injector) Schedule(k *sim.Kernel, h Handlers) {
 	for _, ev := range inj.plan {
 		ev := ev
-		k.At(ev.At, func() {
+		k.AtFunc(ev.At, func() {
 			switch ev.Kind {
 			case NodeDown:
 				inj.stats.NodesFailed++

@@ -104,7 +104,7 @@ type CPU struct {
 
 	current     *burst
 	sliceStart  sim.Time
-	sliceTimer  *sim.Timer
+	sliceTimer  sim.Timer
 	curOverhead sim.Time // group-switch overhead at the head of this slice
 
 	switchCost   sim.Time
@@ -236,7 +236,7 @@ func (t *Task) Resume() {
 func (c *CPU) ChargeAsync(prio Priority, d sim.Time, onDone func()) {
 	if d <= 0 {
 		if onDone != nil {
-			c.k.After(0, onDone)
+			c.k.AfterFunc(0, onDone)
 		}
 		return
 	}
@@ -334,12 +334,10 @@ func (c *CPU) trimSliceToQuantum() {
 	if full := effStart + cur.remaining; full < end {
 		end = full
 	}
-	if c.sliceTimer != nil && c.sliceTimer.Pending() && c.sliceTimer.At() == end {
+	if c.sliceTimer.Pending() && c.sliceTimer.At() == end {
 		return
 	}
-	if c.sliceTimer != nil {
-		c.sliceTimer.Stop()
-	}
+	c.sliceTimer.Stop()
 	c.sliceTimer = c.k.At(end, c.onSliceEnd)
 }
 
@@ -387,10 +385,8 @@ func (c *CPU) stopSlice() {
 	if cur == nil {
 		return
 	}
-	if c.sliceTimer != nil {
-		c.sliceTimer.Stop()
-		c.sliceTimer = nil
-	}
+	c.sliceTimer.Stop()
+	c.sliceTimer = sim.Timer{}
 	c.accountSlice(cur)
 }
 
@@ -427,7 +423,7 @@ func (c *CPU) onSliceEnd() {
 	if cur == nil {
 		return
 	}
-	c.sliceTimer = nil
+	c.sliceTimer = sim.Timer{}
 	c.accountSlice(cur)
 	c.current = nil
 	if cur.remaining <= 0 {

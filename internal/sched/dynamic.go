@@ -23,7 +23,7 @@ import (
 // the equipartition heuristic before any block is granted.
 func (s *System) dynArrive(js *jobState) {
 	s.pending = append(s.pending, js)
-	s.k.After(0, s.dynDispatch)
+	s.k.AfterFunc(0, s.dynDispatch)
 }
 
 // dynTargetSize picks the block size for the next job: the machine

@@ -1,5 +1,7 @@
 package sched
 
+import "repro/internal/sim"
+
 // Gang scheduling (extension policy): instead of letting every resident
 // job's processes time-share node-by-node with job-fair quanta (the paper's
 // RR-job), the partition scheduler coschedules — exactly one job's
@@ -62,7 +64,7 @@ func (s *System) gangLeave(part *Partition, js *jobState) {
 
 // gangRotate suspends the active job and resumes the next one.
 func (s *System) gangRotate(part *Partition) {
-	part.gangTimer = nil
+	part.gangTimer = sim.Timer{}
 	if len(part.gangJobs) < 2 {
 		return
 	}
@@ -74,7 +76,7 @@ func (s *System) gangRotate(part *Partition) {
 
 // gangArm schedules the next rotation if one is due and not already armed.
 func (s *System) gangArm(part *Partition) {
-	if part.gangTimer != nil && part.gangTimer.Pending() {
+	if part.gangTimer.Pending() {
 		return
 	}
 	if len(part.gangJobs) < 2 {
@@ -85,10 +87,8 @@ func (s *System) gangArm(part *Partition) {
 
 // gangDisarm cancels any pending rotation.
 func (s *System) gangDisarm(part *Partition) {
-	if part.gangTimer != nil {
-		part.gangTimer.Stop()
-		part.gangTimer = nil
-	}
+	part.gangTimer.Stop()
+	part.gangTimer = sim.Timer{}
 }
 
 // gangSetSuspended flips every task of the job.

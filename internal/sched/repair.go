@@ -339,7 +339,7 @@ func (s *System) armCheckpoint(js *jobState) {
 		return
 	}
 	epoch := js.epoch
-	s.k.After(f.CheckpointInterval, func() { s.checkpointFire(js, epoch) })
+	s.k.AfterFunc(f.CheckpointInterval, func() { s.checkpointFire(js, epoch) })
 }
 
 // checkpointFire takes one coordinated checkpoint and re-arms the timer.
@@ -364,5 +364,5 @@ func (s *System) checkpointFire(js *jobState, epoch int) {
 	}
 	trace.Emit(s.cfg.Tracer, s.k.Now(), "ckpt", js.job.String(),
 		fmt.Sprintf("checkpoint %d taken", s.faultStats.Checkpoints))
-	s.k.After(f.CheckpointInterval, func() { s.checkpointFire(js, epoch) })
+	s.k.AfterFunc(f.CheckpointInterval, func() { s.checkpointFire(js, epoch) })
 }

@@ -165,7 +165,7 @@ type Partition struct {
 	// Gang-scheduling rotation state.
 	gangJobs  []*jobState
 	gangIdx   int
-	gangTimer *sim.Timer
+	gangTimer sim.Timer
 
 	// Fault state: which local nodes are down. A degraded partition accepts
 	// no jobs until every node is repaired.
@@ -379,7 +379,7 @@ func (s *System) atArrival(js *jobState, fn func()) {
 		fn()
 		return
 	}
-	s.k.At(js.job.Arrival, fn)
+	s.k.AtFunc(js.job.Arrival, fn)
 }
 
 // arriveStatic enqueues a job in the global ready queue — ordered by

@@ -10,15 +10,33 @@ import (
 // so that deferred cleanup runs and the goroutine exits.
 type killSentinel struct{}
 
+// nowQShedCap bounds the same-timestamp FIFO's retained capacity: a burst
+// can grow it arbitrarily, but once drained anything bigger than this is
+// released back to the garbage collector.
+const nowQShedCap = 4096
+
 // Kernel is a deterministic discrete-event simulation engine.
 //
 // All simulation state must only be touched from "kernel context": inside
 // event callbacks scheduled with At/After, or inside process bodies spawned
 // with Spawn. The kernel guarantees that exactly one of these runs at a time.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
+	now   Time
+	seq   uint64
+	queue eventQueue
+	// nowQ is the same-timestamp fast path: events scheduled for the
+	// current time (the After(0) hand-off bursts that dominate equal-time
+	// runs) go to this FIFO instead of the heap. Because seq is globally
+	// monotonic, FIFO order here *is* (at, seq) order, and any heap event
+	// at the same timestamp predates (so precedes) every FIFO entry —
+	// pop order is exactly the heap-only order at a fraction of the
+	// comparisons.
+	nowQ    []*event
+	nowHead int
+	// free is the event pool: fired and collected-cancelled events are
+	// recycled (with a bumped generation) instead of handed to the GC.
+	free    []*event
+	live    int // non-cancelled queued events, kept in sync by push/pop/Stop
 	rng     *rand.Rand
 	procs   map[*Proc]struct{}
 	nextPID int
@@ -57,7 +75,7 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // After schedules fn to run d microseconds from now and returns a cancellable
 // timer. A non-positive delay schedules the event at the current time; it
 // still runs through the event queue, after events already scheduled for now.
-func (k *Kernel) After(d Time, fn func()) *Timer {
+func (k *Kernel) After(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -65,14 +83,98 @@ func (k *Kernel) After(d Time, fn func()) *Timer {
 }
 
 // At schedules fn to run at absolute simulated time t.
-func (k *Kernel) At(t Time, fn func()) *Timer {
+func (k *Kernel) At(t Time, fn func()) Timer {
+	ev := k.schedule(t, fn)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// AfterFunc schedules fn to run d microseconds from now without returning a
+// handle — the zero-cost path for the many timers that are never cancelled
+// (router hop hand-offs, sleeps, retry timeouts, process wake-ups).
+func (k *Kernel) AfterFunc(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(k.now+d, fn)
+}
+
+// AtFunc schedules fn at absolute time t without returning a handle.
+func (k *Kernel) AtFunc(t Time, fn func()) {
+	k.schedule(t, fn)
+}
+
+// schedule allocates (or recycles) the event and queues it.
+func (k *Kernel) schedule(t Time, fn func()) *event {
 	if t < k.now {
 		t = k.now
 	}
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = &event{k: k}
+	}
 	k.seq++
-	ev := &event{at: t, seq: k.seq, fn: fn, index: -1}
-	k.queue.push(ev)
-	return &Timer{ev: ev}
+	ev.at = t
+	ev.seq = k.seq
+	ev.fn = fn
+	ev.cancelled = false
+	if t == k.now {
+		ev.index = indexNowQ
+		k.nowQ = append(k.nowQ, ev)
+	} else {
+		k.queue.push(ev)
+	}
+	k.live++
+	return ev
+}
+
+// recycle returns a dequeued event to the pool. Bumping the generation makes
+// every outstanding Timer handle for it inert.
+func (k *Kernel) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	k.free = append(k.free, ev)
+}
+
+// peekNext returns the next event in (at, seq) order without dequeuing it.
+// Heap events at the FIFO's timestamp carry older sequence numbers than any
+// FIFO entry (they were pushed before the clock reached now), so the heap
+// wins ties.
+func (k *Kernel) peekNext() *event {
+	h := k.queue.peek()
+	if k.nowHead < len(k.nowQ) {
+		nq := k.nowQ[k.nowHead]
+		if h == nil || h.at > nq.at {
+			return nq
+		}
+	}
+	return h
+}
+
+// popNext dequeues the event peekNext would return; call only when peekNext
+// reported one.
+func (k *Kernel) popNext() *event {
+	h := k.queue.peek()
+	if k.nowHead < len(k.nowQ) {
+		nq := k.nowQ[k.nowHead]
+		if h == nil || h.at > nq.at {
+			k.nowHead++
+			if k.nowHead == len(k.nowQ) {
+				if cap(k.nowQ) > nowQShedCap {
+					k.nowQ = nil
+				} else {
+					k.nowQ = k.nowQ[:0]
+				}
+				k.nowHead = 0
+			}
+			nq.index = indexFree
+			return nq
+		}
+	}
+	return k.queue.pop()
 }
 
 // Run executes events until the queue is empty. Processes that are still
@@ -92,17 +194,24 @@ func (k *Kernel) RunUntil(limit Time) {
 	k.running = true
 	defer func() { k.running = false }()
 	for {
-		ev := k.queue.peek()
+		ev := k.peekNext()
 		if ev == nil || ev.at > limit {
 			return
 		}
-		k.queue.pop()
+		k.popNext()
 		if ev.cancelled {
+			k.recycle(ev)
 			continue
 		}
+		k.live--
 		k.now = ev.at
 		k.eventsRun++
-		ev.fn()
+		fn := ev.fn
+		// Recycle before firing: the slot is free for whatever fn
+		// schedules, and the bumped generation makes the fired event's
+		// own Timer handles report not-pending, as they should.
+		k.recycle(ev)
+		fn()
 		if k.panicking {
 			p := k.procPanic
 			k.panicking = false
@@ -118,17 +227,21 @@ func (k *Kernel) EventsRun() int64 { return k.eventsRun }
 // Step executes exactly one pending event and reports whether one was run.
 func (k *Kernel) Step() bool {
 	for {
-		ev := k.queue.peek()
+		ev := k.peekNext()
 		if ev == nil {
 			return false
 		}
-		k.queue.pop()
+		k.popNext()
 		if ev.cancelled {
+			k.recycle(ev)
 			continue
 		}
+		k.live--
 		k.now = ev.at
 		k.eventsRun++
-		ev.fn()
+		fn := ev.fn
+		k.recycle(ev)
+		fn()
 		if k.panicking {
 			p := k.procPanic
 			k.panicking = false
@@ -139,16 +252,9 @@ func (k *Kernel) Step() bool {
 	}
 }
 
-// PendingEvents reports the number of live events in the queue.
-func (k *Kernel) PendingEvents() int {
-	n := 0
-	for _, ev := range k.queue.items {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// PendingEvents reports the number of live events in the queue. The count is
+// maintained incrementally on schedule/fire/Stop, so this is O(1).
+func (k *Kernel) PendingEvents() int { return k.live }
 
 // Shutdown unwinds every parked process goroutine so no goroutines leak when
 // the simulation is discarded. It must be called from outside Run. After

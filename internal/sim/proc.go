@@ -46,7 +46,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 	}
 	k.procs[p] = struct{}{}
-	k.After(0, func() {
+	k.AfterFunc(0, func() {
 		go p.run(body)
 		// Hand control to the new goroutine and wait for it to park, finish,
 		// or panic.
@@ -153,7 +153,7 @@ func (p *Proc) Wake() {
 	}
 	p.parked = false
 	p.parkReason = ""
-	p.k.After(0, func() {
+	p.k.AfterFunc(0, func() {
 		if p.finished {
 			return
 		}
@@ -169,7 +169,7 @@ func (p *Proc) Wake() {
 // its own timer has fired.
 func (p *Proc) Sleep(d Time) {
 	done := false
-	p.k.After(d, func() {
+	p.k.AfterFunc(d, func() {
 		done = true
 		p.Wake()
 	})

@@ -2,39 +2,75 @@ package sim
 
 // event is a scheduled callback. Events with equal activation time fire in
 // insertion (sequence) order, which is what makes the kernel deterministic.
+//
+// Events are pooled: when one fires or its cancellation is collected, the
+// kernel bumps its generation and puts it on a free list for the next
+// At/After to reuse, so steady-state scheduling does not allocate. Timer
+// handles snapshot the generation they were issued for, which makes a stale
+// handle (whose event has since been recycled) inert rather than dangerous.
 type event struct {
+	k         *Kernel
 	at        Time
 	seq       uint64
+	gen       uint64
 	fn        func()
 	cancelled bool
-	index     int // heap index, -1 when not in the queue
+	index     int // heap index; indexFree when not queued, indexNowQ in the FIFO
 }
+
+const (
+	// indexFree marks an event that is not queued anywhere (fired, being
+	// recycled, or sitting on the free list).
+	indexFree = -1
+	// indexNowQ marks an event queued on the same-timestamp FIFO rather
+	// than the heap.
+	indexNowQ = -2
+)
 
 // Timer is a handle to a scheduled event that can be cancelled or queried.
+// It is a plain value (scheduling allocates nothing for it); the zero Timer
+// behaves like one that already fired: Stop and Pending report false.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
-// At reports the simulated time the timer is set to fire.
-func (t *Timer) At() Time { return t.ev.at }
+// valid reports whether the handle still refers to the event it was issued
+// for (the event has not fired and been recycled for another caller).
+func (t Timer) valid() bool { return t.ev != nil && t.ev.gen == t.gen }
+
+// At reports the simulated time the timer is set to fire, or 0 if the timer
+// already fired or was stopped and collected.
+func (t Timer) At() Time {
+	if !t.valid() {
+		return 0
+	}
+	return t.ev.at
+}
 
 // Stop cancels the timer. It reports whether the timer was still pending
-// (true) or had already fired or been stopped (false). Stopping a fired timer
-// is a no-op.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.index < 0 {
+// (true) or had already fired or been stopped (false). Stopping a fired,
+// stopped, or zero timer is a no-op. Stop drops the event's callback
+// immediately, so anything the closure captures becomes collectable before
+// the dead event surfaces in the queue.
+func (t Timer) Stop() bool {
+	if !t.valid() || t.ev.cancelled || t.ev.index == indexFree {
 		return false
 	}
 	t.ev.cancelled = true
+	t.ev.fn = nil
+	t.ev.k.live--
 	return true
 }
 
 // Pending reports whether the timer is still waiting to fire.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && t.ev.index >= 0
+func (t Timer) Pending() bool {
+	return t.valid() && !t.ev.cancelled && t.ev.index != indexFree
 }
 
-// eventQueue is a binary min-heap ordered by (at, seq).
+// eventQueue is a 4-ary min-heap ordered by (at, seq). The wider node cuts
+// the tree depth in half versus a binary heap, which matters because pops
+// (sift-down over the whole depth) dominate the kernel's comparison count.
 type eventQueue struct {
 	items []*event
 }
@@ -70,7 +106,7 @@ func (q *eventQueue) pop() *event {
 	if len(q.items) > 0 {
 		q.down(0)
 	}
-	ev.index = -1
+	ev.index = indexFree
 	return ev
 }
 
@@ -83,7 +119,7 @@ func (q *eventQueue) peek() *event {
 
 func (q *eventQueue) up(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !q.less(i, parent) {
 			break
 		}
@@ -95,13 +131,19 @@ func (q *eventQueue) up(i int) {
 func (q *eventQueue) down(i int) {
 	n := len(q.items)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := 4*i + 1
+		if first >= n {
 			break
 		}
-		smallest := left
-		if right := left + 1; right < n && q.less(right, left) {
-			smallest = right
+		smallest := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(c, smallest) {
+				smallest = c
+			}
 		}
 		if !q.less(smallest, i) {
 			break

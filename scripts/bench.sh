@@ -1,0 +1,57 @@
+#!/bin/sh
+# Kernel hot-path benchmark ledger: runs the sim/comm micro-benchmarks
+# (event churn, timer cancel storm, event throughput, 16-node all-to-all)
+# and appends a dated entry to BENCH_<date>.json in the repo root, creating
+# the file if needed. Run from the repo root: `make bench-ledger` or
+# `./scripts/bench.sh`. Override the measurement window with
+# BENCHTIME=200ms ./scripts/bench.sh (default 1s).
+set -eu
+
+BENCHTIME="${BENCHTIME:-1s}"
+DATE=$(date +%Y-%m-%d)
+OUT="BENCH_${DATE}.json"
+
+RAW=$(go test -run '^$' -bench 'BenchmarkKernel|BenchmarkNetworkAllToAll' \
+	-benchmem -benchtime "$BENCHTIME" .)
+printf '%s\n' "$RAW"
+
+CPU=$(printf '%s\n' "$RAW" | sed -n 's/^cpu: //p')
+GOOS=$(go env GOOS)
+GOARCH=$(go env GOARCH)
+CORES=$(nproc 2>/dev/null || echo 1)
+
+# One "name": {ns_per_op, b_per_op, allocs_per_op} line per benchmark,
+# comma-separated. The -N CPU suffix is stripped from names.
+RESULTS=$(printf '%s\n' "$RAW" | awk '
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		printf "%s      \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $3, $5, $7
+		sep = ",\n"
+	}')
+
+ENTRY=$(cat <<EOF
+  {
+    "date": "${DATE}",
+    "benchmark": "kernel-hot-path",
+    "description": "sim event pool / no-handle timers / 4-ary heap / router next-hop table micro-benchmarks (bench_test.go), benchtime ${BENCHTIME}",
+    "host": {"goos": "${GOOS}", "goarch": "${GOARCH}", "cpu": "${CPU}", "cores": ${CORES}},
+    "results": {
+${RESULTS}
+    }
+  }
+EOF
+)
+
+if [ ! -f "$OUT" ]; then
+	printf '[\n%s\n]\n' "$ENTRY" > "$OUT"
+else
+	# Append to the existing JSON array: drop the closing ']', put a comma
+	# after the (now) last entry, add the new entry, close the array.
+	TMP=$(mktemp)
+	sed '$d' "$OUT" > "$TMP"
+	last=$(tail -1 "$TMP")
+	sed '$d' "$TMP" > "$OUT"
+	printf '%s,\n%s\n]\n' "$last" "$ENTRY" >> "$OUT"
+	rm -f "$TMP"
+fi
+echo "appended kernel-hot-path entry to $OUT"

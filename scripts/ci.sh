@@ -21,3 +21,8 @@ go test -race -run 'Determinism' -count=1 ./internal/engine ./internal/experimen
 # are a manual `make bench` / `make sweep-bench`.
 go test -run '^$' -bench BenchmarkFigure3 -benchtime 1x .
 go test -run '^$' -bench BenchmarkSweepParallel -benchtime 1x .
+
+# Kernel hot-path smoke (make bench-smoke): the event-pool / timer / router
+# micro-benchmarks must keep compiling and running; full-precision numbers
+# go to the BENCH_*.json ledger via scripts/bench.sh.
+go test -run '^$' -bench 'BenchmarkKernel|BenchmarkNetworkAllToAll' -benchmem -benchtime 1x .
