@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism figures fault ci fmt
+.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism serve-gate schedd figures fault ci fmt
 
 all: build
 
@@ -38,6 +38,14 @@ sweep-bench:
 
 determinism:
 	$(GO) test -race -run 'Determinism' -count=1 ./internal/engine ./internal/experiments
+
+# Serving invariants under the race detector (cache hits byte-identical,
+# backpressure sheds, SIGTERM drains, metrics agree). CI runs this.
+serve-gate:
+	$(GO) test -race -run 'Schedd' -count=1 ./internal/serve ./cmd/schedd
+
+schedd:
+	$(GO) run ./cmd/schedd
 
 figures:
 	$(GO) run ./cmd/ippsbench

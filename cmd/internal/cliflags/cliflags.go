@@ -31,6 +31,13 @@ type Common struct {
 	// Workers bounds concurrent simulation points; 0 means all CPUs.
 	// The worker count never changes output, only wall-clock time.
 	Workers *int
+	// Profiling is the embedded -cpuprofile/-memprofile/-trace trio.
+	Profiling
+}
+
+// Profiling holds just the profiling trio, for tools that take no
+// simulation flags (cmd/topoinfo).
+type Profiling struct {
 	// CPUProfile, MemProfile and TracePath are profiling output files
 	// (empty disables each). See StartProfiling.
 	CPUProfile, MemProfile, TracePath *string
@@ -40,8 +47,15 @@ type Common struct {
 // set. Call it before flag.Parse.
 func Register() Common {
 	return Common{
-		Seed:       flag.Int64("seed", 0, "simulation seed"),
-		Workers:    flag.Int("j", 0, "parallel simulation workers (0 = all CPUs; any value gives identical output)"),
+		Seed:      flag.Int64("seed", 0, "simulation seed"),
+		Workers:   flag.Int("j", 0, "parallel simulation workers (0 = all CPUs; any value gives identical output)"),
+		Profiling: RegisterProfiling(),
+	}
+}
+
+// RegisterProfiling installs only -cpuprofile, -memprofile and -trace.
+func RegisterProfiling() Profiling {
+	return Profiling{
 		CPUProfile: flag.String("cpuprofile", "", "write a pprof CPU profile to this file"),
 		MemProfile: flag.String("memprofile", "", "write a pprof heap profile to this file at exit"),
 		TracePath:  flag.String("trace", "", "write a runtime execution trace to this file"),
@@ -53,7 +67,7 @@ func Register() Common {
 // heap profile, after a GC so it reflects live data). Call it after
 // flag.Parse; run stop before the program exits. With no profiling flags set
 // both calls are no-ops.
-func (c Common) StartProfiling() (stop func(), err error) {
+func (c Profiling) StartProfiling() (stop func(), err error) {
 	var cpuF, traceF *os.File
 	if *c.CPUProfile != "" {
 		cpuF, err = os.Create(*c.CPUProfile)

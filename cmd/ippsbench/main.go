@@ -1,11 +1,14 @@
 // Command ippsbench regenerates every table and figure of the paper's
-// evaluation, plus the extension experiments, as text tables or CSV.
+// evaluation, plus the extension experiments, as text tables, CSV or JSON.
+// The experiment set is the shared registry in internal/experiments
+// (Catalog), the same one cmd/schedd serves over HTTP.
 //
 // Usage:
 //
-//	ippsbench                  # everything (Figures 3-6, E1-E8)
+//	ippsbench                  # everything (Figures 3-6, E1-E12)
 //	ippsbench -run f3,f5       # just Figure 3 and Figure 5
 //	ippsbench -run e1 -format csv
+//	ippsbench -run e6 -format json
 //	ippsbench -j 4             # cap the simulation worker pool
 //	ippsbench -list            # list available experiment ids
 //
@@ -21,160 +24,13 @@ import (
 	"time"
 
 	"repro/cmd/internal/cliflags"
-	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/experiments"
 )
-
-type experiment struct {
-	id, title string
-	run       func(base core.Config, csv bool, opts engine.Options) (string, error)
-}
-
-func figure(f func(core.Config, ...engine.Options) (*experiments.Figure, error)) func(core.Config, bool, engine.Options) (string, error) {
-	return func(base core.Config, csv bool, opts engine.Options) (string, error) {
-		fig, err := f(base, opts)
-		if err != nil {
-			return "", err
-		}
-		if csv {
-			return fig.CSV(), nil
-		}
-		return fig.Table(), nil
-	}
-}
-
-var all = []experiment{
-	{"f3", "Figure 3: matmul, fixed architecture", figure(experiments.Figure3)},
-	{"f4", "Figure 4: matmul, adaptive architecture", figure(experiments.Figure4)},
-	{"f5", "Figure 5: sort, fixed architecture", figure(experiments.Figure5)},
-	{"f6", "Figure 6: sort, adaptive architecture", figure(experiments.Figure6)},
-	{"e1", "E1: service-time variance sensitivity", func(base core.Config, csv bool, opts engine.Options) (string, error) {
-		points, err := experiments.VarianceSweep(experiments.DefaultCVs, base, opts)
-		if err != nil {
-			return "", err
-		}
-		if csv {
-			return experiments.VarianceCSV(points), nil
-		}
-		return experiments.VarianceTable(points), nil
-	}},
-	{"e2", "E2: wormhole routing ablation", func(base core.Config, csv bool, opts engine.Options) (string, error) {
-		cells, err := experiments.WormholeAblation(base, opts)
-		if err != nil {
-			return "", err
-		}
-		if csv {
-			return experiments.AblationCSV(cells), nil
-		}
-		return experiments.AblationTable(cells), nil
-	}},
-	{"e3", "E3: basic quantum sweep", func(base core.Config, csv bool, opts engine.Options) (string, error) {
-		points, err := experiments.QuantumSweep(experiments.DefaultQuanta, base, opts)
-		if err != nil {
-			return "", err
-		}
-		if csv {
-			return experiments.QuantumCSV(points), nil
-		}
-		return experiments.QuantumTable(points), nil
-	}},
-	{"e4", "E4: RR-job vs RR-process fairness", func(base core.Config, csv bool, opts engine.Options) (string, error) {
-		r, err := experiments.RunRRComparison(base, opts)
-		if err != nil {
-			return "", err
-		}
-		if csv {
-			return experiments.RRCSV(r), nil
-		}
-		return experiments.RRTable(r), nil
-	}},
-	{"e5", "E5: multiprogramming level tuning", func(base core.Config, csv bool, opts engine.Options) (string, error) {
-		points, err := experiments.MPLSweep(experiments.DefaultMPLs, base, opts)
-		if err != nil {
-			return "", err
-		}
-		if csv {
-			return experiments.MPLCSV(points), nil
-		}
-		return experiments.MPLTable(points), nil
-	}},
-	{"e6", "E6: open-system load sweep (static/hybrid/dynamic)", func(base core.Config, csv bool, opts engine.Options) (string, error) {
-		points, err := experiments.OpenLoadSweep(experiments.DefaultLoads, base, opts)
-		if err != nil {
-			return "", err
-		}
-		if csv {
-			return experiments.LoadCSV(points), nil
-		}
-		return experiments.LoadTable(points), nil
-	}},
-	{"e7", "E7: gang scheduling vs RR-job", func(base core.Config, csv bool, opts engine.Options) (string, error) {
-		cells, err := experiments.GangVsRRJob(base, opts)
-		if err != nil {
-			return "", err
-		}
-		if csv {
-			return experiments.GangCSV(cells), nil
-		}
-		return experiments.GangTable(cells), nil
-	}},
-	{"e8", "E8: topology stress with the halo-exchange stencil", func(base core.Config, csv bool, opts engine.Options) (string, error) {
-		cells, err := experiments.StencilTopology(base, opts)
-		if err != nil {
-			return "", err
-		}
-		if csv {
-			return experiments.StencilCSV(cells), nil
-		}
-		return experiments.StencilTable(cells), nil
-	}},
-	{"e9", "E9: machine-size scalability (16-64 nodes)", func(base core.Config, csv bool, opts engine.Options) (string, error) {
-		cells, err := experiments.Scalability(experiments.DefaultScales, base, opts)
-		if err != nil {
-			return "", err
-		}
-		if csv {
-			return experiments.ScaleCSV(cells), nil
-		}
-		return experiments.ScaleTable(cells), nil
-	}},
-	{"e10", "E10: binomial-tree broadcast ablation", func(base core.Config, csv bool, opts engine.Options) (string, error) {
-		cells, err := experiments.BroadcastAblation(base, opts)
-		if err != nil {
-			return "", err
-		}
-		if csv {
-			return experiments.BroadcastCSV(cells), nil
-		}
-		return experiments.BroadcastTable(cells), nil
-	}},
-	{"e11", "E11: sort-algorithm ablation (selection vs merge)", func(base core.Config, csv bool, opts engine.Options) (string, error) {
-		cells, err := experiments.SortAlgorithmAblation(base, opts)
-		if err != nil {
-			return "", err
-		}
-		if csv {
-			return experiments.SortAlgCSV(cells), nil
-		}
-		return experiments.SortAlgTable(cells), nil
-	}},
-	{"e12", "E12: butterfly all-reduce vs topology", func(base core.Config, csv bool, opts engine.Options) (string, error) {
-		cells, err := experiments.CollectiveTopology(base, opts)
-		if err != nil {
-			return "", err
-		}
-		if csv {
-			return experiments.CollectiveCSV(cells), nil
-		}
-		return experiments.CollectiveTable(cells), nil
-	}},
-}
 
 func main() {
 	runList := flag.String("run", "all", "comma-separated experiment ids (f3..f6, e1..e12) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	format := flag.String("format", "table", "output format: table or csv")
+	format := flag.String("format", "table", "output format: table, csv or json")
 	quiet := flag.Bool("q", false, "suppress timing lines")
 	cf := cliflags.Register()
 	flag.Parse()
@@ -186,65 +42,52 @@ func main() {
 	}
 	defer stopProf()
 
+	catalog := experiments.Catalog()
 	if *list {
-		for _, e := range all {
-			fmt.Printf("%-4s %s\n", e.id, e.title)
+		for _, e := range catalog {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return
 	}
-	csv := false
-	switch *format {
-	case "table":
-	case "csv":
-		csv = true
-	default:
-		fmt.Fprintf(os.Stderr, "ippsbench: unknown format %q\n", *format)
+	fmtKind, err := experiments.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ippsbench: %v\n", err)
 		os.Exit(2)
 	}
 
 	wanted := map[string]bool{}
 	if *runList != "all" {
 		for _, id := range strings.Split(*runList, ",") {
-			wanted[strings.TrimSpace(id)] = true
-		}
-		for id := range wanted {
-			if !knownID(id) {
+			id = strings.TrimSpace(id)
+			if experiments.Lookup(id) == nil {
 				fmt.Fprintf(os.Stderr, "ippsbench: unknown experiment %q (use -list)\n", id)
 				os.Exit(2)
 			}
+			wanted[experiments.Lookup(id).ID] = true
 		}
 	}
 
 	base := cf.Base()
 	start := time.Now()
-	for _, e := range all {
-		if *runList != "all" && !wanted[e.id] {
+	for _, e := range catalog {
+		if *runList != "all" && !wanted[e.ID] {
 			continue
 		}
 		t0 := time.Now()
-		out, err := e.run(base, csv, cf.Options())
+		out, err := e.Run(base, fmtKind, cf.Options())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ippsbench: %s: %v\n", e.id, err)
+			fmt.Fprintf(os.Stderr, "ippsbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		if csv {
-			fmt.Printf("# %s — %s\n", e.id, e.title)
+		if fmtKind == experiments.CSV {
+			fmt.Printf("# %s — %s\n", e.ID, e.Title)
 		}
 		fmt.Println(out)
 		if !*quiet {
-			fmt.Printf("(%s in %s)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+			fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
 		}
 	}
 	if !*quiet {
 		fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
 	}
-}
-
-func knownID(id string) bool {
-	for _, e := range all {
-		if e.id == id {
-			return true
-		}
-	}
-	return false
 }

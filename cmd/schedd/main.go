@@ -1,0 +1,122 @@
+// Command schedd serves the simulator as a long-running HTTP service:
+// experiment requests in, structured results out, with a content-addressed
+// result cache, bounded admission, and live metrics. See internal/serve.
+//
+// Quick start:
+//
+//	schedd -addr :8080 &
+//	curl -s localhost:8080/v1/experiments                # what's runnable
+//	curl -s -X POST localhost:8080/v1/run \
+//	     -d '{"config":{"partition":4,"topology":"mesh","policy":"ts"}}'
+//	# repeat the POST: X-Cache: hit, byte-identical body, no simulation
+//
+// Endpoints:
+//
+//	POST /v1/run         run a named experiment or a single config
+//	GET  /v1/experiments list the experiment catalog
+//	GET  /healthz        liveness + drain state
+//	GET  /metrics        Prometheus text format
+//
+// SIGTERM/SIGINT drain gracefully: /healthz flips to 503, in-flight
+// requests finish (bounded by -drain), then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/cmd/internal/cliflags"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		inflight     = flag.Int("inflight", 2, "max concurrently executing requests")
+		queue        = flag.Int("queue", 8, "max requests waiting for an execution slot (beyond: 429)")
+		cacheEntries = flag.Int("cache-entries", 1024, "result cache entry bound")
+		cacheMB      = flag.Int64("cache-mb", 64, "result cache size bound in MiB")
+		timeout      = flag.Duration("timeout", 60*time.Second, "default per-request processing deadline")
+		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
+		drain        = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
+	)
+	cf := cliflags.Register() // -j (engine workers per request) + profiling
+	flag.Parse()
+
+	stopProf, err := cf.StartProfiling()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if err := run(*addr, serve.Options{
+		Workers:        *cf.Workers,
+		MaxInflight:    *inflight,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheMB << 20,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Logger:         logger,
+	}, *drain, logger, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the server on addr and blocks until SIGTERM/SIGINT, then
+// drains. If ready is non-nil it receives the bound listen address once
+// the server is accepting (used by the smoke test to bind port 0).
+func run(addr string, opts serve.Options, drain time.Duration, logger *slog.Logger, ready chan<- string) error {
+	srv := serve.New(opts)
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("schedd listening", slog.String("addr", ln.Addr().String()))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop advertising healthy, let in-flight requests finish, then
+	// close. Shutdown does not cancel request contexts — a request beats
+	// the grace period or its own deadline, whichever is shorter.
+	logger.Info("schedd draining", slog.Duration("grace", drain))
+	srv.SetDraining(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	logger.Info("schedd stopped")
+	return nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestScheddSmoke is the CI serving gate: boot the real server loop (TCP
+// listener, routes, drain) on an ephemeral port, POST the same config
+// twice, and assert the second response is a cache hit with a
+// byte-identical body; then SIGTERM and assert a clean drain.
+func TestScheddSmoke(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", serve.Options{Workers: 2, Logger: logger}, 5*time.Second, logger, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	hz, err := client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hz.StatusCode)
+	}
+
+	const body = `{"config":{"partition":4,"topology":"mesh","policy":"ts"}}`
+	post := func() (int, string, []byte) {
+		resp, err := client.Post(base+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("X-Cache"), b
+	}
+
+	code1, cache1, body1 := post()
+	if code1 != http.StatusOK || cache1 != "miss" {
+		t.Fatalf("first POST: status %d cache %q body %s", code1, cache1, body1)
+	}
+	code2, cache2, body2 := post()
+	if code2 != http.StatusOK || cache2 != "hit" {
+		t.Fatalf("second POST: status %d cache %q", code2, cache2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cache hit body differs:\nfirst:  %s\nsecond: %s", body1, body2)
+	}
+
+	// The metrics surface saw exactly that sequence.
+	mr, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	for _, want := range []string{
+		"schedd_requests_total 2",
+		"schedd_cache_hits_total 1",
+		"schedd_cache_misses_total 1",
+		"schedd_queue_depth 0",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, mb)
+		}
+	}
+
+	// SIGTERM: the loop drains and returns nil.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+}

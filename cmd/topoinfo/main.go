@@ -8,6 +8,10 @@
 //	topoinfo                       # summary of all kinds at all paper sizes
 //	topoinfo -kind mesh -n 16      # details for the 4x4 mesh
 //	topoinfo -kind linear -n 8 -route 0:7
+//	topoinfo -kind hypercube -n 1024 -cpuprofile cpu.out
+//
+// The profiling trio (-cpuprofile/-memprofile/-trace) comes from the shared
+// cmd/internal/cliflags helper, same as the simulator tools.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/topology"
 )
 
@@ -23,7 +28,15 @@ func main() {
 	kindFlag := flag.String("kind", "", "topology kind (linear/ring/mesh/hypercube); empty = summary table")
 	n := flag.Int("n", 16, "partition size")
 	route := flag.String("route", "", "show the route between two nodes, e.g. 0:15")
+	prof := cliflags.RegisterProfiling()
 	flag.Parse()
+
+	stopProf, err := prof.StartProfiling()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topoinfo:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	if *kindFlag == "" {
 		summary()

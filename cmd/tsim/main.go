@@ -6,8 +6,14 @@
 //
 //	tsim                                          # pure TS, matmul, fixed
 //	tsim -partition 4 -topo mesh -policy static -app sort -arch adaptive
-//	tsim -policy ts -trace -tracecat job          # narrate job lifecycle
+//	tsim -policy ts -events -eventcat job         # narrate job lifecycle
 //	tsim -mode wormhole -partition 8 -topo hypercube
+//	tsim -cpuprofile cpu.out -app stencil         # profile one run
+//
+// The shared flags (-seed, -j, -cpuprofile, -memprofile, -trace) come from
+// cmd/internal/cliflags like every other tool; the simulation event trace,
+// formerly -trace, is -events so the name stays free for the runtime
+// execution trace.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -37,22 +44,29 @@ func main() {
 		order     = flag.String("order", "submission", "batch order: submission, smallest-first, largest-first")
 		quantum   = flag.Int64("quantum", 0, "basic quantum q in µs (0 = hardware 2ms)")
 		mpl       = flag.Int("mpl", 0, "max resident jobs per partition (0 = unlimited)")
-		seed      = flag.Int64("seed", 0, "simulation seed")
-		doTrace   = flag.Bool("trace", false, "print an event trace")
+		events    = flag.Bool("events", false, "print a simulation event trace")
 		sample    = flag.Int64("sample", 0, "sample utilization every N µs and print a timeline (0 = off)")
-		traceCat  = flag.String("tracecat", "", "only trace this category (job, msg, load)")
+		eventCat  = flag.String("eventcat", "", "only trace this event category (job, msg, load)")
 		perNode   = flag.Bool("nodes", false, "print per-node usage")
 		hist      = flag.Int("hist", 0, "print a response-time histogram with N buckets (0 = off)")
 	)
+	cf := cliflags.Register()
 	flag.Parse()
 
-	cfg, err := buildConfig(*partition, *topo, *policy, *app, *arch, *mode, *order, *quantum, *mpl, *seed)
+	stopProf, err := cf.StartProfiling()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsim:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
+
+	cfg, err := buildConfig(*partition, *topo, *policy, *app, *arch, *mode, *order, *quantum, *mpl, *cf.Seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsim:", err)
 		os.Exit(2)
 	}
 	var log *trace.Log
-	if *doTrace {
+	if *events {
 		log = &trace.Log{}
 		cfg.Tracer = log
 	}
@@ -108,11 +122,11 @@ func main() {
 
 	if log != nil {
 		fmt.Println("\ntrace:")
-		events := log.Events()
-		if *traceCat != "" {
-			events = log.Filter(*traceCat)
+		evs := log.Events()
+		if *eventCat != "" {
+			evs = log.Filter(*eventCat)
 		}
-		for _, e := range events {
+		for _, e := range evs {
 			fmt.Println(" ", e)
 		}
 	}

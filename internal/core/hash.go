@@ -1,0 +1,137 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file defines the content address of a configuration: the cache key
+// behind serve's result store. Two requirements shape it.
+//
+// Canonical: the hash is computed over the config after withDefaults, so a
+// zero field and its explicitly-spelled default address the same content
+// ("partition 0" and "partition 16" on a 16-node machine are the same
+// simulation). Fields are written in a fixed source order with explicit
+// tags — never via map iteration or struct reflection — so the bytes fed
+// to the hash are identical across processes, architectures and Go
+// versions.
+//
+// Complete: every field that can change a simulation's output contributes.
+// The two runtime-only fields that cannot be content-addressed — Batch (an
+// arbitrary caller-built job list) and Tracer (an observer) — make the
+// config unhashable and Hash returns an error; the HTTP surface can never
+// set them, so every wire config has an address.
+//
+// Execution knobs that provably do not change output (the engine worker
+// count) live outside Config and therefore outside the hash.
+
+// hashVersion namespaces the hash; bump it whenever the byte layout below
+// changes so stale cache entries can never alias new ones.
+const hashVersion = "repro-config-v1"
+
+// Hash returns the canonical content address of the configuration as a hex
+// SHA-256 string. Configs that run the same simulation hash equal; any
+// semantically distinct config hashes different. Configs carrying a custom
+// Batch or a Tracer are not content-addressable and return an error.
+func (c Config) Hash() (string, error) {
+	if c.Batch != nil {
+		return "", fmt.Errorf("core: config with a custom Batch is not content-addressable")
+	}
+	if c.Tracer != nil {
+		return "", fmt.Errorf("core: config with a Tracer is not content-addressable")
+	}
+	c = c.withDefaults()
+	h := sha256.New()
+	io.WriteString(h, hashVersion)
+	hashInt(h, "Processors", int64(c.Processors))
+	hashInt(h, "MemoryBytes", c.MemoryBytes)
+	hashInt(h, "PartitionSize", int64(c.PartitionSize))
+	hashInt(h, "Topology", int64(c.Topology))
+	hashInt(h, "Policy", int64(c.Policy))
+	hashInt(h, "App", int64(c.App))
+	hashInt(h, "Arch", int64(c.Arch))
+	hashInt(h, "Mode", int64(c.Mode))
+	hashInt(h, "BasicQuantum", int64(c.BasicQuantum))
+	hashInt(h, "Order", int64(c.Order))
+	hashBool(h, "Verify", c.Verify)
+	hashInt(h, "Seed", c.Seed)
+	hashInt(h, "MaxResident", int64(c.MaxResident))
+	hashInt(h, "SampleEvery", int64(c.SampleEvery))
+
+	// withDefaults guarantees Cost and AppCost are non-nil.
+	hashInt(h, "Cost.Quantum", int64(c.Cost.Quantum))
+	hashInt(h, "Cost.LinkPerByteNS", c.Cost.LinkPerByteNS)
+	hashInt(h, "Cost.LinkLatency", int64(c.Cost.LinkLatency))
+	hashInt(h, "Cost.RouterHopOverhead", int64(c.Cost.RouterHopOverhead))
+	hashInt(h, "Cost.SendOverhead", int64(c.Cost.SendOverhead))
+	hashInt(h, "Cost.RecvOverhead", int64(c.Cost.RecvOverhead))
+	hashInt(h, "Cost.JobSwitch", int64(c.Cost.JobSwitch))
+	hashInt(h, "Cost.SpawnOverhead", int64(c.Cost.SpawnOverhead))
+	hashInt(h, "Cost.FlitBytes", c.Cost.FlitBytes)
+	hashInt(h, "Cost.MsgHeaderBytes", c.Cost.MsgHeaderBytes)
+	hashInt(h, "Cost.HostPerByteNS", c.Cost.HostPerByteNS)
+	hashInt(h, "Cost.HostJobFixed", int64(c.Cost.HostJobFixed))
+
+	hashInt(h, "AppCost.MulAddNS", c.AppCost.MulAddNS)
+	hashInt(h, "AppCost.CmpNS", c.AppCost.CmpNS)
+	hashInt(h, "AppCost.MergeNS", c.AppCost.MergeNS)
+	hashInt(h, "AppCost.Setup", int64(c.AppCost.Setup))
+
+	if c.Fault == nil {
+		io.WriteString(h, "Fault=nil;")
+	} else {
+		io.WriteString(h, "Fault={")
+		hashInt(h, "Seed", c.Fault.Seed)
+		hashInt(h, "NodeMTBF", int64(c.Fault.NodeMTBF))
+		hashInt(h, "NodeMTTR", int64(c.Fault.NodeMTTR))
+		hashInt(h, "LinkMTBF", int64(c.Fault.LinkMTBF))
+		hashInt(h, "LinkMTTR", int64(c.Fault.LinkMTTR))
+		hashFloat(h, "DropProb", c.Fault.DropProb)
+		hashInt(h, "Horizon", int64(c.Fault.Horizon))
+		hashInt(h, "RetryTimeout", int64(c.Fault.RetryTimeout))
+		hashInt(h, "RetryBudget", int64(c.Fault.RetryBudget))
+		hashInt(h, "CheckpointInterval", int64(c.Fault.CheckpointInterval))
+		hashInt(h, "CheckpointCost", int64(c.Fault.CheckpointCost))
+		hashInt(h, "RestartBudget", int64(c.Fault.RestartBudget))
+		io.WriteString(h, "};")
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// MustHash is Hash for configs known to be content-addressable (no Batch,
+// no Tracer); it panics otherwise. Intended for tests and internal callers
+// that construct the config themselves.
+func (c Config) MustHash() string {
+	s, err := c.Hash()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func hashInt(w io.Writer, tag string, v int64) {
+	io.WriteString(w, tag)
+	io.WriteString(w, "=")
+	io.WriteString(w, strconv.FormatInt(v, 10))
+	io.WriteString(w, ";")
+}
+
+func hashFloat(w io.Writer, tag string, v float64) {
+	io.WriteString(w, tag)
+	io.WriteString(w, "=")
+	// 'x' (hex) round-trips every float64 bit pattern exactly.
+	io.WriteString(w, strconv.FormatFloat(v, 'x', -1, 64))
+	io.WriteString(w, ";")
+}
+
+func hashBool(w io.Writer, tag string, v bool) {
+	io.WriteString(w, tag)
+	if v {
+		io.WriteString(w, "=1;")
+	} else {
+		io.WriteString(w, "=0;")
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// goldenZeroHash pins the hash of the zero Config. A fixed constant is the
+// cross-process-run guarantee: if the hash ever depended on process state
+// (map order, addresses, defaults drift) or the byte layout changed without
+// a hashVersion bump, this fails.
+const goldenZeroHash = "86ca14d5c71693f08cfb62cdb05b02a96e5e46cdeef15a2ad4e062ec9bac87b9"
+
+func TestHashGoldenZeroConfig(t *testing.T) {
+	got := Config{}.MustHash()
+	if got != goldenZeroHash {
+		t.Fatalf("zero Config hash changed:\n got %s\nwant %s\n(bump hashVersion if the layout changed intentionally)", got, goldenZeroHash)
+	}
+}
+
+// TestHashCanonicalization: a zero field and its spelled-out default are the
+// same content.
+func TestHashCanonicalization(t *testing.T) {
+	cm := machine.DefaultCostModel()
+	ac := workload.DefaultAppCost()
+	explicit := Config{
+		Processors:    16,
+		MemoryBytes:   Config{}.withDefaults().MemoryBytes,
+		PartitionSize: 16,
+		Cost:          &cm,
+		AppCost:       &ac,
+	}
+	if explicit.MustHash() != (Config{}).MustHash() {
+		t.Error("explicit defaults hash differently from the zero config")
+	}
+	// Equal configs hash equal on repeated computation.
+	cfg := Config{PartitionSize: 4, Topology: topology.Mesh, Policy: sched.TimeShared, Seed: 7}
+	if cfg.MustHash() != cfg.MustHash() {
+		t.Error("hash is not deterministic for the same config")
+	}
+}
+
+// TestHashFieldSensitivity: flipping any single hashable field — including
+// every cost-model, app-cost and fault field — changes the hash, and all
+// the flipped hashes are mutually distinct.
+func TestHashFieldSensitivity(t *testing.T) {
+	base := Config{
+		Fault: &fault.Config{NodeMTBF: sim.Second, Horizon: 10 * sim.Second},
+	}
+	flips := map[string]func(*Config){
+		"Processors":    func(c *Config) { c.Processors = 32 },
+		"MemoryBytes":   func(c *Config) { c.MemoryBytes = 1 << 20 },
+		"PartitionSize": func(c *Config) { c.PartitionSize = 4 },
+		"Topology":      func(c *Config) { c.Topology = topology.Mesh },
+		"Policy":        func(c *Config) { c.Policy = sched.Gang },
+		"App":           func(c *Config) { c.App = Sort },
+		"Arch":          func(c *Config) { c.Arch = workload.Adaptive },
+		"Mode":          func(c *Config) { c.Mode = 1 },
+		"BasicQuantum":  func(c *Config) { c.BasicQuantum = 5 * sim.Millisecond },
+		"Order":         func(c *Config) { c.Order = LargestFirst },
+		"Verify":        func(c *Config) { c.Verify = true },
+		"Seed":          func(c *Config) { c.Seed = 42 },
+		"MaxResident":   func(c *Config) { c.MaxResident = 3 },
+		"SampleEvery":   func(c *Config) { c.SampleEvery = sim.Millisecond },
+
+		"Cost.Quantum":           func(c *Config) { c.Cost = costFlip(func(m *machine.CostModel) { m.Quantum++ }) },
+		"Cost.LinkPerByteNS":     func(c *Config) { c.Cost = costFlip(func(m *machine.CostModel) { m.LinkPerByteNS++ }) },
+		"Cost.LinkLatency":       func(c *Config) { c.Cost = costFlip(func(m *machine.CostModel) { m.LinkLatency++ }) },
+		"Cost.RouterHopOverhead": func(c *Config) { c.Cost = costFlip(func(m *machine.CostModel) { m.RouterHopOverhead++ }) },
+		"Cost.SendOverhead":      func(c *Config) { c.Cost = costFlip(func(m *machine.CostModel) { m.SendOverhead++ }) },
+		"Cost.RecvOverhead":      func(c *Config) { c.Cost = costFlip(func(m *machine.CostModel) { m.RecvOverhead++ }) },
+		"Cost.JobSwitch":         func(c *Config) { c.Cost = costFlip(func(m *machine.CostModel) { m.JobSwitch++ }) },
+		"Cost.SpawnOverhead":     func(c *Config) { c.Cost = costFlip(func(m *machine.CostModel) { m.SpawnOverhead++ }) },
+		"Cost.FlitBytes":         func(c *Config) { c.Cost = costFlip(func(m *machine.CostModel) { m.FlitBytes++ }) },
+		"Cost.MsgHeaderBytes":    func(c *Config) { c.Cost = costFlip(func(m *machine.CostModel) { m.MsgHeaderBytes++ }) },
+		"Cost.HostPerByteNS":     func(c *Config) { c.Cost = costFlip(func(m *machine.CostModel) { m.HostPerByteNS++ }) },
+		"Cost.HostJobFixed":      func(c *Config) { c.Cost = costFlip(func(m *machine.CostModel) { m.HostJobFixed++ }) },
+
+		"AppCost.MulAddNS": func(c *Config) { c.AppCost = appCostFlip(func(a *workload.AppCost) { a.MulAddNS++ }) },
+		"AppCost.CmpNS":    func(c *Config) { c.AppCost = appCostFlip(func(a *workload.AppCost) { a.CmpNS++ }) },
+		"AppCost.MergeNS":  func(c *Config) { c.AppCost = appCostFlip(func(a *workload.AppCost) { a.MergeNS++ }) },
+		"AppCost.Setup":    func(c *Config) { c.AppCost = appCostFlip(func(a *workload.AppCost) { a.Setup++ }) },
+
+		"Fault=nil":                func(c *Config) { c.Fault = nil },
+		"Fault.Seed":               func(c *Config) { c.Fault = faultFlip(*c.Fault, func(f *fault.Config) { f.Seed++ }) },
+		"Fault.NodeMTBF":           func(c *Config) { c.Fault = faultFlip(*c.Fault, func(f *fault.Config) { f.NodeMTBF++ }) },
+		"Fault.NodeMTTR":           func(c *Config) { c.Fault = faultFlip(*c.Fault, func(f *fault.Config) { f.NodeMTTR++ }) },
+		"Fault.LinkMTBF":           func(c *Config) { c.Fault = faultFlip(*c.Fault, func(f *fault.Config) { f.LinkMTBF++ }) },
+		"Fault.LinkMTTR":           func(c *Config) { c.Fault = faultFlip(*c.Fault, func(f *fault.Config) { f.LinkMTTR++ }) },
+		"Fault.DropProb":           func(c *Config) { c.Fault = faultFlip(*c.Fault, func(f *fault.Config) { f.DropProb = 0.01 }) },
+		"Fault.Horizon":            func(c *Config) { c.Fault = faultFlip(*c.Fault, func(f *fault.Config) { f.Horizon++ }) },
+		"Fault.RetryTimeout":       func(c *Config) { c.Fault = faultFlip(*c.Fault, func(f *fault.Config) { f.RetryTimeout++ }) },
+		"Fault.RetryBudget":        func(c *Config) { c.Fault = faultFlip(*c.Fault, func(f *fault.Config) { f.RetryBudget++ }) },
+		"Fault.CheckpointInterval": func(c *Config) { c.Fault = faultFlip(*c.Fault, func(f *fault.Config) { f.CheckpointInterval++ }) },
+		"Fault.CheckpointCost":     func(c *Config) { c.Fault = faultFlip(*c.Fault, func(f *fault.Config) { f.CheckpointCost++ }) },
+		"Fault.RestartBudget":      func(c *Config) { c.Fault = faultFlip(*c.Fault, func(f *fault.Config) { f.RestartBudget++ }) },
+	}
+
+	baseHash := base.MustHash()
+	seen := map[string]string{baseHash: "base"}
+	for name, flip := range flips {
+		cfg := base
+		flip(&cfg)
+		h := cfg.MustHash()
+		if h == baseHash {
+			t.Errorf("flipping %s did not change the hash", name)
+			continue
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("flips %s and %s collide", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+func costFlip(mut func(*machine.CostModel)) *machine.CostModel {
+	cm := machine.DefaultCostModel()
+	mut(&cm)
+	return &cm
+}
+
+func appCostFlip(mut func(*workload.AppCost)) *workload.AppCost {
+	ac := workload.DefaultAppCost()
+	mut(&ac)
+	return &ac
+}
+
+func faultFlip(f fault.Config, mut func(*fault.Config)) *fault.Config {
+	mut(&f)
+	return &f
+}
+
+// TestHashRejectsRuntimeFields: Batch and Tracer make a config
+// non-addressable.
+func TestHashRejectsRuntimeFields(t *testing.T) {
+	if _, err := (Config{Batch: workload.Batch{}}).Hash(); err == nil {
+		t.Error("config with Batch hashed without error")
+	}
+	if _, err := (Config{Tracer: &trace.Log{}}).Hash(); err == nil {
+		t.Error("config with Tracer hashed without error")
+	}
+}
+
+// TestHashMatchesRunEquivalence: two configs that hash equal produce
+// byte-identical results; a config that hashes different may legitimately
+// differ. This ties the cache key to what it protects.
+func TestHashMatchesRunEquivalence(t *testing.T) {
+	a := Config{PartitionSize: 4, Topology: topology.Mesh, Policy: sched.TimeShared}
+	b := a
+	b.Processors = 16 // the default, spelled out
+	if a.MustHash() != b.MustHash() {
+		t.Fatal("equivalent configs hash differently")
+	}
+	ra, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.MeanResponse() != rb.MeanResponse() || ra.Makespan != rb.Makespan {
+		t.Error("configs with equal hashes produced different results")
+	}
+}

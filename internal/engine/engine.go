@@ -17,6 +17,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -58,6 +59,14 @@ type Options struct {
 	// runtime.NumCPU(). The worker count never changes results, only
 	// wall-clock time.
 	Workers int
+	// Ctx, when non-nil, cancels the plan: once it is done no further
+	// points are dispatched and every undispatched point's error slot is
+	// filled with the context's error. Points already running finish
+	// normally (a simulation cannot be interrupted mid-run). This is how
+	// callers that only hold an Options value — the experiment drivers —
+	// inherit cancellation without a signature change; ExecuteAllCtx is
+	// the explicit form.
+	Ctx context.Context
 }
 
 // Pick resolves a variadic options list (the idiom drivers use to stay
@@ -109,16 +118,57 @@ func runPoint[T any](p *Plan[T], i int, results []T, errs []error) {
 // keyed by point index. Unlike Execute it never discards later results
 // because an earlier point failed — callers that want best-effort sweeps
 // (cmd/sweep) report per-point errors and keep the good rows.
+//
+// Cancellation comes from Options.Ctx when set (see ExecuteAllCtx for the
+// explicit form); otherwise the plan always runs to completion.
 func ExecuteAll[T any](p *Plan[T], opts ...Options) ([]T, []error) {
+	o := Pick(opts...)
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return executeAll(ctx, p, o)
+}
+
+// ExecuteAllCtx is ExecuteAll with explicit cancellation: once ctx is done,
+// no further points are dispatched — their error slots are filled with
+// ctx.Err() (context.Canceled or context.DeadlineExceeded) — and the call
+// returns as soon as the points already in flight finish. No goroutines
+// outlive the call. ctx overrides Options.Ctx.
+func ExecuteAllCtx[T any](ctx context.Context, p *Plan[T], opts ...Options) ([]T, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return executeAll(ctx, p, Pick(opts...))
+}
+
+// ExecuteCtx is Execute with explicit cancellation; like Execute it returns
+// the error of the lowest-indexed failed point, which under cancellation is
+// the first undispatched point's ctx.Err().
+func ExecuteCtx[T any](ctx context.Context, p *Plan[T], opts ...Options) ([]T, error) {
+	results, errs := ExecuteAllCtx(ctx, p, opts...)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func executeAll[T any](ctx context.Context, p *Plan[T], o Options) ([]T, []error) {
 	n := len(p.Points)
 	results := make([]T, n)
 	errs := make([]error, n)
-	w := Pick(opts...).workers()
+	w := o.workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := range p.Points {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			runPoint(p, i, results, errs)
 		}
 		return results, errs
@@ -133,6 +183,14 @@ func ExecuteAll[T any](p *Plan[T], opts ...Options) ([]T, []error) {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				// Claiming before the cancellation check keeps the
+				// bookkeeping simple: after cancel the workers race
+				// through the remaining indices, stamping each with
+				// ctx.Err() without running it.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
 				}
 				runPoint(p, i, results, errs)
 			}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// The catalog is the single registry of named experiments — every figure
+// and extension study, addressable by id ("f3".."f6", "e1".."e12") — with
+// uniform execution and rendering. cmd/ippsbench iterates it for the CLI
+// and internal/serve exposes it over HTTP, so a new experiment registered
+// here is immediately reachable from both.
+
+// Format selects an experiment rendering.
+type Format int
+
+const (
+	// Table is the human-readable text table matching the paper's layout.
+	Table Format = iota
+	// CSV is one comma-separated row per point.
+	CSV
+	// JSON is an array of row objects (same columns as the CSV).
+	JSON
+)
+
+// ParseFormat parses "table", "csv" or "json".
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "table", "":
+		return Table, nil
+	case "csv":
+		return CSV, nil
+	case "json":
+		return JSON, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown format %q (want table, csv or json)", s)
+}
+
+func (f Format) String() string {
+	switch f {
+	case CSV:
+		return "csv"
+	case JSON:
+		return "json"
+	default:
+		return "table"
+	}
+}
+
+// ContentType is the HTTP media type of the rendering.
+func (f Format) ContentType() string {
+	switch f {
+	case CSV:
+		return "text/csv; charset=utf-8"
+	case JSON:
+		return "application/json"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// CatalogEntry is one named experiment.
+type CatalogEntry struct {
+	// ID is the canonical short id ("f3", "e6").
+	ID string
+	// Title is the one-line description shown by listings.
+	Title string
+	// Run executes the experiment from the given base config and renders
+	// it in the requested format. Cancellation arrives via opts.Ctx.
+	Run func(base core.Config, format Format, opts engine.Options) (string, error)
+}
+
+// render3 adapts an experiment with table/CSV/JSON renderers to a Run func.
+func render3(format Format, table func() string, csv func() string, json func() string) string {
+	switch format {
+	case CSV:
+		return csv()
+	case JSON:
+		return json()
+	default:
+		return table()
+	}
+}
+
+func figureEntry(id, title string, f func(core.Config, ...engine.Options) (*Figure, error)) CatalogEntry {
+	return CatalogEntry{ID: id, Title: title, Run: func(base core.Config, format Format, opts engine.Options) (string, error) {
+		fig, err := f(base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format, fig.Table, fig.CSV, fig.JSON), nil
+	}}
+}
+
+var catalog = []CatalogEntry{
+	figureEntry("f3", "Figure 3: matmul, fixed architecture", Figure3),
+	figureEntry("f4", "Figure 4: matmul, adaptive architecture", Figure4),
+	figureEntry("f5", "Figure 5: sort, fixed architecture", Figure5),
+	figureEntry("f6", "Figure 6: sort, adaptive architecture", Figure6),
+	{"e1", "E1: service-time variance sensitivity", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		points, err := VarianceSweep(DefaultCVs, base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return VarianceTable(points) },
+			func() string { return VarianceCSV(points) },
+			func() string { return VarianceJSON(points) }), nil
+	}},
+	{"e2", "E2: wormhole routing ablation", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		cells, err := WormholeAblation(base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return AblationTable(cells) },
+			func() string { return AblationCSV(cells) },
+			func() string { return AblationJSON(cells) }), nil
+	}},
+	{"e3", "E3: basic quantum sweep", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		points, err := QuantumSweep(DefaultQuanta, base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return QuantumTable(points) },
+			func() string { return QuantumCSV(points) },
+			func() string { return QuantumJSON(points) }), nil
+	}},
+	{"e4", "E4: RR-job vs RR-process fairness", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		r, err := RunRRComparison(base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return RRTable(r) },
+			func() string { return RRCSV(r) },
+			func() string { return RRJSON(r) }), nil
+	}},
+	{"e5", "E5: multiprogramming level tuning", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		points, err := MPLSweep(DefaultMPLs, base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return MPLTable(points) },
+			func() string { return MPLCSV(points) },
+			func() string { return MPLJSON(points) }), nil
+	}},
+	{"e6", "E6: open-system load sweep (static/hybrid/dynamic)", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		points, err := OpenLoadSweep(DefaultLoads, base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return LoadTable(points) },
+			func() string { return LoadCSV(points) },
+			func() string { return LoadJSON(points) }), nil
+	}},
+	{"e7", "E7: gang scheduling vs RR-job", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		cells, err := GangVsRRJob(base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return GangTable(cells) },
+			func() string { return GangCSV(cells) },
+			func() string { return GangJSON(cells) }), nil
+	}},
+	{"e8", "E8: topology stress with the halo-exchange stencil", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		cells, err := StencilTopology(base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return StencilTable(cells) },
+			func() string { return StencilCSV(cells) },
+			func() string { return StencilJSON(cells) }), nil
+	}},
+	{"e9", "E9: machine-size scalability (16-64 nodes)", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		cells, err := Scalability(DefaultScales, base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return ScaleTable(cells) },
+			func() string { return ScaleCSV(cells) },
+			func() string { return ScaleJSON(cells) }), nil
+	}},
+	{"e10", "E10: binomial-tree broadcast ablation", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		cells, err := BroadcastAblation(base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return BroadcastTable(cells) },
+			func() string { return BroadcastCSV(cells) },
+			func() string { return BroadcastJSON(cells) }), nil
+	}},
+	{"e11", "E11: sort-algorithm ablation (selection vs merge)", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		cells, err := SortAlgorithmAblation(base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return SortAlgTable(cells) },
+			func() string { return SortAlgCSV(cells) },
+			func() string { return SortAlgJSON(cells) }), nil
+	}},
+	{"e12", "E12: butterfly all-reduce vs topology", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		cells, err := CollectiveTopology(base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return CollectiveTable(cells) },
+			func() string { return CollectiveCSV(cells) },
+			func() string { return CollectiveJSON(cells) }), nil
+	}},
+}
+
+// Catalog returns every named experiment in presentation order. The slice
+// is shared; callers must not mutate it.
+func Catalog() []CatalogEntry { return catalog }
+
+// Lookup resolves an experiment id — canonical ("f3", "e6") or the "fig3"
+// long form — to its entry, or nil.
+func Lookup(id string) *CatalogEntry {
+	if len(id) > 3 && id[:3] == "fig" {
+		id = "f" + id[3:]
+	}
+	for i := range catalog {
+		if catalog[i].ID == id {
+			return &catalog[i]
+		}
+	}
+	return nil
+}

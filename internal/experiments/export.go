@@ -1,134 +1,258 @@
 package experiments
 
-// CSV exporters for every figure and extension sweep. Each declares its
-// header columns and typed cells; formatting and escaping live in the
-// shared row-writer (render.go). Times are in seconds.
+import "repro/internal/metrics"
 
-// CSV renders the figure as comma-separated values (one row per cell) for
-// plotting outside the harness.
-func (f *Figure) CSV() string {
-	w := newCSV("label", "partition", "topology", "static_avg_s", "static_best_s",
-		"static_worst_s", "ts_s", "ts_over_static", "ts_mem_blocked_s", "ts_overhead_frac")
+// CSV and JSON exporters for every figure and extension sweep. Each
+// experiment declares its header columns and typed row cells exactly once;
+// the two renderings share the row feed, so a column added to the CSV is in
+// the JSON by construction. Formatting and escaping live in the shared
+// row-writers (render.go). Times are in seconds.
+
+// rowWriter is what the two document writers (csvWriter, jsonWriter) have
+// in common: a typed-cell row sink.
+type rowWriter interface {
+	row(cells ...any)
+}
+
+// renderRows materializes one experiment export: the same column list and
+// row feed through whichever writer the caller picked.
+func renderCSV(cols []string, feed func(rowWriter)) string {
+	w := newCSV(cols...)
+	feed(w)
+	return w.String()
+}
+
+func renderJSON(cols []string, feed func(rowWriter)) string {
+	w := newJSON(cols...)
+	feed(w)
+	return w.String()
+}
+
+var figureCols = []string{"label", "partition", "topology", "static_avg_s", "static_best_s",
+	"static_worst_s", "ts_s", "ts_over_static", "ts_mem_blocked_s", "ts_overhead_frac"}
+
+func (f *Figure) rows(w rowWriter) {
 	for _, c := range f.Cells {
 		w.row(c.Label, c.PartitionSize, c.Topology,
 			secs(c.Static), secs(c.StaticBest), secs(c.StaticWorst),
 			secs(c.TS), fix4(c.Ratio()), secs(c.TSMemBlocked), fix4(c.TSOverheadFrac))
 	}
-	return w.String()
+}
+
+// CSV renders the figure as comma-separated values (one row per cell) for
+// plotting outside the harness.
+func (f *Figure) CSV() string { return renderCSV(figureCols, f.rows) }
+
+// JSON renders the figure as an array of row objects — the encoding schedd
+// serves over HTTP.
+func (f *Figure) JSON() string { return renderJSON(figureCols, f.rows) }
+
+var varianceCols = []string{"cv", "static_s", "ts_s"}
+
+func varianceRows(points []VariancePoint) func(rowWriter) {
+	return func(w rowWriter) {
+		for _, p := range points {
+			w.row(fix2(p.CV), secs(p.Static), secs(p.TS))
+		}
+	}
 }
 
 // VarianceCSV renders E1.
-func VarianceCSV(points []VariancePoint) string {
-	w := newCSV("cv", "static_s", "ts_s")
-	for _, p := range points {
-		w.row(fix2(p.CV), secs(p.Static), secs(p.TS))
+func VarianceCSV(points []VariancePoint) string { return renderCSV(varianceCols, varianceRows(points)) }
+
+// VarianceJSON renders E1 as JSON rows.
+func VarianceJSON(points []VariancePoint) string {
+	return renderJSON(varianceCols, varianceRows(points))
+}
+
+var ablationCols = []string{"label", "saf_s", "wormhole_s", "saf_mem_blocked_s", "wh_mem_blocked_s"}
+
+func ablationRows(cells []AblationCell) func(rowWriter) {
+	return func(w rowWriter) {
+		for _, c := range cells {
+			w.row(c.Label, secs(c.SAF), secs(c.WH), secs(c.SAFBlock), secs(c.WHBlock))
+		}
 	}
-	return w.String()
 }
 
 // AblationCSV renders E2.
-func AblationCSV(cells []AblationCell) string {
-	w := newCSV("label", "saf_s", "wormhole_s", "saf_mem_blocked_s", "wh_mem_blocked_s")
-	for _, c := range cells {
-		w.row(c.Label, secs(c.SAF), secs(c.WH), secs(c.SAFBlock), secs(c.WHBlock))
+func AblationCSV(cells []AblationCell) string { return renderCSV(ablationCols, ablationRows(cells)) }
+
+// AblationJSON renders E2 as JSON rows.
+func AblationJSON(cells []AblationCell) string { return renderJSON(ablationCols, ablationRows(cells)) }
+
+var quantumCols = []string{"quantum_us", "ts_s", "overhead_frac"}
+
+func quantumRows(points []QuantumPoint) func(rowWriter) {
+	return func(w rowWriter) {
+		for _, p := range points {
+			w.row(int64(p.Q), secs(p.TS), fix4(p.OverheadFrac))
+		}
 	}
-	return w.String()
 }
 
 // QuantumCSV renders E3.
-func QuantumCSV(points []QuantumPoint) string {
-	w := newCSV("quantum_us", "ts_s", "overhead_frac")
-	for _, p := range points {
-		w.row(int64(p.Q), secs(p.TS), fix4(p.OverheadFrac))
+func QuantumCSV(points []QuantumPoint) string { return renderCSV(quantumCols, quantumRows(points)) }
+
+// QuantumJSON renders E3 as JSON rows.
+func QuantumJSON(points []QuantumPoint) string { return renderJSON(quantumCols, quantumRows(points)) }
+
+var rrCols = []string{"policy", "narrow_s", "wide_s"}
+
+func rrRows(r *RRComparisonResult) func(rowWriter) {
+	return func(w rowWriter) {
+		w.row("rr-job", secs(r.RRJobSmall), secs(r.RRJobBig))
+		w.row("rr-process", secs(r.RRProcSmall), secs(r.RRProcBig))
 	}
-	return w.String()
 }
 
 // RRCSV renders E4.
-func RRCSV(r *RRComparisonResult) string {
-	w := newCSV("policy", "narrow_s", "wide_s")
-	w.row("rr-job", secs(r.RRJobSmall), secs(r.RRJobBig))
-	w.row("rr-process", secs(r.RRProcSmall), secs(r.RRProcBig))
-	return w.String()
+func RRCSV(r *RRComparisonResult) string { return renderCSV(rrCols, rrRows(r)) }
+
+// RRJSON renders E4 as JSON rows.
+func RRJSON(r *RRComparisonResult) string { return renderJSON(rrCols, rrRows(r)) }
+
+var mplCols = []string{"mpl", "ts_s", "mem_blocked_s"}
+
+func mplRows(points []MPLPoint) func(rowWriter) {
+	return func(w rowWriter) {
+		for _, p := range points {
+			w.row(p.MaxResident, secs(p.Mean), secs(p.MemBlocked))
+		}
+	}
 }
 
 // MPLCSV renders E5.
-func MPLCSV(points []MPLPoint) string {
-	w := newCSV("mpl", "ts_s", "mem_blocked_s")
-	for _, p := range points {
-		w.row(p.MaxResident, secs(p.Mean), secs(p.MemBlocked))
+func MPLCSV(points []MPLPoint) string { return renderCSV(mplCols, mplRows(points)) }
+
+// MPLJSON renders E5 as JSON rows.
+func MPLJSON(points []MPLPoint) string { return renderJSON(mplCols, mplRows(points)) }
+
+var loadCols = []string{"rho", "static4_s", "hybrid4_s", "dynamic_s"}
+
+func loadRows(points []LoadPoint) func(rowWriter) {
+	return func(w rowWriter) {
+		for _, p := range points {
+			w.row(fix2(p.Rho), secs(p.Static4), secs(p.Hybrid4), secs(p.Dynamic))
+		}
 	}
-	return w.String()
 }
 
 // LoadCSV renders E6.
-func LoadCSV(points []LoadPoint) string {
-	w := newCSV("rho", "static4_s", "hybrid4_s", "dynamic_s")
-	for _, p := range points {
-		w.row(fix2(p.Rho), secs(p.Static4), secs(p.Hybrid4), secs(p.Dynamic))
+func LoadCSV(points []LoadPoint) string { return renderCSV(loadCols, loadRows(points)) }
+
+// LoadJSON renders E6 as JSON rows.
+func LoadJSON(points []LoadPoint) string { return renderJSON(loadCols, loadRows(points)) }
+
+var gangCols = []string{"app", "rrjob_s", "gang_s", "rrjob_overhead", "gang_overhead"}
+
+func gangRows(cells []GangCell) func(rowWriter) {
+	return func(w rowWriter) {
+		for _, c := range cells {
+			w.row(c.App, secs(c.RRJob), secs(c.Gang), fix4(c.RRJobOvh), fix4(c.GangOverhead))
+		}
 	}
-	return w.String()
 }
 
 // GangCSV renders E7.
-func GangCSV(cells []GangCell) string {
-	w := newCSV("app", "rrjob_s", "gang_s", "rrjob_overhead", "gang_overhead")
-	for _, c := range cells {
-		w.row(c.App, secs(c.RRJob), secs(c.Gang), fix4(c.RRJobOvh), fix4(c.GangOverhead))
+func GangCSV(cells []GangCell) string { return renderCSV(gangCols, gangRows(cells)) }
+
+// GangJSON renders E7 as JSON rows.
+func GangJSON(cells []GangCell) string { return renderJSON(gangCols, gangRows(cells)) }
+
+var stencilCols = []string{"label", "static_s", "ts_s", "ts_avg_msg_latency_us"}
+
+func stencilRows(cells []StencilCell) func(rowWriter) {
+	return func(w rowWriter) {
+		for _, c := range cells {
+			w.row(c.Label, secs(c.Static), secs(c.TS), int64(c.TSAvgLat))
+		}
 	}
-	return w.String()
 }
 
 // StencilCSV renders E8.
-func StencilCSV(cells []StencilCell) string {
-	w := newCSV("label", "static_s", "ts_s", "ts_avg_msg_latency_us")
-	for _, c := range cells {
-		w.row(c.Label, secs(c.Static), secs(c.TS), int64(c.TSAvgLat))
+func StencilCSV(cells []StencilCell) string { return renderCSV(stencilCols, stencilRows(cells)) }
+
+// StencilJSON renders E8 as JSON rows.
+func StencilJSON(cells []StencilCell) string { return renderJSON(stencilCols, stencilRows(cells)) }
+
+var scaleCols = []string{"nodes", "static_s", "ts_s", "ts_mem_blocked_s", "ts_overhead_frac"}
+
+func scaleRows(cells []ScaleCell) func(rowWriter) {
+	return func(w rowWriter) {
+		for _, c := range cells {
+			w.row(c.Machine, secs(c.Static), secs(c.TS), secs(c.TSMemBlock), fix4(c.TSOverhead))
+		}
 	}
-	return w.String()
 }
 
 // ScaleCSV renders E9.
-func ScaleCSV(cells []ScaleCell) string {
-	w := newCSV("nodes", "static_s", "ts_s", "ts_mem_blocked_s", "ts_overhead_frac")
-	for _, c := range cells {
-		w.row(c.Machine, secs(c.Static), secs(c.TS), secs(c.TSMemBlock), fix4(c.TSOverhead))
+func ScaleCSV(cells []ScaleCell) string { return renderCSV(scaleCols, scaleRows(cells)) }
+
+// ScaleJSON renders E9 as JSON rows.
+func ScaleJSON(cells []ScaleCell) string { return renderJSON(scaleCols, scaleRows(cells)) }
+
+var broadcastCols = []string{"config", "sequential_s", "tree_s"}
+
+func broadcastRows(cells []BroadcastCell) func(rowWriter) {
+	return func(w rowWriter) {
+		for _, c := range cells {
+			w.row(c.Label, secs(c.Seq), secs(c.Tree))
+		}
 	}
-	return w.String()
 }
 
 // BroadcastCSV renders E10.
 func BroadcastCSV(cells []BroadcastCell) string {
-	w := newCSV("config", "sequential_s", "tree_s")
-	for _, c := range cells {
-		w.row(c.Label, secs(c.Seq), secs(c.Tree))
+	return renderCSV(broadcastCols, broadcastRows(cells))
+}
+
+// BroadcastJSON renders E10 as JSON rows.
+func BroadcastJSON(cells []BroadcastCell) string {
+	return renderJSON(broadcastCols, broadcastRows(cells))
+}
+
+var sortAlgCols = []string{"algorithm", "partition", "fixed_s", "adaptive_s"}
+
+func sortAlgRows(cells []SortAlgCell) func(rowWriter) {
+	return func(w rowWriter) {
+		for _, c := range cells {
+			w.row(c.Algorithm, c.PartitionSize, secs(c.Fixed), secs(c.Adaptive))
+		}
 	}
-	return w.String()
 }
 
 // SortAlgCSV renders E11.
-func SortAlgCSV(cells []SortAlgCell) string {
-	w := newCSV("algorithm", "partition", "fixed_s", "adaptive_s")
-	for _, c := range cells {
-		w.row(c.Algorithm, c.PartitionSize, secs(c.Fixed), secs(c.Adaptive))
+func SortAlgCSV(cells []SortAlgCell) string { return renderCSV(sortAlgCols, sortAlgRows(cells)) }
+
+// SortAlgJSON renders E11 as JSON rows.
+func SortAlgJSON(cells []SortAlgCell) string { return renderJSON(sortAlgCols, sortAlgRows(cells)) }
+
+var collectiveCols = []string{"label", "single_s", "ts_s", "avg_hops"}
+
+func collectiveRows(cells []CollectiveCell) func(rowWriter) {
+	return func(w rowWriter) {
+		for _, c := range cells {
+			w.row(c.Label, secs(c.Single), secs(c.TS), fix2(c.AvgHops))
+		}
 	}
-	return w.String()
 }
 
 // CollectiveCSV renders E12.
 func CollectiveCSV(cells []CollectiveCell) string {
-	w := newCSV("label", "single_s", "ts_s", "avg_hops")
-	for _, c := range cells {
-		w.row(c.Label, secs(c.Single), secs(c.TS), fix2(c.AvgHops))
-	}
-	return w.String()
+	return renderCSV(collectiveCols, collectiveRows(cells))
 }
 
-// CSV renders the fault study as rows for plotting.
-func (s *FaultStudy) CSV() string {
-	w := newCSV("topology", "partition", "policy", "rate_per_node_s", "mtbf_us",
-		"mean_s", "makespan_s", "nodes_failed", "job_kills", "requeues", "restarts",
-		"checkpoints", "work_lost_s", "retries")
+// CollectiveJSON renders E12 as JSON rows.
+func CollectiveJSON(cells []CollectiveCell) string {
+	return renderJSON(collectiveCols, collectiveRows(cells))
+}
+
+var faultCols = []string{"topology", "partition", "policy", "rate_per_node_s", "mtbf_us",
+	"mean_s", "makespan_s", "nodes_failed", "job_kills", "requeues", "restarts",
+	"checkpoints", "work_lost_s", "retries"}
+
+func (s *FaultStudy) rows(w rowWriter) {
 	for _, c := range s.Curves {
 		for _, p := range c.Points {
 			w.row(s.Topology, s.PartitionSize, c.Policy, p.Rate, int64(p.NodeMTBF),
@@ -137,5 +261,69 @@ func (s *FaultStudy) CSV() string {
 				p.Faults.Restarts, p.Faults.Checkpoints, secs(p.Faults.WorkLost), p.Retries)
 		}
 	}
+}
+
+// CSV renders the fault study as rows for plotting.
+func (s *FaultStudy) CSV() string { return renderCSV(faultCols, s.rows) }
+
+// JSON renders the fault study as JSON rows.
+func (s *FaultStudy) JSON() string { return renderJSON(faultCols, s.rows) }
+
+// Single-run summary: the headline metrics of one core.Run, the body
+// schedd serves for config-shaped (non-experiment) requests. Field set and
+// rendering mirror cmd/sweep's CSV columns, with percentiles and network
+// detail added; all three renderings share one column/cell feed.
+
+var summaryCols = []string{"label", "jobs", "mean_s", "p50_s", "p95_s", "max_s",
+	"makespan_s", "util", "overhead", "mem_blocked_s", "peak_mem_bytes",
+	"messages", "avg_hops", "avg_latency_us", "retries"}
+
+func summaryCells(res *metrics.Result) []any {
+	return []any{
+		res.Label,
+		len(res.Jobs),
+		secs(res.MeanResponse()),
+		secs(res.ResponsePercentile(50)),
+		secs(res.ResponsePercentile(95)),
+		secs(res.MaxResponse()),
+		secs(res.Makespan),
+		fix4(res.CPUUtilization()),
+		fix4(res.SystemOverheadFraction()),
+		secs(res.TotalMemBlockedTime()),
+		res.PeakMemory(),
+		res.Net.Messages,
+		fix2(res.Net.AvgHops()),
+		int64(res.Net.AvgLatency()),
+		res.Net.Retries,
+	}
+}
+
+// SummaryJSON renders the summary as one flat JSON object.
+func SummaryJSON(res *metrics.Result) string {
+	o := newJSONObject()
+	cells := summaryCells(res)
+	for i, col := range summaryCols {
+		o.field(col, cells[i])
+	}
+	return o.String()
+}
+
+// SummaryCSV renders the summary as a one-row CSV document.
+func SummaryCSV(res *metrics.Result) string {
+	w := newCSV(summaryCols...)
+	w.row(summaryCells(res)...)
 	return w.String()
+}
+
+// SummaryTable renders the summary as an aligned name/value text table.
+func SummaryTable(res *metrics.Result) string {
+	t := newText(res.Label)
+	cells := summaryCells(res)
+	for i, col := range summaryCols {
+		if col == "label" {
+			continue
+		}
+		t.linef("%-16s %s\n", col, csvCell(cells[i]))
+	}
+	return t.String()
 }

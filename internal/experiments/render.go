@@ -92,6 +92,115 @@ func csvEscape(s string) string {
 	return s
 }
 
+// jsonWriter accumulates one JSON document: an array with one object per
+// row, sharing the csvWriter's column names and typed cells so the CSV and
+// JSON renderings of an experiment can never drift apart. Output is
+// byte-stable: fields keep declaration order, one row per line, numbers
+// rendered exactly like their CSV cells.
+type jsonWriter struct {
+	cols []string
+	b    strings.Builder
+	rows int
+}
+
+// newJSON starts a document with the given column names.
+func newJSON(cols ...string) *jsonWriter {
+	w := &jsonWriter{cols: cols}
+	w.b.WriteByte('[')
+	return w
+}
+
+// row appends one object; cells pair positionally with the columns.
+func (w *jsonWriter) row(cells ...any) {
+	if len(cells) != len(w.cols) {
+		panic(fmt.Sprintf("experiments: json row has %d cells for %d columns", len(cells), len(w.cols)))
+	}
+	if w.rows > 0 {
+		w.b.WriteByte(',')
+	}
+	w.b.WriteString("\n  {")
+	for i, c := range cells {
+		if i > 0 {
+			w.b.WriteByte(',')
+		}
+		w.b.WriteString(strconv.Quote(w.cols[i]))
+		w.b.WriteByte(':')
+		w.b.WriteString(jsonCell(c))
+	}
+	w.b.WriteByte('}')
+	w.rows++
+}
+
+// String closes the array. Safe to call once.
+func (w *jsonWriter) String() string {
+	if w.rows > 0 {
+		w.b.WriteByte('\n')
+	}
+	w.b.WriteString("]\n")
+	return w.b.String()
+}
+
+// jsonObject renders a single flat object (one row, named fields) — the
+// shape single-run summaries use. Same typed cells as the row writers.
+type jsonObject struct {
+	b strings.Builder
+	n int
+}
+
+func newJSONObject() *jsonObject {
+	o := &jsonObject{}
+	o.b.WriteByte('{')
+	return o
+}
+
+func (o *jsonObject) field(name string, cell any) *jsonObject {
+	if o.n > 0 {
+		o.b.WriteByte(',')
+	}
+	o.b.WriteString("\n  ")
+	o.b.WriteString(strconv.Quote(name))
+	o.b.WriteString(": ")
+	o.b.WriteString(jsonCell(cell))
+	o.n++
+	return o
+}
+
+func (o *jsonObject) String() string {
+	if o.n > 0 {
+		o.b.WriteByte('\n')
+	}
+	o.b.WriteString("}\n")
+	return o.b.String()
+}
+
+// jsonCell renders one typed cell as a JSON value. The numeric wrappers
+// render exactly as in csvCell — a plotting pipeline switching formats sees
+// the same digits.
+func jsonCell(c any) string {
+	switch v := c.(type) {
+	case secs:
+		return fmt.Sprintf("%.6f", sim.Time(v).Seconds())
+	case fix2:
+		return fmt.Sprintf("%.2f", float64(v))
+	case fix4:
+		return fmt.Sprintf("%.4f", float64(v))
+	case float64:
+		return fmt.Sprintf("%g", v)
+	case int:
+		return strconv.Itoa(v)
+	case int64:
+		return strconv.FormatInt(v, 10)
+	case bool:
+		return strconv.FormatBool(v)
+	case string:
+		return strconv.Quote(v)
+	case fmt.Stringer:
+		return strconv.Quote(v.String())
+	default:
+		return strconv.Quote(fmt.Sprint(v))
+	}
+}
+
 // textTable accumulates one human-readable table: a title line, a header
 // line and formatted rows. Header and row layouts are fmt strings so each
 // experiment keeps its historical column widths exactly.

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errQueueFull is returned when the admission queue is at capacity; the
+// handler maps it to 429 + Retry-After. Bounding the queue is what keeps
+// the server stable under overload: beyond MaxInflight running simulations
+// and QueueDepth waiters, requests are shed immediately instead of piling
+// onto an unbounded queue until memory or every client's patience runs out.
+var errQueueFull = errors.New("serve: admission queue full")
+
+// admission is the two-stage gate in front of the engine: at most inflight
+// simulations run concurrently, at most depth requests wait for a slot, and
+// everyone else is rejected on arrival.
+type admission struct {
+	slots   chan struct{} // capacity = max inflight
+	depth   int64         // max waiters
+	waiting atomic.Int64
+	running atomic.Int64
+}
+
+func newAdmission(inflight, depth int) *admission {
+	if inflight < 1 {
+		inflight = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &admission{slots: make(chan struct{}, inflight), depth: int64(depth)}
+}
+
+// acquire admits the caller or fails fast: errQueueFull when depth waiters
+// are already queued, or the context error if the caller's deadline expires
+// or it disconnects while waiting. On success the caller owns a slot and
+// must call release exactly once.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	// waiting counts callers inside acquire; running counts admitted slot
+	// holders. Together they bound total occupancy at inflight+depth, so
+	// once every slot is held and depth callers wait, the next arrival
+	// sheds. (The two loads are not one atomic — a release racing an
+	// arrival can let the queue run one short or one over for an instant,
+	// which backpressure semantics tolerate.)
+	if a.waiting.Add(1)+a.running.Load() > a.depth+int64(cap(a.slots)) {
+		a.waiting.Add(-1)
+		return nil, errQueueFull
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.running.Add(1)
+		return func() {
+			a.running.Add(-1)
+			<-a.slots
+		}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// queued reports requests waiting for a slot.
+func (a *admission) queued() int64 {
+	q := a.waiting.Load()
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// inflight reports admitted requests currently simulating.
+func (a *admission) inflight() int64 { return a.running.Load() }

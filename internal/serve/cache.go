@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed store behind /v1/run: the canonical
+// hash of a request (config hash + experiment id + format, see request.go)
+// keys the exact response bytes served for it. Simulations are
+// deterministic, so a cached body is not an approximation — it is the
+// byte-identical answer, and repeat queries skip the engine entirely.
+//
+// Eviction is LRU, bounded both by entry count and by total body bytes so
+// one giant sweep result cannot squeeze out the working set silently and
+// the resident set stays predictable under memory pressure. A body larger
+// than the byte bound is served but never stored.
+type resultCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+
+	bytes int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// cacheEntry is one stored response.
+type cacheEntry struct {
+	key         string
+	body        []byte
+	contentType string
+}
+
+func newResultCache(maxEntries int, maxBytes int64) *resultCache {
+	return &resultCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// get returns the stored entry and marks it most recently used.
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put stores a response body. Concurrent misses on the same key may both
+// put; the bodies are byte-identical by determinism, so last-writer-wins is
+// harmless. Bodies larger than the byte bound are not stored.
+func (c *resultCache) put(key string, body []byte, contentType string) {
+	if c.maxEntries <= 0 || int64(len(body)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Replace in place (refresh recency; body is identical).
+		c.bytes += int64(len(body)) - int64(len(el.Value.(*cacheEntry).body))
+		el.Value = &cacheEntry{key: key, body: body, contentType: contentType}
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, contentType: contentType})
+		c.bytes += int64(len(body))
+	}
+	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.body))
+	}
+}
+
+// stats reports the resident entry count and byte total.
+func (c *resultCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestScheddCacheLRUEntryBound(t *testing.T) {
+	c := newResultCache(2, 1<<20)
+	c.put("a", []byte("aaa"), "t")
+	c.put("b", []byte("bbb"), "t")
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("ccc"), "t")
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a (recently used) was evicted")
+	}
+	if entries, bytes := c.stats(); entries != 2 || bytes != 6 {
+		t.Errorf("stats = (%d, %d), want (2, 6)", entries, bytes)
+	}
+}
+
+func TestScheddCacheByteBound(t *testing.T) {
+	c := newResultCache(100, 10)
+	c.put("a", []byte("12345"), "t")
+	c.put("b", []byte("67890"), "t")
+	c.put("c", []byte("xyz"), "t") // 13 bytes resident -> evict LRU (a)
+	if _, ok := c.get("a"); ok {
+		t.Error("a survived the byte bound")
+	}
+	if _, bytes := c.stats(); bytes > 10 {
+		t.Errorf("resident bytes %d exceed bound 10", bytes)
+	}
+	// An oversized body is never stored but breaks nothing.
+	c.put("huge", make([]byte, 64), "t")
+	if _, ok := c.get("huge"); ok {
+		t.Error("oversized body was stored")
+	}
+}
+
+func TestScheddCacheReplaceSameKey(t *testing.T) {
+	c := newResultCache(4, 1<<20)
+	c.put("k", []byte("one"), "t")
+	c.put("k", []byte("one"), "t") // concurrent-miss double store
+	if entries, bytes := c.stats(); entries != 1 || bytes != 3 {
+		t.Errorf("stats = (%d, %d), want (1, 3)", entries, bytes)
+	}
+}
+
+// TestScheddAdmissionConcurrency hammers the gate under -race: occupancy
+// never exceeds inflight, and every admitted caller releases.
+func TestScheddAdmissionConcurrency(t *testing.T) {
+	const inflight, depth, callers = 3, 5, 64
+	a := newAdmission(inflight, depth)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var maxRunning int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := a.acquire(context.Background())
+			if err != nil {
+				return // shed: fine under this load
+			}
+			mu.Lock()
+			if r := a.inflight(); r > maxRunning {
+				maxRunning = r
+			}
+			mu.Unlock()
+			release()
+		}()
+	}
+	wg.Wait()
+	if maxRunning > inflight {
+		t.Errorf("observed %d in flight, bound is %d", maxRunning, inflight)
+	}
+	if a.inflight() != 0 || a.queued() != 0 {
+		t.Errorf("gate not drained: inflight=%d queued=%d", a.inflight(), a.queued())
+	}
+}
+
+func TestScheddAdmissionShedsBeyondDepth(t *testing.T) {
+	a := newAdmission(1, 2)
+	rel, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue with two waiters.
+	type res struct {
+		rel func()
+		err error
+	}
+	results := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, err := a.acquire(context.Background())
+			results <- res{r, err}
+		}()
+	}
+	waitFor(t, func() bool { return a.queued() >= 2 }, "waiters never queued")
+	if _, err := a.acquire(context.Background()); err == nil {
+		t.Fatal("third acquire admitted past the queue bound")
+	} else if err != errQueueFull {
+		t.Fatalf("err = %v, want errQueueFull", err)
+	}
+	rel()
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("queued waiter %d failed: %v", i, r.err)
+		}
+		r.rel()
+	}
+}

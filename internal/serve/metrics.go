@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// serverMetrics is the observability surface behind /metrics, rendered in
+// Prometheus text exposition format. Counters are plain atomics — the whole
+// point of the simulator being deterministic is that the interesting
+// numbers live in responses; these count the serving machinery itself.
+type serverMetrics struct {
+	requests     atomic.Int64 // POST /v1/run requests accepted for processing
+	badRequests  atomic.Int64 // malformed / unparseable requests
+	rejected     atomic.Int64 // shed with 429 (queue full)
+	cancelled    atomic.Int64 // abandoned: client gone or deadline exceeded
+	failed       atomic.Int64 // simulation errors (500)
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	simMicros    atomic.Int64 // simulated time produced, µs (single runs)
+	simWallNanos atomic.Int64 // wall time spent inside the engine, ns
+}
+
+// render writes the exposition text. Gauges (queue depth, in-flight, cache
+// occupancy) are sampled at scrape time from their owning structures.
+func (m *serverMetrics) render(b *strings.Builder, adm *admission, cache *resultCache, draining bool) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("schedd_requests_total", "Run requests accepted for processing.", m.requests.Load())
+	counter("schedd_bad_requests_total", "Run requests rejected as malformed.", m.badRequests.Load())
+	counter("schedd_rejected_total", "Run requests shed with 429 because the admission queue was full.", m.rejected.Load())
+	counter("schedd_cancelled_total", "Run requests abandoned by deadline or client disconnect.", m.cancelled.Load())
+	counter("schedd_failed_total", "Run requests that failed in the simulator.", m.failed.Load())
+	counter("schedd_cache_hits_total", "Run requests answered from the result cache.", m.cacheHits.Load())
+	counter("schedd_cache_misses_total", "Run requests that had to simulate.", m.cacheMisses.Load())
+
+	entries, bytes := cache.stats()
+	gauge("schedd_cache_entries", "Resident result cache entries.", int64(entries))
+	gauge("schedd_cache_bytes", "Resident result cache body bytes.", bytes)
+	gauge("schedd_queue_depth", "Requests waiting for an engine slot.", adm.queued())
+	gauge("schedd_inflight", "Requests currently simulating.", adm.inflight())
+	var d int64
+	if draining {
+		d = 1
+	}
+	gauge("schedd_draining", "1 while the server is draining for shutdown.", d)
+
+	// Simulation throughput: simulated seconds produced per wall second is
+	// simply the ratio of these two counters over any scrape interval.
+	fmt.Fprintf(b, "# HELP schedd_sim_seconds_total Simulated seconds produced by single-config runs.\n# TYPE schedd_sim_seconds_total counter\nschedd_sim_seconds_total %.6f\n",
+		float64(m.simMicros.Load())/1e6)
+	fmt.Fprintf(b, "# HELP schedd_sim_wall_seconds_total Wall-clock seconds spent executing simulations.\n# TYPE schedd_sim_wall_seconds_total counter\nschedd_sim_wall_seconds_total %.6f\n",
+		float64(m.simWallNanos.Load())/1e9)
+}

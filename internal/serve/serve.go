@@ -1,0 +1,328 @@
+// Package serve turns the simulator into a long-running service: an HTTP
+// API that accepts experiment requests as JSON, executes them on the
+// internal/engine worker pool, and answers repeated queries from a
+// content-addressed result cache instead of re-simulating.
+//
+// Three properties make it production-shaped rather than a CGI wrapper:
+//
+//   - Content-addressed results. Simulations are deterministic, so the
+//     canonical hash of (config, experiment, format) — core.Config.Hash
+//     plus the request envelope — names the response bytes forever. A
+//     repeated POST /v1/run is a cache hit returning the byte-identical
+//     body, marked X-Cache: hit.
+//
+//   - Bounded admission. At most MaxInflight simulations run at once and
+//     at most QueueDepth requests wait; everyone else gets 429 +
+//     Retry-After immediately. Each admitted request carries a deadline,
+//     and a client that disconnects cancels its engine work via
+//     context propagation into ExecuteAllCtx.
+//
+//   - Observability. /metrics exposes Prometheus-format counters and
+//     gauges (requests, cache hits/misses, queue depth, in-flight,
+//     simulated-seconds vs wall-seconds), /healthz reports liveness and
+//     drain state, and every request emits one structured log line.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// Options tunes a Server. Zero values take the listed defaults.
+type Options struct {
+	// Workers is the engine worker-pool size per request (0 = all CPUs).
+	// Total simulation parallelism is bounded by Workers × MaxInflight.
+	Workers int
+	// MaxInflight bounds concurrently executing requests (default 2).
+	MaxInflight int
+	// QueueDepth bounds requests waiting for an execution slot; beyond it
+	// requests are shed with 429 (default 8).
+	QueueDepth int
+	// CacheEntries / CacheBytes bound the result cache (defaults 1024
+	// entries, 64 MiB).
+	CacheEntries int
+	CacheBytes   int64
+	// DefaultTimeout bounds a request's total processing time, queueing
+	// included, when the request does not set its own (default 60s).
+	// MaxTimeout caps client-requested timeouts (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Logger receives one structured line per request; nil uses
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 10 * time.Minute
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// Server is the simulation service. Create with New, mount via Handler.
+type Server struct {
+	opts     Options
+	cache    *resultCache
+	adm      *admission
+	metrics  serverMetrics
+	log      *slog.Logger
+	draining atomic.Bool
+}
+
+// New builds a Server with the given options.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:  opts,
+		cache: newResultCache(opts.CacheEntries, opts.CacheBytes),
+		adm:   newAdmission(opts.MaxInflight, opts.QueueDepth),
+		log:   opts.Logger,
+	}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/experiments", s.handleExperiments)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// SetDraining flips the drain flag reported by /healthz and /metrics; the
+// binary sets it on SIGTERM before http.Server.Shutdown so load balancers
+// stop routing while in-flight requests finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// httpError is the uniform JSON error body.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q}\n", fmt.Sprintf(format, args...))
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	start := time.Now()
+	req, err := parseRunRequest(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg, entry, format, key, err := req.Resolve()
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.metrics.requests.Add(1)
+
+	logAttrs := func(status int, cache string) []any {
+		exp := ""
+		if entry != nil {
+			exp = entry.ID
+		}
+		return []any{
+			slog.String("method", r.Method), slog.String("path", r.URL.Path),
+			slog.Int("status", status), slog.String("cache", cache),
+			slog.String("key", key[:16]), slog.String("experiment", exp),
+			slog.String("format", format.String()),
+			slog.Int64("dur_ms", time.Since(start).Milliseconds()),
+		}
+	}
+
+	if e, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		s.writeResult(w, key, "hit", e.contentType, e.body)
+		s.log.Info("run", logAttrs(http.StatusOK, "hit")...)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.opts.MaxTimeout {
+			timeout = s.opts.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	release, err := s.adm.acquire(ctx)
+	if err != nil {
+		status := s.admissionFailure(w, err)
+		s.log.Warn("run", logAttrs(status, "miss")...)
+		return
+	}
+	simStart := time.Now()
+	body, contentType, err := s.execute(ctx, cfg, entry, format)
+	release()
+	s.metrics.simWallNanos.Add(time.Since(simStart).Nanoseconds())
+	if err != nil {
+		status := s.executeFailure(w, ctx, err)
+		s.log.Warn("run", append(logAttrs(status, "miss"), slog.String("err", err.Error()))...)
+		return
+	}
+	s.cache.put(key, body, contentType)
+	s.writeResult(w, key, "miss", contentType, body)
+	s.log.Info("run", logAttrs(http.StatusOK, "miss")...)
+}
+
+// admissionFailure maps an acquire error onto a response and returns the
+// status used.
+func (s *Server) admissionFailure(w http.ResponseWriter, err error) int {
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.cancelled.Add(1)
+		httpError(w, http.StatusGatewayTimeout, "deadline expired while queued")
+		return http.StatusGatewayTimeout
+	default: // client went away while queued
+		s.metrics.cancelled.Add(1)
+		httpError(w, statusClientClosedRequest, "client closed request")
+		return statusClientClosedRequest
+	}
+}
+
+// executeFailure maps a simulation error onto a response.
+func (s *Server) executeFailure(w http.ResponseWriter, ctx context.Context, err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.cancelled.Add(1)
+		httpError(w, http.StatusGatewayTimeout, "deadline expired mid-run")
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		s.metrics.cancelled.Add(1)
+		httpError(w, statusClientClosedRequest, "client closed request")
+		return statusClientClosedRequest
+	default:
+		s.metrics.failed.Add(1)
+		httpError(w, http.StatusInternalServerError, "simulation failed: %v", err)
+		return http.StatusInternalServerError
+	}
+}
+
+// statusClientClosedRequest is nginx's 499: the client abandoned the
+// request, nobody will read the response, but logs and metrics want a
+// distinct code.
+const statusClientClosedRequest = 499
+
+// execute runs the request on the engine. Named experiments execute their
+// plan with the request context in engine.Options; single runs wrap
+// core.Run in a one-point plan so cancellation and panic isolation apply
+// uniformly.
+func (s *Server) execute(ctx context.Context, cfg core.Config, entry *experiments.CatalogEntry, format experiments.Format) (body []byte, contentType string, err error) {
+	opts := engine.Options{Workers: s.opts.Workers, Ctx: ctx}
+	if entry != nil {
+		out, err := entry.Run(cfg, format, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		return []byte(out), format.ContentType(), nil
+	}
+	plan := engine.NewPlan[*metrics.Result]("serve/run")
+	plan.Add(cfg.Label(), func() (*metrics.Result, error) { return core.Run(cfg) })
+	results, err := engine.ExecuteCtx(ctx, plan, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	res := results[0]
+	s.metrics.simMicros.Add(int64(res.Makespan))
+	switch format {
+	case experiments.CSV:
+		return []byte(experiments.SummaryCSV(res)), format.ContentType(), nil
+	case experiments.Table:
+		return []byte(experiments.SummaryTable(res)), format.ContentType(), nil
+	default:
+		return []byte(experiments.SummaryJSON(res)), format.ContentType(), nil
+	}
+}
+
+// writeResult sends a (possibly cached) response body. Cache state rides in
+// headers so hit and miss bodies stay byte-identical.
+func (s *Server) writeResult(w http.ResponseWriter, key, cache, contentType string, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	h.Set("X-Cache", cache)
+	h.Set("X-Key", key)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type item struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	var items []item
+	for _, e := range experiments.Catalog() {
+		items = append(items, item{e.ID, e.Title})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(items)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.metrics.render(&b, s.adm, s.cache, s.draining.Load())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}

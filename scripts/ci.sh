@@ -16,6 +16,13 @@ go test -race ./...
 # these tests fails loudly here.
 go test -race -run 'Determinism' -count=1 ./internal/engine ./internal/experiments
 
+# Serving gate: the schedd invariants must hold under the race detector —
+# repeated POST of one config is a byte-identical cache hit, a full queue
+# sheds with 429, SIGTERM drains, cancelled requests free their slots, and
+# /metrics agrees with the request sequence. All serve tests are named
+# TestSchedd* so this line fails loudly if they are renamed or skipped.
+go test -race -run 'Schedd' -count=1 ./internal/serve ./cmd/schedd
+
 # Benchmark smoke: one iteration of the cheapest figure plus the parallel
 # sweep benchmark, just to prove the harness still runs. Full benchmarks
 # are a manual `make bench` / `make sweep-bench`.
