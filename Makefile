@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism serve-gate schedd figures fault ci fmt
+.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism serve-gate cluster-gate schedd figures fault ci fmt
 
 all: build
 
@@ -43,6 +43,12 @@ determinism:
 # backpressure sheds, SIGTERM drains, metrics agree). CI runs this.
 serve-gate:
 	$(GO) test -race -run 'Schedd' -count=1 ./internal/serve ./cmd/schedd
+
+# Cluster fabric invariants under the race detector (byte-identical sweeps
+# at any fleet size, worker death survived with rebalances, repeat-sweep
+# cache affinity, worker lease lifecycle). CI runs this.
+cluster-gate:
+	$(GO) test -race -run 'Cluster|ScheddWorkerLifecycle' -count=1 ./internal/cluster ./cmd/schedd
 
 schedd:
 	$(GO) run ./cmd/schedd

@@ -5,13 +5,20 @@
 // against a fault-free run of the same seed — identical numbers are the
 // determinism guarantee of the fault subsystem.
 //
+// With -cluster the (policy × ladder) points are executed on a fleet of
+// schedd workers via the distributed sweep fabric; the study logic — the
+// zero-rate determinism check included — runs locally over the lossless
+// wire summaries, so output matches a local run byte for byte.
+//
 //	faultstudy                              # mesh+ring, partition 4, matmul
 //	faultstudy -topos mesh -rates 0.5,1,2,4,8
 //	faultstudy -ckpt 100ms -ckpt-cost 200us # with checkpoint/restart
-//	faultstudy -csv > curves.csv
+//	faultstudy -format csv > curves.csv
+//	faultstudy -cluster 127.0.0.1:8080,127.0.0.1:8081
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,21 +34,31 @@ import (
 
 func main() {
 	var (
-		topos     = flag.String("topos", "mesh,ring", "comma-separated topologies to study")
-		partition = flag.Int("partition", 4, "partition size")
-		app       = flag.String("app", "matmul", "application (matmul, sort, stencil)")
-		arch      = flag.String("arch", "adaptive", "software architecture (fixed, adaptive)")
-		policies  = flag.String("policies", "static,ts,rrp", "policies to compare")
-		rates     = flag.String("rates", "0.5,1,2,4", "per-node failure rates in failures/second (0 is always included)")
-		horizon   = flag.Duration("horizon", 0, "fault injection horizon (0 = default 2s)")
-		ckpt      = flag.Duration("ckpt", 0, "checkpoint interval (0 = checkpointing off)")
-		ckptCost  = flag.Duration("ckpt-cost", 0, "per-node CPU cost of one checkpoint")
-		drop      = flag.Float64("drop", 0, "message drop probability at faulty points (0 = off)")
-		retry     = flag.Duration("retry", 0, "reliable-delivery retry timeout; must exceed worst-case delivery latency (0 = default 100ms when -drop is set)")
-		csv       = flag.Bool("csv", false, "emit CSV instead of tables")
+		topos      = flag.String("topos", "mesh,ring", "comma-separated topologies to study")
+		partition  = flag.Int("partition", 4, "partition size")
+		app        = flag.String("app", "matmul", "application (matmul, sort, stencil)")
+		arch       = flag.String("arch", "adaptive", "software architecture (fixed, adaptive)")
+		policies   = flag.String("policies", "static,ts,rrp", "policies to compare")
+		rates      = flag.String("rates", "0.5,1,2,4", "per-node failure rates in failures/second (0 is always included)")
+		horizon    = flag.Duration("horizon", 0, "fault injection horizon (0 = default 2s)")
+		ckpt       = flag.Duration("ckpt", 0, "checkpoint interval (0 = checkpointing off)")
+		ckptCost   = flag.Duration("ckpt-cost", 0, "per-node CPU cost of one checkpoint")
+		drop       = flag.Float64("drop", 0, "message drop probability at faulty points (0 = off)")
+		retry      = flag.Duration("retry", 0, "reliable-delivery retry timeout; must exceed worst-case delivery latency (0 = default 100ms when -drop is set)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of tables (same as -format csv)")
+		formatSpec = flag.String("format", "", "output format: table (default), csv or json")
 	)
 	cf := cliflags.Register()
+	cl := cliflags.RegisterCluster()
 	flag.Parse()
+
+	if *formatSpec == "" && *csv {
+		*formatSpec = "csv"
+	}
+	format, err := experiments.ParseFormat(*formatSpec)
+	if err != nil {
+		fail(err)
+	}
 
 	stopProf, err := cf.StartProfiling()
 	if err != nil {
@@ -75,7 +92,21 @@ func main() {
 		fail(err)
 	}
 
-	first := true
+	// With -cluster, points run on the fleet; the study machinery and its
+	// zero-rate determinism check stay local.
+	var runner experiments.FaultRunner
+	opts := cf.Options()
+	if cl.Enabled() {
+		coord, err := cl.Coordinator()
+		if err != nil {
+			fail(err)
+		}
+		runner = coord.FaultRunner(context.Background())
+		opts = cl.RemoteOptions(cf, coord)
+		defer cl.FinishReport(coord)
+	}
+
+	var studies []*experiments.FaultStudy
 	for _, kind := range kinds {
 		study, err := experiments.RunFaultStudy(experiments.FaultStudyConfig{
 			Base: core.Config{
@@ -92,23 +123,26 @@ func main() {
 			CheckpointCost: sim.FromDuration(*ckptCost),
 			DropProb:       *drop,
 			RetryTimeout:   sim.FromDuration(*retry),
-		}, cf.Options())
+			Runner:         runner,
+		}, opts)
 		if err != nil {
 			fail(err)
 		}
-		if *csv {
-			out := study.CSV()
-			if !first { // one header for the whole stream
-				out = out[strings.Index(out, "\n")+1:]
-			}
-			fmt.Print(out)
-		} else {
-			if !first {
+		studies = append(studies, study)
+	}
+
+	switch format {
+	case experiments.CSV:
+		fmt.Print(experiments.FaultStudiesCSV(studies))
+	case experiments.JSON:
+		fmt.Print(experiments.FaultStudiesJSON(studies))
+	default:
+		for i, study := range studies {
+			if i > 0 {
 				fmt.Println()
 			}
 			fmt.Print(study.Table())
 		}
-		first = false
 	}
 }
 

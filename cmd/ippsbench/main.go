@@ -14,9 +14,18 @@
 //
 // Each experiment is deterministic: repeated runs print identical numbers,
 // whatever -j says.
+//
+// With -cluster, each selected experiment is shipped as a /v1/run request
+// to a fleet of schedd workers (routed by content address, with failover
+// and hedging); the workers render with the same code, so the printed
+// documents are byte-identical to a local run. Per-experiment timing lines
+// are omitted in cluster mode — wall time there measures the fleet, not
+// the experiment.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +33,9 @@ import (
 	"time"
 
 	"repro/cmd/internal/cliflags"
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -33,6 +44,7 @@ func main() {
 	format := flag.String("format", "table", "output format: table, csv or json")
 	quiet := flag.Bool("q", false, "suppress timing lines")
 	cf := cliflags.Register()
+	cl := cliflags.RegisterCluster()
 	flag.Parse()
 
 	stopProf, err := cf.StartProfiling()
@@ -69,25 +81,79 @@ func main() {
 
 	base := cf.Base()
 	start := time.Now()
-	for _, e := range catalog {
-		if *runList != "all" && !wanted[e.ID] {
-			continue
-		}
-		t0 := time.Now()
-		out, err := e.Run(base, fmtKind, cf.Options())
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ippsbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		if fmtKind == experiments.CSV {
-			fmt.Printf("# %s — %s\n", e.ID, e.Title)
-		}
-		fmt.Println(out)
-		if !*quiet {
-			fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	if cl.Enabled() {
+		runCluster(cl, cf, catalog, wanted, *runList, fmtKind)
+	} else {
+		for _, e := range catalog {
+			if *runList != "all" && !wanted[e.ID] {
+				continue
+			}
+			t0 := time.Now()
+			out, err := e.Run(base, fmtKind, cf.Options())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ippsbench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			if fmtKind == experiments.CSV {
+				fmt.Printf("# %s — %s\n", e.ID, e.Title)
+			}
+			fmt.Println(out)
+			if !*quiet {
+				fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+			}
 		}
 	}
 	if !*quiet {
 		fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runCluster ships each selected experiment as one /v1/run request; the
+// worker renders the document with the same code the local path uses.
+// Requests fan out over the fleet; documents print in catalog order.
+func runCluster(cl cliflags.Cluster, cf cliflags.Common, catalog []experiments.CatalogEntry, wanted map[string]bool, runList string, fmtKind experiments.Format) {
+	coord, err := cl.Coordinator()
+	if err != nil {
+		fail(err)
+	}
+	spec, err := serve.SpecFromConfig(cf.Base())
+	if err != nil {
+		fail(err)
+	}
+	plan := engine.NewRemotePlan("ippsbench/cluster")
+	var selected []experiments.CatalogEntry
+	for _, e := range catalog {
+		if runList != "all" && !wanted[e.ID] {
+			continue
+		}
+		req := serve.RunRequest{Experiment: e.ID, Format: fmtKind.String(), Config: spec}
+		_, _, _, key, err := req.Resolve()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		plan.Add(engine.RemotePoint{Label: e.ID, Key: key, Path: "/v1/run", Body: body})
+		selected = append(selected, e)
+	}
+	bodies, errs := engine.ExecuteRemoteAll(context.Background(), coord, plan,
+		cl.RemoteOptions(cf, coord))
+	for i, e := range selected {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "ippsbench: %s: %v\n", e.ID, errs[i])
+			os.Exit(1)
+		}
+		if fmtKind == experiments.CSV {
+			fmt.Printf("# %s — %s\n", e.ID, e.Title)
+		}
+		fmt.Println(string(bodies[i]))
+	}
+	cl.FinishReport(coord)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ippsbench:", err)
+	os.Exit(2)
 }

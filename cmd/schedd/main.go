@@ -19,6 +19,18 @@
 //
 // SIGTERM/SIGINT drain gracefully: /healthz flips to 503, in-flight
 // requests finish (bounded by -drain), then the listener closes.
+//
+// Cluster modes (see internal/cluster):
+//
+//	schedd -coordinate -addr :9090          # coordinator: worker registry +
+//	                                        # cache-affine proxy + /metrics
+//	schedd -addr :8080 -worker -coordinator http://127.0.0.1:9090
+//	schedd -addr :8081 -worker -coordinator http://127.0.0.1:9090
+//
+// A -worker schedd registers its advertised URL with the coordinator after
+// the listener is up, renews the lease at a third of its TTL, and
+// deregisters before draining on SIGTERM — so the coordinator stops
+// routing new points to it while its in-flight requests finish.
 package main
 
 import (
@@ -35,6 +47,7 @@ import (
 	"time"
 
 	"repro/cmd/internal/cliflags"
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -48,6 +61,12 @@ func main() {
 		timeout      = flag.Duration("timeout", 60*time.Second, "default per-request processing deadline")
 		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
 		drain        = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
+
+		coordinate  = flag.Bool("coordinate", false, "run as cluster coordinator (worker registry + affinity proxy) instead of a simulation server")
+		workerMode  = flag.Bool("worker", false, "register with -coordinator as a cluster worker")
+		coordinator = flag.String("coordinator", "", "coordinator base URL for -worker registration")
+		advertise   = flag.String("advertise", "", "base URL to advertise to the coordinator (default: derived from the bound listen address)")
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "worker lease TTL granted by -coordinate")
 	)
 	cf := cliflags.Register() // -j (engine workers per request) + profiling
 	flag.Parse()
@@ -60,6 +79,23 @@ func main() {
 	defer stopProf()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	if *coordinate {
+		if err := runCoordinator(*addr, *leaseTTL, *drain, logger, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "schedd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var reg *workerRegistration
+	if *workerMode {
+		if *coordinator == "" {
+			fmt.Fprintln(os.Stderr, "schedd: -worker requires -coordinator URL")
+			os.Exit(2)
+		}
+		reg = &workerRegistration{coordinator: *coordinator, advertise: *advertise}
+	}
 	if err := run(*addr, serve.Options{
 		Workers:        *cf.Workers,
 		MaxInflight:    *inflight,
@@ -69,16 +105,24 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Logger:         logger,
-	}, *drain, logger, nil); err != nil {
+	}, *drain, logger, nil, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(1)
 	}
 }
 
+// workerRegistration configures cluster membership for a -worker schedd.
+type workerRegistration struct {
+	coordinator string // coordinator base URL
+	advertise   string // advertised base URL; "" derives from the bound addr
+}
+
 // run boots the server on addr and blocks until SIGTERM/SIGINT, then
 // drains. If ready is non-nil it receives the bound listen address once
-// the server is accepting (used by the smoke test to bind port 0).
-func run(addr string, opts serve.Options, drain time.Duration, logger *slog.Logger, ready chan<- string) error {
+// the server is accepting (used by the smoke test to bind port 0). A
+// non-nil reg registers the server as a cluster worker once it is
+// accepting and deregisters before the drain begins.
+func run(addr string, opts serve.Options, drain time.Duration, logger *slog.Logger, ready chan<- string, reg *workerRegistration) error {
 	srv := serve.New(opts)
 	httpSrv := &http.Server{
 		Addr:              addr,
@@ -101,10 +145,51 @@ func run(addr string, opts serve.Options, drain time.Duration, logger *slog.Logg
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	// Cluster membership: register once accepting, keep the lease fresh in
+	// the background, and make sure the coordinator drops us before we
+	// drain. Registration failure is fatal — a worker nobody routes to is a
+	// misconfiguration, not a degraded mode.
+	var stopLease context.CancelFunc
+	if reg != nil {
+		adv := reg.advertise
+		if adv == "" {
+			adv = cluster.AdvertiseURL(ln.Addr().String())
+		}
+		client := &http.Client{Timeout: 5 * time.Second}
+		ttl, err := cluster.RegisterWorker(ctx, client, reg.coordinator, adv)
+		if err != nil {
+			httpSrv.Close()
+			return fmt.Errorf("registering with coordinator %s: %w", reg.coordinator, err)
+		}
+		logger.Info("schedd registered with coordinator",
+			slog.String("coordinator", reg.coordinator), slog.String("advertise", adv),
+			slog.Duration("lease_ttl", ttl))
+		var leaseCtx context.Context
+		leaseCtx, stopLease = context.WithCancel(context.Background())
+		go cluster.MaintainWorker(leaseCtx, client, reg.coordinator, adv, ttl)
+		defer func() {
+			stopLease()
+			cluster.DeregisterWorker(client, reg.coordinator, adv)
+			logger.Info("schedd deregistered from coordinator")
+		}()
+	}
+
 	select {
 	case err := <-serveErr:
 		return err
 	case <-ctx.Done():
+	}
+
+	// Deregister before draining so the coordinator reroutes new points
+	// while our in-flight requests finish; the deferred deregister above is
+	// then a harmless no-op repeat.
+	if reg != nil {
+		stopLease()
+		adv := reg.advertise
+		if adv == "" {
+			adv = cluster.AdvertiseURL(ln.Addr().String())
+		}
+		cluster.DeregisterWorker(&http.Client{Timeout: 5 * time.Second}, reg.coordinator, adv)
 	}
 
 	// Drain: stop advertising healthy, let in-flight requests finish, then
@@ -118,5 +203,53 @@ func run(addr string, opts serve.Options, drain time.Duration, logger *slog.Logg
 		return err
 	}
 	logger.Info("schedd stopped")
+	return nil
+}
+
+// runCoordinator boots the cluster coordinator: the worker registry, the
+// cache-affine proxy for /v1/run and /v1/point, and routing metrics.
+func runCoordinator(addr string, leaseTTL, drain time.Duration, logger *slog.Logger, ready chan<- string) error {
+	coord := cluster.New(cluster.Options{})
+	cs := cluster.NewServer(cluster.ServerOptions{
+		Coordinator: coord,
+		LeaseTTL:    leaseTTL,
+		Logger:      logger,
+	})
+	defer cs.Close()
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           cs.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("schedd coordinating", slog.String("addr", ln.Addr().String()),
+		slog.Duration("lease_ttl", leaseTTL))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("schedd coordinator draining", slog.Duration("grace", drain))
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	logger.Info("schedd coordinator stopped")
 	return nil
 }

@@ -2,14 +2,17 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -22,7 +25,7 @@ func TestScheddSmoke(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", serve.Options{Workers: 2, Logger: logger}, 5*time.Second, logger, ready)
+		done <- run("127.0.0.1:0", serve.Options{Workers: 2, Logger: logger}, 5*time.Second, logger, ready, nil)
 	}()
 	var base string
 	select {
@@ -100,5 +103,95 @@ func TestScheddSmoke(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("server did not drain after SIGTERM")
+	}
+}
+
+// TestScheddWorkerLifecycle: a -worker schedd registers with the
+// coordinator once accepting, serves points routed through the coordinator
+// proxy, and on SIGTERM deregisters before draining so the fleet change is
+// immediate.
+func TestScheddWorkerLifecycle(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	coord := cluster.New(cluster.Options{DisableHedging: true})
+	cs := cluster.NewServer(cluster.ServerOptions{Coordinator: coord, LeaseTTL: 2 * time.Second, Logger: logger})
+	defer cs.Close()
+	front := httptest.NewServer(cs.Handler())
+	defer front.Close()
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", serve.Options{Workers: 2, Logger: logger}, 5*time.Second, logger,
+			ready, &workerRegistration{coordinator: front.URL})
+	}()
+	var workerAddr string
+	select {
+	case addr := <-ready:
+		workerAddr = "http://" + addr
+	case err := <-done:
+		t.Fatalf("worker exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never became ready")
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	listWorkers := func() []string {
+		t.Helper()
+		resp, err := client.Get(front.URL + "/v1/workers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Workers []string `json:"workers"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Workers
+	}
+	// Registration happens after the listener is up (ready), so poll.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ws := listWorkers()
+		if len(ws) == 1 && ws[0] == workerAddr {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registered workers = %v, want [%s]", ws, workerAddr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A point posted to the coordinator proxy routes to the worker.
+	resp, err := client.Post(front.URL+"/v1/point", "application/json",
+		strings.NewReader(`{"config":{"partition":4,"topology":"mesh","policy":"ts"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied point: status %d body %s", resp.StatusCode, pb)
+	}
+	if _, err := serve.DecodePointSummary(pb); err != nil {
+		t.Fatalf("proxied point body: %v", err)
+	}
+
+	// SIGTERM: the worker deregisters, drains, and exits cleanly.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("worker drain returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("worker did not drain after SIGTERM")
+	}
+	if ws := listWorkers(); len(ws) != 0 {
+		t.Errorf("workers after shutdown = %v, want none (deregistered, not lease-expired)", ws)
 	}
 }

@@ -1,20 +1,28 @@
 // Command sweep runs the cartesian product of scheduling configurations and
-// emits one CSV row per run — the workhorse for custom studies beyond the
+// emits one row per run — the workhorse for custom studies beyond the
 // canned experiments of cmd/ippsbench.
 //
 // Dimensions take comma-separated lists; every combination is simulated.
 // The product is declared as an engine.Grid and executed on the worker
 // pool (-j), with rows printed in enumeration order regardless of which
-// worker finished first.
+// worker finished first. -format selects csv (default) or json; both carry
+// the same columns through the shared experiments row writers.
+//
+// With -cluster the points are sharded over a fleet of schedd workers (or
+// through a schedd coordinator) instead of simulated in process; rows are
+// formatted locally from lossless wire summaries, so cluster output is
+// byte-identical to a local run at any fleet size.
 //
 //	sweep -policies static,ts -partitions 2,4,8 -topos linear,mesh -apps matmul
 //	sweep -policies static,ts,gang,dynamic -apps stencil -archs fixed -quanta 1000,2000,5000
+//	sweep -apps matmul -cluster 127.0.0.1:8080,127.0.0.1:8081 -cluster-report
 //
 // Output columns: policy,partition,topology,app,arch,quantum_us,mean_s,
 // max_s,makespan_s,util,overhead,mem_blocked_s,messages,avg_hops.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +30,28 @@ import (
 	"repro/cmd/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/serve"
+	"repro/internal/sim"
 )
+
+var sweepCols = []string{"policy", "partition", "topology", "app", "arch", "quantum_us",
+	"mean_s", "max_s", "makespan_s", "util", "overhead", "mem_blocked_s", "messages", "avg_hops"}
+
+// rowCells turns one point's dimensions and lossless summary into typed
+// cells. Both the local and the cluster path feed this one function, which
+// is what makes their output byte-identical: the cells carry exact integer
+// times and exactly round-tripped floats either way.
+func rowCells(d engine.Dims, ps serve.PointSummary) []any {
+	return []any{
+		d.Policy, d.Partition, d.Topology, d.App, d.Arch, int64(d.Quantum),
+		experiments.Secs(sim.Time(ps.MeanUS)), experiments.Secs(sim.Time(ps.MaxUS)),
+		experiments.Secs(sim.Time(ps.MakespanUS)),
+		experiments.Fix4(ps.Util), experiments.Fix4(ps.Overhead),
+		experiments.Secs(sim.Time(ps.MemBlockedUS)),
+		ps.Messages, experiments.Fix2(ps.AvgHops),
+	}
+}
 
 func main() {
 	var (
@@ -33,9 +62,20 @@ func main() {
 		archs      = flag.String("archs", "fixed", "software architectures")
 		quanta     = flag.String("quanta", "0", "basic quanta in µs (0 = hardware)")
 		mode       = flag.String("mode", "saf", "switching mode for all runs")
+		formatSpec = flag.String("format", "csv", "output format: csv or json")
 	)
 	cf := cliflags.Register()
+	cl := cliflags.RegisterCluster()
 	flag.Parse()
+
+	format, err := experiments.ParseFormat(*formatSpec)
+	if err != nil {
+		fail(err)
+	}
+	doc, err := experiments.NewDoc(format, sweepCols...)
+	if err != nil {
+		fail(fmt.Errorf("-format %s: %w", format, err))
+	}
 
 	stopProf, err := cf.StartProfiling()
 	if err != nil {
@@ -82,30 +122,68 @@ func main() {
 		Modes:      modes,
 		Quanta:     qs,
 	}
-	plan := engine.NewPlan[string]("sweep")
-	grid.Enumerate(func(d engine.Dims, cfg core.Config) {
-		plan.Add(fmt.Sprintf("%v/%d%s", d.Policy, d.Partition, d.Topology.Letter()), func() (string, error) {
-			res, err := core.Run(cfg)
-			if err != nil {
-				return "", fmt.Errorf("%v %d%s %v %v: %v", d.Policy, d.Partition, d.Topology.Letter(), d.App, d.Arch, err)
-			}
-			return fmt.Sprintf("%s,%d,%s,%s,%s,%d,%.6f,%.6f,%.6f,%.4f,%.4f,%.6f,%d,%.2f\n",
-				d.Policy, d.Partition, d.Topology, d.App, d.Arch, int64(d.Quantum),
-				res.MeanResponse().Seconds(), res.MaxResponse().Seconds(), res.Makespan.Seconds(),
-				res.CPUUtilization(), res.SystemOverheadFraction(), res.TotalMemBlockedTime().Seconds(),
-				res.Net.Messages, res.Net.AvgHops()), nil
-		})
-	})
 
-	rows, errs := engine.ExecuteAll(plan, cf.Options())
-	fmt.Println("policy,partition,topology,app,arch,quantum_us,mean_s,max_s,makespan_s,util,overhead,mem_blocked_s,messages,avg_hops")
-	for i, row := range rows {
+	var (
+		summaries []serve.PointSummary
+		errs      []error
+		dims      []engine.Dims
+	)
+	grid.Enumerate(func(d engine.Dims, _ core.Config) { dims = append(dims, d) })
+
+	if cl.Enabled() {
+		summaries, errs = runCluster(cl, cf, grid)
+	} else {
+		summaries, errs = runLocal(cf, grid)
+	}
+
+	failures := 0
+	for i, d := range dims {
 		if errs[i] != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", errs[i])
+			failures++
+			fmt.Fprintf(os.Stderr, "sweep: %v %d%s %v %v: %v\n",
+				d.Policy, d.Partition, d.Topology.Letter(), d.App, d.Arch, errs[i])
 			continue
 		}
-		fmt.Print(row)
+		doc.Row(rowCells(d, summaries[i])...)
 	}
+	fmt.Print(doc.String())
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d points failed\n", failures, len(dims))
+		os.Exit(1)
+	}
+}
+
+// runLocal simulates every point in process on the worker pool.
+func runLocal(cf cliflags.Common, grid engine.Grid) ([]serve.PointSummary, []error) {
+	plan := engine.NewPlan[serve.PointSummary]("sweep")
+	grid.Enumerate(func(d engine.Dims, cfg core.Config) {
+		plan.Add(fmt.Sprintf("%v/%d%s", d.Policy, d.Partition, d.Topology.Letter()), func() (serve.PointSummary, error) {
+			res, err := core.Run(cfg)
+			if err != nil {
+				return serve.PointSummary{}, err
+			}
+			return serve.PointSummaryFrom(res), nil
+		})
+	})
+	return engine.ExecuteAll(plan, cf.Options())
+}
+
+// runCluster shards every point over the flagged fleet.
+func runCluster(cl cliflags.Cluster, cf cliflags.Common, grid engine.Grid) ([]serve.PointSummary, []error) {
+	coord, err := cl.Coordinator()
+	if err != nil {
+		fail(err)
+	}
+	plan := engine.NewPlan[serve.PointSummary]("sweep/cluster")
+	ctx := context.Background()
+	grid.Enumerate(func(d engine.Dims, cfg core.Config) {
+		plan.Add(fmt.Sprintf("%v/%d%s", d.Policy, d.Partition, d.Topology.Letter()), func() (serve.PointSummary, error) {
+			return coord.RunConfig(ctx, cfg)
+		})
+	})
+	summaries, errs := engine.ExecuteAll(plan, cl.RemoteOptions(cf, coord))
+	cl.FinishReport(coord)
+	return summaries, errs
 }
 
 func fail(err error) {

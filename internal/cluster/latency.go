@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is a bounded sliding window of completed-point durations.
+// Its quantile sets the hedging delay: a point still in flight after the
+// p95 of recent points is a straggler worth racing, not a normal run worth
+// waiting for. A window (rather than a decaying digest) keeps the estimate
+// simple, bounded and responsive to phase changes between sweeps.
+type latencyWindow struct {
+	mu      sync.Mutex
+	samples []time.Duration // ring buffer
+	next    int
+	full    bool
+}
+
+func newLatencyWindow(capacity int) *latencyWindow {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &latencyWindow{samples: make([]time.Duration, capacity)}
+}
+
+// record adds one completed-point duration.
+func (l *latencyWindow) record(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.next] = d
+	l.next++
+	if l.next == len(l.samples) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// count reports how many samples the window holds.
+func (l *latencyWindow) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.full {
+		return len(l.samples)
+	}
+	return l.next
+}
+
+// quantile returns the q-quantile (0 < q <= 1) of the window, or 0 when
+// the window is empty.
+func (l *latencyWindow) quantile(q float64) time.Duration {
+	l.mu.Lock()
+	n := l.next
+	if l.full {
+		n = len(l.samples)
+	}
+	if n == 0 {
+		l.mu.Unlock()
+		return 0
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, l.samples[:n])
+	l.mu.Unlock()
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// registry tracks worker leases. A worker registers its advertised base
+// URL and must renew within the TTL; leases that lapse are pruned and the
+// fleet change is pushed to the coordinator via onChange. Leases (rather
+// than permanent registration) mean a worker killed with SIGKILL — no
+// deregister, no goodbye — leaves the routing table after one missed
+// heartbeat instead of absorbing points forever.
+type registry struct {
+	ttl      time.Duration
+	onChange func([]string)
+	now      func() time.Time
+
+	mu     sync.Mutex
+	leases map[string]time.Time // worker URL -> lease expiry
+}
+
+func newRegistry(ttl time.Duration, onChange func([]string)) *registry {
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	return &registry{
+		ttl:      ttl,
+		onChange: onChange,
+		now:      time.Now,
+		leases:   make(map[string]time.Time),
+	}
+}
+
+// register grants (or refreshes) a lease and returns its TTL.
+func (r *registry) register(url string) time.Duration {
+	r.mu.Lock()
+	_, existed := r.leases[url]
+	r.leases[url] = r.now().Add(r.ttl)
+	workers := r.liveLocked()
+	r.mu.Unlock()
+	if !existed {
+		r.notify(workers)
+	}
+	return r.ttl
+}
+
+// renew extends a live lease; it reports false for unknown or lapsed
+// leases, telling the worker to re-register.
+func (r *registry) renew(url string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	exp, ok := r.leases[url]
+	if !ok || r.now().After(exp) {
+		delete(r.leases, url)
+		return false
+	}
+	r.leases[url] = r.now().Add(r.ttl)
+	return true
+}
+
+// deregister drops a lease immediately (graceful worker shutdown).
+func (r *registry) deregister(url string) {
+	r.mu.Lock()
+	_, existed := r.leases[url]
+	delete(r.leases, url)
+	workers := r.liveLocked()
+	r.mu.Unlock()
+	if existed {
+		r.notify(workers)
+	}
+}
+
+// workers returns the live fleet, sorted, pruning lapsed leases.
+func (r *registry) workers() []string {
+	r.mu.Lock()
+	changed := r.pruneLocked()
+	out := r.liveLocked()
+	r.mu.Unlock()
+	if changed {
+		r.notify(out)
+	}
+	return out
+}
+
+// sweep prunes lapsed leases, notifying on change; the server calls it on
+// a ticker so a dead worker leaves routing even when nobody is asking.
+func (r *registry) sweep() {
+	r.mu.Lock()
+	changed := r.pruneLocked()
+	var out []string
+	if changed {
+		out = r.liveLocked()
+	}
+	r.mu.Unlock()
+	if changed {
+		r.notify(out)
+	}
+}
+
+func (r *registry) pruneLocked() bool {
+	now := r.now()
+	changed := false
+	for url, exp := range r.leases {
+		if now.After(exp) {
+			delete(r.leases, url)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (r *registry) liveLocked() []string {
+	out := make([]string, 0, len(r.leases))
+	for url := range r.leases {
+		out = append(out, url)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *registry) notify(workers []string) {
+	if r.onChange != nil {
+		r.onChange(workers)
+	}
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestClusterRegistryLeases: register/renew/deregister drive the fleet
+// view, and a lapsed lease needs a full re-register (which re-notifies).
+func TestClusterRegistryLeases(t *testing.T) {
+	var fleets [][]string
+	r := newRegistry(10*time.Second, func(ws []string) {
+		fleets = append(fleets, append([]string{}, ws...))
+	})
+	clock := time.Unix(1000, 0)
+	r.now = func() time.Time { return clock }
+
+	if ttl := r.register("http://w1:8080"); ttl != 10*time.Second {
+		t.Errorf("register ttl = %v, want 10s", ttl)
+	}
+	r.register("http://w2:8080")
+	if got, want := r.workers(), []string{"http://w1:8080", "http://w2:8080"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("workers = %v, want %v", got, want)
+	}
+
+	// Renew inside the TTL succeeds and extends the lease.
+	clock = clock.Add(8 * time.Second)
+	if !r.renew("http://w1:8080") {
+		t.Error("renew inside TTL failed")
+	}
+
+	// w2 never renewed: one sweep past its expiry prunes it and notifies.
+	clock = clock.Add(3 * time.Second)
+	r.sweep()
+	if got, want := r.workers(), []string{"http://w1:8080"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("after sweep: workers = %v, want %v", got, want)
+	}
+
+	// A lapsed lease cannot renew — the worker must re-register so the
+	// fleet-change notification fires and routing picks it back up.
+	clock = clock.Add(20 * time.Second)
+	if r.renew("http://w1:8080") {
+		t.Error("renew succeeded on a lapsed lease")
+	}
+	if r.renew("http://never-registered:1") {
+		t.Error("renew succeeded for an unknown worker")
+	}
+
+	r.register("http://w1:8080")
+	r.deregister("http://w1:8080")
+	if got := r.workers(); len(got) != 0 {
+		t.Errorf("after deregister: workers = %v, want none", got)
+	}
+
+	// Every membership change notified; steady-state operations did not.
+	want := [][]string{
+		{"http://w1:8080"},                   // w1 registers
+		{"http://w1:8080", "http://w2:8080"}, // w2 registers
+		{"http://w1:8080"},                   // sweep prunes w2
+		{"http://w1:8080"},                   // w1 re-registers after lapsing
+		{},                                   // w1 deregisters
+	}
+	if !reflect.DeepEqual(fleets, want) {
+		t.Errorf("fleet notifications:\n got %v\nwant %v", fleets, want)
+	}
+}
+
+// TestClusterAdvertiseURL: wildcard listen hosts advertise loopback (the
+// local-cluster quick start); concrete hosts pass through, IPv6 bracketed.
+func TestClusterAdvertiseURL(t *testing.T) {
+	cases := map[string]string{
+		":8080":            "http://127.0.0.1:8080",
+		"0.0.0.0:8080":     "http://127.0.0.1:8080",
+		"[::]:8080":        "http://127.0.0.1:8080",
+		"127.0.0.1:9999":   "http://127.0.0.1:9999",
+		"10.1.2.3:8080":    "http://10.1.2.3:8080",
+		"[2001:db8::1]:80": "http://[2001:db8::1]:80",
+	}
+	for in, want := range cases {
+		if got := AdvertiseURL(in); got != want {
+			t.Errorf("AdvertiseURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) hashing: every (worker, key) pair gets
+// a pseudo-random score and the key routes to the highest-scoring worker.
+// Two properties make it the right router for a content-addressed fleet:
+//
+//   - Affinity. The score depends only on the pair, so a repeated or
+//     overlapping sweep sends each point back to the worker that already
+//     holds its cached result — no shared routing table, no coordination.
+//
+//   - Minimal disruption. When a worker joins or leaves, only the keys
+//     whose top choice changed move; everything else keeps its home and
+//     its cache. A mod-N table would reshuffle almost every key.
+//
+// The ranking (not just the winner) is the failover order: when the home
+// worker is down or saturated, the point rehashes to the next-highest
+// score, deterministically, so retries from different clients converge on
+// the same secondary and its cache.
+
+// score is the HRW weight of (worker, key): the first 8 bytes of
+// sha256(worker, 0x00, key). SHA-256 keeps scores uniform and stable across
+// processes, architectures and Go versions — the same determinism argument
+// as core.Config.Hash.
+func score(worker, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(worker))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0]))
+}
+
+// rankWorkers orders worker ids by descending HRW score for the key, with
+// the id as a total-order tiebreak so the ranking is deterministic even in
+// the (vanishing) event of a score collision.
+func rankWorkers(ids []string, key string) []string {
+	type ranked struct {
+		id string
+		s  uint64
+	}
+	rs := make([]ranked, len(ids))
+	for i, id := range ids {
+		rs[i] = ranked{id, score(id, key)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].s != rs[j].s {
+			return rs[i].s > rs[j].s
+		}
+		return rs[i].id < rs[j].id
+	})
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.id
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Worker-side half of the lease protocol: a schedd started with -worker
+// registers its advertised URL with the coordinator, renews at a third of
+// the granted TTL, and deregisters on graceful shutdown so the fleet
+// change is immediate instead of waiting out the lease.
+
+// RegisterWorker registers addr with the coordinator and returns the lease
+// TTL the renew loop must beat.
+func RegisterWorker(ctx context.Context, client *http.Client, coordinator, addr string) (time.Duration, error) {
+	return postLease(ctx, client, coordinator+"/v1/workers/register", addr)
+}
+
+// MaintainWorker renews the lease at TTL/3 until ctx ends. A 404 (lease
+// lapsed while we were descheduled) re-registers; other failures retry at
+// the same cadence — the lease protocol tolerates missed beats by design.
+func MaintainWorker(ctx context.Context, client *http.Client, coordinator, addr string, ttl time.Duration) {
+	interval := ttl / 3
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			newTTL, err := postLease(ctx, client, coordinator+"/v1/workers/renew", addr)
+			if err != nil {
+				newTTL, err = postLease(ctx, client, coordinator+"/v1/workers/register", addr)
+			}
+			if err == nil && newTTL != ttl && newTTL > 0 {
+				ttl = newTTL
+				t.Reset(maxDuration(ttl/3, 100*time.Millisecond))
+			}
+		}
+	}
+}
+
+// DeregisterWorker removes the lease, best-effort with a short deadline:
+// shutdown must not block on a coordinator that is itself gone.
+func DeregisterWorker(client *http.Client, coordinator, addr string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	body, _ := json.Marshal(workerRef{Addr: addr})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordinator+"/v1/workers/deregister", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+func postLease(ctx context.Context, client *http.Client, url, addr string) (time.Duration, error) {
+	body, err := json.Marshal(workerRef{Addr: addr})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, truncate(b, 200))
+	}
+	var lease struct {
+		TTLMS int64 `json:"ttl_ms"`
+	}
+	if err := json.Unmarshal(b, &lease); err != nil {
+		return 0, fmt.Errorf("%s: %w", url, err)
+	}
+	return time.Duration(lease.TTLMS) * time.Millisecond, nil
+}
+
+// AdvertiseURL derives the base URL a worker registers under from its
+// listen address. Wildcard hosts ("[::]:8080", "0.0.0.0:8080", ":8080")
+// advertise the loopback address — right for the local-cluster quick start;
+// multi-host fleets pass an explicit -advertise.
+func AdvertiseURL(listenAddr string) string {
+	host, port, err := net.SplitHostPort(listenAddr)
+	if err != nil {
+		return "http://" + listenAddr
+	}
+	switch host {
+	case "", "::", "0.0.0.0", "[::]":
+		host = "127.0.0.1"
+	}
+	if strings.Contains(host, ":") && !strings.HasPrefix(host, "[") {
+		host = "[" + host + "]"
+	}
+	return "http://" + host + ":" + port
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

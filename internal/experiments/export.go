@@ -269,6 +269,26 @@ func (s *FaultStudy) CSV() string { return renderCSV(faultCols, s.rows) }
 // JSON renders the fault study as JSON rows.
 func (s *FaultStudy) JSON() string { return renderJSON(faultCols, s.rows) }
 
+// FaultStudiesCSV renders several studies as one CSV document (single
+// header) — byte-identical to the historical concatenate-and-strip-headers
+// output of cmd/faultstudy -csv.
+func FaultStudiesCSV(studies []*FaultStudy) string {
+	return renderCSV(faultCols, func(w rowWriter) {
+		for _, s := range studies {
+			s.rows(w)
+		}
+	})
+}
+
+// FaultStudiesJSON renders several studies as one JSON row array.
+func FaultStudiesJSON(studies []*FaultStudy) string {
+	return renderJSON(faultCols, func(w rowWriter) {
+		for _, s := range studies {
+			s.rows(w)
+		}
+	})
+}
+
 // Single-run summary: the headline metrics of one core.Run, the body
 // schedd serves for config-shaped (non-experiment) requests. Field set and
 // rendering mirror cmd/sweep's CSV columns, with percentiles and network

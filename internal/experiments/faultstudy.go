@@ -49,8 +49,39 @@ type FaultStudy struct {
 	Curves        []FaultCurve
 }
 
+// FaultRunSummary is what a fault-study point needs from one run: the
+// batch statistics the curves plot plus the fault counters. It is the
+// minimal surface that both core.Run and a cluster worker can supply
+// losslessly, which is what lets -cluster fault studies keep the exact
+// zero-rate-equals-baseline determinism check.
+type FaultRunSummary struct {
+	Mean, Makespan sim.Time
+	Retries        int64
+	Faults         *metrics.FaultStats
+}
+
+// FaultRunner executes one configuration somewhere — in process, or on a
+// cluster — and returns its summary.
+type FaultRunner func(core.Config) (FaultRunSummary, error)
+
+// LocalFaultRunner runs the config in process via core.Run.
+func LocalFaultRunner(cfg core.Config) (FaultRunSummary, error) {
+	res, err := core.Run(cfg)
+	if err != nil {
+		return FaultRunSummary{}, err
+	}
+	return FaultRunSummary{
+		Mean:     res.MeanResponse(),
+		Makespan: res.Makespan,
+		Retries:  res.Net.Retries,
+		Faults:   res.Faults,
+	}, nil
+}
+
 // FaultStudyConfig parameterizes RunFaultStudy.
 type FaultStudyConfig struct {
+	// Runner executes each point; nil runs in process (LocalFaultRunner).
+	Runner FaultRunner
 	// Base selects machine, workload and seed; Policy, Topology and Fault
 	// are overridden per run. PartitionSize 0 defaults to 4.
 	Base core.Config
@@ -89,6 +120,9 @@ func (c FaultStudyConfig) withDefaults() FaultStudyConfig {
 	}
 	if c.Horizon == 0 {
 		c.Horizon = 2 * sim.Second
+	}
+	if c.Runner == nil {
+		c.Runner = LocalFaultRunner
 	}
 	return c
 }
@@ -157,26 +191,26 @@ func RunFaultStudy(sc FaultStudyConfig, opts ...engine.Options) (*FaultStudy, er
 		plan.Add(fmt.Sprintf("%s/baseline", policy), func() (runOut, error) {
 			refCfg := cfg
 			refCfg.Fault = nil
-			ref, err := core.Run(refCfg)
+			ref, err := sc.Runner(refCfg)
 			if err != nil {
 				return runOut{}, fmt.Errorf("fault study %s %s baseline: %w", sc.Topology, policy, err)
 			}
-			return runOut{mean: ref.MeanResponse(), makespan: ref.Makespan}, nil
+			return runOut{mean: ref.Mean, makespan: ref.Makespan}, nil
 		})
 		for _, mtbf := range mtbfs {
 			mtbf := mtbf
 			plan.Add(fmt.Sprintf("%s/mtbf=%v", policy, mtbf), func() (runOut, error) {
 				runCfg := cfg
 				runCfg.Fault = sc.faultConfigAt(mtbf)
-				res, err := core.Run(runCfg)
+				res, err := sc.Runner(runCfg)
 				if err != nil {
 					return runOut{}, fmt.Errorf("fault study %s %s mtbf=%v: %w", sc.Topology, policy, mtbf, err)
 				}
 				pt := FaultPoint{
 					NodeMTBF: mtbf,
-					Mean:     res.MeanResponse(),
+					Mean:     res.Mean,
 					Makespan: res.Makespan,
-					Retries:  res.Net.Retries,
+					Retries:  res.Retries,
 				}
 				if mtbf > 0 {
 					pt.Rate = float64(sim.Second) / float64(mtbf)
@@ -184,7 +218,7 @@ func RunFaultStudy(sc FaultStudyConfig, opts ...engine.Options) (*FaultStudy, er
 				if res.Faults != nil {
 					pt.Faults = *res.Faults
 				}
-				return runOut{point: pt, mean: res.MeanResponse(), makespan: res.Makespan}, nil
+				return runOut{point: pt, mean: res.Mean, makespan: res.Makespan}, nil
 			})
 		}
 	}

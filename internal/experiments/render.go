@@ -201,6 +201,52 @@ func jsonCell(c any) string {
 	}
 }
 
+// Exported row-document surface for tools outside the package (cmd/sweep,
+// cmd/faultstudy): the same typed cells and writers the experiment
+// exporters use, so a tool's CSV and JSON renderings of one row feed can
+// never drift apart — and a row computed from a cluster worker's wire
+// summary formats byte-identically to the locally-computed one.
+
+// Secs renders a simulated time as seconds with 6 decimals.
+func Secs(t sim.Time) any { return secs(t) }
+
+// Fix2 renders a float at fixed 2 decimals.
+func Fix2(v float64) any { return fix2(v) }
+
+// Fix4 renders a float at fixed 4 decimals.
+func Fix4(v float64) any { return fix4(v) }
+
+// Doc accumulates one row document in a chosen format.
+type Doc interface {
+	// Row appends one record of typed cells (see Secs, Fix2, Fix4).
+	Row(cells ...any)
+	// String finalizes and returns the document. Call once.
+	String() string
+}
+
+type csvDoc struct{ w *csvWriter }
+
+func (d csvDoc) Row(cells ...any) { d.w.row(cells...) }
+func (d csvDoc) String() string   { return d.w.String() }
+
+type jsonDoc struct{ w *jsonWriter }
+
+func (d jsonDoc) Row(cells ...any) { d.w.row(cells...) }
+func (d jsonDoc) String() string   { return d.w.String() }
+
+// NewDoc starts a document with the given header columns. CSV and JSON are
+// supported; Table callers keep their historical hand-rolled layouts.
+func NewDoc(f Format, cols ...string) (Doc, error) {
+	switch f {
+	case CSV:
+		return csvDoc{newCSV(cols...)}, nil
+	case JSON:
+		return jsonDoc{newJSON(cols...)}, nil
+	default:
+		return nil, fmt.Errorf("experiments: no row document for format %q", f)
+	}
+}
+
 // textTable accumulates one human-readable table: a title line, a header
 // line and formatted rows. Header and row layouts are fmt strings so each
 // experiment keeps its historical column widths exactly.

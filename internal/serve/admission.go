@@ -3,7 +3,10 @@ package serve
 import (
 	"context"
 	"errors"
+	"math"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // errQueueFull is returned when the admission queue is at capacity; the
@@ -13,6 +16,17 @@ import (
 // onto an unbounded queue until memory or every client's patience runs out.
 var errQueueFull = errors.New("serve: admission queue full")
 
+// errDraining is returned to queued waiters when the server starts
+// draining: in-flight simulations finish, but work that has not started is
+// shed deterministically (503) so shutdown is bounded by the in-flight set,
+// not the whole queue. The cluster coordinator treats the 503 as "worker
+// leaving" and rehashes the point to another worker.
+var errDraining = errors.New("serve: draining, queued request shed")
+
+// completionWindow bounds how many recent completions feed the drain-rate
+// estimate behind Retry-After.
+const completionWindow = 32
+
 // admission is the two-stage gate in front of the engine: at most inflight
 // simulations run concurrently, at most depth requests wait for a slot, and
 // everyone else is rejected on arrival.
@@ -21,6 +35,18 @@ type admission struct {
 	depth   int64         // max waiters
 	waiting atomic.Int64
 	running atomic.Int64
+
+	// drainCh is closed to shed every queued waiter at once; guarded by
+	// drainMu so SetDraining(false) can re-arm with a fresh channel.
+	drainMu sync.Mutex
+	drainCh chan struct{}
+
+	// completions is a ring of recent release times; together with its
+	// count it yields the observed drain rate that sizes Retry-After.
+	compMu      sync.Mutex
+	completions [completionWindow]time.Time
+	compCount   int64
+	now         func() time.Time // test hook
 }
 
 func newAdmission(inflight, depth int) *admission {
@@ -30,13 +56,19 @@ func newAdmission(inflight, depth int) *admission {
 	if depth < 0 {
 		depth = 0
 	}
-	return &admission{slots: make(chan struct{}, inflight), depth: int64(depth)}
+	return &admission{
+		slots:   make(chan struct{}, inflight),
+		depth:   int64(depth),
+		drainCh: make(chan struct{}),
+		now:     time.Now,
+	}
 }
 
 // acquire admits the caller or fails fast: errQueueFull when depth waiters
-// are already queued, or the context error if the caller's deadline expires
-// or it disconnects while waiting. On success the caller owns a slot and
-// must call release exactly once.
+// are already queued, errDraining when the server starts draining while the
+// caller waits, or the context error if the caller's deadline expires or it
+// disconnects while waiting. On success the caller owns a slot and must
+// call release exactly once.
 func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	// waiting counts callers inside acquire; running counts admitted slot
 	// holders. Together they bound total occupancy at inflight+depth, so
@@ -53,12 +85,89 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	case a.slots <- struct{}{}:
 		a.running.Add(1)
 		return func() {
+			a.recordCompletion()
 			a.running.Add(-1)
 			<-a.slots
 		}, nil
+	case <-a.draining():
+		return nil, errDraining
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// draining returns the channel closed when a drain begins.
+func (a *admission) draining() <-chan struct{} {
+	a.drainMu.Lock()
+	defer a.drainMu.Unlock()
+	return a.drainCh
+}
+
+// setDraining starts (true) or re-arms after (false) a drain. Starting a
+// drain wakes every queued waiter with errDraining; requests already
+// holding slots are unaffected.
+func (a *admission) setDraining(v bool) {
+	a.drainMu.Lock()
+	defer a.drainMu.Unlock()
+	if v {
+		select {
+		case <-a.drainCh: // already draining
+		default:
+			close(a.drainCh)
+		}
+		return
+	}
+	select {
+	case <-a.drainCh:
+		a.drainCh = make(chan struct{})
+	default: // not draining; nothing to re-arm
+	}
+}
+
+// recordCompletion stamps one finished simulation into the rate ring.
+func (a *admission) recordCompletion() {
+	a.compMu.Lock()
+	a.completions[a.compCount%completionWindow] = a.now()
+	a.compCount++
+	a.compMu.Unlock()
+}
+
+// retryAfterSeconds derives the Retry-After hint for a shed request from
+// the observed queue drain rate: with q requests ahead of the caller and
+// completions finishing at r per second, the queue frees a spot in about
+// (q+1)/r seconds. Before any completions have been observed the historical
+// default of 1s applies; the result is clamped to [1, 30] so a stalled
+// server never tells clients to go away for minutes.
+func (a *admission) retryAfterSeconds() int {
+	const maxRetryAfter = 30
+	a.compMu.Lock()
+	n := a.compCount
+	if n > completionWindow {
+		n = completionWindow
+	}
+	var oldest, newest time.Time
+	if n > 0 {
+		newest = a.completions[(a.compCount-1)%completionWindow]
+		oldest = a.completions[(a.compCount-n)%completionWindow]
+	}
+	a.compMu.Unlock()
+	if n < 2 {
+		return 1
+	}
+	span := newest.Sub(oldest)
+	if span <= 0 {
+		return 1
+	}
+	rate := float64(n-1) / span.Seconds() // completions per second
+	queued := float64(a.queued() + 1)
+	secs := int(math.Ceil(queued / rate))
+	if secs < 1 {
+		return 1
+	}
+	if secs > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return secs
 }
 
 // queued reports requests waiting for a slot.

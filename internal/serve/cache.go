@@ -20,9 +20,10 @@ type resultCache struct {
 	maxEntries int
 	maxBytes   int64
 
-	bytes int64
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	bytes     int64
+	peakBytes int64      // high-watermark of bytes, for capacity planning
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
 }
 
 // cacheEntry is one stored response.
@@ -71,6 +72,9 @@ func (c *resultCache) put(key string, body []byte, contentType string) {
 		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, contentType: contentType})
 		c.bytes += int64(len(body))
 	}
+	if c.bytes > c.peakBytes {
+		c.peakBytes = c.bytes
+	}
 	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
 		back := c.ll.Back()
 		if back == nil {
@@ -83,9 +87,9 @@ func (c *resultCache) put(key string, body []byte, contentType string) {
 	}
 }
 
-// stats reports the resident entry count and byte total.
-func (c *resultCache) stats() (entries int, bytes int64) {
+// stats reports the resident entry count, byte total and byte high-water.
+func (c *resultCache) stats() (entries int, bytes, peak int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.ll.Len(), c.bytes
+	return c.ll.Len(), c.bytes, c.peakBytes
 }

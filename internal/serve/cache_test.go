@@ -20,7 +20,7 @@ func TestScheddCacheLRUEntryBound(t *testing.T) {
 	if _, ok := c.get("a"); !ok {
 		t.Error("a (recently used) was evicted")
 	}
-	if entries, bytes := c.stats(); entries != 2 || bytes != 6 {
+	if entries, bytes, _ := c.stats(); entries != 2 || bytes != 6 {
 		t.Errorf("stats = (%d, %d), want (2, 6)", entries, bytes)
 	}
 }
@@ -33,7 +33,7 @@ func TestScheddCacheByteBound(t *testing.T) {
 	if _, ok := c.get("a"); ok {
 		t.Error("a survived the byte bound")
 	}
-	if _, bytes := c.stats(); bytes > 10 {
+	if _, bytes, _ := c.stats(); bytes > 10 {
 		t.Errorf("resident bytes %d exceed bound 10", bytes)
 	}
 	// An oversized body is never stored but breaks nothing.
@@ -47,7 +47,7 @@ func TestScheddCacheReplaceSameKey(t *testing.T) {
 	c := newResultCache(4, 1<<20)
 	c.put("k", []byte("one"), "t")
 	c.put("k", []byte("one"), "t") // concurrent-miss double store
-	if entries, bytes := c.stats(); entries != 1 || bytes != 3 {
+	if entries, bytes, _ := c.stats(); entries != 1 || bytes != 3 {
 		t.Errorf("stats = (%d, %d), want (1, 3)", entries, bytes)
 	}
 }

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // serverMetrics is the observability surface behind /metrics, rendered in
@@ -11,15 +13,60 @@ import (
 // point of the simulator being deterministic is that the interesting
 // numbers live in responses; these count the serving machinery itself.
 type serverMetrics struct {
-	requests     atomic.Int64 // POST /v1/run requests accepted for processing
+	requests     atomic.Int64 // POST /v1/run + /v1/point requests accepted for processing
 	badRequests  atomic.Int64 // malformed / unparseable requests
 	rejected     atomic.Int64 // shed with 429 (queue full)
+	shedOnDrain  atomic.Int64 // queued requests shed with 503 when a drain began
 	cancelled    atomic.Int64 // abandoned: client gone or deadline exceeded
 	failed       atomic.Int64 // simulation errors (500)
 	cacheHits    atomic.Int64
 	cacheMisses  atomic.Int64
 	simMicros    atomic.Int64 // simulated time produced, µs (single runs)
 	simWallNanos atomic.Int64 // wall time spent inside the engine, ns
+	latency      latencyHistogram
+}
+
+// latencyBounds are the request-duration histogram bucket upper bounds in
+// seconds: sub-millisecond cache hits through ten-second experiment sweeps,
+// roughly ×2.5 apart. The +Inf bucket is implicit (the count).
+var latencyBounds = [...]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// latencyHistogram is a fixed-bucket Prometheus histogram over request
+// durations, lock-free: one atomic per bucket plus sum and count. It covers
+// every terminal outcome of the two simulation endpoints — hits, misses,
+// sheds and failures alike — because a client backing off cares about how
+// long the answer took, whatever the answer was.
+type latencyHistogram struct {
+	buckets [len(latencyBounds)]atomic.Int64 // non-cumulative; summed at render
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// observe records one request duration.
+func (h *latencyHistogram) observe(d time.Duration) {
+	s := d.Seconds()
+	for i, ub := range latencyBounds {
+		if s <= ub {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// render writes the histogram in exposition format (cumulative buckets).
+func (h *latencyHistogram) render(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, ub := range latencyBounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+	}
+	count := h.count.Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+	fmt.Fprintf(b, "%s_sum %.9f\n", name, float64(h.sumNS.Load())/1e9)
+	fmt.Fprintf(b, "%s_count %d\n", name, count)
 }
 
 // render writes the exposition text. Gauges (queue depth, in-flight, cache
@@ -34,21 +81,27 @@ func (m *serverMetrics) render(b *strings.Builder, adm *admission, cache *result
 	counter("schedd_requests_total", "Run requests accepted for processing.", m.requests.Load())
 	counter("schedd_bad_requests_total", "Run requests rejected as malformed.", m.badRequests.Load())
 	counter("schedd_rejected_total", "Run requests shed with 429 because the admission queue was full.", m.rejected.Load())
+	counter("schedd_drain_shed_total", "Queued run requests shed with 503 when a drain began.", m.shedOnDrain.Load())
 	counter("schedd_cancelled_total", "Run requests abandoned by deadline or client disconnect.", m.cancelled.Load())
 	counter("schedd_failed_total", "Run requests that failed in the simulator.", m.failed.Load())
 	counter("schedd_cache_hits_total", "Run requests answered from the result cache.", m.cacheHits.Load())
 	counter("schedd_cache_misses_total", "Run requests that had to simulate.", m.cacheMisses.Load())
 
-	entries, bytes := cache.stats()
+	entries, bytes, peak := cache.stats()
 	gauge("schedd_cache_entries", "Resident result cache entries.", int64(entries))
 	gauge("schedd_cache_bytes", "Resident result cache body bytes.", bytes)
+	gauge("schedd_cache_peak_bytes", "High-watermark of resident result cache body bytes.", peak)
 	gauge("schedd_queue_depth", "Requests waiting for an engine slot.", adm.queued())
 	gauge("schedd_inflight", "Requests currently simulating.", adm.inflight())
+	gauge("schedd_retry_after_seconds", "Current Retry-After hint derived from the observed queue drain rate.", int64(adm.retryAfterSeconds()))
 	var d int64
 	if draining {
 		d = 1
 	}
 	gauge("schedd_draining", "1 while the server is draining for shutdown.", d)
+
+	m.latency.render(b, "schedd_request_duration_seconds",
+		"Wall-clock duration of simulation requests (hits, misses, sheds and failures).")
 
 	// Simulation throughput: simulated seconds produced per wall second is
 	// simply the ratio of these two counters over any scrape interval.

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// POST /v1/point is the cluster wire format: one config in, the lossless
+// summary of one core.Run out. Unlike /v1/run — whose bodies are rendered
+// documents for humans and plotting pipelines — a point response carries
+// raw values (times as integer microseconds, derived ratios as float64s
+// that survive a JSON round trip bit-for-bit), so a remote client can
+// re-render any local output byte-identically. That is the invariant the
+// distributed sweep fabric rests on: route the simulation anywhere, format
+// at home, diff nothing.
+//
+// Point responses live in the same content-addressed cache as /v1/run
+// bodies, keyed by the canonical config hash, so a repeated or overlapping
+// sweep routed back to the same worker (rendezvous hashing does exactly
+// that) is answered without simulating.
+
+// PointRequest is the POST /v1/point body.
+type PointRequest struct {
+	// Config shapes the single run; zero values are the paper's defaults.
+	Config ConfigSpec `json:"config"`
+	// TimeoutMS bounds processing time, queueing included; 0 uses the
+	// server default. Excluded from the cache key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// PointSummary is the lossless wire form of one run's headline metrics.
+// Integer fields are exact; float64 fields are computed server-side by the
+// same code the local tools use and round-trip exactly through JSON, so a
+// value formatted client-side equals the locally-computed formatting.
+type PointSummary struct {
+	Label        string  `json:"label"`
+	Jobs         int     `json:"jobs"`
+	MeanUS       int64   `json:"mean_us"`
+	P50US        int64   `json:"p50_us"`
+	P95US        int64   `json:"p95_us"`
+	MaxUS        int64   `json:"max_us"`
+	MakespanUS   int64   `json:"makespan_us"`
+	Util         float64 `json:"util"`
+	Overhead     float64 `json:"overhead"`
+	MemBlockedUS int64   `json:"mem_blocked_us"`
+	PeakMemBytes int64   `json:"peak_mem_bytes"`
+	Messages     int64   `json:"messages"`
+	AvgHops      float64 `json:"avg_hops"`
+	AvgLatencyUS int64   `json:"avg_latency_us"`
+	Retries      int64   `json:"retries"`
+	// Fault carries the fault/repair counters when the run had an injector
+	// attached; nil otherwise.
+	Fault *FaultCounters `json:"fault,omitempty"`
+}
+
+// FaultCounters is the wire form of metrics.FaultStats (times in µs).
+type FaultCounters struct {
+	NodesFailed      int64 `json:"nodes_failed"`
+	NodesRepaired    int64 `json:"nodes_repaired"`
+	LinksFailed      int64 `json:"links_failed"`
+	LinksRepaired    int64 `json:"links_repaired"`
+	JobKills         int64 `json:"job_kills"`
+	Requeues         int64 `json:"requeues"`
+	Restarts         int64 `json:"restarts"`
+	Checkpoints      int64 `json:"checkpoints"`
+	CheckpointWorkUS int64 `json:"checkpoint_work_us"`
+	WorkLostUS       int64 `json:"work_lost_us"`
+}
+
+// FaultStats converts the wire counters back to the metrics type.
+func (f *FaultCounters) FaultStats() *metrics.FaultStats {
+	if f == nil {
+		return nil
+	}
+	return &metrics.FaultStats{
+		NodesFailed:    f.NodesFailed,
+		NodesRepaired:  f.NodesRepaired,
+		LinksFailed:    f.LinksFailed,
+		LinksRepaired:  f.LinksRepaired,
+		JobKills:       f.JobKills,
+		Requeues:       f.Requeues,
+		Restarts:       f.Restarts,
+		Checkpoints:    f.Checkpoints,
+		CheckpointWork: sim.Time(f.CheckpointWorkUS),
+		WorkLost:       sim.Time(f.WorkLostUS),
+	}
+}
+
+// PointSummaryFrom extracts the wire summary from a run result. The local
+// tools use it too, so the remote path and the in-process path feed the
+// same values into the same row formatters.
+func PointSummaryFrom(res *metrics.Result) PointSummary {
+	ps := PointSummary{
+		Label:        res.Label,
+		Jobs:         len(res.Jobs),
+		MeanUS:       int64(res.MeanResponse()),
+		P50US:        int64(res.ResponsePercentile(50)),
+		P95US:        int64(res.ResponsePercentile(95)),
+		MaxUS:        int64(res.MaxResponse()),
+		MakespanUS:   int64(res.Makespan),
+		Util:         res.CPUUtilization(),
+		Overhead:     res.SystemOverheadFraction(),
+		MemBlockedUS: int64(res.TotalMemBlockedTime()),
+		PeakMemBytes: res.PeakMemory(),
+		Messages:     res.Net.Messages,
+		AvgHops:      res.Net.AvgHops(),
+		AvgLatencyUS: int64(res.Net.AvgLatency()),
+		Retries:      res.Net.Retries,
+	}
+	if res.Faults != nil {
+		f := res.Faults
+		ps.Fault = &FaultCounters{
+			NodesFailed:      f.NodesFailed,
+			NodesRepaired:    f.NodesRepaired,
+			LinksFailed:      f.LinksFailed,
+			LinksRepaired:    f.LinksRepaired,
+			JobKills:         f.JobKills,
+			Requeues:         f.Requeues,
+			Restarts:         f.Restarts,
+			Checkpoints:      f.Checkpoints,
+			CheckpointWorkUS: int64(f.CheckpointWork),
+			WorkLostUS:       int64(f.WorkLost),
+		}
+	}
+	return ps
+}
+
+// SpecFromConfig converts a core.Config into its wire form — the inverse of
+// ConfigSpec.ToConfig. Only wire-representable configs convert: custom cost
+// models, batches, tracers and verification have no JSON spelling, so a
+// config carrying one cannot be executed remotely and returns an error. The
+// round trip preserves the canonical hash, which is what lets the client
+// route on cfg.Hash and the worker cache under the same address.
+func SpecFromConfig(cfg core.Config) (ConfigSpec, error) {
+	switch {
+	case cfg.Batch != nil:
+		return ConfigSpec{}, fmt.Errorf("serve: config with a custom Batch is not wire-representable")
+	case cfg.Tracer != nil:
+		return ConfigSpec{}, fmt.Errorf("serve: config with a Tracer is not wire-representable")
+	case cfg.Cost != nil:
+		return ConfigSpec{}, fmt.Errorf("serve: config with a custom CostModel is not wire-representable")
+	case cfg.AppCost != nil:
+		return ConfigSpec{}, fmt.Errorf("serve: config with a custom AppCost is not wire-representable")
+	case cfg.Verify:
+		return ConfigSpec{}, fmt.Errorf("serve: config with Verify set is not wire-representable")
+	}
+	spec := ConfigSpec{
+		Processors:    cfg.Processors,
+		MemoryBytes:   cfg.MemoryBytes,
+		Partition:     cfg.PartitionSize,
+		QuantumUS:     int64(cfg.BasicQuantum),
+		MPL:           cfg.MaxResident,
+		Seed:          cfg.Seed,
+		SampleEveryUS: int64(cfg.SampleEvery),
+	}
+	// Enum String() spellings are accepted by the corresponding parsers, so
+	// the zero value round-trips through its canonical name.
+	spec.Topology = cfg.Topology.String()
+	spec.Policy = cfg.Policy.String()
+	spec.App = cfg.App.String()
+	spec.Arch = cfg.Arch.String()
+	spec.Mode = cfg.Mode.String()
+	switch cfg.Order {
+	case core.Submission:
+		spec.Order = "submission"
+	case core.SmallestFirst:
+		spec.Order = "smallest-first"
+	case core.LargestFirst:
+		spec.Order = "largest-first"
+	default:
+		return ConfigSpec{}, fmt.Errorf("serve: order %v is not wire-representable", cfg.Order)
+	}
+	if cfg.Fault != nil {
+		f := cfg.Fault
+		spec.Fault = &FaultSpec{
+			Seed:                 f.Seed,
+			NodeMTBFUS:           int64(f.NodeMTBF),
+			NodeMTTRUS:           int64(f.NodeMTTR),
+			LinkMTBFUS:           int64(f.LinkMTBF),
+			LinkMTTRUS:           int64(f.LinkMTTR),
+			DropProb:             f.DropProb,
+			HorizonUS:            int64(f.Horizon),
+			RetryTimeoutUS:       int64(f.RetryTimeout),
+			RetryBudget:          f.RetryBudget,
+			CheckpointIntervalUS: int64(f.CheckpointInterval),
+			CheckpointCostUS:     int64(f.CheckpointCost),
+			RestartBudget:        f.RestartBudget,
+		}
+	}
+	return spec, nil
+}
+
+// parsePointRequest decodes and validates a point request body.
+func parsePointRequest(r io.Reader) (*PointRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req PointRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after JSON body")
+	}
+	return &req, nil
+}
+
+// EncodePointRequest renders a point request body deterministically:
+// encoding/json keeps struct field order, so equal requests produce equal
+// bytes (and equal routing keys on any client).
+func EncodePointRequest(req PointRequest) ([]byte, error) {
+	return json.Marshal(req)
+}
+
+// ParsePointRequestBytes parses a point request body from bytes. Exported
+// so the cluster coordinator's proxy can compute routing keys with exactly
+// the validation the worker will apply.
+func ParsePointRequestBytes(b []byte) (*PointRequest, error) {
+	return parsePointRequest(bytes.NewReader(b))
+}
+
+// PointKey is the content address of a point response: the canonical config
+// hash under the point namespace. Exported so the cluster coordinator can
+// compute the same key it routes on.
+func PointKey(cfgHash string) string {
+	h := sha256.New()
+	io.WriteString(h, "repro-point-v1;config=")
+	io.WriteString(h, cfgHash)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// pointContentType is the media type of /v1/point responses.
+const pointContentType = "application/json"
+
+// encodePointSummary renders the summary deterministically: encoding/json
+// keeps struct field order and emits shortest-round-trip floats, so equal
+// summaries produce equal bytes.
+func encodePointSummary(ps PointSummary) []byte {
+	b, err := json.Marshal(ps)
+	if err != nil {
+		// A PointSummary is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: encode point summary: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// DecodePointSummary parses a /v1/point response body.
+func DecodePointSummary(body []byte) (PointSummary, error) {
+	var ps PointSummary
+	if err := json.Unmarshal(body, &ps); err != nil {
+		return ps, fmt.Errorf("serve: decode point summary: %w", err)
+	}
+	return ps, nil
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func postPoint(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/point", strings.NewReader(body))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+// TestScheddPointLossless is the cluster wire-format contract: the summary
+// served over /v1/point carries exactly the values a local run computes, so
+// a client formatting rows from it reproduces local output byte for byte.
+func TestScheddPointLossless(t *testing.T) {
+	s := testServer(t, Options{})
+	h := s.Handler()
+
+	const body = `{"config":{"partition":4,"topology":"mesh","policy":"ts"}}`
+	rr := postPoint(t, h, body)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("POST /v1/point: status %d, body %s", rr.Code, rr.Body)
+	}
+	if got := rr.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("first point X-Cache = %q, want miss", got)
+	}
+	got, err := DecodePointSummary(rr.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := ConfigSpec{Partition: 4, Topology: "mesh", Policy: "ts"}.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := PointSummaryFrom(res); got != want {
+		t.Errorf("wire summary differs from local run:\n got: %+v\nwant: %+v", got, want)
+	}
+
+	// Repeat is a cache hit with identical bytes — the property rendezvous
+	// routing exists to exploit.
+	again := postPoint(t, h, body)
+	if cache := again.Header().Get("X-Cache"); cache != "hit" {
+		t.Errorf("repeated point X-Cache = %q, want hit", cache)
+	}
+	if !bytes.Equal(rr.Body.Bytes(), again.Body.Bytes()) {
+		t.Errorf("cache hit body differs")
+	}
+}
+
+// TestScheddPointConfigRoundTrip: SpecFromConfig inverts ToConfig and
+// preserves the canonical hash — the address the cluster routes on.
+func TestScheddPointConfigRoundTrip(t *testing.T) {
+	spec := ConfigSpec{Partition: 8, Topology: "ring", Policy: "static", App: "sort",
+		Arch: "adaptive", QuantumUS: 2000, Seed: 7, Order: "smallest-first"}
+	cfg, err := spec.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := SpecFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := back.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := cfg.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := cfg2.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("round trip changed the canonical hash: %s vs %s", h1, h2)
+	}
+
+	// Non-wire-representable configs are rejected before they can be
+	// silently mis-executed remotely.
+	bad := cfg
+	bad.Verify = true
+	if _, err := SpecFromConfig(bad); err == nil {
+		t.Error("SpecFromConfig accepted a Verify config")
+	}
+}
+
+// TestScheddDrainShedsQueued: starting a drain sheds every queued waiter
+// with errDraining while in-flight work finishes normally — shutdown time
+// is bounded by the in-flight set, never the queue.
+func TestScheddDrainShedsQueued(t *testing.T) {
+	a := newAdmission(1, 4)
+	rel, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := a.acquire(context.Background())
+			shed <- err
+		}()
+	}
+	waitFor(t, func() bool { return a.queued() >= 2 }, "waiters never queued")
+
+	a.setDraining(true)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-shed:
+			if !errors.Is(err, errDraining) {
+				t.Errorf("queued waiter got %v, want errDraining", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued waiter not shed by drain")
+		}
+	}
+	rel() // in-flight work finishes uninterrupted
+	if a.inflight() != 0 {
+		t.Errorf("inflight = %d after release", a.inflight())
+	}
+
+	// Re-arming ends the drain: new work admits again.
+	a.setDraining(false)
+	rel2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after drain re-arm: %v", err)
+	}
+	rel2()
+}
+
+// TestScheddRetryAfterDerived: the Retry-After hint tracks the observed
+// completion rate and queue depth instead of a hardcoded constant.
+func TestScheddRetryAfterDerived(t *testing.T) {
+	a := newAdmission(1, 8)
+
+	// No samples yet: the historical default.
+	if got := a.retryAfterSeconds(); got != 1 {
+		t.Errorf("no samples: Retry-After = %d, want 1", got)
+	}
+
+	// Five completions one second apart: rate 1/s.
+	clock := time.Unix(1000, 0)
+	a.now = func() time.Time { return clock }
+	for i := 0; i < 5; i++ {
+		a.recordCompletion()
+		clock = clock.Add(time.Second)
+	}
+	if got := a.retryAfterSeconds(); got != 1 {
+		t.Errorf("empty queue at 1/s: Retry-After = %d, want 1", got)
+	}
+
+	// Three queued requests at 1/s: about four seconds until a slot frees.
+	a.waiting.Add(3)
+	if got := a.retryAfterSeconds(); got != 4 {
+		t.Errorf("3 queued at 1/s: Retry-After = %d, want 4", got)
+	}
+	a.waiting.Add(-3)
+
+	// A glacial drain rate clamps at 30s rather than telling clients to
+	// come back tomorrow.
+	b := newAdmission(1, 8)
+	clock2 := time.Unix(2000, 0)
+	b.now = func() time.Time { return clock2 }
+	b.recordCompletion()
+	clock2 = clock2.Add(2 * time.Minute)
+	b.recordCompletion()
+	if got := b.retryAfterSeconds(); got != 30 {
+		t.Errorf("slow drain: Retry-After = %d, want clamp 30", got)
+	}
+}
+
+// TestScheddDrainShedsOverHTTP: a draining server sheds queued requests
+// with 503 and counts them; the latency histogram sees every outcome.
+func TestScheddDrainShedsOverHTTP(t *testing.T) {
+	s := testServer(t, Options{MaxInflight: 1, QueueDepth: 4})
+	h := s.Handler()
+
+	// Prime one cached result, then drain: new arrivals are shed at the
+	// door with 503 + Retry-After.
+	if rr := postPoint(t, h, `{"config":{"partition":4}}`); rr.Code != http.StatusOK {
+		t.Fatalf("prime: status %d body %s", rr.Code, rr.Body)
+	}
+	s.SetDraining(true)
+	rr := postPoint(t, h, `{"config":{"partition":4}}`)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining POST: status %d, want 503", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Errorf("draining POST missing Retry-After")
+	}
+	s.SetDraining(false)
+
+	// The histogram counted the completed request (sheds at the door are
+	// turned away before the timed section).
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	mrr := httptest.NewRecorder()
+	h.ServeHTTP(mrr, req)
+	body := mrr.Body.String()
+	for _, want := range []string{
+		"schedd_request_duration_seconds_bucket{le=\"+Inf\"} 1",
+		"schedd_request_duration_seconds_count 1",
+		"schedd_cache_peak_bytes",
+		"schedd_retry_after_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

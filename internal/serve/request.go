@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -87,6 +88,13 @@ func parseRunRequest(r io.Reader) (*RunRequest, error) {
 		return nil, fmt.Errorf("trailing data after JSON body")
 	}
 	return &req, nil
+}
+
+// ParseRunRequestBytes parses a run request body from bytes. Exported so
+// the cluster coordinator's proxy can compute routing keys with exactly the
+// validation the worker will apply.
+func ParseRunRequestBytes(b []byte) (*RunRequest, error) {
+	return parseRunRequest(bytes.NewReader(b))
 }
 
 // Resolve validates the request into the pieces the server executes: the

@@ -13,14 +13,20 @@
 //
 //   - Bounded admission. At most MaxInflight simulations run at once and
 //     at most QueueDepth requests wait; everyone else gets 429 +
-//     Retry-After immediately. Each admitted request carries a deadline,
-//     and a client that disconnects cancels its engine work via
-//     context propagation into ExecuteAllCtx.
+//     Retry-After immediately, with the hint derived from the observed
+//     queue drain rate. Each admitted request carries a deadline, and a
+//     client that disconnects cancels its engine work via context
+//     propagation into ExecuteAllCtx.
 //
-//   - Observability. /metrics exposes Prometheus-format counters and
-//     gauges (requests, cache hits/misses, queue depth, in-flight,
-//     simulated-seconds vs wall-seconds), /healthz reports liveness and
-//     drain state, and every request emits one structured log line.
+//   - Observability. /metrics exposes Prometheus-format counters, gauges
+//     and a request-latency histogram (requests, cache hits/misses, queue
+//     depth, in-flight, simulated-seconds vs wall-seconds), /healthz
+//     reports liveness and drain state, and every request emits one
+//     structured log line.
+//
+// As a cluster worker (cmd/schedd -worker), the server additionally exposes
+// POST /v1/point — the lossless single-run wire format the coordinator
+// shards sweeps over (see point.go and internal/cluster).
 package serve
 
 import (
@@ -30,6 +36,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -114,6 +121,7 @@ func New(opts Options) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/point", s.handlePoint)
 	mux.HandleFunc("/v1/experiments", s.handleExperiments)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -122,8 +130,13 @@ func (s *Server) Handler() http.Handler {
 
 // SetDraining flips the drain flag reported by /healthz and /metrics; the
 // binary sets it on SIGTERM before http.Server.Shutdown so load balancers
-// stop routing while in-flight requests finish.
-func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+// stop routing while in-flight requests finish. Starting a drain also sheds
+// every queued request deterministically (503): shutdown time is bounded by
+// the in-flight set, never the queue.
+func (s *Server) SetDraining(v bool) {
+	s.draining.Store(v)
+	s.adm.setDraining(v)
+}
 
 // httpError is the uniform JSON error body.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -132,13 +145,29 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	fmt.Fprintf(w, "{\"error\":%q}\n", fmt.Sprintf(format, args...))
 }
 
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+// checkPost guards the two simulation endpoints: POST only, and a draining
+// server sheds new arrivals immediately (in-flight requests on kept-alive
+// connections would otherwise sneak in behind the closed listener).
+func (s *Server) checkPost(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if !s.checkPost(w, r) {
 		return
 	}
 	start := time.Now()
+	defer func() { s.metrics.latency.observe(time.Since(start)) }()
 	req, err := parseRunRequest(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		s.metrics.badRequests.Add(1)
@@ -151,33 +180,97 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.metrics.requests.Add(1)
+	exp := ""
+	if entry != nil {
+		exp = entry.ID
+	}
+	s.serveKeyed(w, r, keyedRequest{
+		start: start, key: key, experiment: exp, format: format.String(),
+		timeoutMS: req.TimeoutMS,
+		compute: func(ctx context.Context) ([]byte, string, error) {
+			return s.execute(ctx, cfg, entry, format)
+		},
+	})
+}
 
+// handlePoint serves the cluster wire format: one config in, the lossless
+// run summary out, cached under the canonical config hash.
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	if !s.checkPost(w, r) {
+		return
+	}
+	start := time.Now()
+	defer func() { s.metrics.latency.observe(time.Since(start)) }()
+	req, err := parsePointRequest(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg, err := req.Config.ToConfig()
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfgHash, err := cfg.Hash()
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.serveKeyed(w, r, keyedRequest{
+		start: start, key: PointKey(cfgHash), format: "point",
+		timeoutMS: req.TimeoutMS,
+		compute: func(ctx context.Context) ([]byte, string, error) {
+			plan := engine.NewPlan[*metrics.Result]("serve/point")
+			plan.Add(cfg.Label(), func() (*metrics.Result, error) { return core.Run(cfg) })
+			results, err := engine.ExecuteCtx(ctx, plan, engine.Options{Workers: s.opts.Workers, Ctx: ctx})
+			if err != nil {
+				return nil, "", err
+			}
+			s.metrics.simMicros.Add(int64(results[0].Makespan))
+			return encodePointSummary(PointSummaryFrom(results[0])), pointContentType, nil
+		},
+	})
+}
+
+// keyedRequest is the shared shape of the two simulation endpoints: a
+// content address, a compute function for misses, and log fields.
+type keyedRequest struct {
+	start      time.Time
+	key        string
+	experiment string
+	format     string
+	timeoutMS  int64
+	compute    func(ctx context.Context) ([]byte, string, error)
+}
+
+// serveKeyed answers from the cache or admits, computes and stores — the
+// whole miss path shared by /v1/run and /v1/point.
+func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, kr keyedRequest) {
+	s.metrics.requests.Add(1)
 	logAttrs := func(status int, cache string) []any {
-		exp := ""
-		if entry != nil {
-			exp = entry.ID
-		}
 		return []any{
 			slog.String("method", r.Method), slog.String("path", r.URL.Path),
 			slog.Int("status", status), slog.String("cache", cache),
-			slog.String("key", key[:16]), slog.String("experiment", exp),
-			slog.String("format", format.String()),
-			slog.Int64("dur_ms", time.Since(start).Milliseconds()),
+			slog.String("key", kr.key[:16]), slog.String("experiment", kr.experiment),
+			slog.String("format", kr.format),
+			slog.Int64("dur_ms", time.Since(kr.start).Milliseconds()),
 		}
 	}
 
-	if e, ok := s.cache.get(key); ok {
+	if e, ok := s.cache.get(kr.key); ok {
 		s.metrics.cacheHits.Add(1)
-		s.writeResult(w, key, "hit", e.contentType, e.body)
+		s.writeResult(w, kr.key, "hit", e.contentType, e.body)
 		s.log.Info("run", logAttrs(http.StatusOK, "hit")...)
 		return
 	}
 	s.metrics.cacheMisses.Add(1)
 
 	timeout := s.opts.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	if kr.timeoutMS > 0 {
+		timeout = time.Duration(kr.timeoutMS) * time.Millisecond
 		if timeout > s.opts.MaxTimeout {
 			timeout = s.opts.MaxTimeout
 		}
@@ -192,7 +285,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	simStart := time.Now()
-	body, contentType, err := s.execute(ctx, cfg, entry, format)
+	body, contentType, err := kr.compute(ctx)
 	release()
 	s.metrics.simWallNanos.Add(time.Since(simStart).Nanoseconds())
 	if err != nil {
@@ -200,8 +293,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.log.Warn("run", append(logAttrs(status, "miss"), slog.String("err", err.Error()))...)
 		return
 	}
-	s.cache.put(key, body, contentType)
-	s.writeResult(w, key, "miss", contentType, body)
+	s.cache.put(kr.key, body, contentType)
+	s.writeResult(w, kr.key, "miss", contentType, body)
 	s.log.Info("run", logAttrs(http.StatusOK, "miss")...)
 }
 
@@ -211,9 +304,17 @@ func (s *Server) admissionFailure(w http.ResponseWriter, err error) int {
 	switch {
 	case errors.Is(err, errQueueFull):
 		s.metrics.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		// The hint tracks reality: queue length over observed drain rate,
+		// not a hardcoded constant. The cluster coordinator reads it to
+		// pace its backoff before rehashing the point elsewhere.
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
 		httpError(w, http.StatusTooManyRequests, "admission queue full, retry later")
 		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		s.metrics.shedOnDrain.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "draining, queued request shed")
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		s.metrics.cancelled.Add(1)
 		httpError(w, http.StatusGatewayTimeout, "deadline expired while queued")

@@ -23,6 +23,15 @@ go test -race -run 'Determinism' -count=1 ./internal/engine ./internal/experimen
 # TestSchedd* so this line fails loudly if they are renamed or skipped.
 go test -race -run 'Schedd' -count=1 ./internal/serve ./cmd/schedd
 
+# Cluster gate: the distributed sweep fabric's acceptance properties under
+# the race detector — a 2-worker sweep is byte-identical to one worker, a
+# worker dying mid-sweep strands nothing (every point completes, rerouted,
+# with rebalance metrics observed), a repeat sweep scores >= 0.9 remote
+# cache hit ratio, and a -worker schedd registers/deregisters around
+# SIGTERM. All cluster tests are named TestCluster* so this line fails
+# loudly if they are renamed or skipped.
+go test -race -run 'Cluster|ScheddWorkerLifecycle' -count=1 ./internal/cluster ./cmd/schedd
+
 # Benchmark smoke: one iteration of the cheapest figure plus the parallel
 # sweep benchmark, just to prove the harness still runs. Full benchmarks
 # are a manual `make bench` / `make sweep-bench`.
