@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism serve-gate cluster-gate schedd figures fault ci fmt
+.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism serve-gate cluster-gate chaos-gate schedd figures fault ci fmt
 
 all: build
 
@@ -49,6 +49,15 @@ serve-gate:
 # cache affinity, worker lease lifecycle). CI runs this.
 cluster-gate:
 	$(GO) test -race -run 'Cluster|ScheddWorkerLifecycle' -count=1 ./internal/cluster ./cmd/schedd
+
+# Process-level crash safety under the race detector: real schedd
+# processes get SIGKILLed mid-sweep (workers and the coordinator), the
+# network path gets resets and latency, and the sweep must still finish
+# byte-identical with the journal accounting every point exactly once.
+# Wall clock is bounded by the -timeout; the failure seed is logged for
+# replay with CHAOS_SEED. CI runs this.
+chaos-gate:
+	SCHEDD_CHAOS=1 $(GO) test -race -run 'Chaos' -count=1 -timeout 300s ./internal/chaosharness
 
 schedd:
 	$(GO) run ./cmd/schedd

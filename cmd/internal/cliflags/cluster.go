@@ -25,6 +25,15 @@ type Cluster struct {
 	NoHedge *bool
 	// Report prints the routing summary to stderr after the run.
 	Report *bool
+	// Journal is the durable sweep journal directory: completed points are
+	// fsync'd there and replayed on rerun, so an interrupted sweep resumes
+	// instead of restarting (empty = not resumable).
+	Journal *string
+	// RetryBudget bounds total extra attempts per sweep (0 = default 1024,
+	// negative = unlimited).
+	RetryBudget *int
+
+	journal *cluster.Journal // opened by Coordinator when -cluster-journal given
 }
 
 // RegisterCluster installs the -cluster flag family on the default flag
@@ -35,6 +44,9 @@ func RegisterCluster() Cluster {
 		Inflight: flag.Int("cluster-inflight", 0, "max in-flight requests per cluster worker (0 = default)"),
 		NoHedge:  flag.Bool("cluster-no-hedge", false, "disable straggler hedging"),
 		Report:   flag.Bool("cluster-report", false, "print cluster routing stats to stderr after the run"),
+		Journal:  flag.String("cluster-journal", "", "durable sweep journal directory (rerun resumes instead of restarting)"),
+		RetryBudget: flag.Int("cluster-retry-budget", 0,
+			"max extra attempts per sweep: failovers, backpressure waits, hedges (0 = default, negative = unlimited)"),
 	}
 }
 
@@ -43,8 +55,10 @@ func (c Cluster) Enabled() bool { return strings.TrimSpace(*c.Targets) != "" }
 
 // Coordinator builds the routing client over the flagged fleet. Bare
 // host:port targets get the http:// scheme; trailing slashes are trimmed
-// so URL concatenation stays clean.
-func (c Cluster) Coordinator() (*cluster.Coordinator, error) {
+// so URL concatenation stays clean. With -cluster-journal the coordinator
+// journals completed points and replays them on rerun; FinishReport closes
+// the journal.
+func (c *Cluster) Coordinator() (*cluster.Coordinator, error) {
 	targets := Split(*c.Targets)
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("-cluster given but no targets parsed from %q", *c.Targets)
@@ -56,11 +70,21 @@ func (c Cluster) Coordinator() (*cluster.Coordinator, error) {
 		}
 		urls[i] = strings.TrimRight(t, "/")
 	}
-	return cluster.New(cluster.Options{
+	opts := cluster.Options{
 		Workers:           urls,
 		PerWorkerInflight: *c.Inflight,
 		DisableHedging:    *c.NoHedge,
-	}), nil
+		SweepRetryBudget:  *c.RetryBudget,
+	}
+	if dir := strings.TrimSpace(*c.Journal); dir != "" {
+		j, err := cluster.OpenJournal(dir)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+		opts.Memo = j
+	}
+	return cluster.New(opts), nil
 }
 
 // RemoteOptions is the engine configuration for executing a remote plan:
@@ -75,9 +99,14 @@ func (c Cluster) RemoteOptions(common Common, coord *cluster.Coordinator) engine
 }
 
 // FinishReport prints the routing summary to stderr when -cluster-report
-// was given.
-func (c Cluster) FinishReport(coord *cluster.Coordinator) {
+// was given, and closes the sweep journal if one was opened. Call it after
+// the remote plan completes.
+func (c *Cluster) FinishReport(coord *cluster.Coordinator) {
 	if *c.Report {
 		fmt.Fprintln(os.Stderr, coord.Snapshot().Report())
+	}
+	if c.journal != nil {
+		c.journal.Close()
+		c.journal = nil
 	}
 }

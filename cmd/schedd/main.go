@@ -61,12 +61,15 @@ func main() {
 		timeout      = flag.Duration("timeout", 60*time.Second, "default per-request processing deadline")
 		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
 		drain        = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
+		storeDir     = flag.String("store", "", "tier-2 disk result store directory (persists the cache across restarts)")
+		storeMB      = flag.Int64("store-mb", 256, "tier-2 store size bound in MiB")
 
 		coordinate  = flag.Bool("coordinate", false, "run as cluster coordinator (worker registry + affinity proxy) instead of a simulation server")
 		workerMode  = flag.Bool("worker", false, "register with -coordinator as a cluster worker")
 		coordinator = flag.String("coordinator", "", "coordinator base URL for -worker registration")
 		advertise   = flag.String("advertise", "", "base URL to advertise to the coordinator (default: derived from the bound listen address)")
 		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "worker lease TTL granted by -coordinate")
+		journalDir  = flag.String("journal", "", "durable sweep journal directory for -coordinate (replay completed points on restart)")
 	)
 	cf := cliflags.Register() // -j (engine workers per request) + profiling
 	flag.Parse()
@@ -81,7 +84,7 @@ func main() {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	if *coordinate {
-		if err := runCoordinator(*addr, *leaseTTL, *drain, logger, nil); err != nil {
+		if err := runCoordinator(*addr, *journalDir, *leaseTTL, *drain, logger, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "schedd:", err)
 			os.Exit(1)
 		}
@@ -104,6 +107,8 @@ func main() {
 		CacheBytes:     *cacheMB << 20,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		StoreDir:       *storeDir,
+		StoreBytes:     *storeMB << 20,
 		Logger:         logger,
 	}, *drain, logger, nil, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
@@ -123,7 +128,11 @@ type workerRegistration struct {
 // non-nil reg registers the server as a cluster worker once it is
 // accepting and deregisters before the drain begins.
 func run(addr string, opts serve.Options, drain time.Duration, logger *slog.Logger, ready chan<- string, reg *workerRegistration) error {
-	srv := serve.New(opts)
+	srv, err := serve.Open(opts)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           srv.Handler(),
@@ -202,14 +211,28 @@ func run(addr string, opts serve.Options, drain time.Duration, logger *slog.Logg
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
+	// Flush dirty cache entries to the tier-2 store before exiting: every
+	// result computed this lifetime is a warm hit after the restart.
+	srv.FlushStore()
 	logger.Info("schedd stopped")
 	return nil
 }
 
 // runCoordinator boots the cluster coordinator: the worker registry, the
 // cache-affine proxy for /v1/run and /v1/point, and routing metrics.
-func runCoordinator(addr string, leaseTTL, drain time.Duration, logger *slog.Logger, ready chan<- string) error {
-	coord := cluster.New(cluster.Options{})
+func runCoordinator(addr, journalDir string, leaseTTL, drain time.Duration, logger *slog.Logger, ready chan<- string) error {
+	copts := cluster.Options{}
+	if journalDir != "" {
+		journal, err := cluster.OpenJournal(journalDir)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		logger.Info("schedd journal open", slog.String("dir", journalDir),
+			slog.Int("replayed", journal.Len()))
+		copts.Memo = journal
+	}
+	coord := cluster.New(copts)
 	cs := cluster.NewServer(cluster.ServerOptions{
 		Coordinator: coord,
 		LeaseTTL:    leaseTTL,

@@ -1,0 +1,138 @@
+package chaosharness
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// faultProxy is a TCP proxy that misbehaves on purpose: it fronts a
+// healthy worker and, per connection, rolls seeded dice to either delay
+// the stream or abort it with a hard RST (SO_LINGER=0 close). The worker
+// advertises the proxy's address to the coordinator, so every
+// coordinator→worker request crosses the fault plane while the worker
+// itself stays perfectly healthy — exactly the failure the breaker,
+// failover and hedging machinery exists for.
+type faultProxy struct {
+	t      *testing.T
+	ln     net.Listener
+	target string
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	resetProb  float64       // chance a connection is RST mid-request
+	delayProb  float64       // chance a connection is stalled before proxying
+	maxDelay   time.Duration // stall bound
+	conns      atomic.Int64
+	resets     atomic.Int64
+	delays     atomic.Int64
+	passed     atomic.Int64
+	wg         sync.WaitGroup
+	acceptDone chan struct{}
+}
+
+func newFaultProxy(t *testing.T, target string, seed int64, resetProb, delayProb float64, maxDelay time.Duration) *faultProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := &faultProxy{
+		t: t, ln: ln, target: target,
+		rng:       rand.New(rand.NewSource(seed)),
+		resetProb: resetProb, delayProb: delayProb, maxDelay: maxDelay,
+		acceptDone: make(chan struct{}),
+	}
+	go fp.accept()
+	t.Cleanup(fp.close)
+	return fp
+}
+
+func (fp *faultProxy) addr() string { return fp.ln.Addr().String() }
+
+func (fp *faultProxy) close() {
+	fp.ln.Close()
+	<-fp.acceptDone
+	fp.wg.Wait()
+}
+
+func (fp *faultProxy) accept() {
+	defer close(fp.acceptDone)
+	for {
+		c, err := fp.ln.Accept()
+		if err != nil {
+			return
+		}
+		fp.wg.Add(1)
+		go fp.handle(c)
+	}
+}
+
+// roll decides this connection's fate. The first and fourth connections
+// always reset: HTTP keep-alive means the coordinator opens only a
+// handful of connections per sweep, so a purely probabilistic RST could
+// go a whole run without firing — the fixed ordinals guarantee the
+// reset path is exercised, the seeded dice cover the rest.
+func (fp *faultProxy) roll(n int64) (reset bool, delay time.Duration) {
+	if n == 1 || n == 4 {
+		return true, 0
+	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.rng.Float64() < fp.resetProb {
+		return true, 0
+	}
+	if fp.rng.Float64() < fp.delayProb && fp.maxDelay > 0 {
+		return false, time.Duration(fp.rng.Int63n(int64(fp.maxDelay)))
+	}
+	return false, 0
+}
+
+func (fp *faultProxy) handle(c net.Conn) {
+	defer fp.wg.Done()
+	defer c.Close()
+	reset, delay := fp.roll(fp.conns.Add(1))
+	if reset {
+		// Read a little so the client commits to the request, then slam the
+		// door: SO_LINGER=0 turns the close into a RST, the rudest failure a
+		// TCP peer can produce.
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		io.ReadFull(c, make([]byte, 64))
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		fp.resets.Add(1)
+		return
+	}
+	if delay > 0 {
+		fp.delays.Add(1)
+		time.Sleep(delay)
+	}
+	up, err := net.DialTimeout("tcp", fp.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	fp.passed.Add(1)
+	done := make(chan struct{}, 2)
+	shovel := func(dst, src net.Conn) {
+		io.Copy(dst, src)
+		if tc, ok := dst.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}
+	go shovel(up, c)
+	go shovel(c, up)
+	<-done
+	<-done
+}
+
+func (fp *faultProxy) report() (resets, delays, passed int64) {
+	return fp.resets.Load(), fp.delays.Load(), fp.passed.Load()
+}

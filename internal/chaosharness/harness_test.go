@@ -1,0 +1,400 @@
+package chaosharness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// chaosEnv gates the harness: the tests fork real schedd processes and
+// take tens of seconds, so they only run when this is set (make
+// chaos-gate sets it); a bare `go test ./...` skips them.
+const chaosEnv = "SCHEDD_CHAOS"
+
+// scheddBin is the real schedd binary TestMain builds once per run.
+var scheddBin string
+
+func TestMain(m *testing.M) {
+	code := func() int {
+		if os.Getenv(chaosEnv) == "" {
+			return m.Run() // every test skips; no point building the binary
+		}
+		dir, err := os.MkdirTemp("", "chaos-schedd-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaosharness:", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		scheddBin = filepath.Join(dir, "schedd")
+		// Build the child with the race detector too: chaos is exactly when
+		// server-side races surface, and the harness runs under -race anyway.
+		cmd := exec.Command("go", "build", "-race", "-o", scheddBin, "repro/cmd/schedd")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "chaosharness: building schedd: %v\n%s", err, out)
+			return 1
+		}
+		return m.Run()
+	}()
+	os.Exit(code)
+}
+
+func requireChaos(t *testing.T) {
+	t.Helper()
+	if os.Getenv(chaosEnv) == "" {
+		t.Skipf("process-level chaos test; set %s=1 (make chaos-gate) to run", chaosEnv)
+	}
+}
+
+// chaosSeed returns the fault-injection seed: CHAOS_SEED if set, a
+// time-derived one otherwise. Always logged, so a failing run prints the
+// seed to replay it with.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("chaos seed %d (replay with CHAOS_SEED=%d)", seed, seed)
+	return seed
+}
+
+// freeAddr grabs a loopback port the kernel considers free. The listener
+// is closed before the child binds, so a tiny race window exists; the
+// wait helpers absorb the rare loss by polling.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// proc is one schedd process under harness control. Restarting reuses
+// the same argv, so a restarted coordinator keeps its address and
+// journal and a restarted worker keeps its address and store.
+type proc struct {
+	t      *testing.T
+	name   string
+	args   []string
+	logDir string
+
+	cmd    *exec.Cmd
+	logf   *os.File
+	logs   []string // one log file per lifetime, dumped on test failure
+	waited bool
+}
+
+func startProc(t *testing.T, name string, args ...string) *proc {
+	t.Helper()
+	p := &proc{t: t, name: name, args: args, logDir: t.TempDir()}
+	t.Cleanup(func() {
+		p.stop()
+		if p.t.Failed() {
+			p.dumpLogs()
+		}
+	})
+	p.start()
+	return p
+}
+
+func (p *proc) start() {
+	p.t.Helper()
+	logPath := filepath.Join(p.logDir, fmt.Sprintf("%s.%d.log", p.name, len(p.logs)))
+	f, err := os.Create(logPath)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	cmd := exec.Command(scheddBin, p.args...)
+	cmd.Stdout = f
+	cmd.Stderr = f
+	if err := cmd.Start(); err != nil {
+		p.t.Fatalf("%s: %v", p.name, err)
+	}
+	p.cmd, p.logf, p.waited = cmd, f, false
+	p.logs = append(p.logs, logPath)
+	p.t.Logf("%s: pid %d up (%s)", p.name, cmd.Process.Pid, strings.Join(p.args, " "))
+}
+
+// kill SIGKILLs the process — no drain, no deregister, no journal
+// close — and reaps it.
+func (p *proc) kill() {
+	p.t.Helper()
+	p.cmd.Process.Kill()
+	p.reap()
+	p.t.Logf("%s: SIGKILLed", p.name)
+}
+
+// sigterm asks for a graceful drain and waits for the process to exit;
+// a process that outlives the grace period is killed and the test fails.
+func (p *proc) sigterm(grace time.Duration) {
+	p.t.Helper()
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { p.reap(); close(done) }()
+	select {
+	case <-done:
+		p.t.Logf("%s: drained and exited", p.name)
+	case <-time.After(grace):
+		p.cmd.Process.Kill()
+		<-done
+		p.t.Fatalf("%s: did not exit within %v of SIGTERM", p.name, grace)
+	}
+}
+
+// restart boots a fresh process with the identical argv.
+func (p *proc) restart() {
+	p.t.Helper()
+	p.start()
+}
+
+// stop is the cleanup path: make sure nothing outlives the test.
+func (p *proc) stop() {
+	if p.cmd != nil && p.cmd.Process != nil && !p.waited {
+		p.cmd.Process.Kill()
+		p.reap()
+	}
+}
+
+func (p *proc) reap() {
+	if p.waited {
+		return
+	}
+	p.cmd.Wait()
+	p.waited = true
+	p.logf.Close()
+}
+
+func (p *proc) dumpLogs() {
+	for _, path := range p.logs {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		const tail = 4 << 10
+		if len(b) > tail {
+			b = b[len(b)-tail:]
+		}
+		p.t.Logf("---- %s (%s, tail) ----\n%s", p.name, filepath.Base(path), b)
+	}
+}
+
+// point is one sweep point: the request body a client POSTs and the
+// content address the fleet caches and journals it under.
+type point struct {
+	body        []byte
+	key         string
+	contentType string
+}
+
+// sweepPoints builds n distinct points — partition 4 (valid for every
+// topology), cycling topology and policy, seed varying so every point
+// has its own content address. The keys are computed with the same
+// serve code the coordinator proxy uses, so the journal audit can match
+// them exactly.
+func sweepPoints(t *testing.T, n int) []point {
+	t.Helper()
+	topos := []string{"mesh", "ring", "hypercube", "torus"}
+	pols := []string{"ts", "static", "gang", "dynamic"}
+	pts := make([]point, 0, n)
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf(`{"config":{"partition":4,"topology":%q,"policy":%q,"seed":%d}}`,
+			topos[i%len(topos)], pols[i%len(pols)], 1000+i)
+		req, err := serve.ParseRunRequestBytes([]byte(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, format, key, err := req.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, point{body: []byte(body), key: key, contentType: format.ContentType()})
+	}
+	return pts
+}
+
+// httpClient tolerates slow points but not hung ones.
+var httpClient = &http.Client{Timeout: 15 * time.Second}
+
+// postOnce POSTs one point and returns status, body and the X-Cache
+// header. A transport error returns status 0.
+func postOnce(baseURL string, pt point) (status int, body []byte, cache string, err error) {
+	resp, err := httpClient.Post(baseURL+"/v1/run", "application/json", bytes.NewReader(pt.body))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, "", err
+	}
+	return resp.StatusCode, b, resp.Header.Get("X-Cache"), nil
+}
+
+// postUntilOK retries a point through whatever the chaos is doing to the
+// fleet — connection refused while the coordinator restarts, 502s while
+// a worker dies, 503s while workers re-register — until it gets a 200
+// or the deadline passes.
+func postUntilOK(baseURL string, pt point, within time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(within)
+	var last error
+	for time.Now().Before(deadline) {
+		status, body, _, err := postOnce(baseURL, pt)
+		switch {
+		case err != nil:
+			last = err
+		case status == http.StatusOK:
+			return body, nil
+		default:
+			last = fmt.Errorf("status %d: %.200s", status, body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("point %.12s not served within %v: %w", pt.key, within, last)
+}
+
+// pump pushes pts through the fleet with conc client goroutines,
+// recording each body under its key. It returns the first per-point
+// failure (the caller fails the test; Fatalf is illegal off the test
+// goroutine).
+func pump(baseURL string, pts []point, conc int, got map[string][]byte, mu *sync.Mutex) error {
+	if conc < 1 {
+		conc = 1
+	}
+	work := make(chan point)
+	errc := make(chan error, conc)
+	var wg sync.WaitGroup
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pt := range work {
+				body, err := postUntilOK(baseURL, pt, 90*time.Second)
+				if err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+				mu.Lock()
+				got[pt.key] = body
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, pt := range pts {
+		work <- pt
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// waitHealthy polls /healthz until the server answers 200.
+func waitHealthy(t *testing.T, baseURL string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	var last error
+	for time.Now().Before(deadline) {
+		resp, err := httpClient.Get(baseURL + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+			last = fmt.Errorf("status %d", resp.StatusCode)
+		} else {
+			last = err
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("%s never became healthy: %v", baseURL, last)
+}
+
+// waitWorkers polls the coordinator's registry until exactly n workers
+// hold live leases — the fleet state the next phase assumes.
+func waitWorkers(t *testing.T, coordURL string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	last := -1
+	for time.Now().Before(deadline) {
+		resp, err := httpClient.Get(coordURL + "/v1/workers")
+		if err == nil {
+			var body struct {
+				Workers []string `json:"workers"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if err == nil {
+				last = len(body.Workers)
+				if last == n {
+					return
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("coordinator %s: want %d live workers, last saw %d", coordURL, n, last)
+}
+
+// scrape fetches a /metrics page as text.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := httpClient.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// baselineBodies computes the ground truth: a single clean schedd
+// process serves every point, no coordinator, no chaos. Everything the
+// chaos runs produce must be byte-identical to this.
+func baselineBodies(t *testing.T, pts []point) map[string][]byte {
+	t.Helper()
+	addr := freeAddr(t)
+	w := startProc(t, "baseline", "-addr", addr)
+	waitHealthy(t, "http://"+addr)
+	want := make(map[string][]byte, len(pts))
+	for _, pt := range pts {
+		body, err := postUntilOK("http://"+addr, pt, 60*time.Second)
+		if err != nil {
+			t.Fatalf("baseline: %v", err)
+		}
+		want[pt.key] = body
+	}
+	w.sigterm(15 * time.Second)
+	return want
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the per-worker circuit breaker: the failure-handling state
+// machine that replaces PR 5's bare cooldown timer. Three states:
+//
+//	closed    — healthy; requests flow, consecutive failures are counted.
+//	open      — tripped; the worker is demoted to the tail of every
+//	            rendezvous ranking until openUntil passes. Demoted, not
+//	            excluded: if every healthier worker fails, trying a
+//	            tripped one is still better than failing the point.
+//	half-open — openUntil has passed; exactly one in-flight request is
+//	            elected the probe. While the probe is out, other points
+//	            still see the worker demoted, so a recovering worker gets
+//	            one request, not a thundering herd. Probe success closes
+//	            the breaker (full reset); probe failure re-opens it with
+//	            a doubled cooldown, up to the cap.
+//
+// The open duration starts at the base cooldown and doubles per re-open,
+// so a flapping worker absorbs geometrically less traffic instead of a
+// retry every fixed interval.
+type breaker struct {
+	mu          sync.Mutex
+	consecFails int
+	tripped     bool          // open or half-open (reset only by a success)
+	cooldown    time.Duration // current open duration (0 until first trip)
+	openUntil   time.Time
+	probing     bool // a half-open probe is in flight
+}
+
+// breaker states as reported by state() and the per-worker metrics gauge.
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+// state reports the breaker's state at time now.
+func (b *breaker) state(now time.Time) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked(now)
+}
+
+func (b *breaker) stateLocked(now time.Time) int {
+	switch {
+	case !b.tripped:
+		return breakerClosed
+	case now.Before(b.openUntil):
+		return breakerOpen
+	default:
+		return breakerHalfOpen
+	}
+}
+
+// demoted reports whether rendezvous ranking should push the worker to
+// the tail: open, or half-open with the probe slot already taken.
+func (b *breaker) demoted(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked(now) {
+	case breakerOpen:
+		return true
+	case breakerHalfOpen:
+		return b.probing
+	default:
+		return false
+	}
+}
+
+// beginAttempt marks one request headed for the worker and reports whether
+// it is the half-open probe (the first attempt after the open period).
+func (b *breaker) beginAttempt(now time.Time) (probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stateLocked(now) == breakerHalfOpen && !b.probing {
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// success records a 200: whatever the state, the worker is provably alive,
+// so the breaker closes and all failure memory resets.
+func (b *breaker) success(probe bool) {
+	b.mu.Lock()
+	b.consecFails = 0
+	b.tripped = false
+	b.cooldown = 0
+	b.openUntil = time.Time{}
+	if probe {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// failure records a transport error or 5xx. Past the threshold (or in any
+// tripped state, where one more failure is proof enough) the breaker
+// (re)opens with an exponentially grown cooldown; it reports true when
+// this call performed an open transition.
+func (b *breaker) failure(probe bool, threshold int, base, max time.Duration, now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
+	b.consecFails++
+	if !b.tripped && b.consecFails < threshold {
+		return false
+	}
+	b.openLocked(base, max, now)
+	return true
+}
+
+// trip opens the breaker regardless of the failure count — used for 503
+// (the worker announced it is draining; stop routing to it immediately).
+func (b *breaker) trip(base, max time.Duration, now time.Time) {
+	b.mu.Lock()
+	b.openLocked(base, max, now)
+	b.mu.Unlock()
+}
+
+// neutral ends an attempt that proved nothing (bounded 429 saturation):
+// the probe slot is released without moving the state machine.
+func (b *breaker) neutral(probe bool) {
+	if !probe {
+		return
+	}
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+func (b *breaker) openLocked(base, max time.Duration, now time.Time) {
+	b.tripped = true
+	if b.cooldown == 0 {
+		b.cooldown = base
+	} else {
+		b.cooldown *= 2
+		if b.cooldown > max {
+			b.cooldown = max
+		}
+	}
+	b.openUntil = now.Add(b.cooldown)
+}

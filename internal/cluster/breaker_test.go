@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// The breaker state machine in isolation: closed → open on threshold
+// failures, half-open after the cooldown with a single elected probe, and
+// closed again (or re-open with a doubled cooldown) on the probe's outcome.
+
+func TestClusterBreakerTripAndRecover(t *testing.T) {
+	var b breaker
+	t0 := time.Unix(1000, 0)
+	base, max := 2*time.Second, 30*time.Second
+
+	if b.state(t0) != breakerClosed || b.demoted(t0) {
+		t.Fatal("fresh breaker not closed")
+	}
+
+	// Two failures at threshold 2: first keeps it closed, second opens.
+	if probe := b.beginAttempt(t0); probe {
+		t.Error("closed breaker elected a probe")
+	}
+	if opened := b.failure(false, 2, base, max, t0); opened {
+		t.Error("breaker opened below threshold")
+	}
+	if opened := b.failure(false, 2, base, max, t0); !opened {
+		t.Error("breaker did not open at threshold")
+	}
+	if b.state(t0) != breakerOpen || !b.demoted(t0) {
+		t.Error("tripped breaker not open/demoted")
+	}
+
+	// Before the cooldown elapses it stays open; after, it is half-open and
+	// exactly one attempt wins the probe election.
+	t1 := t0.Add(base - time.Millisecond)
+	if b.state(t1) != breakerOpen {
+		t.Error("breaker closed early")
+	}
+	t2 := t0.Add(base + time.Millisecond)
+	if b.state(t2) != breakerHalfOpen {
+		t.Error("breaker not half-open after cooldown")
+	}
+	if !b.beginAttempt(t2) {
+		t.Error("first half-open attempt was not the probe")
+	}
+	if b.beginAttempt(t2) {
+		t.Error("second concurrent attempt also elected probe")
+	}
+	if !b.demoted(t2) {
+		t.Error("half-open with probe in flight should stay demoted")
+	}
+
+	// Probe succeeds: fully closed, failure count reset.
+	b.success(true)
+	if b.state(t2) != breakerClosed || b.demoted(t2) {
+		t.Error("breaker not closed after successful probe")
+	}
+	if opened := b.failure(false, 2, base, max, t2); opened {
+		t.Error("failure count not reset by probe success")
+	}
+}
+
+func TestClusterBreakerDoublingCooldown(t *testing.T) {
+	var b breaker
+	now := time.Unix(2000, 0)
+	base, max := 2*time.Second, 30*time.Second
+
+	// Trip, wait out the cooldown, fail the probe — repeatedly. Each failed
+	// probe must re-open with a doubled period, capped at max.
+	b.trip(base, max, now)
+	want := base
+	for i := 0; i < 6; i++ {
+		now = now.Add(want + time.Millisecond)
+		if b.state(now) != breakerHalfOpen {
+			t.Fatalf("round %d: not half-open after %v", i, want)
+		}
+		probe := b.beginAttempt(now)
+		if !probe {
+			t.Fatalf("round %d: no probe elected", i)
+		}
+		if opened := b.failure(true, 1, base, max, now); !opened {
+			t.Fatalf("round %d: failed probe did not re-open", i)
+		}
+		want *= 2
+		if want > max {
+			want = max
+		}
+		if b.state(now.Add(want-time.Millisecond)) != breakerOpen {
+			t.Errorf("round %d: cooldown shorter than %v", i, want)
+		}
+	}
+	if want != max {
+		t.Fatalf("test never reached the cap: %v", want)
+	}
+}
+
+func TestClusterBreakerNeutralReleasesProbe(t *testing.T) {
+	var b breaker
+	now := time.Unix(3000, 0)
+	base, max := time.Second, 10*time.Second
+
+	b.trip(base, max, now)
+	now = now.Add(base + time.Millisecond)
+	if !b.beginAttempt(now) {
+		t.Fatal("no probe elected")
+	}
+	// 429 saturation is neutral: the probe slot is released without judging
+	// the worker, so the next attempt can probe again.
+	b.neutral(true)
+	if !b.beginAttempt(now) {
+		t.Error("probe slot not released by neutral outcome")
+	}
+	if b.state(now) != breakerHalfOpen {
+		t.Error("neutral outcome changed breaker state")
+	}
+}
+
+func TestClusterBreakerImmediateTrip(t *testing.T) {
+	var b breaker
+	now := time.Unix(4000, 0)
+	// trip (the 503-draining path) opens regardless of failure counts; a
+	// second trip re-opens with the doubled period, same as a failed probe —
+	// a worker that keeps saying 503 absorbs geometrically less traffic.
+	b.trip(time.Second, 10*time.Second, now)
+	if b.state(now) != breakerOpen {
+		t.Fatal("trip did not open breaker")
+	}
+	b.trip(time.Second, 10*time.Second, now.Add(500*time.Millisecond))
+	if b.state(now.Add(2400*time.Millisecond)) != breakerOpen {
+		t.Error("re-trip did not double the open period")
+	}
+	if b.state(now.Add(2600*time.Millisecond)) != breakerHalfOpen {
+		t.Error("doubled open period longer than expected")
+	}
+}

@@ -8,12 +8,16 @@
 // result — cache-affine routing, the same trick inference routers play
 // with KV caches. Around that affinity it layers the machinery a real
 // fleet needs: per-worker in-flight bounds, bounded 429 backoff honoring
-// the worker's Retry-After, failover to the next-ranked worker when the
-// home worker dies or drains (failure-aware rebalancing), and quantile-
-// based hedging of straggler points. None of it changes results: workers
-// compute deterministic, content-addressed bytes, so routing only ever
-// decides where a byte slice is produced, never what it contains — the
-// engine's byte-identical, index-keyed merge survives any fleet size.
+// the worker's Retry-After, a per-worker circuit breaker
+// (closed/open/half-open) that demotes flapping workers with
+// exponentially growing open periods, failover to the next-ranked worker
+// when the home worker dies or drains (failure-aware rebalancing),
+// quantile-based hedging of straggler points bounded by a per-sweep retry
+// budget, and an optional durable journal (Options.Memo) that makes a
+// crashed sweep resumable. None of it changes results: workers compute
+// deterministic, content-addressed bytes, so routing only ever decides
+// where a byte slice is produced, never what it contains — the engine's
+// byte-identical, index-keyed merge survives any fleet size.
 package cluster
 
 import (
@@ -47,13 +51,14 @@ type Options struct {
 	BackpressureRetries int
 	// MaxBackoff caps a single honored Retry-After wait (default 5s).
 	MaxBackoff time.Duration
-	// FailureThreshold is how many consecutive transport/5xx failures put
-	// a worker in cooldown (default 1 — one failed simulation is wasted
-	// seconds, so rebalance eagerly and probe later).
+	// FailureThreshold is how many consecutive transport/5xx failures trip
+	// a worker's circuit breaker open (default 1 — one failed simulation
+	// is wasted seconds, so rebalance eagerly and probe later).
 	FailureThreshold int
-	// Cooldown is the initial down time after FailureThreshold failures;
-	// it doubles per subsequent failure up to MaxCooldown (defaults 2s,
-	// 30s).
+	// Cooldown is the breaker's initial open period after it trips; each
+	// re-open doubles it up to MaxCooldown (defaults 2s, 30s). After the
+	// open period the breaker goes half-open: one probe request decides
+	// between closing it and re-opening with the doubled period.
 	Cooldown    time.Duration
 	MaxCooldown time.Duration
 	// HedgeQuantile sets the straggler threshold: a point in flight longer
@@ -67,6 +72,17 @@ type Options struct {
 	// hedging arms (default 8).
 	HedgeMinDelay   time.Duration
 	HedgeMinSamples int
+	// SweepRetryBudget bounds the total extra attempts — failover rehashes,
+	// backpressure waits and hedge launches — this coordinator may spend
+	// over its lifetime (one sweep, for the CLI tools). It is the fuse
+	// that keeps a flapping fleet from consuming unbounded hedges and
+	// retries. Default 1024; negative means unlimited.
+	SweepRetryBudget int
+	// Memo, when set, makes execution resumable: Do answers journaled
+	// points without touching a worker and durably records each newly
+	// completed point before reporting success. The production Memo is
+	// *Journal (schedd -coordinate -journal <dir>).
+	Memo engine.Memo
 	// Client is the HTTP client (default: dedicated client, no global
 	// timeout — deadlines come from request contexts).
 	Client *http.Client
@@ -100,6 +116,9 @@ func (o Options) withDefaults() Options {
 	if o.HedgeMinSamples <= 0 {
 		o.HedgeMinSamples = 8
 	}
+	if o.SweepRetryBudget == 0 {
+		o.SweepRetryBudget = 1024
+	}
 	if o.Client == nil {
 		o.Client = &http.Client{}
 	}
@@ -110,54 +129,13 @@ func (o Options) withDefaults() Options {
 type worker struct {
 	url   string
 	slots chan struct{} // per-worker in-flight bound
-
-	mu          sync.Mutex
-	consecFails int
-	downUntil   time.Time
-	cooldown    time.Duration
+	br    breaker       // failure state machine (closed/open/half-open)
 
 	requests atomic.Int64 // points sent (attempts, including hedges)
 	failures atomic.Int64 // transport errors + 5xx
 	hits     atomic.Int64 // X-Cache: hit responses
 	misses   atomic.Int64 // X-Cache: miss responses
 	inflight atomic.Int64
-}
-
-// down reports whether the worker is in failure cooldown.
-func (w *worker) down(now time.Time) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return now.Before(w.downUntil)
-}
-
-// fail records one failed attempt; past the threshold the worker enters
-// (exponentially growing) cooldown and reports true.
-func (w *worker) fail(threshold int, base, max time.Duration, now time.Time) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.consecFails++
-	if w.consecFails < threshold {
-		return false
-	}
-	if w.cooldown == 0 {
-		w.cooldown = base
-	} else {
-		w.cooldown *= 2
-		if w.cooldown > max {
-			w.cooldown = max
-		}
-	}
-	w.downUntil = now.Add(w.cooldown)
-	return true
-}
-
-// ok records one successful response, clearing failure state.
-func (w *worker) ok() {
-	w.mu.Lock()
-	w.consecFails = 0
-	w.cooldown = 0
-	w.downUntil = time.Time{}
-	w.mu.Unlock()
 }
 
 // Coordinator shards points across the fleet. It implements engine.Remote.
@@ -167,8 +145,9 @@ type Coordinator struct {
 	mu      sync.RWMutex
 	workers map[string]*worker
 
-	lat *latencyWindow
-	m   coordinatorMetrics
+	lat         *latencyWindow
+	retryBudget atomic.Int64 // remaining extra attempts (when bounded)
+	m           coordinatorMetrics
 
 	now func() time.Time // test hook
 }
@@ -182,6 +161,7 @@ func New(opts Options) *Coordinator {
 		lat:     newLatencyWindow(256),
 		now:     time.Now,
 	}
+	c.retryBudget.Store(int64(opts.SweepRetryBudget))
 	c.SetWorkers(opts.Workers)
 	return c
 }
@@ -229,8 +209,41 @@ func (c *Coordinator) SuggestedParallelism() int {
 	return n * (c.opts.PerWorkerInflight + 1)
 }
 
+// spendRetry consumes one unit of the per-sweep retry budget, reporting
+// false when it is exhausted. Every extra attempt beyond a point's first —
+// failover rehashes, backpressure waits, hedge launches — passes through
+// here, so a flapping fleet degrades into bounded, accounted retrying
+// instead of an unbounded storm.
+func (c *Coordinator) spendRetry() bool {
+	if c.opts.SweepRetryBudget < 0 {
+		return true
+	}
+	for {
+		cur := c.retryBudget.Load()
+		if cur <= 0 {
+			return false
+		}
+		if c.retryBudget.CompareAndSwap(cur, cur-1) {
+			c.m.retrySpent.Add(1)
+			return true
+		}
+	}
+}
+
+// retryBudgetLeft reports the remaining budget (-1 when unlimited).
+func (c *Coordinator) retryBudgetLeft() int64 {
+	if c.opts.SweepRetryBudget < 0 {
+		return -1
+	}
+	return c.retryBudget.Load()
+}
+
 // errNoWorkers is returned when the fleet is empty.
 var errNoWorkers = errors.New("cluster: no workers")
+
+// errRetryBudgetExhausted marks failures caused by the per-sweep retry
+// budget running dry rather than by any single worker.
+var errRetryBudgetExhausted = errors.New("cluster: per-sweep retry budget exhausted")
 
 // errPermanent marks responses that retrying elsewhere cannot fix (4xx:
 // the request itself is malformed or names an unknown experiment).
@@ -239,18 +252,37 @@ type permanentError struct{ err error }
 func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
 
-// Do routes one point: rendezvous-ranked affinity, bounded backpressure
-// retry, failover rehash, and straggler hedging. It implements
-// engine.Remote, so ExecuteRemoteAll gives remote plans the engine's
-// ordering and error contract.
+// Do routes one point: journal replay, rendezvous-ranked affinity, bounded
+// backpressure retry, failover rehash, and straggler hedging. It
+// implements engine.Remote, so ExecuteRemoteAll gives remote plans the
+// engine's ordering and error contract.
+//
+// With a Memo configured, a point already journaled is answered from the
+// journal byte-identically — no worker sees it — and a newly completed
+// point is durably recorded before Do reports success, so an acknowledged
+// point survives a coordinator crash.
 func (c *Coordinator) Do(ctx context.Context, pt engine.RemotePoint) ([]byte, error) {
+	if c.opts.Memo != nil {
+		if body, ok := c.opts.Memo.Get(pt.Key); ok {
+			c.m.journalHits.Add(1)
+			c.m.points.Add(1)
+			return body, nil
+		}
+	}
 	start := c.now()
 	body, err := c.do(ctx, pt)
-	if err == nil {
-		c.m.points.Add(1)
-		c.lat.record(c.now().Sub(start))
+	if err != nil {
+		return nil, err
 	}
-	return body, err
+	if c.opts.Memo != nil {
+		if err := c.opts.Memo.Put(pt.Key, body); err != nil {
+			return nil, fmt.Errorf("cluster: journaling point %s: %w", pt.Label, err)
+		}
+		c.m.journalAppends.Add(1)
+	}
+	c.m.points.Add(1)
+	c.lat.record(c.now().Sub(start))
+	return body, nil
 }
 
 func (c *Coordinator) do(ctx context.Context, pt engine.RemotePoint) ([]byte, error) {
@@ -258,9 +290,17 @@ func (c *Coordinator) do(ctx context.Context, pt engine.RemotePoint) ([]byte, er
 	if len(ranked) == 0 {
 		return nil, errNoWorkers
 	}
+	// Every leg of this point — primary, hedge, backoff sleeps — derives
+	// from one per-point context, cancelled the moment Do has an answer
+	// (or gives up). A lost hedge race therefore tears down promptly
+	// instead of leaking a goroutine that holds a worker slot until its
+	// HTTP request times out on its own.
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	delay, hedge := c.hedgeDelay()
 	if !hedge || len(ranked) < 2 {
-		return c.failover(ctx, pt, ranked, home)
+		return c.failover(pctx, pt, ranked, home)
 	}
 
 	// Race a straggling primary against the rest of the ranking. The
@@ -272,11 +312,9 @@ func (c *Coordinator) do(ctx context.Context, pt engine.RemotePoint) ([]byte, er
 		err   error
 		hedge bool
 	}
-	rctx, cancel := context.WithCancel(ctx)
-	defer cancel()
 	ch := make(chan outcome, 2)
 	go func() {
-		b, err := c.failover(rctx, pt, ranked, home)
+		b, err := c.failover(pctx, pt, ranked, home)
 		ch <- outcome{b, err, false}
 	}()
 	timer := time.NewTimer(delay)
@@ -291,11 +329,14 @@ func (c *Coordinator) do(ctx context.Context, pt engine.RemotePoint) ([]byte, er
 				continue
 			}
 			launched = true
+			if !c.spendRetry() {
+				continue // budget dry: no hedge, ride the primary
+			}
 			outstanding++
 			c.m.hedges.Add(1)
 			hedged := append(append([]*worker{}, ranked[1:]...), ranked[0])
 			go func() {
-				b, err := c.failover(rctx, pt, hedged, home)
+				b, err := c.failover(pctx, pt, hedged, home)
 				ch <- outcome{b, err, true}
 			}()
 		case out := <-ch:
@@ -321,9 +362,9 @@ func (c *Coordinator) do(ctx context.Context, pt engine.RemotePoint) ([]byte, er
 }
 
 // rank returns the available workers in rendezvous order for the key, with
-// workers in cooldown demoted to the tail (last resort rather than
-// excluded: if the whole fleet is cooling down, trying is still better
-// than failing). home is the top of the pure ranking, cooldowns ignored —
+// workers whose breaker is open demoted to the tail (last resort rather
+// than excluded: if the whole fleet is tripped, trying is still better
+// than failing). home is the top of the pure ranking, breakers ignored —
 // the worker whose cache should own this key.
 func (c *Coordinator) rank(key string) (ranked []*worker, home string) {
 	c.mu.RLock()
@@ -342,7 +383,7 @@ func (c *Coordinator) rank(key string) (ranked []*worker, home string) {
 	var up, down []*worker
 	for _, id := range order {
 		w := byID[id]
-		if w.down(now) {
+		if w.br.demoted(now) {
 			down = append(down, w)
 		} else {
 			up = append(up, w)
@@ -352,9 +393,12 @@ func (c *Coordinator) rank(key string) (ranked []*worker, home string) {
 }
 
 // hedgeDelay reports the current straggler threshold and whether hedging
-// is armed.
+// is armed. Hedging disarms when the per-sweep retry budget is dry.
 func (c *Coordinator) hedgeDelay() (time.Duration, bool) {
 	if c.opts.DisableHedging {
+		return 0, false
+	}
+	if c.opts.SweepRetryBudget >= 0 && c.retryBudget.Load() <= 0 {
 		return 0, false
 	}
 	if c.lat.count() < c.opts.HedgeMinSamples {
@@ -369,14 +413,19 @@ func (c *Coordinator) hedgeDelay() (time.Duration, bool) {
 
 // failover walks the ranked workers until one answers. Backpressure (429)
 // is retried in place with the worker's own Retry-After hint before moving
-// on; transport errors and 5xx move on immediately and start the worker's
-// cooldown. Serving a point anywhere but its home worker counts as one
-// rebalance.
+// on; transport errors and 5xx move on immediately and feed the worker's
+// circuit breaker. Serving a point anywhere but its home worker counts as
+// one rebalance. Every worker after the first spends one unit of the
+// per-sweep retry budget; a dry budget ends the walk.
 func (c *Coordinator) failover(ctx context.Context, pt engine.RemotePoint, ranked []*worker, home string) ([]byte, error) {
 	var errs []error
-	for _, w := range ranked {
+	for i, w := range ranked {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if i > 0 && !c.spendRetry() {
+			errs = append(errs, errRetryBudgetExhausted)
+			break
 		}
 		body, err := c.attempt(ctx, pt, w)
 		if err == nil {
@@ -398,6 +447,10 @@ func (c *Coordinator) failover(ctx context.Context, pt engine.RemotePoint, ranke
 }
 
 // attempt sends the point to one worker, absorbing bounded backpressure.
+// The worker's circuit breaker observes the outcome: 200 closes it, a
+// transport error or 5xx (re)opens it past the threshold, 503 trips it
+// immediately (the worker said it is draining), and 429 saturation is
+// neutral — backpressure is the worker protecting itself, not failing.
 func (c *Coordinator) attempt(ctx context.Context, pt engine.RemotePoint, w *worker) ([]byte, error) {
 	select {
 	case w.slots <- struct{}{}:
@@ -410,45 +463,59 @@ func (c *Coordinator) attempt(ctx context.Context, pt engine.RemotePoint, w *wor
 		<-w.slots
 	}()
 
+	probe := w.br.beginAttempt(c.now())
 	backoffs := 0
 	for {
 		w.requests.Add(1)
 		body, status, retryAfter, err := c.post(ctx, w.url+pt.Path, pt.Body)
 		now := c.now()
 		switch {
+		case err != nil && ctx.Err() != nil:
+			// The point's context ended — a lost hedge race being cancelled,
+			// or the sweep shutting down. That judges nobody: the worker may
+			// be mid-simulation and healthy, so the breaker stays put.
+			w.br.neutral(probe)
+			return nil, ctx.Err()
 		case err != nil:
 			w.failures.Add(1)
 			c.m.failures.Add(1)
-			if w.fail(c.opts.FailureThreshold, c.opts.Cooldown, c.opts.MaxCooldown, now) {
+			if w.br.failure(probe, c.opts.FailureThreshold, c.opts.Cooldown, c.opts.MaxCooldown, now) {
 				c.m.cooldowns.Add(1)
 			}
 			return nil, err
 		case status == http.StatusOK:
-			w.ok()
+			w.br.success(probe)
 			return body, nil
 		case status == http.StatusTooManyRequests && backoffs < c.opts.BackpressureRetries:
+			if !c.spendRetry() {
+				w.br.neutral(probe)
+				return nil, fmt.Errorf("saturated (429), %w", errRetryBudgetExhausted)
+			}
 			backoffs++
 			c.m.backpressure.Add(1)
-			if !sleepCtx(ctx, retryAfter, c.opts.MaxBackoff) {
+			if !sleepCtx(ctx, backoffWait(retryAfter, backoffs, c.opts.MaxBackoff)) {
+				w.br.neutral(probe)
 				return nil, ctx.Err()
 			}
 		case status == http.StatusTooManyRequests:
+			w.br.neutral(probe)
 			return nil, fmt.Errorf("saturated after %d backoffs (429)", backoffs)
 		case status == http.StatusServiceUnavailable:
 			// Draining: the worker is leaving; don't count it as broken,
 			// but stop routing to it for a moment and rehash now.
-			w.fail(1, c.opts.Cooldown, c.opts.MaxCooldown, now)
+			w.br.trip(c.opts.Cooldown, c.opts.MaxCooldown, now)
 			c.m.cooldowns.Add(1)
 			return nil, fmt.Errorf("worker draining (503)")
 		case status >= 500:
 			w.failures.Add(1)
 			c.m.failures.Add(1)
-			if w.fail(c.opts.FailureThreshold, c.opts.Cooldown, c.opts.MaxCooldown, now) {
+			if w.br.failure(probe, c.opts.FailureThreshold, c.opts.Cooldown, c.opts.MaxCooldown, now) {
 				c.m.cooldowns.Add(1)
 			}
 			return nil, fmt.Errorf("status %d: %s", status, truncate(body, 200))
 		default:
 			// 4xx: the request is wrong everywhere; do not spread it.
+			w.br.neutral(probe)
 			return nil, &permanentError{fmt.Errorf("status %d: %s", status, truncate(body, 200))}
 		}
 	}
@@ -481,12 +548,51 @@ func (c *Coordinator) post(ctx context.Context, url string, body []byte) (respBo
 			c.workerFor(url).misses.Add(1)
 		}
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
-			retryAfter = time.Duration(secs) * time.Second
+	retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), c.now())
+	return b, resp.StatusCode, retryAfter, nil
+}
+
+// parseRetryAfter interprets a Retry-After header per RFC 9110: either
+// delay-seconds or an HTTP-date. Missing, malformed or negative values
+// return 0, which backoffWait maps onto the doubling fallback schedule —
+// a garbage header must never stall or zero out the backoff.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
 		}
 	}
-	return b, resp.StatusCode, retryAfter, nil
+	return 0
+}
+
+// backoffWait picks the n-th backpressure wait (n counts from 1): the
+// worker's Retry-After hint when it gave a usable one, otherwise a
+// doubling schedule seeded at a tenth of the cap. Either way the wait is
+// clamped to the cap.
+func backoffWait(hint time.Duration, n int, max time.Duration) time.Duration {
+	d := hint
+	if d <= 0 {
+		d = max / 10
+		for i := 1; i < n; i++ {
+			d *= 2
+		}
+	}
+	if d > max {
+		d = max
+	}
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
 }
 
 // workerFor finds the worker owning a full endpoint URL (url is
@@ -503,17 +609,9 @@ func (c *Coordinator) workerFor(url string) *worker {
 	return &worker{}
 }
 
-// sleepCtx waits for the hinted backoff (bounded; zero hint waits the
-// bound's tenth) or until the context ends; it reports false on
+// sleepCtx waits d or until the context ends; it reports false on
 // cancellation.
-func sleepCtx(ctx context.Context, hint, max time.Duration) bool {
-	d := hint
-	if d <= 0 {
-		d = max / 10
-	}
-	if d > max {
-		d = max
-	}
+func sleepCtx(ctx context.Context, d time.Duration) bool {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Journal is the durable sweep journal: an fsync'd, append-only JSONL log
+// mapping each completed point's content address (core.Config.Hash / the
+// serve request key) to the exact response bytes served for it. A
+// coordinator restarted with the same journal directory replays the log,
+// answers already-completed points byte-identically without touching a
+// worker, and routes only the remainder — which is what makes a
+// multi-hour sweep survive a coordinator crash instead of restarting
+// from t=0.
+//
+// Durability contract: Append returns only after the record has been
+// written and fsync'd, so a point acknowledged to a client is never lost
+// by a crash. Each record carries a CRC32 of its key+body; replay stops
+// at the first record that fails to parse or checksum — a torn final
+// write from a crash mid-append — and truncates the file back to the
+// last valid record so future appends never interleave with garbage.
+//
+// Journal implements engine.Memo, so it slots directly into the
+// coordinator's memoized Do path (Options.Memo) and into
+// engine.WithMemo for any other Remote.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string][]byte
+
+	appends atomic.Int64 // records durably appended by this process
+}
+
+// journalRecord is one JSONL line. CRC is crc32(IEEE) over key ‖ 0x00 ‖
+// body, so a record torn anywhere — key, body, or the checksum digits
+// themselves — fails verification.
+type journalRecord struct {
+	Key  string `json:"key"`
+	Body []byte `json:"body"` // encoding/json base64s []byte
+	CRC  uint32 `json:"crc"`
+}
+
+func (r journalRecord) checksum() uint32 {
+	h := crc32.NewIEEE()
+	h.Write([]byte(r.Key))
+	h.Write([]byte{0})
+	h.Write(r.Body)
+	return h.Sum32()
+}
+
+// journalFile is the log's name inside the journal directory.
+const journalFile = "journal.jsonl"
+
+// OpenJournal opens (creating if needed) the journal in dir, replays every
+// valid record, and truncates a torn tail left by a crash mid-append.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open journal: %w", err)
+	}
+	j := &Journal{f: f, entries: make(map[string][]byte)}
+
+	valid, err := replayJournal(f, func(rec journalRecord) {
+		j.entries[rec.Key] = rec.Body
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate past the last valid record (no-op when the tail is clean)
+	// and position appends there.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cluster: truncate torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cluster: seek journal: %w", err)
+	}
+	return j, nil
+}
+
+// replayJournal scans records from the start of f, calling fn for each
+// valid one, and returns the byte offset just past the last valid record.
+// A record that fails to parse or checksum ends the replay: everything
+// after it is treated as a torn write.
+func replayJournal(f *os.File, fn func(journalRecord)) (valid int64, err error) {
+	if _, err := f.Seek(0, 0); err != nil {
+		return 0, fmt.Errorf("cluster: seek journal: %w", err)
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// EOF with a partial (unterminated) line is a torn write; any
+			// other error is a real read failure.
+			if len(line) == 0 || errors.Is(err, io.EOF) {
+				return valid, nil
+			}
+			return 0, fmt.Errorf("cluster: read journal: %w", err)
+		}
+		var rec journalRecord
+		if json.Unmarshal(line, &rec) != nil || rec.checksum() != rec.CRC {
+			return valid, nil
+		}
+		fn(rec)
+		valid += int64(len(line))
+	}
+}
+
+// Get returns the journaled response bytes for a key. It implements the
+// read half of engine.Memo.
+func (j *Journal) Get(key string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	b, ok := j.entries[key]
+	return b, ok
+}
+
+// Put durably appends one completed point. The record is fsync'd before
+// Put returns; a key already journaled is a no-op (the bytes are
+// byte-identical by determinism, and exactly-once in the log is what the
+// chaos harness audits). It implements the write half of engine.Memo.
+func (j *Journal) Put(key string, body []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.entries[key]; ok {
+		return nil
+	}
+	rec := journalRecord{Key: key, Body: body}
+	rec.CRC = rec.checksum()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("cluster: encode journal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("cluster: append journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("cluster: fsync journal: %w", err)
+	}
+	// Copy: the caller may reuse/mutate its slice after Put returns.
+	j.entries[key] = append([]byte(nil), body...)
+	j.appends.Add(1)
+	return nil
+}
+
+// Len reports the number of distinct journaled points.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Appends reports how many records this process durably appended (replayed
+// records are not counted).
+func (j *Journal) Appends() int64 { return j.appends.Load() }
+
+// Keys returns the journaled content addresses, sorted.
+func (j *Journal) Keys() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]string, 0, len(j.entries))
+	for k := range j.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close closes the underlying file. Appends are fsync'd individually, so
+// Close adds no durability — it only releases the descriptor.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// ScanJournal reads the raw record stream from a journal directory without
+// deduplication — the audit view. The chaos harness uses it to assert
+// that a crashed-and-resumed sweep journaled every point exactly once.
+func ScanJournal(dir string) ([]JournalEntry, error) {
+	f, err := os.Open(filepath.Join(dir, journalFile))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []JournalEntry
+	if _, err := replayJournal(f, func(rec journalRecord) {
+		out = append(out, JournalEntry{Key: rec.Key, Body: rec.Body})
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// JournalEntry is one audited journal record.
+type JournalEntry struct {
+	Key  string
+	Body []byte
+}
+
+// appendRawJournalLine is a test hook: writes arbitrary bytes to the
+// journal file to simulate torn/corrupt tails.
+func appendRawJournalLine(dir string, raw []byte) error {
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(raw)
+	return err
+}

@@ -1,7 +1,10 @@
 package cluster
 
 import (
+	"fmt"
 	"reflect"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 )
@@ -81,5 +84,95 @@ func TestClusterAdvertiseURL(t *testing.T) {
 		if got := AdvertiseURL(in); got != want {
 			t.Errorf("AdvertiseURL(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestClusterRegistryExpiryBoundary pins the lease-expiry comparison: a
+// renew arriving at exactly the TTL boundary is still alive (expiry is
+// inclusive — now.After(exp) is false at now == exp), one nanosecond later
+// it is not. Off-by-one here is the difference between a healthy worker
+// flapping out of the fleet every TTL and a dead one lingering.
+func TestClusterRegistryExpiryBoundary(t *testing.T) {
+	r := newRegistry(10*time.Second, nil)
+	clock := time.Unix(5000, 0)
+	r.now = func() time.Time { return clock }
+
+	r.register("http://w:1")
+	clock = clock.Add(10 * time.Second) // exactly at expiry
+	if !r.renew("http://w:1") {
+		t.Error("renew at the exact TTL boundary failed")
+	}
+	clock = clock.Add(10*time.Second + time.Nanosecond) // one ns past
+	if r.renew("http://w:1") {
+		t.Error("renew one nanosecond past expiry succeeded")
+	}
+	if got := r.workers(); len(got) != 0 {
+		t.Errorf("lapsed worker still listed: %v", got)
+	}
+}
+
+// TestClusterRegistryDeregisterAfterExpire: a graceful deregister landing
+// after the lease already lapsed (worker hung through its TTL, then shut
+// down) must be a quiet no-op — no double notification, no resurrection.
+func TestClusterRegistryDeregisterAfterExpire(t *testing.T) {
+	var notifications int
+	r := newRegistry(time.Second, func([]string) { notifications++ })
+	clock := time.Unix(6000, 0)
+	r.now = func() time.Time { return clock }
+
+	r.register("http://w:1") // notify 1
+	clock = clock.Add(2 * time.Second)
+	r.sweep() // notify 2: pruned
+	before := notifications
+	r.deregister("http://w:1") // already gone: must not notify
+	if notifications != before {
+		t.Errorf("deregister after expiry notified (%d -> %d)", before, notifications)
+	}
+	if got := r.workers(); len(got) != 0 {
+		t.Errorf("workers = %v, want none", got)
+	}
+}
+
+// TestClusterRegistryConcurrentChurn hammers register/renew/deregister/
+// sweep from many goroutines under -race: the registry must stay
+// internally consistent (no panics, no torn fleet views) while leases come
+// and go. Every fleet view handed to onChange must be sorted — the
+// deterministic order SetWorkers and the metrics rely on.
+func TestClusterRegistryConcurrentChurn(t *testing.T) {
+	var mu sync.Mutex
+	var bad []string
+	r := newRegistry(50*time.Millisecond, func(ws []string) {
+		if !sort.StringsAreSorted(ws) {
+			mu.Lock()
+			bad = append(bad, fmt.Sprintf("%v", ws))
+			mu.Unlock()
+		}
+	})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			url := fmt.Sprintf("http://w%d:1", g)
+			for i := 0; i < 200; i++ {
+				switch i % 5 {
+				case 0, 1:
+					r.register(url)
+				case 2:
+					r.renew(url)
+				case 3:
+					r.deregister(url)
+				case 4:
+					r.sweep()
+				}
+				r.workers()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(bad) > 0 {
+		t.Errorf("unsorted fleet views: %v", bad)
 	}
 }

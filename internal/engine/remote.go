@@ -1,6 +1,9 @@
 package engine
 
-import "context"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // Remote execution: the same plan/point/merge contract as the local worker
 // pool, with the point's work done somewhere else. A RemotePoint carries no
@@ -57,6 +60,64 @@ func (p *RemotePlan) Add(pt RemotePoint) int {
 
 // Len reports the number of points.
 func (p *RemotePlan) Len() int { return len(p.Points) }
+
+// Memo is a durable (or at least persistent-enough) map from a point's
+// content address to the response bytes once served for it. Because
+// remote points are content-addressed and workers are deterministic, a
+// memoized body is not a stale approximation — it is the byte-identical
+// answer, forever. The cluster journal (internal/cluster.Journal) is the
+// production Memo: an fsync'd append-only log that makes remote plans
+// resumable across a client or coordinator crash.
+type Memo interface {
+	// Get returns the recorded body for a key.
+	Get(key string) ([]byte, bool)
+	// Put records a completed point. Implementations define durability;
+	// an error fails the point — a sweep that silently loses its journal
+	// is worse than one that stops.
+	Put(key string, body []byte) error
+}
+
+// WithMemo wraps a Remote so completed points are recorded in, and
+// replayed from, the memo: re-executing a plan after a crash skips every
+// already-completed point byte-identically and runs only the remainder.
+// Hits and Misses on the returned wrapper count the split.
+func WithMemo(r Remote, m Memo) *MemoRemote {
+	return &MemoRemote{remote: r, memo: m}
+}
+
+// MemoRemote is a Remote with memoized (resumable) execution.
+type MemoRemote struct {
+	remote Remote
+	memo   Memo
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Do answers from the memo when the point has already completed, and
+// records the body (durably, per the Memo) before reporting success
+// otherwise — so a point acknowledged to the caller is never recomputed
+// after a resume.
+func (m *MemoRemote) Do(ctx context.Context, p RemotePoint) ([]byte, error) {
+	if body, ok := m.memo.Get(p.Key); ok {
+		m.hits.Add(1)
+		return body, nil
+	}
+	body, err := m.remote.Do(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.memo.Put(p.Key, body); err != nil {
+		return nil, err
+	}
+	m.misses.Add(1)
+	return body, nil
+}
+
+// Hits reports points answered from the memo; Misses reports points the
+// wrapped remote had to execute.
+func (m *MemoRemote) Hits() int64   { return m.hits.Load() }
+func (m *MemoRemote) Misses() int64 { return m.misses.Load() }
 
 // ExecuteRemoteAll fans the plan out over the remote with bounded client
 // concurrency (Options.Workers bounds in-flight requests, not simulations)

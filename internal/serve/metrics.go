@@ -21,6 +21,9 @@ type serverMetrics struct {
 	failed       atomic.Int64 // simulation errors (500)
 	cacheHits    atomic.Int64
 	cacheMisses  atomic.Int64
+	storeHits    atomic.Int64 // tier-2 read-through hits (promoted into memory)
+	storeFlush   atomic.Int64 // results flushed to the tier-2 store
+	storeWarmed  atomic.Int64 // entries warmed from the store at startup
 	simMicros    atomic.Int64 // simulated time produced, µs (single runs)
 	simWallNanos atomic.Int64 // wall time spent inside the engine, ns
 	latency      latencyHistogram
@@ -71,7 +74,7 @@ func (h *latencyHistogram) render(b *strings.Builder, name, help string) {
 
 // render writes the exposition text. Gauges (queue depth, in-flight, cache
 // occupancy) are sampled at scrape time from their owning structures.
-func (m *serverMetrics) render(b *strings.Builder, adm *admission, cache *resultCache, draining bool) {
+func (m *serverMetrics) render(b *strings.Builder, adm *admission, cache *resultCache, store *diskStore, draining bool) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -91,6 +94,14 @@ func (m *serverMetrics) render(b *strings.Builder, adm *admission, cache *result
 	gauge("schedd_cache_entries", "Resident result cache entries.", int64(entries))
 	gauge("schedd_cache_bytes", "Resident result cache body bytes.", bytes)
 	gauge("schedd_cache_peak_bytes", "High-watermark of resident result cache body bytes.", peak)
+	if store != nil {
+		counter("schedd_store_hits_total", "Requests answered from the tier-2 disk store.", m.storeHits.Load())
+		counter("schedd_store_flush_total", "Results flushed to the tier-2 disk store.", m.storeFlush.Load())
+		counter("schedd_store_warmed_total", "Cache entries warmed from the tier-2 store at startup.", m.storeWarmed.Load())
+		sEntries, sBytes := store.stats()
+		gauge("schedd_store_entries", "Results resident in the tier-2 disk store.", int64(sEntries))
+		gauge("schedd_store_bytes", "Bytes resident in the tier-2 disk store.", sBytes)
+	}
 	gauge("schedd_queue_depth", "Requests waiting for an engine slot.", adm.queued())
 	gauge("schedd_inflight", "Requests currently simulating.", adm.inflight())
 	gauge("schedd_retry_after_seconds", "Current Retry-After hint derived from the observed queue drain rate.", int64(adm.retryAfterSeconds()))

@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -66,6 +67,14 @@ type Options struct {
 	// MaxTimeout caps client-requested timeouts (default 10m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// StoreDir, when non-empty, enables the tier-2 disk-backed result
+	// store behind the in-memory cache (see store.go): results are
+	// written behind the response path, the cache is warmed from the
+	// store at startup, and a restarted worker serves hits for everything
+	// it had computed before dying. StoreBytes bounds the resident store
+	// size (default 256 MiB); the oldest results are collected past it.
+	StoreDir   string
+	StoreBytes int64
 	// Logger receives one structured line per request; nil uses
 	// slog.Default().
 	Logger *slog.Logger
@@ -90,23 +99,43 @@ func (o Options) withDefaults() Options {
 	if o.MaxTimeout <= 0 {
 		o.MaxTimeout = 10 * time.Minute
 	}
+	if o.StoreBytes <= 0 {
+		o.StoreBytes = 256 << 20
+	}
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
 	return o
 }
 
-// Server is the simulation service. Create with New, mount via Handler.
+// Server is the simulation service. Create with New (memory-only cache)
+// or Open (with the tier-2 disk store), mount via Handler.
 type Server struct {
 	opts     Options
 	cache    *resultCache
+	store    *diskStore // nil without Options.StoreDir
 	adm      *admission
 	metrics  serverMetrics
 	log      *slog.Logger
 	draining atomic.Bool
+
+	flushMu     sync.Mutex
+	flushq      chan flushItem
+	flushClosed bool
+	flushDone   chan struct{}
 }
 
-// New builds a Server with the given options.
+// flushItem is one write-behind unit; a fence item (fence non-nil) marks a
+// FlushStore barrier instead of carrying a result.
+type flushItem struct {
+	key         string
+	contentType string
+	body        []byte
+	fence       chan struct{}
+}
+
+// New builds a Server with the given options. Options.StoreDir is ignored
+// here — use Open for a server with the tier-2 store.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	return &Server{
@@ -115,6 +144,111 @@ func New(opts Options) *Server {
 		adm:   newAdmission(opts.MaxInflight, opts.QueueDepth),
 		log:   opts.Logger,
 	}
+}
+
+// Open builds a Server and, when Options.StoreDir is set, attaches the
+// tier-2 disk store: resident results warm the memory cache immediately
+// (cache warming on worker join), and new results are flushed behind the
+// response path by a write-behind goroutine. Call Close to stop it.
+func Open(opts Options) (*Server, error) {
+	s := New(opts)
+	if s.opts.StoreDir == "" {
+		return s, nil
+	}
+	st, err := openDiskStore(s.opts.StoreDir, s.opts.StoreBytes)
+	if err != nil {
+		return nil, err
+	}
+	s.store = st
+	warmed := st.warm(s.cache)
+	s.metrics.storeWarmed.Store(int64(warmed))
+	if warmed > 0 {
+		s.log.Info("store", slog.String("dir", s.opts.StoreDir), slog.Int("warmed", warmed))
+	}
+	s.flushq = make(chan flushItem, 256)
+	s.flushDone = make(chan struct{})
+	go s.flushLoop()
+	return s, nil
+}
+
+// flushLoop is the write-behind flusher: it drains queued results into the
+// disk store off the response path, and acknowledges FlushStore fences.
+func (s *Server) flushLoop() {
+	defer close(s.flushDone)
+	for item := range s.flushq {
+		if item.fence != nil {
+			close(item.fence)
+			continue
+		}
+		s.storeWrite(item.key, item.body, item.contentType)
+	}
+}
+
+// storeWrite persists one result and counts the flush. Store errors are
+// logged, not propagated: tier-2 is an accelerator, and a worker that can
+// still simulate should keep serving even with a broken disk.
+func (s *Server) storeWrite(key string, body []byte, contentType string) {
+	if err := s.store.put(key, body, contentType); err != nil {
+		s.log.Warn("store", slog.String("key", key[:16]), slog.String("err", err.Error()))
+		return
+	}
+	s.metrics.storeFlush.Add(1)
+}
+
+// flushAsync queues one result for write-behind persistence. A full queue
+// degrades to a synchronous write rather than dropping the entry — a
+// result that reached the memory cache must also reach the store, or a
+// restart silently forgets it.
+func (s *Server) flushAsync(key string, body []byte, contentType string) {
+	if s.store == nil {
+		return
+	}
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	if s.flushClosed {
+		s.storeWrite(key, body, contentType)
+		return
+	}
+	select {
+	case s.flushq <- flushItem{key: key, body: body, contentType: contentType}:
+	default:
+		s.storeWrite(key, body, contentType)
+	}
+}
+
+// FlushStore blocks until every result queued before the call has been
+// written to the tier-2 store. The binary calls it during SIGTERM drain,
+// after Shutdown returns: dirty cache entries survive the restart.
+func (s *Server) FlushStore() {
+	if s.store == nil {
+		return
+	}
+	s.flushMu.Lock()
+	if s.flushClosed {
+		s.flushMu.Unlock()
+		return
+	}
+	fence := make(chan struct{})
+	s.flushq <- flushItem{fence: fence}
+	s.flushMu.Unlock()
+	<-fence
+}
+
+// Close flushes and stops the write-behind goroutine. Safe to call more
+// than once; a no-op for servers without a store.
+func (s *Server) Close() {
+	if s.store == nil {
+		return
+	}
+	s.flushMu.Lock()
+	if s.flushClosed {
+		s.flushMu.Unlock()
+		return
+	}
+	s.flushClosed = true
+	close(s.flushq)
+	s.flushMu.Unlock()
+	<-s.flushDone
 }
 
 // Handler returns the route table.
@@ -266,6 +400,19 @@ func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, kr keyedRequ
 		s.log.Info("run", logAttrs(http.StatusOK, "hit")...)
 		return
 	}
+	// Tier-2 read-through: a result evicted from (or never resident in)
+	// the memory cache but persisted on disk is still a hit — promote it
+	// back into the LRU and serve it without simulating.
+	if s.store != nil {
+		if body, contentType, ok := s.store.get(kr.key); ok {
+			s.metrics.cacheHits.Add(1)
+			s.metrics.storeHits.Add(1)
+			s.cache.put(kr.key, body, contentType)
+			s.writeResult(w, kr.key, "hit", contentType, body)
+			s.log.Info("run", logAttrs(http.StatusOK, "hit")...)
+			return
+		}
+	}
 	s.metrics.cacheMisses.Add(1)
 
 	timeout := s.opts.DefaultTimeout
@@ -294,6 +441,7 @@ func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, kr keyedRequ
 		return
 	}
 	s.cache.put(kr.key, body, contentType)
+	s.flushAsync(kr.key, body, contentType)
 	s.writeResult(w, kr.key, "miss", contentType, body)
 	s.log.Info("run", logAttrs(http.StatusOK, "miss")...)
 }
@@ -423,7 +571,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	s.metrics.render(&b, s.adm, s.cache, s.draining.Load())
+	s.metrics.render(&b, s.adm, s.cache, s.store, s.draining.Load())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())
 }

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+)
+
+// diskStore is the tier-2 result store behind the in-memory LRU: one file
+// per content address, so a worker restart re-serves its accumulated
+// results instead of cold-starting (the RAM cache dies with the process;
+// the directory does not). Files are written to a temp name and renamed
+// into place — readers never observe a partial body — and each carries a
+// CRC32 so a corrupt file is deleted on read rather than served.
+//
+// The store is size-bounded: when resident bytes exceed the bound, the
+// oldest files (by modification time — write time, i.e. roughly LRU at
+// tier-2 granularity) are removed until it fits. One result larger than
+// the whole bound is never stored.
+//
+// File layout: a single JSON header line {"key","content_type","crc"}
+// followed by the raw body bytes. The filename is the content address
+// (already a hex hash for every serve key); the header repeats the key so
+// warming never has to trust filenames.
+type diskStore struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	bytes int64
+	files map[string]storeFileInfo // filename -> size/mtime
+}
+
+type storeFileInfo struct {
+	size  int64
+	mtime time.Time
+}
+
+// storeHeader is the first line of every store file.
+type storeHeader struct {
+	Key         string `json:"key"`
+	ContentType string `json:"content_type"`
+	CRC         uint32 `json:"crc"` // crc32(IEEE) of the body bytes
+}
+
+// storeExt marks finished result files; temp files use storeTmpPattern and
+// are swept on open (leftovers from a crash mid-write).
+const storeExt = ".res"
+
+// openDiskStore opens (creating if needed) the store rooted at dir and
+// indexes the resident files.
+func openDiskStore(dir string, maxBytes int64) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store dir: %w", err)
+	}
+	s := &diskStore{dir: dir, maxBytes: maxBytes, files: make(map[string]storeFileInfo)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scan store: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if filepath.Ext(e.Name()) != storeExt {
+			// A temp file from a crash mid-write: unreachable, reclaim it.
+			os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		s.files[e.Name()] = storeFileInfo{size: info.Size(), mtime: info.ModTime()}
+		s.bytes += info.Size()
+	}
+	return s, nil
+}
+
+// safeKey matches keys usable directly as filenames. Every serve cache key
+// is a hex sha256, so this always matches in practice; anything else is
+// refused rather than hashed again (the store is internal to serve).
+var safeKey = regexp.MustCompile(`^[0-9a-f]{8,128}$`)
+
+func (s *diskStore) filename(key string) (string, bool) {
+	if !safeKey.MatchString(key) {
+		return "", false
+	}
+	return key + storeExt, true
+}
+
+// get reads one stored result, verifying its checksum. A file that fails
+// to parse or checksum is deleted and reported as a miss.
+func (s *diskStore) get(key string) (body []byte, contentType string, ok bool) {
+	name, ok := s.filename(key)
+	if !ok {
+		return nil, "", false
+	}
+	path := filepath.Join(s.dir, name)
+	hdr, body, err := readStoreFile(path)
+	if err != nil || hdr.Key != key {
+		if !os.IsNotExist(err) {
+			s.remove(name)
+		}
+		return nil, "", false
+	}
+	return body, hdr.ContentType, true
+}
+
+// readStoreFile parses one store file: header line, then body, checked
+// against the header CRC.
+func readStoreFile(path string) (storeHeader, []byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return storeHeader{}, nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return storeHeader{}, nil, fmt.Errorf("serve: store header: %w", err)
+	}
+	var hdr storeHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return storeHeader{}, nil, fmt.Errorf("serve: store header: %w", err)
+	}
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return storeHeader{}, nil, err
+	}
+	if crc32.ChecksumIEEE(body) != hdr.CRC {
+		return storeHeader{}, nil, fmt.Errorf("serve: store body checksum mismatch")
+	}
+	return hdr, body, nil
+}
+
+// put writes one result atomically (temp file + rename) and garbage
+// collects past the byte bound. Re-putting a resident key refreshes its
+// mtime slot with identical bytes — harmless by determinism.
+func (s *diskStore) put(key string, body []byte, contentType string) error {
+	name, ok := s.filename(key)
+	if !ok {
+		return fmt.Errorf("serve: store key %q is not a content hash", key)
+	}
+	hdr, err := json.Marshal(storeHeader{Key: key, ContentType: contentType, CRC: crc32.ChecksumIEEE(body)})
+	if err != nil {
+		return err
+	}
+	record := append(append(hdr, '\n'), body...)
+	if int64(len(record)) > s.maxBytes {
+		return nil // larger than the whole store: serve it, never keep it
+	}
+
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(record); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	if old, ok := s.files[name]; ok {
+		s.bytes -= old.size
+	}
+	s.files[name] = storeFileInfo{size: int64(len(record)), mtime: time.Now()}
+	s.bytes += int64(len(record))
+	s.gcLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// gcLocked removes the oldest files until resident bytes fit the bound.
+func (s *diskStore) gcLocked() {
+	if s.bytes <= s.maxBytes {
+		return
+	}
+	type aged struct {
+		name string
+		info storeFileInfo
+	}
+	victims := make([]aged, 0, len(s.files))
+	for name, info := range s.files {
+		victims = append(victims, aged{name, info})
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if !victims[i].info.mtime.Equal(victims[j].info.mtime) {
+			return victims[i].info.mtime.Before(victims[j].info.mtime)
+		}
+		return victims[i].name < victims[j].name
+	})
+	for _, v := range victims {
+		if s.bytes <= s.maxBytes {
+			return
+		}
+		os.Remove(filepath.Join(s.dir, v.name))
+		s.bytes -= v.info.size
+		delete(s.files, v.name)
+	}
+}
+
+// remove deletes one file (corrupt, or mismatched key) and fixes the index.
+func (s *diskStore) remove(name string) {
+	s.mu.Lock()
+	if info, ok := s.files[name]; ok {
+		s.bytes -= info.size
+		delete(s.files, name)
+	}
+	s.mu.Unlock()
+	os.Remove(filepath.Join(s.dir, name))
+}
+
+// stats reports resident entries and bytes.
+func (s *diskStore) stats() (entries int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.files), s.bytes
+}
+
+// warm loads resident results into the memory cache, oldest first so the
+// newest end up most-recently-used, bounded by the cache's own limits.
+// This is the cache warming on worker join: a bounced worker starts
+// serving hits immediately instead of re-simulating its whole history.
+func (s *diskStore) warm(cache *resultCache) (loaded int) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.files))
+	for name := range s.files {
+		names = append(names, name)
+	}
+	infos := s.files
+	sort.Slice(names, func(i, j int) bool {
+		a, b := infos[names[i]], infos[names[j]]
+		if !a.mtime.Equal(b.mtime) {
+			return a.mtime.Before(b.mtime)
+		}
+		return names[i] < names[j]
+	})
+	s.mu.Unlock()
+	for _, name := range names {
+		hdr, body, err := readStoreFile(filepath.Join(s.dir, name))
+		if err != nil {
+			s.remove(name)
+			continue
+		}
+		cache.put(hdr.Key, body, hdr.ContentType)
+		loaded++
+	}
+	return loaded
+}

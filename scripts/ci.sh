@@ -32,6 +32,17 @@ go test -race -run 'Schedd' -count=1 ./internal/serve ./cmd/schedd
 # loudly if they are renamed or skipped.
 go test -race -run 'Cluster|ScheddWorkerLifecycle' -count=1 ./internal/cluster ./cmd/schedd
 
+# Chaos gate: crash safety at the process level, wall clock bounded by
+# -timeout. Real coordinator and worker processes are SIGKILLed and
+# restarted mid-sweep and the network path takes resets and latency;
+# the sweep must finish byte-identical to a clean single-worker run,
+# the durable journal must account for every point exactly once, and a
+# worker restarted over its tier-2 store must answer the repeat sweep
+# >= 0.9 from warm cache. Skipped under the plain `go test` above (the
+# tests fork processes and need SCHEDD_CHAOS=1); on failure the fault
+# seed is in the log — replay with CHAOS_SEED=<seed>.
+SCHEDD_CHAOS=1 go test -race -run 'Chaos' -count=1 -timeout 300s ./internal/chaosharness
+
 # Benchmark smoke: one iteration of the cheapest figure plus the parallel
 # sweep benchmark, just to prove the harness still runs. Full benchmarks
 # are a manual `make bench` / `make sweep-bench`.
