@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism serve-gate cluster-gate chaos-gate schedd figures fault ci fmt
+.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism policy-gate serve-gate cluster-gate chaos-gate schedd figures fault ci fmt
 
 all: build
 
@@ -38,6 +38,15 @@ sweep-bench:
 
 determinism:
 	$(GO) test -race -run 'Determinism' -count=1 ./internal/engine ./internal/experiments
+
+# Policy-framework gate: the bit-identical-default contract under the race
+# detector — composing the default policy components reproduces the legacy
+# disciplines exactly (TestPolicyGate*), the pinned golden means hold
+# (TestGoldenValues), and every pre-framework Config.Hash is byte-stable
+# (TestHashCompat*), so warm caches and cluster routing keys stay valid.
+# CI runs this.
+policy-gate:
+	$(GO) test -race -run 'PolicyGate|GoldenValues|HashCompat' -count=1 ./internal/core ./internal/integration
 
 # Serving invariants under the race detector (cache hits byte-identical,
 # backpressure sheds, SIGTERM drains, metrics agree). CI runs this.

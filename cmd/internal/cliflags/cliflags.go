@@ -152,6 +152,151 @@ func parseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
 // Policies parses a comma-separated scheduling-policy list.
 func Policies(s string) ([]sched.Policy, error) { return parseList(s, sched.ParsePolicy) }
 
+// PartitionKinds parses a comma-separated partition-policy list.
+func PartitionKinds(s string) ([]sched.PartitionKind, error) {
+	return parseList(s, sched.ParsePartitionKind)
+}
+
+// QuantumKinds parses a comma-separated quantum-policy list.
+func QuantumKinds(s string) ([]sched.QuantumKind, error) {
+	return parseList(s, sched.ParseQuantumKind)
+}
+
+// OrderKinds parses a comma-separated queue-order list.
+func OrderKinds(s string) ([]sched.OrderKind, error) {
+	return parseList(s, sched.ParseOrderKind)
+}
+
+// BatchOrder parses a batch submission order.
+func BatchOrder(s string) (core.Order, error) {
+	switch s {
+	case "submission", "sub":
+		return core.Submission, nil
+	case "smallest-first", "sf":
+		return core.SmallestFirst, nil
+	case "largest-first", "lf":
+		return core.LargestFirst, nil
+	}
+	return 0, fmt.Errorf("unknown batch order %q (valid: submission, smallest-first, largest-first)", s)
+}
+
+// nameSize splits a "name:123" spec value. A bare integer yields name = ""
+// with its value in n; a bare name yields n = -1; "name:123" yields both.
+func nameSize(v string) (name string, n int64, err error) {
+	head, suffix, found := strings.Cut(v, ":")
+	if i, ierr := strconv.ParseInt(head, 10, 64); ierr == nil && !found {
+		return "", i, nil
+	}
+	if !found {
+		return head, -1, nil
+	}
+	n, err = strconv.ParseInt(suffix, 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("numeric suffix in %q: %w", v, err)
+	}
+	return head, n, nil
+}
+
+// PartitionSpec applies one -partition value to the config: a bare integer
+// sets the fixed partition size, a partition-policy name ("equi", "buddy",
+// ...) overrides the partitioning component, and "name:n" does both.
+func PartitionSpec(cfg *core.Config, v string) error {
+	name, n, err := nameSize(v)
+	if err != nil {
+		return err
+	}
+	if name != "" {
+		k, err := sched.ParsePartitionKind(name)
+		if err != nil {
+			return err
+		}
+		cfg.PartitionPolicy = k
+	}
+	if n >= 0 {
+		cfg.PartitionSize = int(n)
+	}
+	return nil
+}
+
+// QuantumSpec applies one -quantum value to the config: a bare integer sets
+// the basic quantum in µs, a quantum-policy name ("rrjob", "dynamic", ...)
+// overrides the quantum component, and "name:µs" does both.
+func QuantumSpec(cfg *core.Config, v string) error {
+	name, n, err := nameSize(v)
+	if err != nil {
+		return err
+	}
+	if name != "" {
+		k, err := sched.ParseQuantumKind(name)
+		if err != nil {
+			return err
+		}
+		cfg.QuantumPolicy = k
+	}
+	if n >= 0 {
+		cfg.BasicQuantum = sim.Time(n)
+	}
+	return nil
+}
+
+// OrderSpec applies one -order value to the config: a comma-separated mix
+// of batch submission orders (submission, smallest-first, largest-first)
+// and ready-queue orders (fcfs, priority, srpt). The two namespaces are
+// disjoint, so each token is unambiguous.
+func OrderSpec(cfg *core.Config, v string) error {
+	for _, tok := range Split(v) {
+		if o, err := BatchOrder(tok); err == nil {
+			cfg.Order = o
+			continue
+		}
+		k, err := sched.ParseOrderKind(tok)
+		if err != nil {
+			return fmt.Errorf("order %q is neither a batch order (submission, smallest-first, largest-first) nor a queue order: %w", tok, err)
+		}
+		cfg.QueueOrder = k
+	}
+	return nil
+}
+
+// ApplyPolicySpec applies a -policy value to the config: either a legacy
+// discipline name ("static", "ts", "gang", ...) or a composed spec of
+// key=value pairs — "partition=equi,quantum=rrjob,order=srpt" — where the
+// partition value accepts a ":size" suffix and the quantum value a ":µs"
+// suffix, exactly as the standalone -partition and -quantum flags do.
+func ApplyPolicySpec(cfg *core.Config, v string) error {
+	if !strings.Contains(v, "=") {
+		pol, err := sched.ParsePolicy(v)
+		if err != nil {
+			return err
+		}
+		cfg.Policy = pol
+		return nil
+	}
+	for _, tok := range Split(v) {
+		key, val, found := strings.Cut(tok, "=")
+		if !found || val == "" {
+			return fmt.Errorf("policy spec component %q is not key=value", tok)
+		}
+		switch key {
+		case "partition", "part":
+			if err := PartitionSpec(cfg, val); err != nil {
+				return err
+			}
+		case "quantum", "quant":
+			if err := QuantumSpec(cfg, val); err != nil {
+				return err
+			}
+		case "order":
+			if err := OrderSpec(cfg, val); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown policy spec key %q (valid: partition, quantum, order)", key)
+		}
+	}
+	return nil
+}
+
 // Topologies parses a comma-separated topology list.
 func Topologies(s string) ([]topology.Kind, error) { return parseList(s, topology.ParseKind) }
 

@@ -39,7 +39,7 @@ import (
 )
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiment ids (f3..f6, e1..e12) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiment ids (f3..f6, e1..e14) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "table", "output format: table, csv or json")
 	quiet := flag.Bool("q", false, "suppress timing lines")

@@ -16,6 +16,8 @@
 //	sweep -policies static,ts -partitions 2,4,8 -topos linear,mesh -apps matmul
 //	sweep -policies static,ts,gang,dynamic -apps stencil -archs fixed -quanta 1000,2000,5000
 //	sweep -apps matmul -cluster 127.0.0.1:8080,127.0.0.1:8081 -cluster-report
+//	sweep -policies ts -quantum-policies rrjob,dynamic -orders fcfs,srpt
+//	sweep -policies dynamic -partition-policies buddy,equi -apps sort
 //
 // Output columns: policy,partition,topology,app,arch,quantum_us,mean_s,
 // max_s,makespan_s,util,overhead,mem_blocked_s,messages,avg_hops.
@@ -44,7 +46,7 @@ var sweepCols = []string{"policy", "partition", "topology", "app", "arch", "quan
 // times and exactly round-tripped floats either way.
 func rowCells(d engine.Dims, ps serve.PointSummary) []any {
 	return []any{
-		d.Policy, d.Partition, d.Topology, d.App, d.Arch, int64(d.Quantum),
+		d.PolicyLabel(), d.Partition, d.Topology, d.App, d.Arch, int64(d.Quantum),
 		experiments.Secs(sim.Time(ps.MeanUS)), experiments.Secs(sim.Time(ps.MaxUS)),
 		experiments.Secs(sim.Time(ps.MakespanUS)),
 		experiments.Fix4(ps.Util), experiments.Fix4(ps.Overhead),
@@ -63,6 +65,9 @@ func main() {
 		quanta     = flag.String("quanta", "0", "basic quanta in µs (0 = hardware)")
 		mode       = flag.String("mode", "saf", "switching mode for all runs")
 		formatSpec = flag.String("format", "csv", "output format: csv or json")
+		partpols   = flag.String("partition-policies", "", "partition-policy overrides (static, shared, buddy, equi); empty inherits from -policies")
+		quantpols  = flag.String("quantum-policies", "", "quantum-policy overrides (none, rrjob, fixed, gang, dynamic); empty inherits from -policies")
+		orders     = flag.String("orders", "", "queue-order overrides (fcfs, priority, srpt); empty inherits from -policies")
 	)
 	cf := cliflags.Register()
 	cl := cliflags.RegisterCluster()
@@ -111,16 +116,31 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	ppKinds, err := cliflags.PartitionKinds(*partpols)
+	if err != nil {
+		fail(err)
+	}
+	qpKinds, err := cliflags.QuantumKinds(*quantpols)
+	if err != nil {
+		fail(err)
+	}
+	ordKinds, err := cliflags.OrderKinds(*orders)
+	if err != nil {
+		fail(err)
+	}
 
 	grid := engine.Grid{
-		Base:       cf.Base(),
-		Policies:   pols,
-		Partitions: psizes,
-		Topologies: kinds,
-		Apps:       appKinds,
-		Archs:      archKinds,
-		Modes:      modes,
-		Quanta:     qs,
+		Base:              cf.Base(),
+		Policies:          pols,
+		Partitions:        psizes,
+		Topologies:        kinds,
+		Apps:              appKinds,
+		Archs:             archKinds,
+		Modes:             modes,
+		Quanta:            qs,
+		PartitionPolicies: ppKinds,
+		QuantumPolicies:   qpKinds,
+		Orders:            ordKinds,
 	}
 
 	var (
@@ -140,8 +160,8 @@ func main() {
 	for i, d := range dims {
 		if errs[i] != nil {
 			failures++
-			fmt.Fprintf(os.Stderr, "sweep: %v %d%s %v %v: %v\n",
-				d.Policy, d.Partition, d.Topology.Letter(), d.App, d.Arch, errs[i])
+			fmt.Fprintf(os.Stderr, "sweep: %s %d%s %v %v: %v\n",
+				d.PolicyLabel(), d.Partition, d.Topology.Letter(), d.App, d.Arch, errs[i])
 			continue
 		}
 		doc.Row(rowCells(d, summaries[i])...)
@@ -157,7 +177,7 @@ func main() {
 func runLocal(cf cliflags.Common, grid engine.Grid) ([]serve.PointSummary, []error) {
 	plan := engine.NewPlan[serve.PointSummary]("sweep")
 	grid.Enumerate(func(d engine.Dims, cfg core.Config) {
-		plan.Add(fmt.Sprintf("%v/%d%s", d.Policy, d.Partition, d.Topology.Letter()), func() (serve.PointSummary, error) {
+		plan.Add(fmt.Sprintf("%s/%d%s", d.PolicyLabel(), d.Partition, d.Topology.Letter()), func() (serve.PointSummary, error) {
 			res, err := core.Run(cfg)
 			if err != nil {
 				return serve.PointSummary{}, err
@@ -177,7 +197,7 @@ func runCluster(cl cliflags.Cluster, cf cliflags.Common, grid engine.Grid) ([]se
 	plan := engine.NewPlan[serve.PointSummary]("sweep/cluster")
 	ctx := context.Background()
 	grid.Enumerate(func(d engine.Dims, cfg core.Config) {
-		plan.Add(fmt.Sprintf("%v/%d%s", d.Policy, d.Partition, d.Topology.Letter()), func() (serve.PointSummary, error) {
+		plan.Add(fmt.Sprintf("%s/%d%s", d.PolicyLabel(), d.Partition, d.Topology.Letter()), func() (serve.PointSummary, error) {
 			return coord.RunConfig(ctx, cfg)
 		})
 	})

@@ -9,6 +9,9 @@
 //	tsim -policy ts -events -eventcat job         # narrate job lifecycle
 //	tsim -mode wormhole -partition 8 -topo hypercube
 //	tsim -cpuprofile cpu.out -app stencil         # profile one run
+//	tsim -policy ts -quantum dynamic              # TS with dynamic quanta
+//	tsim -policy static -order srpt               # static + SRPT queue
+//	tsim -policy partition=equi,quantum=none      # malleable equipartition
 //
 // The shared flags (-seed, -j, -cpuprofile, -memprofile, -trace) come from
 // cmd/internal/cliflags like every other tool; the simulation event trace,
@@ -26,7 +29,6 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/metrics"
-	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -35,14 +37,14 @@ import (
 
 func main() {
 	var (
-		partition = flag.Int("partition", 16, "partition size (1,2,4,8,16)")
+		partition = flag.String("partition", "16", "partition size (1,2,4,8,16), or partition policy name[:size] (static, shared, buddy, equi)")
 		topo      = flag.String("topo", "linear", "topology: linear/ring/mesh/hypercube (or L/R/M/H)")
-		policy    = flag.String("policy", "ts", "policy: static, ts (RR-job / hybrid), rr-process, gang, dynamic")
+		policy    = flag.String("policy", "ts", "policy: static, ts (RR-job / hybrid), rr-process, gang, dynamic — or a composed spec like partition=equi,quantum=dynamic,order=srpt")
 		app       = flag.String("app", "matmul", "application: matmul, sort or stencil")
 		arch      = flag.String("arch", "fixed", "software architecture: fixed or adaptive")
 		mode      = flag.String("mode", "saf", "switching: saf (store-and-forward) or wormhole")
-		order     = flag.String("order", "submission", "batch order: submission, smallest-first, largest-first")
-		quantum   = flag.Int64("quantum", 0, "basic quantum q in µs (0 = hardware 2ms)")
+		order     = flag.String("order", "submission", "batch order (submission, smallest-first, largest-first) and/or queue order (fcfs, priority, srpt), comma-separated")
+		quantum   = flag.String("quantum", "0", "basic quantum q in µs (0 = hardware 2ms), or quantum policy name[:µs] (none, rrjob, fixed, gang, dynamic)")
 		mpl       = flag.Int("mpl", 0, "max resident jobs per partition (0 = unlimited)")
 		events    = flag.Bool("events", false, "print a simulation event trace")
 		sample    = flag.Int64("sample", 0, "sample utilization every N µs and print a timeline (0 = off)")
@@ -132,13 +134,9 @@ func main() {
 	}
 }
 
-func buildConfig(partition int, topo, policy, app, arch, mode, order string, quantum int64, mpl int, seed int64) (core.Config, error) {
+func buildConfig(partition, topo, policy, app, arch, mode, order, quantum string, mpl int, seed int64) (core.Config, error) {
 	var cfg core.Config
 	kind, err := topology.ParseKind(topo)
-	if err != nil {
-		return cfg, err
-	}
-	pol, err := sched.ParsePolicy(policy)
 	if err != nil {
 		return cfg, err
 	}
@@ -154,29 +152,31 @@ func buildConfig(partition int, topo, policy, app, arch, mode, order string, qua
 	if err != nil {
 		return cfg, err
 	}
-	var ord core.Order
-	switch order {
-	case "submission":
-		ord = core.Submission
-	case "smallest-first", "sf":
-		ord = core.SmallestFirst
-	case "largest-first", "lf":
-		ord = core.LargestFirst
-	default:
-		return cfg, fmt.Errorf("unknown order %q", order)
+	cfg = core.Config{
+		Topology:    kind,
+		App:         ak,
+		Arch:        ar,
+		Mode:        md,
+		MaxResident: mpl,
+		Seed:        seed,
 	}
-	return core.Config{
-		PartitionSize: partition,
-		Topology:      kind,
-		Policy:        pol,
-		App:           ak,
-		Arch:          ar,
-		Mode:          md,
-		Order:         ord,
-		BasicQuantum:  sim.Time(quantum),
-		MaxResident:   mpl,
-		Seed:          seed,
-	}, nil
+	// The component flags first, the composite -policy spec last: a composed
+	// spec is the most explicit statement of the discipline, so where both
+	// name the same component its value wins, while components the spec
+	// leaves unset keep whatever -partition/-quantum/-order said.
+	if err := cliflags.PartitionSpec(&cfg, partition); err != nil {
+		return cfg, err
+	}
+	if err := cliflags.QuantumSpec(&cfg, quantum); err != nil {
+		return cfg, err
+	}
+	if err := cliflags.OrderSpec(&cfg, order); err != nil {
+		return cfg, err
+	}
+	if err := cliflags.ApplyPolicySpec(&cfg, policy); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
 }
 
 func sortedKeys(m map[string]sim.Time) []string {

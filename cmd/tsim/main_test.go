@@ -11,7 +11,7 @@ import (
 )
 
 func TestBuildConfigDefaults(t *testing.T) {
-	cfg, err := buildConfig(16, "linear", "ts", "matmul", "fixed", "saf", "submission", 0, 0, 0)
+	cfg, err := buildConfig("16", "linear", "ts", "matmul", "fixed", "saf", "submission", "0", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,10 +20,14 @@ func TestBuildConfigDefaults(t *testing.T) {
 		cfg.Mode != comm.StoreForward {
 		t.Errorf("cfg = %+v", cfg)
 	}
+	if cfg.PartitionPolicy != sched.PartDefault || cfg.QuantumPolicy != sched.QuantumDefault ||
+		cfg.QueueOrder != sched.OrderDefault {
+		t.Errorf("defaults must not set policy components: %+v", cfg)
+	}
 }
 
 func TestBuildConfigAllDimensions(t *testing.T) {
-	cfg, err := buildConfig(8, "H", "gang", "stencil", "adaptive", "wormhole", "largest-first", 5000, 2, 7)
+	cfg, err := buildConfig("8", "H", "gang", "stencil", "adaptive", "wormhole", "largest-first", "5000", 2, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,32 +41,67 @@ func TestBuildConfigAllDimensions(t *testing.T) {
 	}
 }
 
+func TestBuildConfigPolicyComponents(t *testing.T) {
+	cfg, err := buildConfig("equi:8", "mesh", "ts", "matmul", "fixed", "saf", "submission,srpt", "dynamic:5000", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PartitionPolicy != sched.PartEqui || cfg.PartitionSize != 8 {
+		t.Errorf("partition spec: %+v", cfg)
+	}
+	if cfg.QuantumPolicy != sched.QuantumDynamic || cfg.BasicQuantum != 5000*sim.Microsecond {
+		t.Errorf("quantum spec: %+v", cfg)
+	}
+	if cfg.QueueOrder != sched.OrderSRPT {
+		t.Errorf("order spec: %+v", cfg)
+	}
+}
+
+func TestBuildConfigComposedPolicy(t *testing.T) {
+	cfg, err := buildConfig("16", "mesh", "partition=shared,quantum=rrjob:3000,order=priority",
+		"matmul", "fixed", "saf", "submission", "0", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PartitionPolicy != sched.PartShared || cfg.QuantumPolicy != sched.QuantumRRJob ||
+		cfg.QueueOrder != sched.OrderPriority || cfg.BasicQuantum != 3000*sim.Microsecond {
+		t.Errorf("composed spec: %+v", cfg)
+	}
+	// The composed -policy spec (applied last) wins where both flags name
+	// the same component.
+	cfg, err = buildConfig("16", "mesh", "quantum=rrjob", "matmul", "fixed", "saf", "submission", "fixed", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.QuantumPolicy != sched.QuantumRRJob {
+		t.Errorf("-policy spec should override -quantum: %+v", cfg)
+	}
+}
+
 func TestBuildConfigErrors(t *testing.T) {
 	cases := [][]string{
 		{"butterfly", "ts", "matmul", "fixed", "saf", "submission"},
 		{"mesh", "lottery", "matmul", "fixed", "saf", "submission"},
+		{"mesh", "raise=high", "matmul", "fixed", "saf", "submission"},
+		{"mesh", "partition=octree", "matmul", "fixed", "saf", "submission"},
 		{"mesh", "ts", "raytrace", "fixed", "saf", "submission"},
 		{"mesh", "ts", "matmul", "elastic", "saf", "submission"},
 		{"mesh", "ts", "matmul", "fixed", "pigeon", "submission"},
 		{"mesh", "ts", "matmul", "fixed", "saf", "random"},
 	}
 	for _, c := range cases {
-		if _, err := buildConfig(4, c[0], c[1], c[2], c[3], c[4], c[5], 0, 0, 0); err == nil {
+		if _, err := buildConfig("4", c[0], c[1], c[2], c[3], c[4], c[5], "0", 0, 0); err == nil {
 			t.Errorf("buildConfig(%v) should fail", c)
 		}
 	}
 }
 
 func TestBuildConfigOrders(t *testing.T) {
-	for s, want := range map[string]interface{ String() string }{
-		"submission":     nil,
-		"smallest-first": nil,
-		"sf":             nil,
-		"largest-first":  nil,
-		"lf":             nil,
+	for _, s := range []string{
+		"submission", "smallest-first", "sf", "largest-first", "lf",
+		"fcfs", "priority", "srpt", "sf,srpt",
 	} {
-		_ = want
-		if _, err := buildConfig(4, "mesh", "ts", "matmul", "fixed", "saf", s, 0, 0, 0); err != nil {
+		if _, err := buildConfig("4", "mesh", "ts", "matmul", "fixed", "saf", s, "0", 0, 0); err != nil {
 			t.Errorf("order %q rejected: %v", s, err)
 		}
 	}

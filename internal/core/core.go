@@ -105,8 +105,16 @@ type Config struct {
 	PartitionSize int
 	// Topology is the per-partition interconnect.
 	Topology topology.Kind
-	// Policy is the scheduling discipline.
+	// Policy is the scheduling discipline: one of the five built-in
+	// composites of the three policy components.
 	Policy sched.Policy
+	// PartitionPolicy, QuantumPolicy and QueueOrder override individual
+	// policy components (see package sched); zero values inherit the
+	// component from Policy, so a config that sets none of them behaves —
+	// and hashes — exactly as before these fields existed.
+	PartitionPolicy sched.PartitionKind
+	QuantumPolicy   sched.QuantumKind
+	QueueOrder      sched.OrderKind
 	// App and Arch pick the workload.
 	App  AppKind
 	Arch workload.Arch
@@ -165,10 +173,23 @@ func (c Config) withDefaults() Config {
 }
 
 // Label renders the figure label of this configuration ("8L static" etc.).
+// The policy renders as its resolved spec: the legacy name for the built-in
+// composites, the partition/quantum/order triple for zoo compositions.
 func (c Config) Label() string {
 	c = c.withDefaults()
 	g := topology.MustBuild(c.Topology, c.PartitionSize)
-	return fmt.Sprintf("%s %s %s %s", g.Label(), c.Policy, c.App, c.Arch)
+	return fmt.Sprintf("%s %s %s %s", g.Label(), c.PolicyLabel(), c.App, c.Arch)
+}
+
+// PolicyLabel renders the effective scheduling discipline canonically. An
+// unresolvable spec falls back to the legacy policy name (Run will reject
+// it with a proper error).
+func (c Config) PolicyLabel() string {
+	spec, err := sched.ResolveSpec(c.Policy, c.PartitionPolicy, c.QuantumPolicy, c.QueueOrder)
+	if err != nil {
+		return c.Policy.String()
+	}
+	return spec.String()
 }
 
 // buildBatch constructs the batch for the configuration. Order applies to
@@ -208,15 +229,18 @@ func Run(cfg Config) (*metrics.Result, error) {
 	defer k.Shutdown()
 	mach := machine.NewMachine(k, cfg.Processors, cfg.MemoryBytes, *cfg.Cost)
 	sys, err := sched.New(sched.Config{
-		Machine:       mach,
-		PartitionSize: cfg.PartitionSize,
-		Topology:      cfg.Topology,
-		Mode:          cfg.Mode,
-		Policy:        cfg.Policy,
-		BasicQuantum:  cfg.BasicQuantum,
-		MaxResident:   cfg.MaxResident,
-		Fault:         cfg.Fault,
-		Tracer:        cfg.Tracer,
+		Machine:         mach,
+		PartitionSize:   cfg.PartitionSize,
+		Topology:        cfg.Topology,
+		Mode:            cfg.Mode,
+		Policy:          cfg.Policy,
+		PartitionPolicy: cfg.PartitionPolicy,
+		QuantumPolicy:   cfg.QuantumPolicy,
+		QueueOrder:      cfg.QueueOrder,
+		BasicQuantum:    cfg.BasicQuantum,
+		MaxResident:     cfg.MaxResident,
+		Fault:           cfg.Fault,
+		Tracer:          cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err

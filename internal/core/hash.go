@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/sched"
 )
 
 // This file defines the content address of a configuration: the cache key
@@ -44,13 +46,36 @@ func (c Config) Hash() (string, error) {
 		return "", fmt.Errorf("core: config with a Tracer is not content-addressable")
 	}
 	c = c.withDefaults()
+	// The policy components hash canonically: a config whose overrides
+	// resolve to a built-in composite hashes exactly as that composite with
+	// zero overrides (same simulation, same address). Only a genuinely new
+	// composition emits the Spec section — legacy configs produce the exact
+	// pre-framework bytes, so every warm cache and journal stays valid.
+	polHash := int64(c.Policy)
+	specSection := false
+	var spec sched.PolicySpec
+	if c.PartitionPolicy != sched.PartDefault || c.QuantumPolicy != sched.QuantumDefault || c.QueueOrder != sched.OrderDefault {
+		var err error
+		spec, err = sched.ResolveSpec(c.Policy, c.PartitionPolicy, c.QuantumPolicy, c.QueueOrder)
+		if err != nil {
+			return "", err
+		}
+		if canon, ok := spec.Legacy(); ok {
+			polHash = int64(canon)
+		} else {
+			// No legacy policy hashes as -1, so the sentinel (plus the Spec
+			// section below) can never alias a pre-framework address.
+			polHash = -1
+			specSection = true
+		}
+	}
 	h := sha256.New()
 	io.WriteString(h, hashVersion)
 	hashInt(h, "Processors", int64(c.Processors))
 	hashInt(h, "MemoryBytes", c.MemoryBytes)
 	hashInt(h, "PartitionSize", int64(c.PartitionSize))
 	hashInt(h, "Topology", int64(c.Topology))
-	hashInt(h, "Policy", int64(c.Policy))
+	hashInt(h, "Policy", polHash)
 	hashInt(h, "App", int64(c.App))
 	hashInt(h, "Arch", int64(c.Arch))
 	hashInt(h, "Mode", int64(c.Mode))
@@ -96,6 +121,13 @@ func (c Config) Hash() (string, error) {
 		hashInt(h, "CheckpointInterval", int64(c.Fault.CheckpointInterval))
 		hashInt(h, "CheckpointCost", int64(c.Fault.CheckpointCost))
 		hashInt(h, "RestartBudget", int64(c.Fault.RestartBudget))
+		io.WriteString(h, "};")
+	}
+	if specSection {
+		io.WriteString(h, "Spec={")
+		hashInt(h, "Partition", int64(spec.Partition))
+		hashInt(h, "Quantum", int64(spec.Quantum))
+		hashInt(h, "Order", int64(spec.Order))
 		io.WriteString(h, "};")
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil

@@ -24,6 +24,13 @@ type Grid struct {
 	Modes      []comm.Mode
 	Quanta     []sim.Time
 	Seeds      []int64
+
+	// Policy-component overrides (zero values inherit from the policy).
+	// These nest innermost so grids that do not set them enumerate in the
+	// exact historical order.
+	PartitionPolicies []sched.PartitionKind
+	QuantumPolicies   []sched.QuantumKind
+	Orders            []sched.OrderKind
 }
 
 // Dims is one tuple of the product. It preserves the requested dimension
@@ -39,12 +46,29 @@ type Dims struct {
 	Mode      comm.Mode
 	Quantum   sim.Time
 	Seed      int64
+
+	PartitionPolicy sched.PartitionKind
+	QuantumPolicy   sched.QuantumKind
+	Order           sched.OrderKind
+}
+
+// PolicyLabel renders the point's effective discipline: the legacy name when
+// no component override is in play, the partition/quantum/order triple
+// otherwise. Unresolvable combinations fall back to the legacy policy name
+// (the run itself will surface the proper error).
+func (d Dims) PolicyLabel() string {
+	spec, err := sched.ResolveSpec(d.Policy, d.PartitionPolicy, d.QuantumPolicy, d.Order)
+	if err != nil {
+		return d.Policy.String()
+	}
+	return spec.String()
 }
 
 // Enumerate calls f for every combination in a fixed nesting order —
 // policies outermost, then partitions, topologies, apps, architectures,
-// switching modes, quanta, and seeds innermost — matching the historical
-// sweep-tool ordering so migrated output stays byte-identical.
+// switching modes, quanta, seeds, and the policy-component overrides
+// innermost — matching the historical sweep-tool ordering so migrated
+// output stays byte-identical.
 func (g Grid) Enumerate(f func(Dims, core.Config)) {
 	policies := g.Policies
 	if len(policies) == 0 {
@@ -78,6 +102,18 @@ func (g Grid) Enumerate(f func(Dims, core.Config)) {
 	if len(seeds) == 0 {
 		seeds = []int64{g.Base.Seed}
 	}
+	partpols := g.PartitionPolicies
+	if len(partpols) == 0 {
+		partpols = []sched.PartitionKind{g.Base.PartitionPolicy}
+	}
+	quantpols := g.QuantumPolicies
+	if len(quantpols) == 0 {
+		quantpols = []sched.QuantumKind{g.Base.QuantumPolicy}
+	}
+	orders := g.Orders
+	if len(orders) == 0 {
+		orders = []sched.OrderKind{g.Base.QueueOrder}
+	}
 	for _, pol := range policies {
 		for _, psize := range partitions {
 			for _, kind := range topologies {
@@ -86,28 +122,40 @@ func (g Grid) Enumerate(f func(Dims, core.Config)) {
 						for _, mode := range modes {
 							for _, q := range quanta {
 								for _, seed := range seeds {
-									cfg := g.Base
-									cfg.Policy = pol
-									cfg.PartitionSize = psize
-									cfg.Topology = kind
-									cfg.App = app
-									cfg.Arch = arch
-									cfg.Mode = mode
-									cfg.BasicQuantum = q
-									cfg.Seed = seed
-									if pol == sched.DynamicSpace {
-										cfg.PartitionSize = 0 // dynamic ignores fixed partitioning
+									for _, pp := range partpols {
+										for _, qp := range quantpols {
+											for _, ord := range orders {
+												cfg := g.Base
+												cfg.Policy = pol
+												cfg.PartitionSize = psize
+												cfg.Topology = kind
+												cfg.App = app
+												cfg.Arch = arch
+												cfg.Mode = mode
+												cfg.BasicQuantum = q
+												cfg.Seed = seed
+												cfg.PartitionPolicy = pp
+												cfg.QuantumPolicy = qp
+												cfg.QueueOrder = ord
+												if pol == sched.DynamicSpace {
+													cfg.PartitionSize = 0 // dynamic ignores fixed partitioning
+												}
+												f(Dims{
+													Policy:          pol,
+													Partition:       psize,
+													Topology:        kind,
+													App:             app,
+													Arch:            arch,
+													Mode:            mode,
+													Quantum:         q,
+													Seed:            seed,
+													PartitionPolicy: pp,
+													QuantumPolicy:   qp,
+													Order:           ord,
+												}, cfg)
+											}
+										}
 									}
-									f(Dims{
-										Policy:    pol,
-										Partition: psize,
-										Topology:  kind,
-										App:       app,
-										Arch:      arch,
-										Mode:      mode,
-										Quantum:   q,
-										Seed:      seed,
-									}, cfg)
 								}
 							}
 						}

@@ -8,7 +8,7 @@ import (
 )
 
 // The catalog is the single registry of named experiments — every figure
-// and extension study, addressable by id ("f3".."f6", "e1".."e12") — with
+// and extension study, addressable by id ("f3".."f6", "e1".."e14") — with
 // uniform execution and rendering. cmd/ippsbench iterates it for the CLI
 // and internal/serve exposes it over HTTP, so a new experiment registered
 // here is immediately reachable from both.
@@ -218,6 +218,16 @@ var catalog = []CatalogEntry{
 			func() string { return CollectiveTable(cells) },
 			func() string { return CollectiveCSV(cells) },
 			func() string { return CollectiveJSON(cells) }), nil
+	}},
+	{"e14", "E14: policy zoo vs the paper's disciplines", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		cells, err := PolicyZoo(base, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return ZooTable(cells) },
+			func() string { return ZooCSV(cells) },
+			func() string { return ZooJSON(cells) }), nil
 	}},
 }
 

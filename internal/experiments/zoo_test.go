@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPolicyZooClaims encodes the E14 findings: SRPT ordering improves
+// static's mean at identical overhead, malleable equipartitioning beats
+// run-to-completion dynamic blocks, and dynamic per-group quanta trade
+// batch response for interactivity (higher overhead than plain RR-job).
+func TestPolicyZooClaims(t *testing.T) {
+	cells, err := PolicyZoo(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]ZooCell{}
+	for _, c := range cells {
+		byLabel[c.Label] = c
+	}
+	for _, want := range []string{"static", "time-shared", "dynamic", "static/none/srpt", "equi/none/fcfs", "shared/dynamic/fcfs"} {
+		if _, ok := byLabel[want]; !ok {
+			t.Fatalf("zoo missing row %q: %v", want, cells)
+		}
+	}
+	if srpt, static := byLabel["static/none/srpt"], byLabel["static"]; srpt.Mean >= static.Mean {
+		t.Errorf("SRPT mean %v not below static %v", srpt.Mean, static.Mean)
+	}
+	if equi, dyn := byLabel["equi/none/fcfs"], byLabel["dynamic"]; equi.Mean >= dyn.Mean {
+		t.Errorf("equi mean %v not below dynamic %v", equi.Mean, dyn.Mean)
+	}
+	if dq, ts := byLabel["shared/dynamic/fcfs"], byLabel["time-shared"]; dq.Overhead <= ts.Overhead {
+		t.Errorf("dynamic quanta overhead %.3f not above rr-job %.3f", dq.Overhead, ts.Overhead)
+	}
+	if !strings.Contains(ZooTable(cells), "E14") {
+		t.Error("table header missing")
+	}
+}

@@ -1,0 +1,95 @@
+package integration
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// The policy gate is the framework's bit-identical-default contract, checked
+// end to end through core.Run: composing the default policy components must
+// reproduce the legacy disciplines exactly — not statistically close, the
+// same simulation — and the modern compositions must be deterministic.
+// `make policy-gate` runs these plus TestGoldenValues and TestHashCompat*
+// under the race detector.
+
+// gateConfigs is one config per legacy discipline, spanning both
+// architectures and all three apps.
+func gateConfigs() []core.Config {
+	return []core.Config{
+		{PartitionSize: 16, Topology: topology.Linear, Policy: sched.TimeShared, App: core.MatMul, Arch: workload.Fixed},
+		{PartitionSize: 2, Topology: topology.Linear, Policy: sched.Static, App: core.Sort, Arch: workload.Fixed},
+		{PartitionSize: 8, Topology: topology.Hypercube, Policy: sched.RRProcess, App: core.Sort, Arch: workload.Adaptive},
+		{PartitionSize: 8, Topology: topology.Mesh, Policy: sched.Gang, App: core.Stencil, Arch: workload.Fixed},
+		{Policy: sched.DynamicSpace, Topology: topology.Mesh, App: core.MatMul, Arch: workload.Adaptive},
+	}
+}
+
+// TestPolicyGateSpelledEqualsLegacy: spelling each legacy discipline out as
+// its explicit component triple produces a deep-equal result — every job
+// record, node counter and network statistic — and the same row label, since
+// composite specs canonicalize onto the legacy name.
+func TestPolicyGateSpelledEqualsLegacy(t *testing.T) {
+	for _, cfg := range gateConfigs() {
+		cfg := cfg
+		t.Run(cfg.PolicyLabel(), func(t *testing.T) {
+			legacy, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spelled := cfg
+			spec := cfg.Policy.Spec()
+			spelled.PartitionPolicy = spec.Partition
+			spelled.QuantumPolicy = spec.Quantum
+			spelled.QueueOrder = spec.Order
+			if spelled.PolicyLabel() != cfg.PolicyLabel() {
+				t.Errorf("spelled label %q, legacy label %q", spelled.PolicyLabel(), cfg.PolicyLabel())
+			}
+			got, err := core.Run(spelled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, legacy) {
+				t.Errorf("spelled-out %s diverged from the legacy discipline:\nlegacy: %v\n  spec: %v",
+					cfg.PolicyLabel(), legacy, got)
+			}
+		})
+	}
+}
+
+// TestPolicyGateZooDeterminism: the zoo compositions — the disciplines with
+// no legacy equivalent — run to completion and are bit-deterministic across
+// repeated runs.
+func TestPolicyGateZooDeterminism(t *testing.T) {
+	zoo := []core.Config{
+		{PartitionSize: 4, Topology: topology.Mesh, Policy: sched.TimeShared,
+			QuantumPolicy: sched.QuantumDynamic, App: core.MatMul, Arch: workload.Adaptive},
+		{PartitionSize: 4, Topology: topology.Mesh, Policy: sched.Static,
+			QueueOrder: sched.OrderSRPT, App: core.Sort, Arch: workload.Adaptive},
+		{Topology: topology.Mesh, Policy: sched.DynamicSpace,
+			PartitionPolicy: sched.PartEqui, App: core.MatMul, Arch: workload.Adaptive},
+	}
+	for _, cfg := range zoo {
+		cfg := cfg
+		t.Run(cfg.PolicyLabel(), func(t *testing.T) {
+			first, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(first.Jobs) != 16 {
+				t.Fatalf("jobs = %d, want the paper's batch of 16", len(first.Jobs))
+			}
+			again, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, again) {
+				t.Errorf("%s not deterministic across runs", cfg.PolicyLabel())
+			}
+		})
+	}
+}

@@ -22,7 +22,7 @@ import (
 // one event so that all jobs arriving at the same instant are visible to
 // the equipartition heuristic before any block is granted.
 func (s *System) dynArrive(js *jobState) {
-	s.pending = append(s.pending, js)
+	s.pending = s.enqueue(s.pending, js)
 	s.k.AfterFunc(0, s.dynDispatch)
 }
 

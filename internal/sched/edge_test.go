@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Edge-path coverage for the pool-based disciplines (dynamic, equi) and
+// gang rotation: migration under load change, overload with more jobs than
+// processors, fault gating, and early departure mid-rotation.
+
+// TestEquiMigratesAsLoadGrows: a lone job takes the whole machine; when a
+// second arrives, the rebalance resizes the first down to the new
+// equipartition target via an honest migration (traced as "migrate"), and
+// both jobs still finish with all memory returned.
+func TestEquiMigratesAsLoadGrows(t *testing.T) {
+	mach := testMachine(8)
+	batch := syntheticBatch(2, 100*sim.Millisecond, workload.Adaptive)
+	batch[1].Arrival = 20 * sim.Millisecond
+	var log trace.Log
+	res := run(t, mach, Config{Policy: DynamicSpace, PartitionPolicy: PartEqui,
+		Topology: topology.Linear, Tracer: &log}, batch)
+	if len(res.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	migrations := 0
+	for _, e := range log.Events() {
+		if e.Cat == "migrate" {
+			migrations++
+		}
+	}
+	if migrations == 0 {
+		t.Error("no migrate events: the running job was never resized to the new target")
+	}
+	// The first job was resized down to the 4-node equipartition target and
+	// finished there; the survivor regrew onto the freed half afterwards.
+	for _, j := range res.Jobs {
+		if j.JobID == 0 && j.Processes != 4 {
+			t.Errorf("job 0 finished with %d processes, want the 4-node target", j.Processes)
+		}
+	}
+	for _, n := range mach.Nodes {
+		if n.Mem.Used() != 0 {
+			t.Errorf("node %d leaked %d bytes after migration", n.ID, n.Mem.Used())
+		}
+	}
+}
+
+// TestEquiShrinksAndRegrows: departures rebalance too — when the load drops
+// back to one job, the survivor is migrated up to a bigger block.
+func TestEquiShrinksAndRegrows(t *testing.T) {
+	mach := testMachine(8)
+	batch := syntheticBatch(2, 40*sim.Millisecond, workload.Adaptive)
+	// Job 1 carries far more work, so job 0 departs first and job 1 should
+	// be regrown onto the freed processors.
+	batch[1].App = workload.NewSynthetic(400*sim.Millisecond, 256, 1024, workload.DefaultAppCost())
+	var log trace.Log
+	res := run(t, mach, Config{Policy: DynamicSpace, PartitionPolicy: PartEqui,
+		Topology: topology.Linear, Tracer: &log}, batch)
+	var survivor *int
+	for i := range res.Jobs {
+		if res.Jobs[i].JobID == 1 {
+			survivor = &res.Jobs[i].Processes
+		}
+	}
+	if survivor == nil {
+		t.Fatal("job 1 never completed")
+	}
+	if *survivor != 8 {
+		t.Errorf("survivor finished with %d processes, want the whole machine after regrow", *survivor)
+	}
+}
+
+// TestEquiOverloadKeepsExcessQueued: more jobs than processors clamps the
+// target to single-node blocks and leaves the excess queued; everything
+// still completes, nothing leaks.
+func TestEquiOverloadKeepsExcessQueued(t *testing.T) {
+	mach := testMachine(4)
+	res := run(t, mach, Config{Policy: DynamicSpace, PartitionPolicy: PartEqui,
+		Topology: topology.Linear},
+		syntheticBatch(6, 20*sim.Millisecond, workload.Adaptive))
+	if len(res.Jobs) != 6 {
+		t.Fatalf("jobs = %d, want all 6 despite the overload", len(res.Jobs))
+	}
+	// While all six are in the system the target clamps to one node, so the
+	// earliest completions ran on single-node blocks (late survivors regrow
+	// as departures free processors).
+	if first := res.Jobs[0]; first.Processes != 1 {
+		t.Errorf("first completion got %d processes, want a single-node block under overload", first.Processes)
+	}
+	for _, n := range mach.Nodes {
+		if n.Mem.Used() != 0 {
+			t.Errorf("node %d leaked %d bytes", n.ID, n.Mem.Used())
+		}
+	}
+}
+
+// TestEquiRejectsActiveFaults: fault injection is rejected at New for the
+// malleable policy (its migrations and the repair machinery would fight
+// over teardown), while an inert fault config stays accepted.
+func TestEquiRejectsActiveFaults(t *testing.T) {
+	mach := testMachine(8)
+	defer mach.K.Shutdown()
+	_, err := New(Config{Machine: mach, Policy: DynamicSpace, PartitionPolicy: PartEqui,
+		Topology: topology.Linear,
+		Fault: &fault.Config{NodeMTBF: 500 * sim.Millisecond, NodeMTTR: 50 * sim.Millisecond,
+			Horizon: sim.Second}})
+	if err == nil || !strings.Contains(err.Error(), "malleable equipartitioning") {
+		t.Errorf("active faults with equi: err = %v", err)
+	}
+	if _, err := New(Config{Machine: mach, Policy: DynamicSpace, PartitionPolicy: PartEqui,
+		Topology: topology.Linear, Fault: &fault.Config{}}); err != nil {
+		t.Errorf("inert fault config rejected: %v", err)
+	}
+}
+
+// TestDynamicOverloadSingleNodeBlocks: the non-malleable pool policy under
+// the same overload — granted blocks clamp to one node and queued jobs wait
+// for releases; run-to-completion still holds for every job.
+func TestDynamicOverloadSingleNodeBlocks(t *testing.T) {
+	mach := testMachine(4)
+	res := run(t, mach, Config{Policy: DynamicSpace, Topology: topology.Linear},
+		syntheticBatch(8, 10*sim.Millisecond, workload.Adaptive))
+	if len(res.Jobs) != 8 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	// At most 4 can run at once; the rest queue. Every job must wait no
+	// job starts before the batch is submitted, and the last completion
+	// defines a makespan at least two "waves" long.
+	if res.Makespan <= res.Jobs[0].Response() {
+		t.Errorf("makespan %v not beyond the first wave", res.Makespan)
+	}
+	for _, n := range mach.Nodes {
+		if n.Mem.Used() != 0 {
+			t.Errorf("node %d leaked %d bytes", n.ID, n.Mem.Used())
+		}
+	}
+}
+
+// TestGangEarlyDepartureContinuesRotation: two gang jobs share a partition;
+// the short one departs mid-rotation and the survivor must keep running to
+// completion (the rotation collapses to a single resident).
+func TestGangEarlyDepartureContinuesRotation(t *testing.T) {
+	mach := testMachine(4)
+	batch := syntheticBatch(2, 30*sim.Millisecond, workload.Adaptive)
+	batch[1].App = workload.NewSynthetic(300*sim.Millisecond, 256, 1024, workload.DefaultAppCost())
+	res := run(t, mach, Config{PartitionSize: 4, Topology: topology.Linear, Policy: Gang,
+		BasicQuantum: 5 * sim.Millisecond}, batch)
+	if len(res.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	if res.Jobs[0].JobID != 0 {
+		t.Errorf("short job did not depart first: completion order %d, %d",
+			res.Jobs[0].JobID, res.Jobs[1].JobID)
+	}
+	for _, n := range mach.Nodes {
+		if n.Mem.Used() != 0 {
+			t.Errorf("node %d leaked %d bytes", n.ID, n.Mem.Used())
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package sched
+
+// QueueOrder implementations. The order applies wherever jobs wait: the
+// global ready queue of the space-sharing policies and the per-partition
+// admission queues of the time-sharing policies (when MaxResident caps the
+// set size). Insertion is stable — see System.enqueue — so ties always
+// break by arrival.
+
+import "repro/internal/sim"
+
+// estRemaining estimates a job's remaining sequential work: the app's total
+// demand minus checkpointed credit (a restarted job replays its snapshot,
+// so only the work past it remains).
+func estRemaining(js *jobState) sim.Time {
+	w := js.job.App.SequentialWork()
+	for _, c := range js.ckpt {
+		w -= c
+	}
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// fcfsOrder is the paper's ready queue: explicit priority bands (higher
+// first), arrival order within a band. This is exactly the pre-framework
+// insert, so it is the bit-identical default.
+type fcfsOrder struct{}
+
+func (fcfsOrder) Kind() OrderKind { return OrderFCFS }
+
+func (fcfsOrder) Before(a, b *jobState) bool {
+	return a.job.Priority > b.job.Priority
+}
+
+// priorityOrder refines the bands: within a priority band, the job with the
+// least estimated work runs first.
+type priorityOrder struct{}
+
+func (priorityOrder) Kind() OrderKind { return OrderPriority }
+
+func (priorityOrder) Before(a, b *jobState) bool {
+	if a.job.Priority != b.job.Priority {
+		return a.job.Priority > b.job.Priority
+	}
+	return estRemaining(a) < estRemaining(b)
+}
+
+// srptOrder runs the job with the shortest remaining estimated work first,
+// ignoring explicit priorities — SRPT-like (selection is preemptive only
+// across dispatch decisions; running jobs are not displaced).
+type srptOrder struct{}
+
+func (srptOrder) Kind() OrderKind { return OrderSRPT }
+
+func (srptOrder) Before(a, b *jobState) bool {
+	return estRemaining(a) < estRemaining(b)
+}

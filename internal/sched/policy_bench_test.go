@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// BenchmarkPolicyDispatch measures the scheduling hot path end to end: a
+// small closed batch run under each discipline, dominated by dispatch,
+// quantum and queue decisions rather than application compute. The
+// benchmark deliberately uses only the legacy Config surface, so the
+// identical source measures the pre-framework switch dispatch and the
+// pluggable interface dispatch head to head.
+func BenchmarkPolicyDispatch(b *testing.B) {
+	bench := func(b *testing.B, cfg Config) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			k := sim.NewKernel(1)
+			mach := machine.NewMachine(k, 8, 64<<20, machine.DefaultCostModel())
+			cfg := cfg
+			cfg.Machine = mach
+			batch := make(workload.Batch, 12)
+			for j := range batch {
+				batch[j] = &workload.Job{
+					ID: j, Class: "small", Arch: workload.Adaptive,
+					App: workload.NewSynthetic(2*sim.Millisecond, 256, 1024, workload.DefaultAppCost()),
+				}
+			}
+			sys, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.RunBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			k.Shutdown()
+		}
+	}
+	b.Run("static", func(b *testing.B) {
+		bench(b, Config{PartitionSize: 4, Topology: topology.Linear, Policy: Static})
+	})
+	b.Run("time-shared", func(b *testing.B) {
+		bench(b, Config{PartitionSize: 4, Topology: topology.Linear, Policy: TimeShared,
+			BasicQuantum: sim.Millisecond})
+	})
+	b.Run("gang", func(b *testing.B) {
+		bench(b, Config{PartitionSize: 4, Topology: topology.Linear, Policy: Gang,
+			BasicQuantum: sim.Millisecond})
+	})
+}

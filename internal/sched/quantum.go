@@ -1,0 +1,116 @@
+package sched
+
+// QuantumPolicy implementations. QuantumFor is consulted once per launch in
+// startProcs; Started/Departed bracket a job's residency on its partition
+// so stateful policies (gang rotation, dynamic per-group quanta) can react.
+
+import "repro/internal/sim"
+
+// noQuantum leaves the hardware default quantum in place — the static and
+// dynamic space-sharing disciplines, whose partitions hold one job.
+type noQuantum struct{}
+
+func (noQuantum) Kind() QuantumKind                                     { return QuantumNone }
+func (noQuantum) QuantumFor(s *System, part *Partition, t int) sim.Time { return 0 }
+func (noQuantum) Started(s *System, part *Partition, js *jobState)      {}
+func (noQuantum) Departed(s *System, part *Partition, js *jobState)     {}
+
+// rrJobQuantum is the paper's RR-job rule: Q = (P/T)·q shares processing
+// power equally per job rather than per process.
+type rrJobQuantum struct{}
+
+func (rrJobQuantum) Kind() QuantumKind { return QuantumRRJob }
+
+func (rrJobQuantum) QuantumFor(s *System, part *Partition, t int) sim.Time {
+	q := sim.Time(int64(part.size) * int64(s.cfg.BasicQuantum) / int64(t))
+	if q < sim.Microsecond {
+		q = sim.Microsecond
+	}
+	return q
+}
+
+func (rrJobQuantum) Started(s *System, part *Partition, js *jobState)  {}
+func (rrJobQuantum) Departed(s *System, part *Partition, js *jobState) {}
+
+// fixedQuantum gives every process the same basic quantum — the naive
+// round-robin baseline §2.2 argues against.
+type fixedQuantum struct{}
+
+func (fixedQuantum) Kind() QuantumKind                                     { return QuantumFixed }
+func (fixedQuantum) QuantumFor(s *System, part *Partition, t int) sim.Time { return s.cfg.BasicQuantum }
+func (fixedQuantum) Started(s *System, part *Partition, js *jobState)      {}
+func (fixedQuantum) Departed(s *System, part *Partition, js *jobState)     {}
+
+// gangQuantum coschedules: exactly one job's processes run at a time per
+// partition and whole jobs rotate every basic quantum (see gang.go). The
+// per-process quantum stays at the hardware default, as before the
+// framework.
+type gangQuantum struct{}
+
+func (gangQuantum) Kind() QuantumKind                                     { return QuantumGang }
+func (gangQuantum) QuantumFor(s *System, part *Partition, t int) sim.Time { return 0 }
+
+func (gangQuantum) Started(s *System, part *Partition, js *jobState) {
+	s.gangJoin(part, js)
+}
+
+func (gangQuantum) Departed(s *System, part *Partition, js *jobState) {
+	s.gangLeave(part, js)
+}
+
+// dynamicQuantum generalises RR-job to react to load: every launched job on
+// the partition runs with Q = (P/(T·R))·q for R resident jobs, re-derived
+// whenever a job starts or departs. With one resident job it degenerates to
+// RR-job; as the set grows, slices shrink so a job's wait for its next
+// slice stays near the basic quantum — the dynamic-time-quantum family of
+// the RR-scheduling literature, which the Transputer's fixed hardware
+// quantum could not express.
+type dynamicQuantum struct{}
+
+func (dynamicQuantum) Kind() QuantumKind { return QuantumDynamic }
+
+func (dynamicQuantum) QuantumFor(s *System, part *Partition, t int) sim.Time {
+	return dynQuantum(s, part, t, len(part.jobs))
+}
+
+func (d dynamicQuantum) Started(s *System, part *Partition, js *jobState) {
+	d.retune(s, part)
+}
+
+func (d dynamicQuantum) Departed(s *System, part *Partition, js *jobState) {
+	d.retune(s, part)
+}
+
+// retune re-derives the quantum of every launched job on the partition for
+// the current resident count. Jobs still loading have no tasks yet; they
+// pick up the then-current quantum in startProcs.
+func (dynamicQuantum) retune(s *System, part *Partition) {
+	r := len(part.jobs)
+	if r < 1 {
+		return
+	}
+	for _, js := range part.jobs {
+		if js.env == nil {
+			continue
+		}
+		q := dynQuantum(s, part, len(js.env.Ranks), r)
+		for _, b := range js.env.Ranks {
+			b.Task.SetQuantum(q)
+		}
+	}
+}
+
+// dynQuantum computes Q = (P/(T·R))·q, floored at one microsecond.
+func dynQuantum(s *System, part *Partition, t, r int) sim.Time {
+	if t < 1 {
+		t = 1
+	}
+	if r < 1 {
+		r = 1
+	}
+	q := sim.Time(int64(part.size) * int64(s.cfg.BasicQuantum) / int64(t*r))
+	if q < sim.Microsecond {
+		q = sim.Microsecond
+	}
+	return q
+}

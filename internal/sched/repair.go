@@ -181,23 +181,7 @@ func (s *System) onNodeUp(g int) {
 	if part.degraded() {
 		return
 	}
-	switch s.cfg.Policy {
-	case Static:
-		s.dispatchNext(part)
-	case TimeShared, RRProcess, Gang:
-		// First the jobs stalled with nowhere to run, then this partition's
-		// own admission queue.
-		for len(s.stalled) > 0 {
-			alt := s.survivingPartition()
-			if alt == nil {
-				return
-			}
-			js := s.stalled[0]
-			s.stalled = s.stalled[1:]
-			s.place(alt, js)
-		}
-		s.drainQueue(part)
-	}
+	s.partpol.Healthy(s, part)
 }
 
 // drainQueue launches queued jobs while the partition has admission slots.
@@ -223,9 +207,7 @@ func (s *System) killJob(js *jobState) {
 	s.runningNow--
 	removeJob(part, js)
 	if js.env != nil {
-		if s.cfg.Policy == Gang {
-			s.gangLeave(part, js)
-		}
+		s.quant.Departed(s, part, js)
 		// Pull the tasks off the CPUs first so no aborted process gets
 		// another slice (and so in-flight burst accounting is settled for
 		// the WorkLost measurement), then abort: each process unwinds at
@@ -265,15 +247,7 @@ func (s *System) killJob(js *jobState) {
 	js.loaded = false
 	trace.Emit(s.cfg.Tracer, s.k.Now(), "fault", js.job.String(),
 		fmt.Sprintf("killed on partition %d (restart %d)", part.idx, js.restarts))
-	switch s.cfg.Policy {
-	case Static:
-		part.busy = false
-	case TimeShared, RRProcess, Gang:
-		part.resident--
-		if !part.degraded() {
-			s.drainQueue(part)
-		}
-	}
+	s.partpol.Killed(s, part)
 }
 
 // requeueAfterKill returns a killed job to a ready queue, charging its
@@ -289,17 +263,7 @@ func (s *System) requeueAfterKill(js *jobState) {
 		return
 	}
 	s.faultStats.Requeues++
-	switch s.cfg.Policy {
-	case Static:
-		s.arriveStatic(js)
-	case TimeShared, RRProcess, Gang:
-		alt := s.survivingPartition()
-		if alt == nil {
-			s.stalled = append(s.stalled, js)
-			return
-		}
-		s.place(alt, js)
-	}
+	s.partpol.Requeue(s, js)
 }
 
 // onDeliveryFailure handles a message abandoned by the retry machinery: the

@@ -19,6 +19,12 @@
 //   - RRProcess: the naive round-robin that gives every process the same
 //     fixed quantum q, so jobs with more processes get more power — the
 //     unfair baseline of Majumdar, Eager & Bunt that §2.2 argues against.
+//
+// Internally every discipline — those above plus the Gang, DynamicSpace and
+// zoo extensions — is a composition of three pluggable components
+// (PartitionPolicy, QuantumPolicy, QueueOrder; see policy.go). The legacy
+// Policy enum names the five built-in composites, and Config's component
+// fields override individual components to form new disciplines.
 package sched
 
 import (
@@ -105,8 +111,16 @@ type Config struct {
 	// Mode is the switching discipline (store-and-forward reproduces the
 	// paper; wormhole is the ablation).
 	Mode comm.Mode
-	// Policy is the scheduling discipline.
+	// Policy is the scheduling discipline: one of the five built-in
+	// composites of the three policy components.
 	Policy Policy
+	// PartitionPolicy, QuantumPolicy and QueueOrder override individual
+	// policy components; zero values inherit the component from Policy, so
+	// a config that sets none of them behaves (and hashes) exactly as
+	// before these fields existed.
+	PartitionPolicy PartitionKind
+	QuantumPolicy   QuantumKind
+	QueueOrder      OrderKind
 	// BasicQuantum is q in Q = (P/T)·q. Zero defaults to the hardware
 	// quantum from the machine's cost model.
 	BasicQuantum sim.Time
@@ -132,16 +146,24 @@ type System struct {
 	k     *sim.Kernel
 	parts []*Partition
 
-	pending   []*jobState // global FCFS ready queue (static and dynamic)
+	// The resolved policy components (see policy.go). spec is the
+	// fully-resolved triple; the three objects implement it.
+	spec    PolicySpec
+	partpol PartitionPolicy
+	quant   QuantumPolicy
+	order   QueueOrder
+
+	pending   []*jobState // global ready queue (space-sharing policies), in queue order
 	records   []metrics.JobRecord
 	remaining int
 	started   int
 	used      bool
 
-	// Dynamic space-sharing state.
+	// Buddy-pool state (dynamic and equi space-sharing).
 	pool       *buddy
 	dynParts   []*Partition
 	dynRunning int
+	equiJobs   []*jobState // running malleable jobs, in admission order
 
 	// Fault-injection and repair state (see repair.go).
 	inj        *fault.Injector
@@ -201,26 +223,37 @@ type jobState struct {
 	ckpt []sim.Time
 }
 
-// New validates the configuration and builds the partitions.
+// New validates the configuration, resolves the policy components and
+// builds the partition state.
 func New(cfg Config) (*System, error) {
 	if cfg.Machine == nil {
 		return nil, fmt.Errorf("sched: nil machine")
 	}
-	size := cfg.Machine.Size()
 	if cfg.BasicQuantum == 0 {
 		cfg.BasicQuantum = cfg.Machine.Cost.Quantum
 	}
 	if cfg.BasicQuantum < 0 {
 		return nil, fmt.Errorf("sched: negative basic quantum %v", cfg.BasicQuantum)
 	}
+	spec, err := ResolveSpec(cfg.Policy, cfg.PartitionPolicy, cfg.QuantumPolicy, cfg.QueueOrder)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, k: cfg.Machine.K, spec: spec}
+	s.partpol, s.quant, s.order = spec.policies()
+	poolBased := spec.Partition == PartBuddy || spec.Partition == PartEqui
 	if cfg.Fault != nil {
 		if err := cfg.Fault.Validate(); err != nil {
 			return nil, err
 		}
 		f := *cfg.Fault
 		enabled := f.Active() || f.Reliable() || f.Checkpointing()
-		if cfg.Policy == DynamicSpace && enabled {
-			return nil, fmt.Errorf("sched: fault injection is not supported with dynamic space-sharing")
+		if poolBased && enabled {
+			name := "dynamic space-sharing"
+			if spec.Partition == PartEqui {
+				name = "malleable equipartitioning"
+			}
+			return nil, fmt.Errorf("sched: fault injection is not supported with %s", name)
 		}
 		if cfg.Mode == comm.Wormhole && (f.LinkMTBF > 0 || f.DropProb > 0 || f.Reliable()) {
 			return nil, fmt.Errorf("sched: link faults, message drops and reliable delivery require store-and-forward mode")
@@ -229,63 +262,17 @@ func New(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("sched: link faults and message drops need RetryTimeout (reliable delivery) to recover lost messages")
 		}
 	}
-	if cfg.Policy == DynamicSpace {
-		// No fixed partitions: blocks come from a buddy pool per job.
-		// PartitionSize caps a single job's block (0 = whole machine).
-		if size&(size-1) != 0 {
-			return nil, fmt.Errorf("sched: dynamic space-sharing needs a power-of-two machine, got %d", size)
-		}
-		if cap := cfg.PartitionSize; cap != 0 && (cap < 1 || cap&(cap-1) != 0 || cap > size) {
-			return nil, fmt.Errorf("sched: dynamic block cap %d must be a power of two <= %d", cap, size)
-		}
-		// Every possible block size must be wireable in the configured
-		// topology (hypercube needs powers of two, which blocks are).
-		for bs := 1; bs <= size; bs <<= 1 {
-			if _, err := topology.Build(cfg.Topology, bs); err != nil {
-				return nil, err
-			}
-		}
-		s := &System{cfg: cfg, k: cfg.Machine.K, pool: newBuddy(size)}
-		for _, n := range cfg.Machine.Nodes {
-			n.CPU.SetSwitchCost(cfg.Machine.Cost.JobSwitch)
-		}
-		return s, nil
-	}
-	p := cfg.PartitionSize
-	if p < 1 || size%p != 0 {
-		return nil, fmt.Errorf("sched: partition size %d must divide machine size %d", p, size)
-	}
-	graph, err := topology.Build(cfg.Topology, p)
-	if err != nil {
+	if err := s.partpol.Setup(s); err != nil {
 		return nil, err
-	}
-	s := &System{cfg: cfg, k: cfg.Machine.K}
-	for i := 0; i < size/p; i++ {
-		nodes := make([]int, p)
-		for j := range nodes {
-			nodes[j] = i*p + j
-		}
-		// The graph is read-only after construction, so all partitions share
-		// it; links are created per network.
-		net, err := comm.NewNetwork(cfg.Machine, nodes, graph, cfg.Mode)
-		if err != nil {
-			return nil, err
-		}
-		part := &Partition{
-			idx:      i,
-			size:     p,
-			net:      net,
-			nodeDown: make([]bool, p),
-		}
-		part.net.SetTracer(cfg.Tracer)
-		s.parts = append(s.parts, part)
 	}
 	// The local schedulers' job-switch overhead applies machine-wide.
 	for _, n := range cfg.Machine.Nodes {
 		n.CPU.SetSwitchCost(cfg.Machine.Cost.JobSwitch)
 	}
-	if err := s.wireFaults(); err != nil {
-		return nil, err
+	if !poolBased {
+		if err := s.wireFaults(); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -320,27 +307,8 @@ func (s *System) RunBatch(batch workload.Batch) (*metrics.Result, error) {
 
 	// Jobs enter the system at their arrival times (zero for the paper's
 	// closed batches; the open-system experiments set Poisson arrivals).
-	switch s.cfg.Policy {
-	case Static:
-		for _, js := range jobs {
-			js := js
-			s.atArrival(js, func() { s.arriveStatic(js) })
-		}
-	case TimeShared, RRProcess, Gang:
-		// Jobs are distributed equitably — job i to partition i mod
-		// #partitions, giving the multiprogramming level 16/(16/p) of §5.1 —
-		// and started on arrival unless MaxResident caps the set size.
-		for i, js := range jobs {
-			i, js := i, js
-			s.atArrival(js, func() { s.admit(s.parts[i%len(s.parts)], js) })
-		}
-	case DynamicSpace:
-		for _, js := range jobs {
-			js := js
-			s.atArrival(js, func() { s.dynArrive(js) })
-		}
-	default:
-		return nil, fmt.Errorf("sched: unknown policy %v", s.cfg.Policy)
+	for i, js := range jobs {
+		s.partpol.Arrive(s, js, i)
 	}
 
 	s.k.Run()
@@ -382,18 +350,11 @@ func (s *System) atArrival(js *jobState, fn func()) {
 	s.k.AtFunc(js.job.Arrival, fn)
 }
 
-// arriveStatic enqueues a job in the global ready queue — ordered by
-// priority (higher first), FCFS within a priority — and offers it to the
-// free partitions.
-func (s *System) arriveStatic(js *jobState) {
-	// Stable insert: after every queued job with priority >= ours.
-	at := len(s.pending)
-	for at > 0 && s.pending[at-1].job.Priority < js.job.Priority {
-		at--
-	}
-	s.pending = append(s.pending, nil)
-	copy(s.pending[at+1:], s.pending[at:])
-	s.pending[at] = js
+// arriveReady enqueues a job in the global ready queue — ordered by the
+// configured QueueOrder (FCFS within priority bands by default) — and
+// offers it to the free partitions.
+func (s *System) arriveReady(js *jobState) {
+	s.pending = s.enqueue(s.pending, js)
 	for _, part := range s.parts {
 		s.dispatchNext(part)
 	}
@@ -419,7 +380,7 @@ func (s *System) admit(part *Partition, js *jobState) {
 // MaxResident admission cap.
 func (s *System) place(part *Partition, js *jobState) {
 	if s.cfg.MaxResident > 0 && part.resident >= s.cfg.MaxResident {
-		part.queue = append(part.queue, js)
+		part.queue = s.enqueue(part.queue, js)
 		return
 	}
 	part.resident++
@@ -514,7 +475,7 @@ func (s *System) startProcs(part *Partition, js *jobState) {
 		js.ckpt = make([]sim.Time, t)
 	}
 
-	quantum := s.quantumFor(part, t)
+	quantum := s.quant.QuantumFor(s, part, t)
 	for r := 0; r < t; r++ {
 		binding := env.Ranks[r]
 		binding.Task.SetGroup(js.job.ID)
@@ -522,9 +483,7 @@ func (s *System) startProcs(part *Partition, js *jobState) {
 			binding.Task.SetQuantum(quantum)
 		}
 	}
-	if s.cfg.Policy == Gang {
-		s.gangJoin(part, js)
-	}
+	s.quant.Started(s, part, js)
 	epoch := js.epoch
 	for r := 0; r < t; r++ {
 		binding := env.Ranks[r]
@@ -563,26 +522,8 @@ func (s *System) startProcs(part *Partition, js *jobState) {
 	s.armCheckpoint(js)
 }
 
-// quantumFor computes the per-process timeslice for a job with t processes
-// on the partition: Q = (P/T)·q for the RR-job policy, the fixed basic
-// quantum for RRProcess, and the hardware default (0 = unset) for static.
-func (s *System) quantumFor(part *Partition, t int) sim.Time {
-	switch s.cfg.Policy {
-	case TimeShared:
-		q := sim.Time(int64(part.size) * int64(s.cfg.BasicQuantum) / int64(t))
-		if q < sim.Microsecond {
-			q = sim.Microsecond
-		}
-		return q
-	case RRProcess:
-		return s.cfg.BasicQuantum
-	default:
-		return 0
-	}
-}
-
 // procDone accounts a finished process; the job completes with its last
-// process, at which point a static partition pulls the next queued job.
+// process, at which point the partition policy dispatches successors.
 func (s *System) procDone(js *jobState) {
 	js.procsLeft--
 	if js.procsLeft > 0 {
@@ -599,26 +540,14 @@ func (s *System) procDone(js *jobState) {
 	for i := 0; i < js.part.size; i++ {
 		js.part.net.NodeOf(i).Mem.FreeBytes(workload.CodeBytes)
 	}
-	switch s.cfg.Policy {
-	case Static:
-		js.part.busy = false
-		s.dispatchNext(js.part)
-	case TimeShared, RRProcess, Gang:
-		part := js.part
-		if s.cfg.Policy == Gang {
-			s.gangLeave(part, js)
-		}
-		part.resident--
-		s.drainQueue(part)
-	case DynamicSpace:
-		s.dynComplete(js)
-	}
+	s.quant.Departed(s, js.part, js)
+	s.partpol.Complete(s, js)
 }
 
 // buildResult collects job records and machine/network statistics.
 func (s *System) buildResult() *metrics.Result {
 	res := &metrics.Result{
-		Label: fmt.Sprintf("%d%s %s", s.cfg.PartitionSize, s.cfg.Topology.Letter(), s.cfg.Policy),
+		Label: fmt.Sprintf("%d%s %s", s.cfg.PartitionSize, s.cfg.Topology.Letter(), s.spec),
 		Jobs:  s.records,
 	}
 	for _, rec := range s.records {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -165,6 +166,18 @@ func SpecFromConfig(cfg core.Config) (ConfigSpec, error) {
 	// the zero value round-trips through its canonical name.
 	spec.Topology = cfg.Topology.String()
 	spec.Policy = cfg.Policy.String()
+	// Policy-component overrides are emitted only when set: a legacy config
+	// produces the exact pre-framework wire bytes, keeping cluster routing
+	// keys (and every warm cache) stable.
+	if cfg.PartitionPolicy != sched.PartDefault {
+		spec.PartitionPolicy = cfg.PartitionPolicy.String()
+	}
+	if cfg.QuantumPolicy != sched.QuantumDefault {
+		spec.QuantumPolicy = cfg.QuantumPolicy.String()
+	}
+	if cfg.QueueOrder != sched.OrderDefault {
+		spec.QueueOrder = cfg.QueueOrder.String()
+	}
 	spec.App = cfg.App.String()
 	spec.Arch = cfg.Arch.String()
 	spec.Mode = cfg.Mode.String()

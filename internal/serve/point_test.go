@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/topology"
 )
 
 func postPoint(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
@@ -99,6 +101,53 @@ func TestScheddPointConfigRoundTrip(t *testing.T) {
 	bad.Verify = true
 	if _, err := SpecFromConfig(bad); err == nil {
 		t.Error("SpecFromConfig accepted a Verify config")
+	}
+}
+
+// TestScheddPointPolicySpecWire: policy-component overrides round-trip
+// through the wire form with their hash intact, and a legacy config emits
+// the exact pre-framework JSON bytes — the stability cluster routing keys
+// depend on.
+func TestScheddPointPolicySpecWire(t *testing.T) {
+	spec := ConfigSpec{Topology: "mesh", Policy: "ts",
+		PartitionPolicy: "equi", QuantumPolicy: "dynamic", QueueOrder: "srpt"}
+	cfg, err := spec.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PartitionPolicy != sched.PartEqui || cfg.QuantumPolicy != sched.QuantumDynamic ||
+		cfg.QueueOrder != sched.OrderSRPT {
+		t.Fatalf("ToConfig dropped overrides: %+v", cfg)
+	}
+	back, err := SpecFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PartitionPolicy != "equi" || back.QuantumPolicy != "dynamic" || back.QueueOrder != "srpt" {
+		t.Errorf("SpecFromConfig overrides = %q/%q/%q", back.PartitionPolicy, back.QuantumPolicy, back.QueueOrder)
+	}
+	cfg2, err := back.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MustHash() != cfg2.MustHash() {
+		t.Errorf("wire round trip changed the canonical hash")
+	}
+
+	// A legacy config's encoded point request must not mention the new
+	// fields at all: byte-stable wire form, byte-stable routing keys.
+	legacy, err := SpecFromConfig(core.Config{Policy: sched.Gang, Topology: topology.Mesh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodePointRequest(PointRequest{Config: legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"partition_policy", "quantum_policy", "queue_order"} {
+		if bytes.Contains(b, []byte(field)) {
+			t.Errorf("legacy wire form leaked %s: %s", field, b)
+		}
 	}
 }
 

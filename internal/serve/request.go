@@ -20,7 +20,7 @@ import (
 )
 
 // RunRequest is the POST /v1/run body: either a named experiment from the
-// catalog ("f3".."f6", "e1".."e12") or a single config-shaped run. Every
+// catalog ("f3".."f6", "e1".."e14") or a single config-shaped run. Every
 // field is optional; zero values are the paper's defaults, exactly as in
 // core.Config.
 type RunRequest struct {
@@ -42,19 +42,25 @@ type RunRequest struct {
 // It exists so the HTTP API is stable JSON with validation, not a raw dump
 // of internal types.
 type ConfigSpec struct {
-	Processors    int    `json:"processors,omitempty"`
-	MemoryBytes   int64  `json:"memory_bytes,omitempty"`
-	Partition     int    `json:"partition,omitempty"`
-	Topology      string `json:"topology,omitempty"`
-	Policy        string `json:"policy,omitempty"`
-	App           string `json:"app,omitempty"`
-	Arch          string `json:"arch,omitempty"`
-	Mode          string `json:"mode,omitempty"`
-	Order         string `json:"order,omitempty"`
-	QuantumUS     int64  `json:"quantum_us,omitempty"`
-	MPL           int    `json:"mpl,omitempty"`
-	Seed          int64  `json:"seed,omitempty"`
-	SampleEveryUS int64  `json:"sample_every_us,omitempty"`
+	Processors  int    `json:"processors,omitempty"`
+	MemoryBytes int64  `json:"memory_bytes,omitempty"`
+	Partition   int    `json:"partition,omitempty"`
+	Topology    string `json:"topology,omitempty"`
+	Policy      string `json:"policy,omitempty"`
+	// PartitionPolicy, QuantumPolicy and QueueOrder override individual
+	// policy components by name ("equi", "dynamic", "srpt", ...); empty
+	// inherits the component from Policy, exactly as in core.Config.
+	PartitionPolicy string `json:"partition_policy,omitempty"`
+	QuantumPolicy   string `json:"quantum_policy,omitempty"`
+	QueueOrder      string `json:"queue_order,omitempty"`
+	App             string `json:"app,omitempty"`
+	Arch            string `json:"arch,omitempty"`
+	Mode            string `json:"mode,omitempty"`
+	Order           string `json:"order,omitempty"`
+	QuantumUS       int64  `json:"quantum_us,omitempty"`
+	MPL             int    `json:"mpl,omitempty"`
+	Seed            int64  `json:"seed,omitempty"`
+	SampleEveryUS   int64  `json:"sample_every_us,omitempty"`
 
 	Fault *FaultSpec `json:"fault,omitempty"`
 }
@@ -160,6 +166,21 @@ func (s ConfigSpec) ToConfig() (core.Config, error) {
 	}
 	if s.Policy != "" {
 		if cfg.Policy, err = sched.ParsePolicy(s.Policy); err != nil {
+			return cfg, err
+		}
+	}
+	if s.PartitionPolicy != "" {
+		if cfg.PartitionPolicy, err = sched.ParsePartitionKind(s.PartitionPolicy); err != nil {
+			return cfg, err
+		}
+	}
+	if s.QuantumPolicy != "" {
+		if cfg.QuantumPolicy, err = sched.ParseQuantumKind(s.QuantumPolicy); err != nil {
+			return cfg, err
+		}
+	}
+	if s.QueueOrder != "" {
+		if cfg.QueueOrder, err = sched.ParseOrderKind(s.QueueOrder); err != nil {
 			return cfg, err
 		}
 	}

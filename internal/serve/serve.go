@@ -46,6 +46,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 )
 
 // Options tunes a Server. Zero values take the listed defaults.
@@ -257,6 +258,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/point", s.handlePoint)
 	mux.HandleFunc("/v1/experiments", s.handleExperiments)
+	mux.HandleFunc("/v1/policies", s.handlePolicies)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -557,6 +559,32 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(items)
+}
+
+// handlePolicies lists the scheduling-policy vocabulary: the built-in
+// composite disciplines and the three component tables a ConfigSpec can
+// compose freely (partition_policy, quantum_policy, queue_order).
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type catalog struct {
+		Policies   []sched.PolicyInfo `json:"policies"`
+		Partitions []sched.PolicyInfo `json:"partition_policies"`
+		Quanta     []sched.PolicyInfo `json:"quantum_policies"`
+		Orders     []sched.PolicyInfo `json:"queue_orders"`
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(catalog{
+		Policies:   sched.Policies(),
+		Partitions: sched.PartitionPolicies(),
+		Quanta:     sched.QuantumPolicies(),
+		Orders:     sched.QueueOrders(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -292,6 +292,65 @@ func TestScheddExperimentsListing(t *testing.T) {
 	}
 }
 
+// TestScheddPoliciesListing: GET /v1/policies exposes the composite
+// disciplines and all three component vocabularies with their aliases.
+func TestScheddPoliciesListing(t *testing.T) {
+	s := testServer(t, Options{})
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/policies", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d", rr.Code)
+	}
+	body := rr.Body.String()
+	for _, key := range []string{"policies", "partition_policies", "quantum_policies", "queue_orders"} {
+		if !strings.Contains(body, fmt.Sprintf("%q", key)) {
+			t.Errorf("listing missing section %s", key)
+		}
+	}
+	for _, name := range []string{"static", "time-shared", "gang", "equi", "dynamic", "srpt", "priority", "rrjob"} {
+		if !strings.Contains(body, fmt.Sprintf("%q", name)) {
+			t.Errorf("listing missing policy %s", name)
+		}
+	}
+	if post := httptest.NewRecorder(); true {
+		s.Handler().ServeHTTP(post, httptest.NewRequest(http.MethodPost, "/v1/policies", nil))
+		if post.Code != http.StatusMethodNotAllowed {
+			t.Errorf("POST /v1/policies: status %d, want 405", post.Code)
+		}
+	}
+}
+
+// TestScheddComposedPolicyRun: a config composing zoo components runs over
+// /v1/run, caches under its own key, and is distinct from the legacy
+// discipline it extends.
+func TestScheddComposedPolicyRun(t *testing.T) {
+	s := testServer(t, Options{})
+	h := s.Handler()
+
+	legacy := postRun(t, h, `{"config":{"partition":4,"topology":"mesh","policy":"ts"}}`)
+	if legacy.Code != http.StatusOK {
+		t.Fatalf("legacy run: status %d, body %s", legacy.Code, legacy.Body)
+	}
+	composed := postRun(t, h, `{"config":{"partition":4,"topology":"mesh","policy":"ts","quantum_policy":"dynamic","queue_order":"srpt"}}`)
+	if composed.Code != http.StatusOK {
+		t.Fatalf("composed run: status %d, body %s", composed.Code, composed.Body)
+	}
+	if composed.Header().Get("X-Key") == legacy.Header().Get("X-Key") {
+		t.Errorf("composed config reused the legacy cache key")
+	}
+	if !strings.Contains(composed.Body.String(), "shared/dynamic/srpt") {
+		t.Errorf("composed label missing from body: %s", composed.Body)
+	}
+	// Overrides that spell out the legacy composite are the same content.
+	spelled := postRun(t, h, `{"config":{"partition":4,"topology":"mesh","policy":"ts","partition_policy":"shared","quantum_policy":"rrjob","queue_order":"fcfs"}}`)
+	if spelled.Header().Get("X-Key") != legacy.Header().Get("X-Key") {
+		t.Errorf("spelled-out composite did not canonicalize onto the legacy key")
+	}
+	if bad := postRun(t, h, `{"config":{"quantum_policy":"warp"}}`); bad.Code != http.StatusBadRequest {
+		t.Errorf("unknown quantum policy: status %d, want 400", bad.Code)
+	}
+}
+
 // TestScheddConcurrentIdenticalRequests: a thundering herd of identical
 // configs produces one body; concurrent misses may each simulate, but
 // every response is byte-identical and later requests hit the cache.

@@ -16,6 +16,14 @@ go test -race ./...
 # these tests fails loudly here.
 go test -race -run 'Determinism' -count=1 ./internal/engine ./internal/experiments
 
+# Policy gate: the policy framework's bit-identical-default contract under
+# the race detector — spelled-out default components reproduce the legacy
+# disciplines deep-equal (TestPolicyGate*), the pinned golden means hold
+# (TestGoldenValues), and every pre-framework Config.Hash is byte-stable
+# (TestHashCompat*). Redundant with the full race run above, but kept
+# explicit so a refactor that renames or skips these tests fails loudly.
+go test -race -run 'PolicyGate|GoldenValues|HashCompat' -count=1 ./internal/core ./internal/integration
+
 # Serving gate: the schedd invariants must hold under the race detector —
 # repeated POST of one config is a byte-identical cache hit, a full queue
 # sheds with 429, SIGTERM drains, cancelled requests free their slots, and
