@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism policy-gate serve-gate cluster-gate chaos-gate schedd figures fault ci fmt
+.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism policy-gate serve-gate cluster-gate chaos-gate fork-gate schedd figures fault ci fmt
 
 all: build
 
@@ -67,6 +67,18 @@ cluster-gate:
 # replay with CHAOS_SEED. CI runs this.
 chaos-gate:
 	SCHEDD_CHAOS=1 $(GO) test -race -run 'Chaos' -count=1 -timeout 300s ./internal/chaosharness
+
+# Warm-fork gate: the snapshot/fork determinism contract under the race
+# detector — every snapshot round-trips byte-identical mid-run for all
+# five paper disciplines and the zoo policies (TestSnapshotRoundTrip*),
+# a warm fork equals the cold run byte-for-byte at -j 1 and -j 8
+# (TestForkSweepWarmEqualsCold, TestForkWarmEqualsCold), a t=0 fork
+# equals the plain run (TestForkSweepT0EqualsPlainRun), the Grid keeps
+# divergible dims innermost (TestGridForkAdjacency), and a serialized
+# snapshot resumed on a 2-worker cluster matches the local warm run
+# (TestClusterForkResume, TestScheddFork*). CI runs this.
+fork-gate:
+	$(GO) test -race -run 'Fork|SnapshotRoundTrip' -count=1 -timeout 300s ./internal/core ./internal/engine ./internal/serve ./internal/cluster
 
 schedd:
 	$(GO) run ./cmd/schedd

@@ -211,6 +211,68 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 }
 
+// forkedSweepGrid builds the fixed 32-point shared-prefix plan behind
+// BenchmarkSweepForked: one fork group — a heavy 32-job warm-up wave every
+// point shares, plus 4 light late arrivals — diverging innermost over
+// quanta {hw,10..70ms} × seeds 0..3. The fork point is the quiescent
+// instant after the wave drains, so the warm path simulates the expensive
+// prefix once instead of 32 times.
+func forkedSweepGrid() (engine.Grid, core.ForkPoint) {
+	cost := workload.DefaultAppCost()
+	batch := make(workload.Batch, 0, 16)
+	for i := 0; i < 32; i++ {
+		batch = append(batch, &workload.Job{
+			ID: i, Class: "big", Arch: workload.Adaptive,
+			App: workload.NewSynthetic(400*sim.Millisecond, 512, 2048, cost),
+		})
+	}
+	for i := 0; i < 4; i++ {
+		batch = append(batch, &workload.Job{
+			ID: 32 + i, Class: "small", Arch: workload.Adaptive, Arrival: 20 * sim.Second,
+			App: workload.NewSynthetic(5*sim.Millisecond, 256, 1024, cost),
+		})
+	}
+	g := engine.Grid{
+		Base:       core.Config{Topology: topology.Mesh, Policy: sched.TimeShared, Batch: batch},
+		Partitions: []int{4},
+		Quanta: []sim.Time{0, 10 * sim.Millisecond, 20 * sim.Millisecond, 30 * sim.Millisecond,
+			40 * sim.Millisecond, 50 * sim.Millisecond, 60 * sim.Millisecond, 70 * sim.Millisecond},
+		Seeds: []int64{0, 1, 2, 3},
+	}
+	return g, core.ForkPoint{WarmJobs: 32}
+}
+
+// BenchmarkSweepForked measures warm-state forking against the cold
+// reference on the shared-prefix 32-point plan. The cold sub-bench runs
+// every point as core.RunForked (full prefix + continuation per point);
+// the warm sub-bench prepares the donor once per sweep and resumes the
+// snapshot per point. The ns/op ratio cold/warm is the sweep-level
+// speedup recorded in the BENCH_*.json ledger by scripts/bench.sh. Both
+// paths are byte-identical by the fork-gate contract (make fork-gate).
+func BenchmarkSweepForked(b *testing.B) {
+	g, fp := forkedSweepGrid()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fs := engine.NewForkSweep(g, fp)
+			for j := 0; j < fs.Len(); j++ {
+				if _, err := core.RunForked(fs.Group(j).Base(), fp, fs.Divergence(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fs := engine.NewForkSweep(g, fp)
+			for j := 0; j < fs.Len(); j++ {
+				if _, err := fs.Run(j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkKernelEventThroughput isolates the event-queue engine.
 func BenchmarkKernelEventThroughput(b *testing.B) {
 	k := sim.NewKernel(1)

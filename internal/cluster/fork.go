@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/serve"
+)
+
+// Warm-resume adapters: ship a fork group's serialized snapshot to the
+// fleet so workers resume the shared prefix instead of cold-starting it.
+// The client prepares the donor once (engine.ForkGroup does this lazily),
+// encodes the snapshot once, and every divergent continuation reuses the
+// same bytes — the per-point cost on the wire is one snapshot body, and on
+// the worker it is only the post-fork suffix of the simulation.
+
+// ForkConfigPoint converts (base config, encoded snapshot, divergence)
+// into the remote point the coordinator routes: body is the /v1/fork
+// request, key is the content address binding all three — so distinct
+// divergences of one group spread over the fleet, while a repeated sweep
+// finds every continuation already cached. The base must be
+// wire-representable, like any /v1/point config.
+func ForkConfigPoint(base core.Config, snapshot []byte, div core.Divergence) (engine.RemotePoint, error) {
+	spec, err := serve.SpecFromConfig(base)
+	if err != nil {
+		return engine.RemotePoint{}, err
+	}
+	hash, err := base.Hash()
+	if err != nil {
+		return engine.RemotePoint{}, err
+	}
+	divSpec := serve.DivergenceSpecFrom(div)
+	body, err := serve.EncodeForkRequest(serve.ForkRequest{
+		Config:     spec,
+		Snapshot:   snapshot,
+		Divergence: divSpec,
+	})
+	if err != nil {
+		return engine.RemotePoint{}, err
+	}
+	return engine.RemotePoint{
+		Label: base.Label() + "+fork",
+		Key:   serve.ForkKey(hash, snapshot, divSpec),
+		Path:  "/v1/fork",
+		Body:  body,
+	}, nil
+}
+
+// RunForked executes one divergent continuation of a snapshotted prefix on
+// the cluster and decodes the summary — the remote analogue of
+// core.ResumeFromSnapshot for wire-representable configs.
+func (c *Coordinator) RunForked(ctx context.Context, base core.Config, snapshot []byte, div core.Divergence) (serve.PointSummary, error) {
+	pt, err := ForkConfigPoint(base, snapshot, div)
+	if err != nil {
+		return serve.PointSummary{}, err
+	}
+	body, err := c.Do(ctx, pt)
+	if err != nil {
+		return serve.PointSummary{}, err
+	}
+	ps, err := serve.DecodePointSummary(body)
+	if err != nil {
+		return serve.PointSummary{}, fmt.Errorf("fork point %s: %w", pt.Label, err)
+	}
+	return ps, nil
+}

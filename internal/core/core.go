@@ -218,7 +218,38 @@ func (c Config) buildBatch() workload.Batch {
 // Run executes one batch under the configuration and returns the result.
 // The simulation is fully deterministic for a given Config.
 func Run(cfg Config) (*metrics.Result, error) {
-	cfg = cfg.withDefaults()
+	r, err := newRun(cfg.withDefaults(), 0)
+	if err != nil {
+		return nil, err
+	}
+	defer r.k.Shutdown()
+	r.armFirstSample()
+	if err := r.sys.Submit(r.batch); err != nil {
+		return nil, err
+	}
+	return r.finish()
+}
+
+// run is one simulation in flight: the kernel, machine, scheduling system
+// and optional utilization sampler, bundled so the plain, cold-fork,
+// warm-donor and warm-resume paths (see fork.go) share one construction
+// sequence — byte-identical results depend on identical construction order.
+type run struct {
+	cfg      Config // defaults applied
+	k        *sim.Kernel
+	mach     *machine.Machine
+	sys      *sched.System
+	smp      *sampler
+	batch    workload.Batch
+	timeline metrics.Timeline
+}
+
+// newRun builds the simulated system. resumeFrom is zero except on a
+// warm-start restore, where it tells the scheduler which fault-plan events
+// the donor run already consumed. Construction-time events (router daemons
+// parking) are settled so the clock can later be positioned past them; a
+// cold run would fire them first anyway.
+func newRun(cfg Config, resumeFrom sim.Time) (*run, error) {
 	if cfg.Processors < 1 {
 		return nil, fmt.Errorf("core: machine needs at least one processor, got %d", cfg.Processors)
 	}
@@ -226,7 +257,6 @@ func Run(cfg Config) (*metrics.Result, error) {
 		return nil, fmt.Errorf("core: per-node memory must be positive, got %d bytes", cfg.MemoryBytes)
 	}
 	k := sim.NewKernel(cfg.Seed)
-	defer k.Shutdown()
 	mach := machine.NewMachine(k, cfg.Processors, cfg.MemoryBytes, *cfg.Cost)
 	sys, err := sched.New(sched.Config{
 		Machine:         mach,
@@ -241,53 +271,99 @@ func Run(cfg Config) (*metrics.Result, error) {
 		MaxResident:     cfg.MaxResident,
 		Fault:           cfg.Fault,
 		Tracer:          cfg.Tracer,
+		ResumeFrom:      resumeFrom,
 	})
 	if err != nil {
+		k.Shutdown()
 		return nil, err
 	}
-	var timeline metrics.Timeline
+	r := &run{cfg: cfg, k: k, mach: mach, sys: sys, batch: cfg.buildBatch()}
 	if cfg.SampleEvery > 0 {
-		installSampler(k, mach, sys, cfg, &timeline)
+		r.smp = newSampler(k, mach, sys, cfg, &r.timeline)
 	}
-	res, err := sys.RunBatch(cfg.buildBatch())
+	k.RunUntil(0)
+	return r, nil
+}
+
+// armFirstSample schedules the sampler's first tick; it must run before
+// submission, exactly where installSampler sat historically, so event
+// sequence numbers — and with them every same-instant tie — are unchanged.
+func (r *run) armFirstSample() {
+	if r.smp != nil {
+		r.smp.armAt(r.cfg.SampleEvery)
+	}
+}
+
+// finish runs the submitted simulation to completion and labels the result.
+func (r *run) finish() (*metrics.Result, error) {
+	res, err := r.sys.Finish()
 	if err != nil {
 		return nil, err
 	}
-	res.Label = cfg.Label()
-	res.Timeline = timeline
+	res.Label = r.cfg.Label()
+	res.Timeline = r.timeline
 	return res, nil
 }
 
-// installSampler arms a periodic kernel event that snapshots machine-wide
-// utilization deltas and memory footprint until the batch completes.
-func installSampler(k *sim.Kernel, mach *machine.Machine, sys *sched.System, cfg Config, out *metrics.Timeline) {
-	var prevLow, prevHigh, prevSwitch sim.Time
-	denom := float64(cfg.SampleEvery) * float64(cfg.Processors)
-	var sample func()
-	sample = func() {
-		var low, high, sw sim.Time
-		var mem int64
-		for _, n := range mach.Nodes {
-			cs := n.CPU.Stats()
-			low += cs.BusyLow
-			high += cs.BusyHigh
-			sw += cs.BusySwitch
-			mem += n.Mem.Used()
-		}
-		*out = append(*out, metrics.Sample{
-			At:          k.Now(),
-			BusyLow:     float64(low-prevLow) / denom,
-			BusyHigh:    float64(high-prevHigh) / denom,
-			BusySwitch:  float64(sw-prevSwitch) / denom,
-			MemUsed:     mem,
-			JobsRunning: sys.Running(),
-		})
-		prevLow, prevHigh, prevSwitch = low, high, sw
-		if sys.Remaining() > 0 {
-			k.AfterFunc(cfg.SampleEvery, sample)
-		}
+// sampler is the periodic utilization probe: a kernel event that snapshots
+// machine-wide busy-time deltas and memory footprint until the batch
+// completes. It is a struct (not a closure) so warm-state forking can
+// capture and restore its accumulator state.
+type sampler struct {
+	k     *sim.Kernel
+	mach  *machine.Machine
+	sys   *sched.System
+	every sim.Time
+	denom float64
+	out   *metrics.Timeline
+
+	prevLow, prevHigh, prevSwitch sim.Time
+	// nextAt is the pending tick's activation time; zero once the sampler
+	// has stopped re-arming (batch complete).
+	nextAt sim.Time
+}
+
+func newSampler(k *sim.Kernel, mach *machine.Machine, sys *sched.System, cfg Config, out *metrics.Timeline) *sampler {
+	return &sampler{
+		k:     k,
+		mach:  mach,
+		sys:   sys,
+		every: cfg.SampleEvery,
+		denom: float64(cfg.SampleEvery) * float64(cfg.Processors),
+		out:   out,
 	}
-	k.AfterFunc(cfg.SampleEvery, sample)
+}
+
+// armAt schedules the next tick at an absolute time.
+func (sp *sampler) armAt(at sim.Time) {
+	sp.nextAt = at
+	sp.k.AtFunc(at, sp.fire)
+}
+
+func (sp *sampler) fire() {
+	var low, high, sw sim.Time
+	var mem int64
+	for _, n := range sp.mach.Nodes {
+		cs := n.CPU.Stats()
+		low += cs.BusyLow
+		high += cs.BusyHigh
+		sw += cs.BusySwitch
+		mem += n.Mem.Used()
+	}
+	*sp.out = append(*sp.out, metrics.Sample{
+		At:          sp.k.Now(),
+		BusyLow:     float64(low-sp.prevLow) / sp.denom,
+		BusyHigh:    float64(high-sp.prevHigh) / sp.denom,
+		BusySwitch:  float64(sw-sp.prevSwitch) / sp.denom,
+		MemUsed:     mem,
+		JobsRunning: sp.sys.Running(),
+	})
+	sp.prevLow, sp.prevHigh, sp.prevSwitch = low, high, sw
+	if sp.sys.Remaining() > 0 {
+		sp.armAt(sp.k.Now() + sp.every)
+	} else {
+		sp.nextAt = 0
+	}
 }
 
 // StaticAveraged runs the static policy in its best (smallest-first) and

@@ -1,0 +1,437 @@
+package core
+
+// Warm-state forking: run a shared simulation prefix once, snapshot it at a
+// deterministic quiescent instant, and fork N divergent continuations —
+// locally by restoring the snapshot into fresh systems, or remotely by
+// shipping the serialized snapshot so a worker resumes instead of
+// cold-starting.
+//
+// The semantics are defined by the cold reference, RunForked: one process
+// runs the base configuration to the fork point, applies the divergence in
+// place, and continues. The warm path (Prepare once, then Warm.Run per
+// divergence) must produce byte-identical results — a contract the fork
+// gate enforces — and a fork at t=0 is byte-identical to a plain Run of the
+// merged configuration.
+//
+// A fork point is a *quiescent instant*: no job resident anywhere, no
+// message in flight, every CPU idle (see sched.Quiescent). Quiescence is
+// what makes whole-simulation snapshots tractable in Go — all transient
+// state lives in goroutine stacks that cannot be serialized, and at a
+// quiescent instant it is gone by definition. What remains is plain data
+// plus pending kernel events that are declaratively reconstructible: future
+// job arrivals from the batch, future fault-plan events from the
+// regenerated plan, and the sampler's next tick.
+//
+// Only knobs that shape future dispatch decisions without invalidating
+// already-accumulated state may diverge: the RNG seed, the basic quantum,
+// the quantum policy and the queue order — exactly the innermost dimensions
+// of an engine.Grid. Machine shape, topology, workload, partition policy
+// and fault plan are prefix-defining and must match.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// ForkPoint names the earliest eligible fork instant: the first quiescent
+// instant at or after WarmTime with at least WarmJobs jobs completed. The
+// zero ForkPoint forks at t=0, before any job is submitted.
+type ForkPoint struct {
+	WarmTime sim.Time `json:"warm_time,omitempty"`
+	WarmJobs int      `json:"warm_jobs,omitempty"`
+}
+
+// Zero reports a t=0 fork (snapshot taken before submission).
+func (fp ForkPoint) Zero() bool { return fp.WarmTime == 0 && fp.WarmJobs == 0 }
+
+func (fp ForkPoint) String() string {
+	if fp.Zero() {
+		return "t=0"
+	}
+	return fmt.Sprintf("t>=%v,jobs>=%d", fp.WarmTime, fp.WarmJobs)
+}
+
+// Divergence is the per-point delta applied at the fork instant. Zero
+// values keep the base setting (SeedSet disambiguates seed 0 from "keep").
+type Divergence struct {
+	SeedSet       bool              `json:"seed_set,omitempty"`
+	Seed          int64             `json:"seed,omitempty"`
+	BasicQuantum  sim.Time          `json:"basic_quantum,omitempty"`
+	QuantumPolicy sched.QuantumKind `json:"quantum_policy,omitempty"`
+	QueueOrder    sched.OrderKind   `json:"queue_order,omitempty"`
+}
+
+// Empty reports a no-op divergence (the point continues the base config).
+func (d Divergence) Empty() bool { return d == Divergence{} }
+
+// apply merges the divergence onto a base configuration, producing the
+// config of the forked point.
+func (d Divergence) apply(base Config) Config {
+	if d.SeedSet {
+		base.Seed = d.Seed
+	}
+	if d.BasicQuantum > 0 {
+		base.BasicQuantum = d.BasicQuantum
+	}
+	if d.QuantumPolicy != sched.QuantumDefault {
+		base.QuantumPolicy = d.QuantumPolicy
+	}
+	if d.QueueOrder != sched.OrderDefault {
+		base.QueueOrder = d.QueueOrder
+	}
+	return base
+}
+
+// effectiveQuantum resolves the basic quantum a config will run with (the
+// hardware quantum when unset); cfg must carry defaults.
+func effectiveQuantum(cfg Config) sim.Time {
+	if cfg.BasicQuantum > 0 {
+		return cfg.BasicQuantum
+	}
+	return cfg.Cost.Quantum
+}
+
+// DivergenceBetween computes the divergence that turns base into point, or
+// an error when point differs from base in a dimension that cannot diverge
+// at a fork (machine shape, topology, workload, partition policy, fault
+// plan, ...). Both configs are compared after defaulting and policy
+// resolution, so spelled-out defaults and inherited components compare
+// equal. Divergences carry resolved component kinds, never Default.
+func DivergenceBetween(base, point Config) (Divergence, error) {
+	b, p := base.withDefaults(), point.withDefaults()
+	var div Divergence
+	if b.Seed != p.Seed {
+		div.SeedSet = true
+		div.Seed = p.Seed
+	}
+	if bq, pq := effectiveQuantum(b), effectiveQuantum(p); bq != pq {
+		div.BasicQuantum = pq
+	}
+	bs, err := sched.ResolveSpec(b.Policy, b.PartitionPolicy, b.QuantumPolicy, b.QueueOrder)
+	if err != nil {
+		return div, err
+	}
+	ps, err := sched.ResolveSpec(p.Policy, p.PartitionPolicy, p.QuantumPolicy, p.QueueOrder)
+	if err != nil {
+		return div, err
+	}
+	if bs.Partition != ps.Partition {
+		return div, fmt.Errorf("core: partition policy differs (%v vs %v): not fork-divergible", bs.Partition, ps.Partition)
+	}
+	if bs.Quantum != ps.Quantum {
+		div.QuantumPolicy = ps.Quantum
+	}
+	if bs.Order != ps.Order {
+		div.QueueOrder = ps.Order
+	}
+	if err := sameForkBase(b, p); err != nil {
+		return div, err
+	}
+	return div, nil
+}
+
+// sameForkBase verifies that every prefix-defining dimension matches.
+func sameForkBase(b, p Config) error {
+	type check struct {
+		name string
+		same bool
+	}
+	checks := []check{
+		{"Processors", b.Processors == p.Processors},
+		{"MemoryBytes", b.MemoryBytes == p.MemoryBytes},
+		{"PartitionSize", b.PartitionSize == p.PartitionSize},
+		{"Topology", b.Topology == p.Topology},
+		{"App", b.App == p.App},
+		{"Arch", b.Arch == p.Arch},
+		{"Mode", b.Mode == p.Mode},
+		{"Order", b.Order == p.Order},
+		{"Verify", b.Verify == p.Verify},
+		{"MaxResident", b.MaxResident == p.MaxResident},
+		{"SampleEvery", b.SampleEvery == p.SampleEvery},
+		{"Cost", *b.Cost == *p.Cost},
+		{"AppCost", *b.AppCost == *p.AppCost},
+		{"Fault", (b.Fault == nil) == (p.Fault == nil) &&
+			(b.Fault == nil || *b.Fault == *p.Fault)},
+		{"Tracer", b.Tracer == nil && p.Tracer == nil},
+		{"Batch", sameBatch(b, p)},
+	}
+	for _, c := range checks {
+		if !c.same {
+			return fmt.Errorf("core: config field %s differs (or is not fork-eligible): not fork-divergible", c.name)
+		}
+	}
+	return nil
+}
+
+// sameBatch accepts nil batches (the generated paper batch, identical by
+// construction) or the same job objects in the same order. Jobs are
+// immutable during runs, so forked points may share them.
+func sameBatch(b, p Config) bool {
+	if len(b.Batch) != len(p.Batch) {
+		return false
+	}
+	for i := range b.Batch {
+		if b.Batch[i] != p.Batch[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SnapshotVersion guards the snapshot wire format.
+const SnapshotVersion = 1
+
+// SamplerState is the utilization sampler's accumulator state at the fork.
+type SamplerState struct {
+	PrevLow    sim.Time `json:"prev_low"`
+	PrevHigh   sim.Time `json:"prev_high"`
+	PrevSwitch sim.Time `json:"prev_switch"`
+	// NextAt is the pending tick's activation time (zero: sampler stopped).
+	NextAt   sim.Time         `json:"next_at"`
+	Timeline metrics.Timeline `json:"timeline,omitempty"`
+}
+
+// Snapshot is the serialized whole-simulation state at a quiescent fork
+// instant. It is self-describing enough for a cluster worker that holds the
+// base configuration to resume from it; ConfigHash lets the worker verify
+// the snapshot matches the config it reconstructed.
+type Snapshot struct {
+	Version int `json:"version"`
+	// ConfigHash is the base config's content address; empty when the base
+	// is not content-addressable (custom batch).
+	ConfigHash string        `json:"config_hash,omitempty"`
+	T          sim.Time      `json:"t"`
+	EventsRun  int64         `json:"events_run"`
+	Sched      *sched.State  `json:"sched"`
+	Sampler    *SamplerState `json:"sampler,omitempty"`
+}
+
+// Encode serializes the snapshot for shipping to a cluster worker.
+func (s *Snapshot) Encode() ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSnapshot parses an encoded snapshot and checks its version.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	if s.Sched == nil {
+		return nil, fmt.Errorf("core: snapshot without scheduler state")
+	}
+	return &s, nil
+}
+
+// stepToFork advances a submitted run event by event until the fork point's
+// conditions hold, and returns the fork instant. Both the cold reference
+// and the warm donor step the same event sequence, so they stop at the same
+// instant.
+//
+// The fork instant is max(now, WarmTime) at the first event boundary where
+// the system is quiescent, enough jobs completed, and the next pending
+// event lies strictly beyond that instant — the simulated clock only exists
+// at event boundaries, so a quiescent gap spanning WarmTime forks at
+// WarmTime itself even though no event fires there. Requiring the next
+// event to lie strictly beyond also forces every same-instant event to fire
+// before the snapshot, so a restore never has to reconstruct a
+// same-instant tie.
+func (r *run) stepToFork(fp ForkPoint) (sim.Time, error) {
+	total := len(r.batch)
+	for {
+		if r.sys.Quiescent() && total-r.sys.Remaining() >= fp.WarmJobs {
+			t := r.k.Now()
+			if fp.WarmTime > t {
+				t = fp.WarmTime
+			}
+			if next, ok := r.k.NextEventAt(); !ok || next > t {
+				return t, nil
+			}
+		}
+		if !r.k.Step() {
+			return 0, fmt.Errorf("core: fork point (%s) not reached: run ended at t=%v with %d/%d jobs done",
+				fp, r.k.Now(), total-r.sys.Remaining(), total)
+		}
+	}
+}
+
+// diverge applies a divergence to a run standing at its fork instant.
+func (r *run) diverge(div Divergence) error {
+	if div.SeedSet {
+		// Both the cold path (mid-run) and a warm restore (at construction)
+		// hold a freshly seeded generator at the fork instant, so the two
+		// continuations draw identically.
+		r.k.Reseed(div.Seed)
+	}
+	if err := r.sys.Diverge(div.BasicQuantum, div.QuantumPolicy, div.QueueOrder); err != nil {
+		return err
+	}
+	r.cfg = div.apply(r.cfg)
+	return nil
+}
+
+// RunForked is the cold reference for warm-state forking: run base to the
+// fork point, apply the divergence in place, continue to completion. Every
+// warm fork is byte-identical to this. A zero fork point reduces to a plain
+// Run of the merged configuration.
+func RunForked(base Config, fp ForkPoint, div Divergence) (*metrics.Result, error) {
+	if fp.Zero() {
+		return Run(div.apply(base))
+	}
+	r, err := newRun(base.withDefaults(), 0)
+	if err != nil {
+		return nil, err
+	}
+	defer r.k.Shutdown()
+	r.armFirstSample()
+	if err := r.sys.Submit(r.batch); err != nil {
+		return nil, err
+	}
+	if _, err := r.stepToFork(fp); err != nil {
+		return nil, err
+	}
+	if err := r.diverge(div); err != nil {
+		return nil, err
+	}
+	return r.finish()
+}
+
+// snapshot captures the run's whole-simulation state at fork instant t; the
+// run must stand at a quiescent instant with no pending event at or before t.
+func (r *run) snapshot(t sim.Time) (*Snapshot, error) {
+	st, err := r.sys.SnapshotState()
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{
+		Version:   SnapshotVersion,
+		T:         t,
+		EventsRun: r.k.EventsRun(),
+		Sched:     st,
+	}
+	if h, err := r.cfg.Hash(); err == nil {
+		snap.ConfigHash = h
+	}
+	if r.smp != nil {
+		ss := SamplerState{
+			PrevLow:    r.smp.prevLow,
+			PrevHigh:   r.smp.prevHigh,
+			PrevSwitch: r.smp.prevSwitch,
+			NextAt:     r.smp.nextAt,
+			Timeline:   append(metrics.Timeline(nil), r.timeline...),
+		}
+		snap.Sampler = &ss
+	}
+	return snap, nil
+}
+
+// Warm is a prepared fork donor: the base configuration plus the snapshot
+// taken at the fork point. Run may be called many times — including
+// concurrently — each call restoring the snapshot into a fresh system.
+type Warm struct {
+	base Config // defaults applied
+	fp   ForkPoint
+	snap *Snapshot
+}
+
+// Prepare runs the shared prefix of base once, to the fork point, and
+// captures the snapshot every subsequent Run forks from. The donor
+// simulation is torn down before returning; only plain data survives.
+func Prepare(base Config, fp ForkPoint) (*Warm, error) {
+	cfg := base.withDefaults()
+	r, err := newRun(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer r.k.Shutdown()
+	r.armFirstSample()
+	forkT := sim.Time(0)
+	if !fp.Zero() {
+		if err := r.sys.Submit(r.batch); err != nil {
+			return nil, err
+		}
+		forkT, err = r.stepToFork(fp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	snap, err := r.snapshot(forkT)
+	if err != nil {
+		return nil, err
+	}
+	return &Warm{base: cfg, fp: fp, snap: snap}, nil
+}
+
+// Snapshot exposes the captured state, e.g. for shipping to a worker.
+func (w *Warm) Snapshot() *Snapshot { return w.snap }
+
+// ForkPoint reports the fork point the snapshot was taken at.
+func (w *Warm) ForkPoint() ForkPoint { return w.fp }
+
+// Run forks one divergent continuation from the snapshot. It reads the
+// snapshot without mutating it, so concurrent calls are safe.
+func (w *Warm) Run(div Divergence) (*metrics.Result, error) {
+	return resume(w.base, w.snap, div)
+}
+
+// ResumeFromSnapshot restores a (possibly remote) snapshot against the base
+// configuration it was taken from and runs one divergent continuation. When
+// both sides are content-addressable the config hash is verified first.
+func ResumeFromSnapshot(base Config, snap *Snapshot, div Divergence) (*metrics.Result, error) {
+	if snap.Sched == nil {
+		return nil, fmt.Errorf("core: snapshot without scheduler state")
+	}
+	if snap.ConfigHash != "" {
+		if h, err := base.Hash(); err == nil && h != snap.ConfigHash {
+			return nil, fmt.Errorf("core: snapshot config hash %.12s does not match base %.12s", snap.ConfigHash, h)
+		}
+	}
+	return resume(base.withDefaults(), snap, div)
+}
+
+// resume constructs a fresh system under the merged configuration, installs
+// the snapshot, re-enters the remaining jobs and runs to completion.
+//
+// Event re-arm order reproduces the donor's sequence-number order for
+// same-instant ties: fault-plan events are armed at construction (as the
+// donor armed them), then the sampler's tick when it is the never-fired
+// first tick (the donor armed it before submission), then job arrivals,
+// then the sampler's tick when the donor re-armed it mid-run.
+func resume(base Config, snap *Snapshot, div Divergence) (*metrics.Result, error) {
+	cfg := div.apply(base)
+	r, err := newRun(cfg, snap.T)
+	if err != nil {
+		return nil, err
+	}
+	defer r.k.Shutdown()
+	if err := r.sys.RestoreState(snap.Sched); err != nil {
+		return nil, err
+	}
+	if (r.smp != nil) != (snap.Sampler != nil) {
+		return nil, fmt.Errorf("core: sampler state mismatch (snapshot %v, config %v)",
+			snap.Sampler != nil, r.smp != nil)
+	}
+	firstTick := false
+	if r.smp != nil {
+		ss := snap.Sampler
+		r.smp.prevLow, r.smp.prevHigh, r.smp.prevSwitch = ss.PrevLow, ss.PrevHigh, ss.PrevSwitch
+		r.timeline = append(metrics.Timeline(nil), ss.Timeline...)
+		firstTick = ss.NextAt == r.cfg.SampleEvery
+		if firstTick {
+			r.smp.armAt(ss.NextAt)
+		}
+	}
+	if err := r.sys.SubmitResume(r.batch, snap.T); err != nil {
+		return nil, err
+	}
+	if r.smp != nil && !firstTick && snap.Sampler.NextAt > 0 {
+		r.smp.armAt(snap.Sampler.NextAt)
+	}
+	r.k.RestoreClock(snap.T, snap.EventsRun)
+	return r.finish()
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// resultJSON canonicalizes a result for byte-identity comparison.
+func resultJSON(t *testing.T, res *metrics.Result) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// gateConfigs are the fork-gate configurations: the five built-in
+// disciplines, three zoo compositions, a fault-injected run (injector RNG
+// and pending repairs in play) and a sampled run (timeline accumulation).
+func gateConfigs() map[string]Config {
+	return map[string]Config{
+		"static":      {PartitionSize: 4, Topology: topology.Mesh, Policy: sched.Static},
+		"time-shared": {PartitionSize: 4, Topology: topology.Mesh, Policy: sched.TimeShared},
+		"rr-process":  {PartitionSize: 4, Topology: topology.Mesh, Policy: sched.RRProcess},
+		"gang":        {PartitionSize: 4, Topology: topology.Mesh, Policy: sched.Gang},
+		"dynamic":     {PartitionSize: 8, Topology: topology.Mesh, Policy: sched.DynamicSpace},
+		"zoo-static-srpt": {PartitionSize: 4, Topology: topology.Mesh, Policy: sched.Static,
+			QueueOrder: sched.OrderSRPT},
+		"zoo-ts-dynquantum": {PartitionSize: 4, Topology: topology.Mesh, Policy: sched.TimeShared,
+			QuantumPolicy: sched.QuantumDynamic},
+		"zoo-equi": {PartitionSize: 8, Topology: topology.Mesh, Policy: sched.DynamicSpace,
+			PartitionPolicy: sched.PartEqui},
+		"faults": {PartitionSize: 4, Topology: topology.Mesh, Policy: sched.TimeShared,
+			Fault: &fault.Config{
+				Seed: 11, NodeMTBF: 400 * sim.Millisecond, NodeMTTR: 30 * sim.Millisecond,
+				Horizon: 5 * sim.Second, RetryTimeout: 20 * sim.Millisecond, RetryBudget: 8,
+				DropProb: 0.02, CheckpointInterval: 50 * sim.Millisecond, CheckpointCost: 200,
+				RestartBudget: 64,
+			}},
+		"sampled": {PartitionSize: 4, Topology: topology.Mesh, Policy: sched.TimeShared,
+			SampleEvery: 10 * sim.Millisecond},
+	}
+}
+
+// TestForkGateT0 is half the determinism contract: a fork at t=0 with an
+// empty divergence is byte-identical to a plain run, for every discipline,
+// with fault injection and with sampling.
+func TestForkGateT0(t *testing.T) {
+	for name, cfg := range gateConfigs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cold, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("cold run: %v", err)
+			}
+			w, err := Prepare(cfg, ForkPoint{})
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			warm, err := w.Run(Divergence{})
+			if err != nil {
+				t.Fatalf("warm run: %v", err)
+			}
+			if c, g := resultJSON(t, cold), resultJSON(t, warm); c != g {
+				t.Errorf("t=0 fork diverged from cold run\ncold: %.400s\nwarm: %.400s", c, g)
+			}
+		})
+	}
+}
+
+// twoWaveBatch builds a batch with a guaranteed quiescent gap: wave jobs of
+// equal work at t=0, then late jobs arriving at gapAt, long after the first
+// wave drains.
+func twoWaveBatch(wave, late int, gapAt sim.Time) workload.Batch {
+	batch := make(workload.Batch, 0, wave+late)
+	cost := workload.DefaultAppCost()
+	for i := 0; i < wave; i++ {
+		batch = append(batch, &workload.Job{
+			ID: i, Class: "small", Arch: workload.Adaptive,
+			App: workload.NewSynthetic(20*sim.Millisecond, 256, 1024, cost),
+		})
+	}
+	for i := 0; i < late; i++ {
+		batch = append(batch, &workload.Job{
+			ID: wave + i, Class: "small", Arch: workload.Adaptive, Arrival: gapAt,
+			App: workload.NewSynthetic(10*sim.Millisecond, 256, 1024, cost),
+		})
+	}
+	return batch
+}
+
+// TestForkWarmEqualsCold is the other half of the contract: for every
+// discipline and every divergence kind, restoring the snapshot and running
+// the continuation is byte-identical to the single-process cold reference
+// that diverges in place at the same instant.
+func TestForkWarmEqualsCold(t *testing.T) {
+	const gapAt = 5 * sim.Second
+	fp := ForkPoint{WarmTime: sim.Second, WarmJobs: 6}
+	divs := map[string]Divergence{
+		"empty":    {},
+		"seed":     {SeedSet: true, Seed: 99},
+		"quantum":  {BasicQuantum: 40 * sim.Millisecond},
+		"qpolicy":  {QuantumPolicy: sched.QuantumFixed},
+		"order":    {QueueOrder: sched.OrderSRPT},
+		"combined": {SeedSet: true, Seed: 7, BasicQuantum: 25 * sim.Millisecond, QueueOrder: sched.OrderPriority},
+	}
+	for name, cfg := range gateConfigs() {
+		cfg := cfg
+		cfg.Batch = twoWaveBatch(6, 4, gapAt)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, err := Prepare(cfg, fp)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			if got := w.Snapshot().T; got < sim.Second || got >= gapAt {
+				t.Fatalf("fork instant %v outside the quiescent gap [%v, %v)", got, sim.Second, gapAt)
+			}
+			for dname, div := range divs {
+				div := div
+				t.Run(dname, func(t *testing.T) {
+					cold, err := RunForked(cfg, fp, div)
+					if err != nil {
+						t.Fatalf("cold forked run: %v", err)
+					}
+					warm, err := w.Run(div)
+					if err != nil {
+						t.Fatalf("warm run: %v", err)
+					}
+					if c, g := resultJSON(t, cold), resultJSON(t, warm); c != g {
+						t.Errorf("warm fork diverged from cold reference\ncold: %.400s\nwarm: %.400s", c, g)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestForkParallel runs the same divergent continuations sequentially and
+// concurrently (8 at a time) and requires identical bytes — the snapshot
+// must be read-only under concurrent resumes (run with -race).
+func TestForkParallel(t *testing.T) {
+	cfg := Config{PartitionSize: 4, Topology: topology.Mesh, Policy: sched.TimeShared,
+		Batch: twoWaveBatch(6, 4, 5*sim.Second)}
+	w, err := Prepare(cfg, ForkPoint{WarmJobs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	divs := make([]Divergence, 8)
+	for i := range divs {
+		divs[i] = Divergence{BasicQuantum: sim.Time(i+1) * 10 * sim.Millisecond}
+	}
+	sequential := make([]string, len(divs))
+	for i, div := range divs {
+		res, err := w.Run(div)
+		if err != nil {
+			t.Fatalf("sequential run %d: %v", i, err)
+		}
+		sequential[i] = resultJSON(t, res)
+	}
+	parallel := make([]string, len(divs))
+	errs := make([]error, len(divs))
+	var wg sync.WaitGroup
+	for i, div := range divs {
+		wg.Add(1)
+		go func(i int, div Divergence) {
+			defer wg.Done()
+			res, err := w.Run(div)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			b, _ := json.Marshal(res)
+			parallel[i] = string(b)
+		}(i, div)
+	}
+	wg.Wait()
+	for i := range divs {
+		if errs[i] != nil {
+			t.Fatalf("parallel run %d: %v", i, errs[i])
+		}
+		if sequential[i] != parallel[i] {
+			t.Errorf("run %d: parallel result differs from sequential", i)
+		}
+	}
+}
+
+// TestSnapshotRoundTrip serializes the snapshot (the cluster wire path) and
+// resumes from the decoded bytes; the result must match the in-memory warm
+// run byte for byte, and the config hash must be enforced.
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{PartitionSize: 4, Topology: topology.Mesh, Policy: sched.TimeShared,
+		Fault: &fault.Config{
+			Seed: 11, NodeMTBF: 400 * sim.Millisecond, NodeMTTR: 30 * sim.Millisecond,
+			Horizon: 5 * sim.Second, RetryTimeout: 20 * sim.Millisecond, RetryBudget: 8,
+			DropProb: 0.02, CheckpointInterval: 50 * sim.Millisecond, CheckpointCost: 200,
+			RestartBudget: 64,
+		}}
+	w, err := Prepare(cfg, ForkPoint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := w.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	div := Divergence{SeedSet: true, Seed: 42}
+	want, err := w.Run(div)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResumeFromSnapshot(cfg, snap, div)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := resultJSON(t, want), resultJSON(t, got); a != b {
+		t.Errorf("serialized resume differs from in-memory warm run")
+	}
+
+	other := cfg
+	other.Topology = topology.Ring
+	if _, err := ResumeFromSnapshot(other, snap, div); err == nil {
+		t.Errorf("resume against a different config did not fail the hash check")
+	}
+}
+
+// TestDivergenceBetween checks derivation of divergences and rejection of
+// non-divergible differences.
+func TestDivergenceBetween(t *testing.T) {
+	base := Config{PartitionSize: 4, Topology: topology.Mesh, Policy: sched.TimeShared}
+
+	point := base
+	point.Seed = 3
+	point.BasicQuantum = 50 * sim.Millisecond
+	point.QueueOrder = sched.OrderSRPT
+	div, err := DivergenceBetween(base, point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Divergence{SeedSet: true, Seed: 3, BasicQuantum: 50 * sim.Millisecond, QueueOrder: sched.OrderSRPT}
+	if div != want {
+		t.Errorf("divergence = %+v, want %+v", div, want)
+	}
+	if got := div.apply(base); got.Seed != 3 || got.BasicQuantum != 50*sim.Millisecond || got.QueueOrder != sched.OrderSRPT {
+		t.Errorf("apply did not reproduce the point config: %+v", got)
+	}
+
+	// Spelled-out defaults are not a divergence.
+	explicit := base
+	explicit.Processors = 16
+	explicit.QuantumPolicy = sched.QuantumRRJob // TimeShared's own component
+	div, err = DivergenceBetween(base, explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !div.Empty() {
+		t.Errorf("resolved-identical configs produced divergence %+v", div)
+	}
+
+	for name, mutate := range map[string]func(*Config){
+		"topology":  func(c *Config) { c.Topology = topology.Ring },
+		"partition": func(c *Config) { c.PartitionSize = 8 },
+		"app":       func(c *Config) { c.App = Sort },
+		"partpol":   func(c *Config) { c.PartitionPolicy = sched.PartFixed },
+		"fault":     func(c *Config) { c.Fault = &fault.Config{NodeMTBF: sim.Second, Horizon: sim.Second} },
+	} {
+		point := base
+		mutate(&point)
+		if _, err := DivergenceBetween(base, point); err == nil {
+			t.Errorf("%s difference was accepted as divergible", name)
+		}
+	}
+}
+
+// TestForkPointNotReached: a fork point past the end of the run must be a
+// clean error, not a hang or a bogus snapshot.
+func TestForkPointNotReached(t *testing.T) {
+	cfg := Config{PartitionSize: 4, Topology: topology.Mesh, Policy: sched.TimeShared,
+		Batch: twoWaveBatch(4, 0, 0)}
+	if _, err := Prepare(cfg, ForkPoint{WarmJobs: 99}); err == nil {
+		t.Errorf("unreachable fork point did not error")
+	}
+}

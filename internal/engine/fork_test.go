@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func forkResultJSON(t *testing.T, res *metrics.Result) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// forkBatch builds a two-wave batch with a quiescent gap: wave jobs at t=0,
+// late jobs arriving at gapAt, long after the wave drains.
+func forkBatch(wave, late int, gapAt sim.Time) workload.Batch {
+	batch := make(workload.Batch, 0, wave+late)
+	cost := workload.DefaultAppCost()
+	for i := 0; i < wave; i++ {
+		batch = append(batch, &workload.Job{
+			ID: i, Class: "small", Arch: workload.Adaptive,
+			App: workload.NewSynthetic(20*sim.Millisecond, 256, 1024, cost),
+		})
+	}
+	for i := 0; i < late; i++ {
+		batch = append(batch, &workload.Job{
+			ID: wave + i, Class: "small", Arch: workload.Adaptive, Arrival: gapAt,
+			App: workload.NewSynthetic(10*sim.Millisecond, 256, 1024, cost),
+		})
+	}
+	return batch
+}
+
+// groupRuns maps each enumeration point to its group and asserts every
+// group's members form one contiguous run, returning the group count.
+func groupRuns(t *testing.T, fs *ForkSweep) int {
+	t.Helper()
+	seen := make(map[*ForkGroup]bool)
+	var last *ForkGroup
+	for i := 0; i < fs.Len(); i++ {
+		g := fs.Group(i)
+		if g != last && seen[g] {
+			t.Errorf("point %d returns to group %q after the run ended — fork groups not contiguous", i, g.Base().Label())
+		}
+		seen[g] = true
+		last = g
+	}
+	return len(seen)
+}
+
+// TestGridForkAdjacency asserts the Grid nesting invariant: the
+// fork-divergible dimensions (quanta, seeds, quantum policies, queue
+// orders) nest innermost, so the points of one shared prefix form one
+// contiguous run of the enumeration. The partition-policy dimension is the
+// regression case — it is prefix-defining and used to nest inside seeds,
+// interleaving fork groups.
+func TestGridForkAdjacency(t *testing.T) {
+	plain := Grid{
+		Base:       core.Config{Topology: topology.Mesh},
+		Policies:   []sched.Policy{sched.Static, sched.TimeShared},
+		Partitions: []int{2, 4},
+		Quanta:     []sim.Time{0, 20 * sim.Millisecond},
+		Seeds:      []int64{0, 1},
+	}
+	fs := NewForkSweep(plain, core.ForkPoint{})
+	if fs.Len() != 16 {
+		t.Fatalf("plain grid has %d points, want 16", fs.Len())
+	}
+	if got := groupRuns(t, fs); got != 4 {
+		t.Errorf("plain grid grouped into %d fork groups, want 4 (policies x partitions)", got)
+	}
+
+	// Multiple partition policies: prefix-defining, so they must separate
+	// groups without interleaving them between divergible points.
+	partpols := Grid{
+		Base:              core.Config{Topology: topology.Mesh, PartitionSize: 8},
+		Policies:          []sched.Policy{sched.DynamicSpace},
+		PartitionPolicies: []sched.PartitionKind{sched.PartBuddy, sched.PartEqui},
+		Quanta:            []sim.Time{0, 20 * sim.Millisecond},
+		Seeds:             []int64{0, 1},
+	}
+	fs = NewForkSweep(partpols, core.ForkPoint{})
+	if fs.Len() != 8 {
+		t.Fatalf("partpol grid has %d points, want 8", fs.Len())
+	}
+	if got := groupRuns(t, fs); got != 2 {
+		t.Errorf("partpol grid grouped into %d fork groups, want 2 (one per partition policy)", got)
+	}
+	// The first member of each group is its base and carries an empty
+	// divergence.
+	first := make(map[*ForkGroup]bool)
+	for i := 0; i < fs.Len(); i++ {
+		if g := fs.Group(i); !first[g] {
+			first[g] = true
+			if !fs.Divergence(i).Empty() {
+				t.Errorf("point %d is its group's base but has divergence %+v", i, fs.Divergence(i))
+			}
+		}
+	}
+}
+
+// TestForkSweepWarmEqualsCold is the engine-level half of the fork gate:
+// every point of a warm sweep is byte-identical to its cold reference
+// (core.RunForked of the group base at the same fork point and
+// divergence), and the warm plan is byte-identical at 1 and 8 workers.
+func TestForkSweepWarmEqualsCold(t *testing.T) {
+	g := Grid{
+		Base: core.Config{Topology: topology.Mesh, Policy: sched.TimeShared,
+			Batch: forkBatch(6, 4, 5*sim.Second)},
+		Partitions: []int{4},
+		Quanta:     []sim.Time{0, 20 * sim.Millisecond},
+		Seeds:      []int64{0, 1},
+		Orders:     []sched.OrderKind{sched.OrderFCFS, sched.OrderSRPT},
+	}
+	fp := core.ForkPoint{WarmTime: sim.Second, WarmJobs: 6}
+
+	fs := NewForkSweep(g, fp)
+	if fs.NumGroups() != 1 {
+		t.Fatalf("shared-prefix grid grouped into %d groups, want 1", fs.NumGroups())
+	}
+	label := func(i int) string { return fs.Group(i).Base().Label() }
+	seq, err := Execute(fs.Plan("fork-sweep", label), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < fs.Len(); i++ {
+		cold, err := core.RunForked(fs.Group(i).Base(), fp, fs.Divergence(i))
+		if err != nil {
+			t.Fatalf("cold reference for point %d: %v", i, err)
+		}
+		if c, w := forkResultJSON(t, cold), forkResultJSON(t, seq[i]); c != w {
+			t.Errorf("point %d: warm sweep diverged from cold reference\ncold: %.300s\nwarm: %.300s", i, c, w)
+		}
+	}
+
+	// A fresh sweep at 8 workers prepares the donor under contention and
+	// must still merge byte-identically.
+	fs8 := NewForkSweep(g, fp)
+	label8 := func(i int) string { return fs8.Group(i).Base().Label() }
+	par, err := Execute(fs8.Plan("fork-sweep-8", label8), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if forkResultJSON(t, seq[i]) != forkResultJSON(t, par[i]) {
+			t.Errorf("point %d differs between 1 and 8 workers", i)
+		}
+	}
+}
+
+// TestForkSweepT0EqualsPlainRun: with a zero fork point every warm point
+// must equal a plain cold run of that point's own configuration — the
+// other half of the determinism contract, at the sweep level.
+func TestForkSweepT0EqualsPlainRun(t *testing.T) {
+	g := Grid{
+		Base:       core.Config{Topology: topology.Mesh, Policy: sched.Gang},
+		Partitions: []int{4},
+		Seeds:      []int64{0, 7},
+	}
+	fs := NewForkSweep(g, core.ForkPoint{})
+	cfgs := g.Configs()
+	for i := 0; i < fs.Len(); i++ {
+		warm, err := fs.Run(i)
+		if err != nil {
+			t.Fatalf("warm point %d: %v", i, err)
+		}
+		cold, err := core.Run(cfgs[i])
+		if err != nil {
+			t.Fatalf("cold point %d: %v", i, err)
+		}
+		if c, w := forkResultJSON(t, cold), forkResultJSON(t, warm); c != w {
+			t.Errorf("t=0 fork point %d diverged from plain run", i)
+		}
+	}
+}

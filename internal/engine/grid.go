@@ -26,8 +26,13 @@ type Grid struct {
 	Seeds      []int64
 
 	// Policy-component overrides (zero values inherit from the policy).
-	// These nest innermost so grids that do not set them enumerate in the
-	// exact historical order.
+	// Grids that do not set them enumerate in the exact historical order.
+	//
+	// PartitionPolicies is prefix-defining (a partition-policy change
+	// invalidates warm state), so it nests with the other prefix dimensions
+	// — outside Quanta/Seeds — keeping the fork-divergible dimensions
+	// (quanta, seeds, quantum policies, queue orders) innermost; see the
+	// adjacency invariant on Enumerate.
 	PartitionPolicies []sched.PartitionKind
 	QuantumPolicies   []sched.QuantumKind
 	Orders            []sched.OrderKind
@@ -66,9 +71,17 @@ func (d Dims) PolicyLabel() string {
 
 // Enumerate calls f for every combination in a fixed nesting order —
 // policies outermost, then partitions, topologies, apps, architectures,
-// switching modes, quanta, seeds, and the policy-component overrides
-// innermost — matching the historical sweep-tool ordering so migrated
-// output stays byte-identical.
+// switching modes, partition policies, then quanta, seeds, quantum policies
+// and queue orders innermost. Grids without component overrides enumerate
+// in the exact historical sweep-tool order, so migrated output stays
+// byte-identical.
+//
+// The nesting maintains the fork-adjacency invariant: every dimension
+// nested inside the outermost fork-divergible dimension (Quanta) is itself
+// divergible, so the points of one warm-fork group — points identical in
+// every prefix-defining dimension — always form one contiguous run of the
+// enumeration (asserted by TestGridForkAdjacency; NewForkSweep relies on
+// it to label groups but groups correctly either way).
 func (g Grid) Enumerate(f func(Dims, core.Config)) {
 	policies := g.Policies
 	if len(policies) == 0 {
@@ -120,9 +133,9 @@ func (g Grid) Enumerate(f func(Dims, core.Config)) {
 				for _, app := range apps {
 					for _, arch := range archs {
 						for _, mode := range modes {
-							for _, q := range quanta {
-								for _, seed := range seeds {
-									for _, pp := range partpols {
+							for _, pp := range partpols {
+								for _, q := range quanta {
+									for _, seed := range seeds {
 										for _, qp := range quantpols {
 											for _, ord := range orders {
 												cfg := g.Base

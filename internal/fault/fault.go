@@ -188,10 +188,11 @@ type Handlers struct {
 
 // Injector owns a pre-generated fault plan plus the per-message drop stream.
 type Injector struct {
-	cfg     Config
-	plan    []Event
-	dropRNG *rand.Rand
-	stats   metrics.FaultStats
+	cfg       Config
+	plan      []Event
+	dropRNG   *rand.Rand
+	dropDraws int64
+	stats     metrics.FaultStats
 }
 
 // NewInjector generates the fault plan for a machine of the given node count
@@ -278,8 +279,21 @@ func (inj *Injector) Plan() []Event { return inj.plan }
 // Schedule arms every planned event on the kernel. Call once, before Run.
 // Counter updates happen when events fire, so Stats reflects applied faults.
 func (inj *Injector) Schedule(k *sim.Kernel, h Handlers) {
+	inj.ScheduleFrom(k, h, 0)
+}
+
+// ScheduleFrom arms only the planned events strictly after the given time,
+// in plan order. It is the warm-start resume path: a restored simulation
+// whose clock will be moved to `after` must not re-arm events the donor run
+// already fired (their times are in the past and would drag the clock
+// backwards). Plan times are always >= 1, so ScheduleFrom(k, h, 0) arms the
+// whole plan and is exactly Schedule.
+func (inj *Injector) ScheduleFrom(k *sim.Kernel, h Handlers, after sim.Time) {
 	for _, ev := range inj.plan {
 		ev := ev
+		if ev.At <= after {
+			continue
+		}
 		k.AtFunc(ev.At, func() {
 			switch ev.Kind {
 			case NodeDown:
@@ -314,7 +328,34 @@ func (inj *Injector) DropMessage() bool {
 	if inj.cfg.DropProb <= 0 {
 		return false
 	}
+	inj.dropDraws++
 	return inj.dropRNG.Float64() < inj.cfg.DropProb
+}
+
+// State is the injector's serializable mid-run state: the applied-fault
+// counters and the position of the per-message drop stream. The plan itself
+// is not part of the state — it is regenerated bit-identically from the
+// configuration at construction.
+type State struct {
+	Stats     metrics.FaultStats `json:"stats"`
+	DropDraws int64              `json:"drop_draws"`
+}
+
+// SnapshotState captures the injector's state at a quiescent instant.
+func (inj *Injector) SnapshotState() State {
+	return State{Stats: inj.stats, DropDraws: inj.dropDraws}
+}
+
+// RestoreState positions a freshly constructed injector where the donor
+// stood: counters are installed directly and the drop stream is replayed by
+// burning the donor's draw count, so the next drop decision is the same
+// number the donor would have drawn next.
+func (inj *Injector) RestoreState(st State) {
+	inj.stats = st.Stats
+	for i := int64(0); i < st.DropDraws; i++ {
+		inj.dropRNG.Float64()
+	}
+	inj.dropDraws = st.DropDraws
 }
 
 // Config returns the injector's configuration.

@@ -469,5 +469,31 @@ func (c *CPU) removeQueued(b *burst) {
 // the running burst. Useful in tests and tracing.
 func (c *CPU) QueueLens() (int, int) { return len(c.highQ), len(c.lowQ) }
 
+// CPUState is the CPU's persistent cross-job state: the accumulated
+// statistics plus the identity of the last low-priority group dispatched
+// (which decides whether the next dispatch pays the group-switch overhead).
+// It is everything a CPU carries across jobs — run queues and the current
+// burst are transient and empty at any quiescent instant.
+type CPUState struct {
+	Stats        CPUStats `json:"stats"`
+	LastLowGroup int      `json:"last_low_group"`
+}
+
+// SnapshotState captures the cross-job state. Call only when the CPU is
+// idle (no current burst, empty queues); it panics otherwise, because an
+// open slice holds unaccounted busy time that a snapshot would lose.
+func (c *CPU) SnapshotState() CPUState {
+	if c.current != nil || len(c.highQ) != 0 || len(c.lowQ) != 0 {
+		panic(fmt.Sprintf("machine: snapshot of busy CPU on node %d", c.node))
+	}
+	return CPUState{Stats: c.stats, LastLowGroup: c.lastLowGroup}
+}
+
+// RestoreState installs a donor CPU's cross-job state into this (idle) CPU.
+func (c *CPU) RestoreState(st CPUState) {
+	c.stats = st.Stats
+	c.lastLowGroup = st.LastLowGroup
+}
+
 // Running reports whether a burst is currently executing.
 func (c *CPU) Running() bool { return c.current != nil }

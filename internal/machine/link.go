@@ -46,6 +46,17 @@ func (h *HalfLink) Name() string { return h.name }
 // Stats returns a copy of the direction's statistics.
 func (h *HalfLink) Stats() LinkStats { return h.stats }
 
+// RestoreStats installs a donor direction's accumulated statistics. Warm
+// restores call it per direction — per-direction, not aggregated, because
+// downstream metrics take a max over directions, which an aggregate would
+// corrupt. The direction must be idle (not held, nobody queued).
+func (h *HalfLink) RestoreStats(st LinkStats) {
+	if h.busy || len(h.waiters) != 0 {
+		panic(fmt.Sprintf("machine: restore into busy link %s", h.name))
+	}
+	h.stats = st
+}
+
 // Busy reports whether the direction is currently held.
 func (h *HalfLink) Busy() bool { return h.busy }
 

@@ -125,6 +125,17 @@ func (m *MMU) OldestWaiter() string {
 // Stats returns a copy of the accumulated statistics.
 func (m *MMU) Stats() Stats { return m.stats }
 
+// RestoreStats installs a donor MMU's accumulated statistics. Warm restores
+// call it at quiescent instants only: nothing may be allocated or waiting,
+// because used bytes and queued requests are transient state a snapshot
+// deliberately excludes.
+func (m *MMU) RestoreStats(st Stats) {
+	if m.used != 0 || len(m.waiters) != 0 {
+		panic(fmt.Sprintf("mem: restore into busy MMU on node %d", m.node))
+	}
+	m.stats = st
+}
+
 // NodeID returns the node this MMU belongs to.
 func (m *MMU) NodeID() int { return m.node }
 

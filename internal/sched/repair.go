@@ -77,12 +77,15 @@ func (s *System) wireFaults() error {
 			part.net.SetDropFn(inj.DropMessage)
 		}
 	}
-	inj.Schedule(s.k, fault.Handlers{
+	// On a warm-start restore (ResumeFrom > 0) only the plan events the
+	// donor run had not yet fired are armed; the donor's applied-fault state
+	// arrives via RestoreState instead.
+	inj.ScheduleFrom(s.k, fault.Handlers{
 		NodeDown: func(node int, permanent bool) { s.onNodeDown(node, permanent) },
 		NodeUp:   func(node int) { s.onNodeUp(node) },
 		LinkDown: func(a, b int, _ bool) { s.setLinkState(a, b, false) },
 		LinkUp:   func(a, b int) { s.setLinkState(a, b, true) },
-	})
+	}, s.cfg.ResumeFrom)
 	return nil
 }
 

@@ -137,6 +137,12 @@ type Config struct {
 	Fault *fault.Config
 	// Tracer, when non-nil, receives job and message events.
 	Tracer trace.Tracer
+	// ResumeFrom marks a warm-start restore (see state.go): fault-plan
+	// events at or before this time are not armed (the donor run already
+	// fired them), and RestoreState installs the donor state before
+	// SubmitResume re-enters the remaining jobs. Zero — the normal case —
+	// arms everything and changes nothing.
+	ResumeFrom sim.Time
 }
 
 // System wires the scheduler hierarchy for one batch run. A System is
@@ -164,6 +170,11 @@ type System struct {
 	dynParts   []*Partition
 	dynRunning int
 	equiJobs   []*jobState // running malleable jobs, in admission order
+
+	// carried holds network contributions of per-job partitions retired by a
+	// donor run before a warm-start snapshot; buildResult folds them in so a
+	// restored run reports the same aggregates as its cold equivalent.
+	carried []CarriedNet
 
 	// Fault-injection and repair state (see repair.go).
 	inj        *fault.Injector
@@ -292,25 +303,58 @@ func (s *System) Running() int { return s.runningNow }
 // completion, and returns the measured result. It fails if any job cannot
 // finish (for example a memory deadlock), reporting the stuck processes.
 func (s *System) RunBatch(batch workload.Batch) (*metrics.Result, error) {
+	if err := s.Submit(batch); err != nil {
+		return nil, err
+	}
+	return s.Finish()
+}
+
+// Submit enters every job of the batch into the system at its arrival time
+// without running the simulation. Callers that need to observe or pause the
+// run (warm-state forking steps the kernel to a fork point) use Submit +
+// Finish; RunBatch composes them.
+func (s *System) Submit(batch workload.Batch) error {
+	return s.submitAfter(batch, 0)
+}
+
+// submitAfter is the shared submission path: jobs with Arrival <= after are
+// skipped (after > 0 only on a warm-start restore, where the donor run
+// already completed them and RestoreState installed their records).
+func (s *System) submitAfter(batch workload.Batch, after sim.Time) error {
 	if s.used {
-		return nil, fmt.Errorf("sched: System is single-use; build a new one per batch")
+		return fmt.Errorf("sched: System is single-use; build a new one per batch")
 	}
 	s.used = true
-	jobs := make([]*jobState, len(batch))
+	var jobs []*jobState
+	idxOf := make([]int, 0, len(batch))
 	for i, job := range batch {
-		jobs[i] = &jobState{
+		if after > 0 && job.Arrival <= after {
+			continue
+		}
+		jobs = append(jobs, &jobState{
 			job: job,
 			rec: metrics.JobRecord{JobID: job.ID, Class: job.Class, Arrival: job.Arrival},
-		}
+		})
+		idxOf = append(idxOf, i)
+	}
+	if len(jobs)+len(s.records) != len(batch) {
+		return fmt.Errorf("sched: resume at %v: %d jobs still to run plus %d completed != batch of %d",
+			after, len(jobs), len(s.records), len(batch))
 	}
 	s.remaining = len(jobs)
 
 	// Jobs enter the system at their arrival times (zero for the paper's
 	// closed batches; the open-system experiments set Poisson arrivals).
-	for i, js := range jobs {
-		s.partpol.Arrive(s, js, i)
+	// Arrive receives the job's original batch index — partition routing
+	// (job i to partition i mod P) must not shift on a resume.
+	for j, js := range jobs {
+		s.partpol.Arrive(s, js, idxOf[j])
 	}
+	return nil
+}
 
+// Finish runs the submitted simulation to completion and builds the result.
+func (s *System) Finish() (*metrics.Result, error) {
 	s.k.Run()
 	if s.fatalErr != nil {
 		return nil, s.fatalErr
@@ -547,7 +591,7 @@ func (s *System) procDone(js *jobState) {
 // buildResult collects job records and machine/network statistics.
 func (s *System) buildResult() *metrics.Result {
 	res := &metrics.Result{
-		Label: fmt.Sprintf("%d%s %s", s.cfg.PartitionSize, s.cfg.Topology.Letter(), s.spec),
+		Label: s.Label(),
 		Jobs:  s.records,
 	}
 	for _, rec := range s.records {
@@ -577,6 +621,16 @@ func (s *System) buildResult() *metrics.Result {
 		res.Net.LinkWait += total.WaitTime
 		if max.BusyTime > res.Net.MaxLinkBusy {
 			res.Net.MaxLinkBusy = max.BusyTime
+		}
+	}
+	// Per-job partitions the donor run retired before a warm-start snapshot
+	// contribute through their carried aggregates.
+	for _, c := range s.carried {
+		agg.Add(c.Stats)
+		res.Net.LinkBusy += c.LinkTotal.BusyTime
+		res.Net.LinkWait += c.LinkTotal.WaitTime
+		if c.LinkMax.BusyTime > res.Net.MaxLinkBusy {
+			res.Net.MaxLinkBusy = c.LinkMax.BusyTime
 		}
 	}
 	res.Net.Messages = agg.MessagesSent

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func postFork(t *testing.T, h http.Handler, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/fork", strings.NewReader(string(body)))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+// TestScheddForkEndpoint: POST /v1/fork resumes a shipped snapshot and
+// answers with exactly the summary a local warm run produces; the repeat
+// POST is a byte-identical cache hit, and a divergent request misses with
+// a different key.
+func TestScheddForkEndpoint(t *testing.T) {
+	s := testServer(t, Options{})
+	h := s.Handler()
+
+	cfg, err := ConfigSpec{Partition: 4, Topology: "mesh", Policy: "ts"}.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.Prepare(cfg, core.ForkPoint{WarmJobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapEnc, err := w.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	div := core.Divergence{SeedSet: true, Seed: 99, QueueOrder: sched.OrderSRPT}
+	body, err := EncodeForkRequest(ForkRequest{
+		Config:     ConfigSpec{Partition: 4, Topology: "mesh", Policy: "ts"},
+		Snapshot:   snapEnc,
+		Divergence: DivergenceSpecFrom(div),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := postFork(t, h, body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first POST: status %d, body %s", first.Code, first.Body)
+	}
+	if got := first.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("first POST X-Cache = %q, want miss", got)
+	}
+
+	want, err := w.Run(div)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePointSummary(first.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local := PointSummaryFrom(want); got != local {
+		t.Errorf("fork wire summary != local warm run:\n got: %+v\nwant: %+v", got, local)
+	}
+
+	second := postFork(t, h, body)
+	if got := second.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("repeat POST X-Cache = %q, want hit", got)
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Errorf("cache hit body differs from miss body")
+	}
+
+	// A different divergence is a different address — and a different run.
+	other, err := EncodeForkRequest(ForkRequest{
+		Config:     ConfigSpec{Partition: 4, Topology: "mesh", Policy: "ts"},
+		Snapshot:   snapEnc,
+		Divergence: DivergenceSpec{SeedSet: true, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := postFork(t, h, other)
+	if third.Code != http.StatusOK {
+		t.Fatalf("divergent POST: status %d, body %s", third.Code, third.Body)
+	}
+	if got := third.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("divergent POST X-Cache = %q, want miss", got)
+	}
+	if third.Header().Get("X-Key") == first.Header().Get("X-Key") {
+		t.Errorf("different divergences share a content address")
+	}
+
+	// A snapshot taken from a different config must be rejected by the
+	// worker's hash check, not silently resumed.
+	mismatched, err := EncodeForkRequest(ForkRequest{
+		Config:   ConfigSpec{Partition: 4, Topology: "ring", Policy: "ts"},
+		Snapshot: snapEnc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := postFork(t, h, mismatched)
+	if bad.Code != http.StatusInternalServerError {
+		t.Errorf("mismatched config: status %d, want 500 (hash check)", bad.Code)
+	}
+}
+
+// TestScheddForkBadRequests: malformed fork bodies are 400s, not panics.
+func TestScheddForkBadRequests(t *testing.T) {
+	s := testServer(t, Options{})
+	h := s.Handler()
+	for name, body := range map[string]string{
+		"empty":        `{}`,
+		"no snapshot":  `{"config":{"policy":"ts"}}`,
+		"bad snapshot": `{"config":{"policy":"ts"},"snapshot":{"version":99}}`,
+		"bad kind":     `{"config":{"policy":"ts"},"snapshot":{"version":1},"divergence":{"quantum_policy":"warp"}}`,
+		"unknown":      `{"confg":{}}`,
+	} {
+		rr := postFork(t, h, []byte(body))
+		if rr.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", name, rr.Code, rr.Body)
+		}
+	}
+}
+
+// TestScheddForkDivergenceSpecRoundTrip: every resolved divergence kind
+// survives the wire spelling round trip.
+func TestScheddForkDivergenceSpecRoundTrip(t *testing.T) {
+	divs := []core.Divergence{
+		{},
+		{SeedSet: true, Seed: 0},
+		{SeedSet: true, Seed: -3, BasicQuantum: 1234},
+		{QuantumPolicy: sched.QuantumDynamic, QueueOrder: sched.OrderPriority},
+		{QueueOrder: sched.OrderSRPT},
+	}
+	for _, div := range divs {
+		spec := DivergenceSpecFrom(div)
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back DivergenceSpec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.ToDivergence()
+		if err != nil {
+			t.Fatalf("%+v: %v", div, err)
+		}
+		if got != div {
+			t.Errorf("round trip changed divergence: %+v -> %+v", div, got)
+		}
+	}
+}

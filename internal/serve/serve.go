@@ -26,7 +26,10 @@
 //
 // As a cluster worker (cmd/schedd -worker), the server additionally exposes
 // POST /v1/point — the lossless single-run wire format the coordinator
-// shards sweeps over (see point.go and internal/cluster).
+// shards sweeps over (see point.go and internal/cluster) — and POST
+// /v1/fork, the warm-resume form: a serialized core.Snapshot plus a
+// divergence, so shared-prefix sweep points resume from the donor's state
+// instead of cold-starting (see fork.go).
 package serve
 
 import (
@@ -257,6 +260,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/point", s.handlePoint)
+	mux.HandleFunc("/v1/fork", s.handleFork)
 	mux.HandleFunc("/v1/experiments", s.handleExperiments)
 	mux.HandleFunc("/v1/policies", s.handlePolicies)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -366,6 +370,65 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 				return nil, "", err
 			}
 			s.metrics.simMicros.Add(int64(results[0].Makespan))
+			return encodePointSummary(PointSummaryFrom(results[0])), pointContentType, nil
+		},
+	})
+}
+
+// handleFork serves the warm-resume wire format: a base config, its
+// serialized fork snapshot and one divergence in, the forked run's lossless
+// summary out — byte-identical to what /v1/point would return for the same
+// continuation, cached under the (config, snapshot, divergence) address.
+// The snapshot body is larger than a config, so the size cap is 8 MiB.
+func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
+	if !s.checkPost(w, r) {
+		return
+	}
+	start := time.Now()
+	defer func() { s.metrics.latency.observe(time.Since(start)) }()
+	req, err := parseForkRequest(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg, err := req.Config.ToConfig()
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfgHash, err := cfg.Hash()
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap, err := core.DecodeSnapshot(req.Snapshot)
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	div, err := req.Divergence.ToDivergence()
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.serveKeyed(w, r, keyedRequest{
+		start: start, key: ForkKey(cfgHash, req.Snapshot, req.Divergence), format: "fork",
+		timeoutMS: req.TimeoutMS,
+		compute: func(ctx context.Context) ([]byte, string, error) {
+			plan := engine.NewPlan[*metrics.Result]("serve/fork")
+			plan.Add(cfg.Label(), func() (*metrics.Result, error) {
+				return core.ResumeFromSnapshot(cfg, snap, div)
+			})
+			results, err := engine.ExecuteCtx(ctx, plan, engine.Options{Workers: s.opts.Workers, Ctx: ctx})
+			if err != nil {
+				return nil, "", err
+			}
+			s.metrics.simMicros.Add(int64(results[0].Makespan - snap.T))
 			return encodePointSummary(PointSummaryFrom(results[0])), pointContentType, nil
 		},
 	})

@@ -72,6 +72,49 @@ func (k *Kernel) Now() Time { return k.now }
 // from kernel context so that draws happen in a reproducible order.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
+// Reseed replaces the kernel's random source with a fresh generator seeded
+// with seed. Warm-state forking uses it so that a cold run that diverges
+// mid-flight and a restored snapshot continue from the same RNG state: both
+// sides hold a fresh stream at the fork instant.
+func (k *Kernel) Reseed(seed int64) {
+	k.rng = rand.New(rand.NewSource(seed))
+}
+
+// NextEventAt reports the activation time of the next live pending event.
+// ok is false when the queue holds no live events. Cancelled-but-unswept
+// events at the front are collected on the way (they would never fire).
+func (k *Kernel) NextEventAt() (t Time, ok bool) {
+	for {
+		ev := k.peekNext()
+		if ev == nil {
+			return 0, false
+		}
+		if ev.cancelled {
+			k.popNext()
+			k.recycle(ev)
+			continue
+		}
+		return ev.at, true
+	}
+}
+
+// RestoreClock advances the clock to t and sets the executed-event counter,
+// without running anything. It is the warm-start resume primitive: after a
+// restored simulation has re-armed its pending events (all at times > t),
+// RestoreClock positions the kernel exactly where the donor run stood. It
+// panics if a live pending event would then be in the past — that would let
+// the clock move backwards, which no deterministic schedule survives.
+func (k *Kernel) RestoreClock(t Time, eventsRun int64) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: RestoreClock to %v behind current time %v", t, k.now))
+	}
+	if at, ok := k.NextEventAt(); ok && at < t {
+		panic(fmt.Sprintf("sim: RestoreClock to %v past pending event at %v", t, at))
+	}
+	k.now = t
+	k.eventsRun = eventsRun
+}
+
 // After schedules fn to run d microseconds from now and returns a cancellable
 // timer. A non-positive delay schedules the event at the current time; it
 // still runs through the event queue, after events already scheduled for now.

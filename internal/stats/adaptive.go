@@ -1,0 +1,135 @@
+package stats
+
+// Adaptive replication and steady-state detection. Replicate runs a fixed
+// seed count; ReplicateAdaptive stops as soon as the confidence interval
+// is tight enough, with a bounded-error flag when the budget ran out
+// first. MSER5 is the classic warm-up truncation rule for time series
+// (timeline samples, batch means) whose early observations are biased by
+// initial-transient effects.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/engine"
+)
+
+// adaptiveChunk is how many additional replications are dispatched per
+// round after the first min are in. Chunking keeps the worker pool busy
+// without overshooting the stopping point by more than a chunk; it never
+// changes the result, because the stopping rule depends only on the
+// deterministic per-seed values.
+const adaptiveChunk = 4
+
+// ReplicateAdaptive runs f for seeds 0,1,2,... until the summary's 95%
+// confidence half-width falls to target (as a fraction of the mean,
+// Summary.RelativeCI) or max replications have run, whichever comes first.
+// At least min replications (>= 2) always run.
+//
+// The returned summary covers seeds 0..n-1 for the smallest qualifying n —
+// a deterministic function of the per-seed values alone, so the outcome is
+// identical at any worker count and any chunking. The boolean is the
+// bounded-error flag: true when the target was met, false when the
+// replication budget was exhausted first and the reported interval is
+// wider than asked for.
+func ReplicateAdaptive(min, max int, target float64, f func(seed int64) (float64, error), opts ...engine.Options) (Summary, bool, error) {
+	if min < 2 {
+		min = 2
+	}
+	if max < min {
+		return Summary{}, false, fmt.Errorf("stats: adaptive replication budget max=%d < min=%d", max, min)
+	}
+	var xs []float64
+	run := func(from, to int) error {
+		plan := engine.NewPlan[float64]("stats.ReplicateAdaptive")
+		for i := from; i < to; i++ {
+			i := i
+			plan.Add(fmt.Sprintf("seed=%d", i), func() (float64, error) {
+				x, err := f(int64(i))
+				if err != nil {
+					return 0, fmt.Errorf("stats: replication %d: %w", i, err)
+				}
+				return x, nil
+			})
+		}
+		batch, err := engine.Execute(plan, opts...)
+		if err != nil {
+			return err
+		}
+		xs = append(xs, batch...)
+		return nil
+	}
+
+	if err := run(0, min); err != nil {
+		return Summary{}, false, err
+	}
+	var acc Accumulator
+	for _, x := range xs[:min] {
+		acc.Add(x)
+	}
+	next := min
+	for {
+		// The accumulator holds exactly xs[:next'] for each candidate n in
+		// turn; the first n >= min whose interval is tight enough wins.
+		if s := acc.Summarize(); s.RelativeCI() <= target {
+			return s, true, nil
+		}
+		if acc.N() == max {
+			return acc.Summarize(), false, nil
+		}
+		if acc.N() == len(xs) {
+			to := len(xs) + adaptiveChunk
+			if to > max {
+				to = max
+			}
+			if err := run(len(xs), to); err != nil {
+				return Summary{}, false, err
+			}
+		}
+		acc.Add(xs[next])
+		next++
+	}
+}
+
+// MSER5 applies the MSER-5 rule (Marginal Standard Error Rule, batch size
+// 5) to a series and returns the number of leading observations to
+// discard before the series is in steady state: the truncation point
+// minimizing the marginal standard error of the remaining batch means.
+// Following the standard rule, at most half the batches may be truncated,
+// and series too short to batch (< 10 observations) are returned whole
+// (truncation 0). The returned count is a multiple of the batch size.
+func MSER5(xs []float64) int {
+	const size = 5
+	nb := len(xs) / size
+	if nb < 2 {
+		return 0
+	}
+	means := make([]float64, nb)
+	for j := range means {
+		sum := 0.0
+		for _, x := range xs[j*size : (j+1)*size] {
+			sum += x
+		}
+		means[j] = sum / size
+	}
+	best, bestZ := 0, math.Inf(1)
+	for d := 0; d <= nb/2; d++ {
+		k := float64(nb - d)
+		mean := 0.0
+		for _, m := range means[d:] {
+			mean += m
+		}
+		mean /= k
+		ss := 0.0
+		for _, m := range means[d:] {
+			ss += (m - mean) * (m - mean)
+		}
+		// The MSER statistic: squared standard error of the retained mean,
+		// SS/k², to be minimized over truncation points (ties keep the
+		// smallest truncation).
+		if z := ss / (k * k); z < bestZ {
+			bestZ, best = z, d
+		}
+	}
+	return best * size
+}

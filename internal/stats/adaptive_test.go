@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// lowVar is a deterministic per-seed metric with tiny spread: adaptive
+// replication should stop at (or just past) the minimum.
+func lowVar(seed int64) (float64, error) {
+	return 100 + math.Sin(float64(seed))*0.01, nil
+}
+
+// highVar alternates wildly: a tight target is unreachable within budget.
+func highVar(seed int64) (float64, error) {
+	if seed%2 == 0 {
+		return 10, nil
+	}
+	return 1000, nil
+}
+
+func TestReplicateAdaptiveConverges(t *testing.T) {
+	var calls atomic.Int64
+	counted := func(seed int64) (float64, error) {
+		calls.Add(1)
+		return lowVar(seed)
+	}
+	s, ok, err := ReplicateAdaptive(4, 1000, 0.01, counted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("low-variance metric did not converge: %v", s)
+	}
+	if s.N < 4 {
+		t.Errorf("stopped below the minimum: n=%d", s.N)
+	}
+	if got := s.RelativeCI(); got > 0.01 {
+		t.Errorf("reported interval wider than target: %.4f", got)
+	}
+	// Early stop: nowhere near the 1000 budget (chunked overshoot only).
+	if n := calls.Load(); n >= 100 {
+		t.Errorf("adaptive replication ran %d of 1000 budget despite early convergence", n)
+	}
+}
+
+func TestReplicateAdaptiveBudgetExhausted(t *testing.T) {
+	s, ok, err := ReplicateAdaptive(2, 12, 0.001, highVar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("high-variance metric claimed convergence: %v", s)
+	}
+	if s.N != 12 {
+		t.Errorf("budget-exhausted summary covers n=%d, want the full 12", s.N)
+	}
+}
+
+// TestReplicateAdaptiveDeterministic: the outcome is a pure function of
+// the per-seed values — identical at any worker count.
+func TestReplicateAdaptiveDeterministic(t *testing.T) {
+	base, okBase, err := ReplicateAdaptive(3, 64, 0.005, lowVar, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		s, ok, err := ReplicateAdaptive(3, 64, 0.005, lowVar, engine.Options{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != base || ok != okBase {
+			t.Errorf("workers=%d: summary diverged\n got: %+v (%v)\nwant: %+v (%v)", w, s, ok, base, okBase)
+		}
+	}
+}
+
+func TestReplicateAdaptiveBadBudget(t *testing.T) {
+	if _, _, err := ReplicateAdaptive(10, 5, 0.1, lowVar); err == nil {
+		t.Error("max < min accepted")
+	}
+}
+
+func TestMSER5(t *testing.T) {
+	constant := make([]float64, 50)
+	for i := range constant {
+		constant[i] = 7
+	}
+	if got := MSER5(constant); got != 0 {
+		t.Errorf("constant series truncated %d observations", got)
+	}
+
+	// Inflated warm-up: the first 10 observations are far off steady
+	// state; MSER-5 must cut at least them, and no more than the rule's
+	// half-series cap.
+	warmup := make([]float64, 60)
+	for i := range warmup {
+		if i < 10 {
+			warmup[i] = 1000
+		} else {
+			warmup[i] = 5 + 0.1*math.Sin(float64(i))
+		}
+	}
+	got := MSER5(warmup)
+	if got < 10 {
+		t.Errorf("warm-up truncation = %d, want >= 10", got)
+	}
+	if got > len(warmup)/2 {
+		t.Errorf("truncation %d beyond the half-series cap", got)
+	}
+	if got%5 != 0 {
+		t.Errorf("truncation %d is not a whole batch", got)
+	}
+
+	if got := MSER5([]float64{1, 2, 3}); got != 0 {
+		t.Errorf("short series truncated %d", got)
+	}
+}

@@ -1,35 +1,64 @@
 #!/bin/sh
-# Kernel hot-path benchmark ledger: runs the sim/comm micro-benchmarks
-# (event churn, timer cancel storm, event throughput, 16-node all-to-all)
-# and appends a dated entry to BENCH_<date>.json in the repo root, creating
-# the file if needed. Run from the repo root: `make bench-ledger` or
-# `./scripts/bench.sh`. Override the measurement window with
-# BENCHTIME=200ms ./scripts/bench.sh (default 1s).
+# Benchmark ledger: runs a benchmark suite and appends a dated entry to
+# the newest BENCH_<date>.json in the repo root (creating a dated file if
+# none exists) — the ledger is appended by machine, not hand-edited.
+#
+# Usage (from the repo root, or `make bench-ledger`):
+#   ./scripts/bench.sh [kernel|fork|all]     default: all
+#
+# kernel  sim/comm micro-benchmarks (event churn, timer cancel storm,
+#         event throughput, 16-node all-to-all); window BENCHTIME (1s).
+# fork    BenchmarkSweepForked: warm-state forking vs the cold reference
+#         on the shared-prefix 32-point sweep; fixed iteration count
+#         FORK_BENCHTIME (5x) so cold and warm see identical plans.
 set -eu
 
+MODE="${1:-all}"
 BENCHTIME="${BENCHTIME:-1s}"
+FORK_BENCHTIME="${FORK_BENCHTIME:-5x}"
 DATE=$(date +%Y-%m-%d)
-OUT="BENCH_${DATE}.json"
 
-RAW=$(go test -run '^$' -bench 'BenchmarkKernel|BenchmarkNetworkAllToAll' \
-	-benchmem -benchtime "$BENCHTIME" .)
-printf '%s\n' "$RAW"
+# Append to the newest existing ledger file so one file accumulates the
+# before/after history; start a dated file only on first use.
+OUT=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+[ -n "$OUT" ] || OUT="BENCH_${DATE}.json"
 
-CPU=$(printf '%s\n' "$RAW" | sed -n 's/^cpu: //p')
+# append_entry ENTRY: append one JSON object to the OUT array.
+append_entry() {
+	if [ ! -f "$OUT" ]; then
+		printf '[\n%s\n]\n' "$1" > "$OUT"
+	else
+		# Drop the closing ']', put a comma after the (now) last entry,
+		# add the new entry, close the array.
+		TMP=$(mktemp)
+		sed '$d' "$OUT" > "$TMP"
+		last=$(tail -1 "$TMP")
+		sed '$d' "$TMP" > "$OUT"
+		printf '%s,\n%s\n]\n' "$last" "$1" >> "$OUT"
+		rm -f "$TMP"
+	fi
+}
+
 GOOS=$(go env GOOS)
 GOARCH=$(go env GOARCH)
 CORES=$(nproc 2>/dev/null || echo 1)
 
-# One "name": {ns_per_op, b_per_op, allocs_per_op} line per benchmark,
-# comma-separated. The -N CPU suffix is stripped from names.
-RESULTS=$(printf '%s\n' "$RAW" | awk '
-	/^Benchmark/ {
-		name = $1; sub(/-[0-9]+$/, "", name)
-		printf "%s      \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $3, $5, $7
-		sep = ",\n"
-	}')
+run_kernel() {
+	RAW=$(go test -run '^$' -bench 'BenchmarkKernel|BenchmarkNetworkAllToAll' \
+		-benchmem -benchtime "$BENCHTIME" .)
+	printf '%s\n' "$RAW"
+	CPU=$(printf '%s\n' "$RAW" | sed -n 's/^cpu: //p')
 
-ENTRY=$(cat <<EOF
+	# One "name": {ns_per_op, b_per_op, allocs_per_op} line per benchmark,
+	# comma-separated. The -N CPU suffix is stripped from names.
+	RESULTS=$(printf '%s\n' "$RAW" | awk '
+		/^Benchmark/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			printf "%s      \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $3, $5, $7
+			sep = ",\n"
+		}')
+
+	ENTRY=$(cat <<EOF
   {
     "date": "${DATE}",
     "benchmark": "kernel-hot-path",
@@ -41,17 +70,52 @@ ${RESULTS}
   }
 EOF
 )
+	append_entry "$ENTRY"
+	echo "appended kernel-hot-path entry to $OUT"
+}
 
-if [ ! -f "$OUT" ]; then
-	printf '[\n%s\n]\n' "$ENTRY" > "$OUT"
-else
-	# Append to the existing JSON array: drop the closing ']', put a comma
-	# after the (now) last entry, add the new entry, close the array.
-	TMP=$(mktemp)
-	sed '$d' "$OUT" > "$TMP"
-	last=$(tail -1 "$TMP")
-	sed '$d' "$TMP" > "$OUT"
-	printf '%s,\n%s\n]\n' "$last" "$ENTRY" >> "$OUT"
-	rm -f "$TMP"
-fi
-echo "appended kernel-hot-path entry to $OUT"
+run_fork() {
+	RAW=$(go test -run '^$' -bench 'BenchmarkSweepForked' -benchtime "$FORK_BENCHTIME" .)
+	printf '%s\n' "$RAW"
+	CPU=$(printf '%s\n' "$RAW" | sed -n 's/^cpu: //p')
+
+	COLD=$(printf '%s\n' "$RAW" | awk '/^BenchmarkSweepForked\/cold/ {print $3}')
+	WARM=$(printf '%s\n' "$RAW" | awk '/^BenchmarkSweepForked\/warm/ {print $3}')
+	if [ -z "$COLD" ] || [ -z "$WARM" ]; then
+		echo "bench.sh: BenchmarkSweepForked produced no cold/warm lines" >&2
+		exit 1
+	fi
+	SPEEDUP=$(awk "BEGIN {printf \"%.2f\", $COLD / $WARM}")
+	echo "sweep-forked speedup: ${SPEEDUP}x (cold ${COLD} ns/op, warm ${WARM} ns/op)"
+
+	ENTRY=$(cat <<EOF
+  {
+    "date": "${DATE}",
+    "benchmark": "sweep-forked",
+    "description": "BenchmarkSweepForked: shared-prefix 32-point sweep (quanta x seeds over a 32-job warm-up wave), cold = core.RunForked per point (full prefix every time), warm = engine.NewForkSweep (prefix once, snapshot resume per point); benchtime ${FORK_BENCHTIME}",
+    "host": {"goos": "${GOOS}", "goarch": "${GOARCH}", "cpu": "${CPU}", "cores": ${CORES}},
+    "results": {
+      "cold_ns_per_op": ${COLD},
+      "warm_ns_per_op": ${WARM},
+      "speedup": ${SPEEDUP}
+    },
+    "note": "Byte-identity of warm vs cold output is asserted by make fork-gate (TestForkSweepWarmEqualsCold at -j 1 and -j 8, TestClusterForkResume for the serialized wire path); acceptance floor for speedup is 5x."
+  }
+EOF
+)
+	append_entry "$ENTRY"
+	echo "appended sweep-forked entry to $OUT"
+}
+
+case "$MODE" in
+kernel) run_kernel ;;
+fork) run_fork ;;
+all)
+	run_kernel
+	run_fork
+	;;
+*)
+	echo "usage: scripts/bench.sh [kernel|fork|all]" >&2
+	exit 2
+	;;
+esac

@@ -51,6 +51,16 @@ go test -race -run 'Cluster|ScheddWorkerLifecycle' -count=1 ./internal/cluster .
 # seed is in the log — replay with CHAOS_SEED=<seed>.
 SCHEDD_CHAOS=1 go test -race -run 'Chaos' -count=1 -timeout 300s ./internal/chaosharness
 
+# Fork gate: the warm-state forking determinism contract under the race
+# detector — snapshots round-trip byte-identical mid-run for all five
+# paper disciplines (with fault injection active), a warm fork is
+# byte-identical to the cold run at -j 1 and -j 8, a t=0 fork equals the
+# plain run, the Grid's fork-adjacency invariant holds, and a serialized
+# snapshot resumed over /v1/fork on a 2-worker cluster matches the local
+# warm run. Wall clock bounded by -timeout; fails loudly if the tests
+# are renamed or skipped.
+go test -race -run 'Fork|SnapshotRoundTrip' -count=1 -timeout 300s ./internal/core ./internal/engine ./internal/serve ./internal/cluster
+
 # Benchmark smoke: one iteration of the cheapest figure plus the parallel
 # sweep benchmark, just to prove the harness still runs. Full benchmarks
 # are a manual `make bench` / `make sweep-bench`.
