@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism policy-gate serve-gate cluster-gate chaos-gate fork-gate schedd figures fault ci fmt
+.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism policy-gate serve-gate cluster-gate chaos-gate fork-gate open-gate schedd figures fault ci fmt
 
 all: build
 
@@ -79,6 +79,15 @@ chaos-gate:
 # (TestClusterForkResume, TestScheddFork*). CI runs this.
 fork-gate:
 	$(GO) test -race -run 'Fork|SnapshotRoundTrip' -count=1 -timeout 300s ./internal/core ./internal/engine ./internal/serve ./internal/cluster
+
+# Open-system gate: flat memory at millions-of-jobs scale under the race
+# detector — the 1M-job Poisson stream's peak live heap must match the 100k
+# reference (TestOpenGateFlatMemory), repeat runs are bit-identical
+# (TestOpenGateDeterminism), and the quantile sketch holds its documented ε
+# against exact sorted quantiles (TestOpenGateSketchAccuracy). The heavy
+# integration runs fire only with OPEN_GATE=1. CI runs this.
+open-gate:
+	OPEN_GATE=1 $(GO) test -race -run 'OpenGate' -count=1 -timeout 600s ./internal/integration ./internal/stats
 
 schedd:
 	$(GO) run ./cmd/schedd

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
+	"repro/internal/arrival"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -392,6 +394,43 @@ func BenchmarkOpenLoadSweep(b *testing.B) {
 	heavy := points[len(points)-1]
 	b.ReportMetric(heavy.Static4.Seconds(), "sim-static4-s")
 	b.ReportMetric(heavy.Dynamic.Seconds(), "sim-dynamic-s")
+}
+
+// BenchmarkArrivalThroughput measures the open-system streaming path on the
+// cheapest representative configuration (static space-sharing, single-node
+// partitions, Poisson arrivals at ρ=0.5 — the make open-gate shape) and
+// reports simulated jobs per wall-clock second, the headline number for
+// the millions-of-jobs goal. Memory stays flat by design; allocs/op is the
+// tripwire for per-job retention creeping back in.
+func BenchmarkArrivalThroughput(b *testing.B) {
+	b.ReportAllocs()
+	const jobs = 20000
+	cfg := core.Config{
+		PartitionSize: 1,
+		Topology:      topology.Mesh,
+		Policy:        sched.Static,
+		Arch:          workload.Adaptive,
+		Arrival: arrival.Spec{
+			Kind: arrival.Poisson,
+			Jobs: jobs,
+			Load: 0.5,
+		},
+	}
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res, err := core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed += time.Since(start)
+		if res.Open == nil || res.Open.Jobs != jobs {
+			b.Fatalf("open summary missing or short: %+v", res.Open)
+		}
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		b.ReportMetric(float64(jobs)*float64(b.N)/s, "jobs/sec")
+	}
 }
 
 // BenchmarkGangVsRRJob regenerates E7 and reports the stencil advantage.

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/arrival"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -295,6 +296,131 @@ func ApplyPolicySpec(cfg *core.Config, v string) error {
 		}
 	}
 	return nil
+}
+
+// Arrival holds the open-system arrival flags the simulator commands share.
+// All three leave the config untouched when unset, so the closed batch stays
+// the default.
+type Arrival struct {
+	// Spec is the -arrival process spec, "kind[:k=v,...]".
+	Spec *string
+	// Load is the -load target utilization ρ.
+	Load *float64
+	// Trace is the -arrival-trace JSONL path. (-trace is the runtime
+	// execution trace, same reason tsim's event trace is -events.)
+	Trace *string
+}
+
+// RegisterArrival installs -arrival, -load and -arrival-trace on the default
+// flag set. Call it before flag.Parse.
+func RegisterArrival() Arrival {
+	return Arrival{
+		Spec: flag.String("arrival", "", "open-system arrival process: kind[:k=v,...] — poisson, pareto, periodic; "+
+			"keys: jobs, load, mean (µs), alpha, cap (µs), small (µs), large (µs), every, width-small, width-large "+
+			"(e.g. poisson:jobs=100000,load=0.8)"),
+		Load:  flag.Float64("load", 0, "target utilization ρ for the arrival process (shorthand for -arrival ...:load=ρ)"),
+		Trace: flag.String("arrival-trace", "", "replay open-system arrivals from this JSONL trace file"),
+	}
+}
+
+// Apply writes the arrival flags into cfg.Arrival. With none of the three
+// set it is a no-op and the config keeps its closed batch.
+func (a Arrival) Apply(cfg *core.Config) error {
+	if *a.Spec != "" {
+		if err := ArrivalSpec(&cfg.Arrival, *a.Spec); err != nil {
+			return err
+		}
+	}
+	if *a.Trace != "" {
+		cfg.Arrival.Kind = arrival.Trace
+		cfg.Arrival.TracePath = *a.Trace
+	}
+	if *a.Load != 0 {
+		if cfg.Arrival.Kind == arrival.Disabled {
+			cfg.Arrival.Kind = arrival.Poisson
+		}
+		cfg.Arrival.Load = *a.Load
+	}
+	return nil
+}
+
+// ArrivalSpec applies one -arrival value to the spec: a process name
+// ("poisson", "pareto", "periodic"), optionally followed by comma-separated
+// key=value pairs after a colon, as in "pareto:alpha=1.5,load=0.9".
+func ArrivalSpec(spec *arrival.Spec, v string) error {
+	head, rest, _ := strings.Cut(v, ":")
+	kind, err := arrival.ParseKind(head)
+	if err != nil {
+		return err
+	}
+	spec.Kind = kind
+	for _, tok := range Split(rest) {
+		key, val, found := strings.Cut(tok, "=")
+		if !found || val == "" {
+			return fmt.Errorf("arrival spec component %q is not key=value", tok)
+		}
+		if err := arrivalKey(spec, key, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func arrivalKey(spec *arrival.Spec, key, val string) error {
+	asInt := func() (int64, error) {
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("arrival %s=%q: %w", key, val, err)
+		}
+		return n, nil
+	}
+	asFloat := func() (float64, error) {
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return 0, fmt.Errorf("arrival %s=%q: %w", key, val, err)
+		}
+		return f, nil
+	}
+	var (
+		n   int64
+		f   float64
+		err error
+	)
+	switch key {
+	case "jobs":
+		n, err = asInt()
+		spec.Jobs = n
+	case "load":
+		f, err = asFloat()
+		spec.Load = f
+	case "mean":
+		n, err = asInt()
+		spec.MeanInterarrival = sim.Time(n)
+	case "alpha":
+		f, err = asFloat()
+		spec.ParetoAlpha = f
+	case "cap":
+		n, err = asInt()
+		spec.ParetoCap = sim.Time(n)
+	case "small":
+		n, err = asInt()
+		spec.SmallWork = sim.Time(n)
+	case "large":
+		n, err = asInt()
+		spec.LargeWork = sim.Time(n)
+	case "every":
+		n, err = asInt()
+		spec.LargeEvery = n
+	case "width-small", "ws":
+		n, err = asInt()
+		spec.WidthSmall = int(n)
+	case "width-large", "wl":
+		n, err = asInt()
+		spec.WidthLarge = int(n)
+	default:
+		return fmt.Errorf("unknown arrival spec key %q (valid: jobs, load, mean, alpha, cap, small, large, every, width-small, width-large)", key)
+	}
+	return err
 }
 
 // Topologies parses a comma-separated topology list.

@@ -33,17 +33,19 @@ import (
 	"time"
 
 	"repro/cmd/internal/cliflags"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/serve"
 )
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiment ids (f3..f6, e1..e14) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiment ids (f3..f6, e1..e15) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "table", "output format: table, csv or json")
 	quiet := flag.Bool("q", false, "suppress timing lines")
 	cf := cliflags.Register()
+	af := cliflags.RegisterArrival()
 	cl := cliflags.RegisterCluster()
 	flag.Parse()
 
@@ -80,9 +82,13 @@ func main() {
 	}
 
 	base := cf.Base()
+	if err := af.Apply(&base); err != nil {
+		fmt.Fprintln(os.Stderr, "ippsbench:", err)
+		os.Exit(2)
+	}
 	start := time.Now()
 	if cl.Enabled() {
-		runCluster(cl, cf, catalog, wanted, *runList, fmtKind)
+		runCluster(cl, base, cf, catalog, wanted, *runList, fmtKind)
 	} else {
 		for _, e := range catalog {
 			if *runList != "all" && !wanted[e.ID] {
@@ -111,12 +117,12 @@ func main() {
 // runCluster ships each selected experiment as one /v1/run request; the
 // worker renders the document with the same code the local path uses.
 // Requests fan out over the fleet; documents print in catalog order.
-func runCluster(cl cliflags.Cluster, cf cliflags.Common, catalog []experiments.CatalogEntry, wanted map[string]bool, runList string, fmtKind experiments.Format) {
+func runCluster(cl cliflags.Cluster, base core.Config, cf cliflags.Common, catalog []experiments.CatalogEntry, wanted map[string]bool, runList string, fmtKind experiments.Format) {
 	coord, err := cl.Coordinator()
 	if err != nil {
 		fail(err)
 	}
-	spec, err := serve.SpecFromConfig(cf.Base())
+	spec, err := serve.SpecFromConfig(base)
 	if err != nil {
 		fail(err)
 	}

@@ -9,6 +9,9 @@
 //	curl -s -X POST localhost:8080/v1/run \
 //	     -d '{"config":{"partition":4,"topology":"mesh","policy":"ts"}}'
 //	# repeat the POST: X-Cache: hit, byte-identical body, no simulation
+//	curl -s -X POST localhost:8080/v1/point \
+//	     -d '{"config":{"policy":"ts","arrival":{"process":"poisson","jobs":1000,"load":0.8}}}'
+//	# open-system stream: the summary carries an "open" section
 //
 // Endpoints:
 //

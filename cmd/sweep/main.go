@@ -18,6 +18,7 @@
 //	sweep -apps matmul -cluster 127.0.0.1:8080,127.0.0.1:8081 -cluster-report
 //	sweep -policies ts -quantum-policies rrjob,dynamic -orders fcfs,srpt
 //	sweep -policies dynamic -partition-policies buddy,equi -apps sort
+//	sweep -policies static,ts -arrival poisson:jobs=5000 -load 0.8
 //
 // Output columns: policy,partition,topology,app,arch,quantum_us,mean_s,
 // max_s,makespan_s,util,overhead,mem_blocked_s,messages,avg_hops.
@@ -45,9 +46,15 @@ var sweepCols = []string{"policy", "partition", "topology", "app", "arch", "quan
 // is what makes their output byte-identical: the cells carry exact integer
 // times and exactly round-tripped floats either way.
 func rowCells(d engine.Dims, ps serve.PointSummary) []any {
+	mean, max := ps.MeanUS, ps.MaxUS
+	if ps.Open != nil {
+		// Open-system runs keep no per-job records; the stream summary
+		// carries the response times under the same columns.
+		mean, max = ps.Open.MeanUS, ps.Open.MaxUS
+	}
 	return []any{
 		d.PolicyLabel(), d.Partition, d.Topology, d.App, d.Arch, int64(d.Quantum),
-		experiments.Secs(sim.Time(ps.MeanUS)), experiments.Secs(sim.Time(ps.MaxUS)),
+		experiments.Secs(sim.Time(mean)), experiments.Secs(sim.Time(max)),
 		experiments.Secs(sim.Time(ps.MakespanUS)),
 		experiments.Fix4(ps.Util), experiments.Fix4(ps.Overhead),
 		experiments.Secs(sim.Time(ps.MemBlockedUS)),
@@ -70,6 +77,7 @@ func main() {
 		orders     = flag.String("orders", "", "queue-order overrides (fcfs, priority, srpt); empty inherits from -policies")
 	)
 	cf := cliflags.Register()
+	af := cliflags.RegisterArrival()
 	cl := cliflags.RegisterCluster()
 	flag.Parse()
 
@@ -129,8 +137,12 @@ func main() {
 		fail(err)
 	}
 
+	base := cf.Base()
+	if err := af.Apply(&base); err != nil {
+		fail(err)
+	}
 	grid := engine.Grid{
-		Base:              cf.Base(),
+		Base:              base,
 		Policies:          pols,
 		Partitions:        psizes,
 		Topologies:        kinds,

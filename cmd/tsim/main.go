@@ -12,6 +12,8 @@
 //	tsim -policy ts -quantum dynamic              # TS with dynamic quanta
 //	tsim -policy static -order srpt               # static + SRPT queue
 //	tsim -policy partition=equi,quantum=none      # malleable equipartition
+//	tsim -arrival poisson:jobs=100000 -load 0.8   # open-system stream at ρ=0.8
+//	tsim -arrival-trace workload.jsonl            # replay a JSONL arrival trace
 //
 // The shared flags (-seed, -j, -cpuprofile, -memprofile, -trace) come from
 // cmd/internal/cliflags like every other tool; the simulation event trace,
@@ -53,6 +55,7 @@ func main() {
 		hist      = flag.Int("hist", 0, "print a response-time histogram with N buckets (0 = off)")
 	)
 	cf := cliflags.Register()
+	af := cliflags.RegisterArrival()
 	flag.Parse()
 
 	stopProf, err := cf.StartProfiling()
@@ -64,6 +67,10 @@ func main() {
 
 	cfg, err := buildConfig(*partition, *topo, *policy, *app, *arch, *mode, *order, *quantum, *mpl, *cf.Seed)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsim:", err)
+		os.Exit(2)
+	}
+	if err := af.Apply(&cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tsim:", err)
 		os.Exit(2)
 	}
@@ -81,19 +88,30 @@ func main() {
 	}
 
 	fmt.Printf("configuration: %s\n\n", res.Label)
-	fmt.Println("jobs (completion order):")
-	fmt.Printf("  %-4s %-6s %-6s %-10s %-12s %-12s %-12s\n", "id", "class", "procs", "partition", "started", "completed", "response")
-	for _, j := range res.Jobs {
-		fmt.Printf("  %-4d %-6s %-6d %-10d %-12s %-12s %-12s\n",
-			j.JobID, j.Class, j.Processes, j.Partition, j.Started, j.Completed, j.Response())
+	if o := res.Open; o != nil {
+		// Open-system runs stream: no per-job table exists, the headline
+		// numbers come from the bounded-memory summary.
+		fmt.Printf("open-system stream: %d jobs\n\n", o.Jobs)
+		fmt.Printf("mean response:   %s\n", o.MeanResponse)
+		fmt.Printf("p50 / p95 / p99: %s / %s / %s\n", o.P50, o.P95, o.P99)
+		fmt.Printf("max response:    %s\n", o.MaxResponse)
+		fmt.Printf("throughput:      %.2f jobs/s\n", o.ThroughputPerSec)
+		fmt.Printf("queue:           %.2f mean, %d peak\n", o.MeanQueue, o.PeakQueue)
+	} else {
+		fmt.Println("jobs (completion order):")
+		fmt.Printf("  %-4s %-6s %-6s %-10s %-12s %-12s %-12s\n", "id", "class", "procs", "partition", "started", "completed", "response")
+		for _, j := range res.Jobs {
+			fmt.Printf("  %-4d %-6s %-6d %-10d %-12s %-12s %-12s\n",
+				j.JobID, j.Class, j.Processes, j.Partition, j.Started, j.Completed, j.Response())
+		}
+		fmt.Println()
+		fmt.Printf("mean response:   %s\n", res.MeanResponse())
+		for _, class := range sortedKeys(res.MeanResponseByClass()) {
+			fmt.Printf("  %-8s       %s\n", class+":", res.MeanResponseByClass()[class])
+		}
+		fmt.Printf("p50 / p95:       %s / %s\n", res.ResponsePercentile(50), res.ResponsePercentile(95))
+		fmt.Printf("max response:    %s\n", res.MaxResponse())
 	}
-	fmt.Println()
-	fmt.Printf("mean response:   %s\n", res.MeanResponse())
-	for _, class := range sortedKeys(res.MeanResponseByClass()) {
-		fmt.Printf("  %-8s       %s\n", class+":", res.MeanResponseByClass()[class])
-	}
-	fmt.Printf("p50 / p95:       %s / %s\n", res.ResponsePercentile(50), res.ResponsePercentile(95))
-	fmt.Printf("max response:    %s\n", res.MaxResponse())
 	fmt.Printf("makespan:        %s\n", res.Makespan)
 	fmt.Printf("cpu utilization: %.1f%%\n", 100*res.CPUUtilization())
 	fmt.Printf("system overhead: %.1f%% of busy time\n", 100*res.SystemOverheadFraction())

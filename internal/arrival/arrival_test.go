@@ -1,0 +1,370 @@
+package arrival
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestSpecDefaultsAndZero(t *testing.T) {
+	var zero Spec
+	if !zero.IsZero() {
+		t.Fatal("zero spec not IsZero")
+	}
+	if got := zero.WithDefaults(); !got.IsZero() {
+		t.Fatalf("WithDefaults mutated the zero spec: %+v", got)
+	}
+	if err := zero.Validate(); err != nil {
+		t.Fatalf("zero spec failed validation: %v", err)
+	}
+
+	s := Spec{Kind: Poisson}.WithDefaults()
+	if s.Jobs != 1000 || s.Load != 0.8 || s.SmallWork != 200*sim.Millisecond ||
+		s.LargeWork != 800*sim.Millisecond || s.LargeEvery != 4 {
+		t.Fatalf("poisson defaults: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("defaulted spec invalid: %v", err)
+	}
+	// Defaults are canonical: spelling them out changes nothing.
+	if again := s.WithDefaults(); again != s {
+		t.Fatalf("WithDefaults not idempotent: %+v vs %+v", again, s)
+	}
+}
+
+func TestSpecValidationFields(t *testing.T) {
+	cases := []struct {
+		spec  Spec
+		field string
+	}{
+		{Spec{Jobs: 5}, "kind"},
+		{Spec{Kind: Poisson, Jobs: -1}, "jobs"},
+		{Spec{Kind: Poisson, Load: 1.0}, "load"},
+		{Spec{Kind: Poisson, Load: 0.5, MeanInterarrival: 100}, "load"},
+		{Spec{Kind: Poisson, ParetoAlpha: 1.5}, "pareto_alpha"},
+		{Spec{Kind: Pareto, ParetoAlpha: 0.9}, "pareto_alpha"},
+		{Spec{Kind: Trace}, "trace_path"},
+		{Spec{Kind: Trace, TracePath: "x.jsonl", Load: 0.5}, "trace_path"},
+		{Spec{Kind: Poisson, TracePath: "x.jsonl"}, "trace_path"},
+		{Spec{Kind: Poisson, WidthSmall: -1}, "width_small"},
+	}
+	for _, c := range cases {
+		err := c.spec.WithDefaults().Validate()
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("%+v: error %v is not a *SpecError", c.spec, err)
+			continue
+		}
+		if se.Field != c.field {
+			t.Errorf("%+v: error names field %q, want %q", c.spec, se.Field, c.field)
+		}
+	}
+}
+
+func TestLoadCalibration(t *testing.T) {
+	s := Spec{Kind: Poisson, Load: 0.8}.WithDefaults()
+	// E[D] = (3·200ms + 800ms)/4 = 350ms; λ = ρP/E[D] → inter = 350ms/(0.8·16).
+	if got, want := s.MeanDemand(), 350*sim.Millisecond; got != want {
+		t.Fatalf("MeanDemand = %v, want %v", got, want)
+	}
+	inter := s.Interarrival(16)
+	demand := float64(s.MeanDemand())
+	want := sim.Time(demand / (0.8 * 16))
+	if inter != want {
+		t.Fatalf("Interarrival = %v, want %v", inter, want)
+	}
+	// Explicit interarrival bypasses the calibration.
+	e := Spec{Kind: Poisson, MeanInterarrival: 1234}.WithDefaults()
+	if e.Interarrival(16) != 1234 {
+		t.Fatalf("explicit interarrival overridden: %v", e.Interarrival(16))
+	}
+}
+
+func TestSourcePoissonStream(t *testing.T) {
+	spec := Spec{Kind: Poisson, Jobs: 4000, Load: 0.8}
+	src, err := NewSource(spec, 1, 16, workload.DefaultAppCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev sim.Time
+	var sum float64
+	large := 0
+	for i := 0; ; i++ {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		if j.ID != i {
+			t.Fatalf("job %d has ID %d", i, j.ID)
+		}
+		if j.Arrival < prev {
+			t.Fatalf("job %d arrives at %v before previous %v", i, j.Arrival, prev)
+		}
+		sum += float64(j.Arrival - prev)
+		prev = j.Arrival
+		if j.Class == "large" {
+			large++
+		}
+	}
+	if src.Issued() != 4000 {
+		t.Fatalf("issued %d jobs, want 4000", src.Issued())
+	}
+	if large != 1000 {
+		t.Fatalf("large jobs %d, want exactly 1000 (deterministic 1-in-4 mix)", large)
+	}
+	// Sample mean interarrival within 10% of the calibrated mean.
+	mean := sum / 4000
+	want := float64(src.Interarrival())
+	if math.Abs(mean-want)/want > 0.10 {
+		t.Fatalf("sample mean interarrival %.0f vs calibrated %.0f", mean, want)
+	}
+	// Same seed reproduces the stream; a different seed does not.
+	again, _ := NewSource(spec, 1, 16, workload.DefaultAppCost())
+	other, _ := NewSource(spec, 2, 16, workload.DefaultAppCost())
+	j1, _ := again.Next()
+	j2, _ := other.Next()
+	first := firstArrival(t, spec, 1)
+	if j1.Arrival != first {
+		t.Fatalf("same seed diverged: %v vs %v", j1.Arrival, first)
+	}
+	if j2.Arrival == first {
+		t.Fatal("different seeds produced identical first arrival")
+	}
+}
+
+func firstArrival(t *testing.T, spec Spec, seed int64) sim.Time {
+	t.Helper()
+	src, err := NewSource(spec, seed, 16, workload.DefaultAppCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := src.Next()
+	if !ok {
+		t.Fatal("empty source")
+	}
+	return j.Arrival
+}
+
+func TestSourceParetoBounded(t *testing.T) {
+	spec := Spec{Kind: Pareto, Jobs: 20000, Load: 0.8}
+	src, err := NewSource(spec, 3, 16, workload.DefaultAppCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := 100 * src.Interarrival()
+	var prev sim.Time
+	maxGap := sim.Time(0)
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		gap := j.Arrival - prev
+		prev = j.Arrival
+		if gap > maxGap {
+			maxGap = gap
+		}
+		if gap > cap {
+			t.Fatalf("gap %v exceeds cap %v", gap, cap)
+		}
+	}
+	// Heavy tail: some gap should approach the cap's order of magnitude.
+	if maxGap < 5*src.Interarrival() {
+		t.Errorf("max gap %v suspiciously small for a Pareto tail (mean %v)", maxGap, src.Interarrival())
+	}
+}
+
+func TestSourcePeriodicExact(t *testing.T) {
+	spec := Spec{Kind: Periodic, Jobs: 10, MeanInterarrival: 5000}
+	src, err := NewSource(spec, 0, 16, workload.DefaultAppCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; ; i++ {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		if j.Arrival != sim.Time(i*5000) {
+			t.Fatalf("periodic job %d at %v, want %d", i, j.Arrival, i*5000)
+		}
+	}
+}
+
+func TestSourceWidths(t *testing.T) {
+	spec := Spec{Kind: Periodic, Jobs: 4, MeanInterarrival: 1000, WidthSmall: 2, WidthLarge: 8}
+	src, err := NewSource(spec, 0, 16, workload.DefaultAppCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := []int{}
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		widths = append(widths, j.Procs(16))
+	}
+	// The large slot starts at cycle position 0 and rotates each cycle.
+	want := []int{8, 2, 2, 2}
+	for i := range want {
+		if widths[i] != want[i] {
+			t.Fatalf("widths %v, want %v", widths, want)
+		}
+	}
+	if _, err := NewSource(Spec{Kind: Periodic, MeanInterarrival: 1, WidthSmall: 99}, 0, 16, workload.DefaultAppCost()); err == nil {
+		t.Fatal("width 99 on a 16-node machine accepted")
+	}
+}
+
+func TestSourceTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	trace := `{"at_us":1000,"work_us":200000}
+
+{"at_us":2500,"work_us":800000,"width":4,"class":"large"}
+{"at_us":2500,"work_us":100000}
+`
+	if err := os.WriteFile(path, []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(Spec{Kind: Trace, TracePath: path}, 0, 16, workload.DefaultAppCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*workload.Job
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		jobs = append(jobs, j)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("replayed %d jobs, want 3", len(jobs))
+	}
+	if jobs[0].Arrival != 1000 || jobs[1].Arrival != 2500 || jobs[2].Arrival != 2500 {
+		t.Fatalf("arrivals %v %v %v", jobs[0].Arrival, jobs[1].Arrival, jobs[2].Arrival)
+	}
+	if jobs[1].Class != "large" || jobs[1].Procs(16) != 4 {
+		t.Fatalf("job 1 class %q width %d", jobs[1].Class, jobs[1].Procs(16))
+	}
+
+	// A malformed mid-trace record surfaces through Err, not a panic.
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"at_us\":5,\"work_us\":1}\n{\"at_us\":3,\"work_us\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src2, err := NewSource(Spec{Kind: Trace, TracePath: bad}, 0, 16, workload.DefaultAppCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := src2.Next(); !ok {
+			break
+		}
+		n++
+	}
+	var te *TraceError
+	if !errors.As(src2.Err(), &te) || te.Line != 2 {
+		t.Fatalf("out-of-order trace: err %v, want TraceError at line 2", src2.Err())
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records before the bad line, want 1", n)
+	}
+
+	// A missing file fails at construction.
+	if _, err := NewSource(Spec{Kind: Trace, TracePath: filepath.Join(dir, "nope.jsonl")}, 0, 16, workload.DefaultAppCost()); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+		line     int
+		frag     string
+	}{
+		{"bad-json", "{\"at_us\":1,\"work_us\":1}\nnot json\n", 2, "invalid"},
+		{"unknown-field", "{\"at_us\":1,\"work_us\":1,\"color\":\"red\"}\n", 1, "color"},
+		{"out-of-order", "{\"at_us\":9,\"work_us\":1}\n{\"at_us\":8,\"work_us\":1}\n", 2, "nondecreasing"},
+		{"negative-at", "{\"at_us\":-4,\"work_us\":1}\n", 1, "negative"},
+		{"no-work", "{\"at_us\":1}\n", 1, "work_us"},
+		{"truncated-tail", "{\"at_us\":1,\"work_us\":1}\n{\"at_us\":2,\"wor", 2, "truncated"},
+		{"trailing", "{\"at_us\":1,\"work_us\":1}{\"at_us\":2,\"work_us\":1}\n", 1, "trailing"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseTrace(strings.NewReader(c.in))
+			var te *TraceError
+			if !errors.As(err, &te) {
+				t.Fatalf("error %v is not a *TraceError", err)
+			}
+			if te.Line != c.line {
+				t.Errorf("error at line %d, want %d: %v", te.Line, c.line, te)
+			}
+			if !strings.Contains(te.Error(), c.frag) {
+				t.Errorf("error %q does not mention %q", te.Error(), c.frag)
+			}
+		})
+	}
+	recs, err := ParseTrace(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty trace: %v, %d records", err, len(recs))
+	}
+}
+
+// FuzzParseTrace: for arbitrary bytes the trace parser either returns
+// records that satisfy every documented invariant or fails with a typed
+// *TraceError carrying a positive line number — never a panic, never an
+// untyped error, never invalid records.
+func FuzzParseTrace(f *testing.F) {
+	seeds := []string{
+		"",
+		"{\"at_us\":1000,\"work_us\":200000}\n",
+		"{\"at_us\":1,\"work_us\":1}\n{\"at_us\":2,\"work_us\":5,\"width\":4,\"class\":\"large\"}\n",
+		"{\"at_us\":9,\"work_us\":1}\n{\"at_us\":3,\"work_us\":1}\n", // out of order
+		"{\"at_us\":1,\"work_us\":1,\"bogus\":true}\n",               // unknown field
+		"{\"at_us\":2,\"wor", // truncated tail
+		"\n\n\n",
+		"null\n",
+		"[1,2]\n",
+		"{\"at_us\":-1,\"work_us\":1}\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ParseTrace(strings.NewReader(string(data)))
+		if err != nil {
+			var te *TraceError
+			if !errors.As(err, &te) {
+				t.Fatalf("untyped parse error %v for %q", err, data)
+			}
+			if te.Line <= 0 {
+				t.Fatalf("TraceError without a line number: %v", te)
+			}
+			return
+		}
+		prev := int64(-1)
+		for i, r := range recs {
+			if r.AtUS < prev {
+				t.Fatalf("record %d out of order (%d after %d) yet parse succeeded", i, r.AtUS, prev)
+			}
+			if r.AtUS < 0 || r.WorkUS <= 0 || r.Width < 0 {
+				t.Fatalf("record %d invalid (%+v) yet parse succeeded", i, r)
+			}
+			prev = r.AtUS
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package arrival
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Source streams one job at a time from an arrival spec. It holds O(1)
+// state — an RNG, a counter, the next arrival instant — so the number of
+// jobs it can emit is unbounded by memory. Sources are single-goroutine
+// (the scheduler pulls from simulation events, which are serial).
+type Source struct {
+	spec  Spec
+	procs int
+	cost  workload.AppCost
+	inter sim.Time
+	cap   sim.Time // bounded-Pareto truncation
+	xm    sim.Time // bounded-Pareto scale (minimum)
+
+	state  uint64
+	clock  sim.Time
+	issued int64
+
+	tr  *traceReader
+	err error
+}
+
+// NewSource builds a source for a validated spec on a machine of procs
+// processors. The seed decorrelates replications: the same spec with a
+// different seed draws a different arrival sequence. For Trace kind the
+// trace file opens immediately (a missing file fails here, not mid-run).
+func NewSource(spec Spec, seed int64, procs int, cost workload.AppCost) (*Source, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.IsZero() {
+		return nil, &SpecError{"kind", "no arrival process configured"}
+	}
+	for _, w := range []int{spec.WidthSmall, spec.WidthLarge} {
+		if w > procs {
+			return nil, &SpecError{"width_small", fmt.Sprintf("job width %d exceeds machine size %d", w, procs)}
+		}
+	}
+	s := &Source{
+		spec:  spec,
+		procs: procs,
+		cost:  cost,
+		// The same splitmix-style seeding WithPoissonArrivals uses, so the
+		// all-zero seed still produces a well-mixed state.
+		state: uint64(seed)*2654435761 + 0x9E3779B97F4A7C15,
+	}
+	if spec.Kind == Trace {
+		tr, err := openTrace(spec.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		s.tr = tr
+		return s, nil
+	}
+	s.inter = spec.Interarrival(procs)
+	if s.inter <= 0 {
+		return nil, &SpecError{"load", "calibrated interarrival is not positive"}
+	}
+	if spec.Kind == Pareto {
+		s.cap = spec.ParetoCap
+		if s.cap == 0 {
+			s.cap = 100 * s.inter
+		}
+		// Scale so the *unbounded* Pareto mean equals the calibrated
+		// interarrival: xm = inter·(α-1)/α. Truncation at the cap pulls the
+		// realized mean slightly below, i.e. the offered load errs a touch
+		// above ρ — conservative for a stability study.
+		s.xm = sim.Time(float64(s.inter) * (spec.ParetoAlpha - 1) / spec.ParetoAlpha)
+		if s.xm <= 0 {
+			return nil, &SpecError{"pareto_alpha", "scale collapsed to zero at this interarrival"}
+		}
+	}
+	return s, nil
+}
+
+// Interarrival reports the calibrated mean interarrival time (0 for
+// trace replay, where timing comes from the file).
+func (s *Source) Interarrival() sim.Time { return s.inter }
+
+// uniform draws in (0,1] — xorshift64*, matching the closed-batch Poisson
+// helper so arrival streams are reproducible across the codebase.
+func (s *Source) uniform() float64 {
+	s.state ^= s.state >> 12
+	s.state ^= s.state << 25
+	s.state ^= s.state >> 27
+	u := float64(s.state*2685821657736338717>>11) / float64(uint64(1)<<53)
+	if u <= 0 {
+		return 1e-12
+	}
+	return u
+}
+
+// gap draws one interarrival time.
+func (s *Source) gap() sim.Time {
+	switch s.spec.Kind {
+	case Poisson:
+		return sim.Time(-float64(s.inter) * math.Log(s.uniform()))
+	case Pareto:
+		g := sim.Time(float64(s.xm) * math.Pow(s.uniform(), -1/s.spec.ParetoAlpha))
+		if g > s.cap {
+			g = s.cap
+		}
+		return g
+	default: // Periodic
+		return s.inter
+	}
+}
+
+// Next returns the next job, or ok=false when the source is exhausted.
+// Jobs arrive in nondecreasing Arrival order. After a false return check
+// Err: a trace replay may have stopped on a malformed record.
+func (s *Source) Next() (*workload.Job, bool) {
+	if s.err != nil {
+		return nil, false
+	}
+	if s.tr != nil {
+		return s.nextTrace()
+	}
+	if s.issued >= s.spec.Jobs {
+		return nil, false
+	}
+	s.clock += s.gap()
+	i := s.issued
+	s.issued++
+	class, work, width := "small", s.spec.SmallWork, s.spec.WidthSmall
+	// One large job per cycle of k, with the large slot rotating each
+	// cycle. A fixed slot (i%k == 0) would resonate with the shared-
+	// partition router's job-ID modulus and pile every large job onto one
+	// partition, saturating it while the others idle.
+	if k := s.spec.LargeEvery; k > 0 && i%k == (i/k)%k {
+		class, work, width = "large", s.spec.LargeWork, s.spec.WidthLarge
+	}
+	return s.build(class, work, width), true
+}
+
+func (s *Source) nextTrace() (*workload.Job, bool) {
+	if s.spec.Jobs > 0 && s.issued >= s.spec.Jobs {
+		s.tr.Close()
+		return nil, false
+	}
+	rec, ok, err := s.tr.next()
+	if err != nil {
+		s.err = err
+		s.tr.Close()
+		return nil, false
+	}
+	if !ok {
+		s.tr.Close()
+		return nil, false
+	}
+	s.clock = sim.Time(rec.AtUS)
+	s.issued++
+	class := rec.Class
+	if class == "" {
+		class = "small"
+	}
+	return s.build(class, sim.Time(rec.WorkUS), rec.Width), true
+}
+
+// build assembles one synthetic job. Generated jobs are adaptive-width
+// unless the class pins one; their image is code only (no resident data),
+// so the host-link load cost stays at its floor and the compute calibration
+// dominates.
+func (s *Source) build(class string, work sim.Time, width int) *workload.Job {
+	return &workload.Job{
+		ID:      int(s.issued - 1),
+		Class:   class,
+		Arch:    workload.Adaptive,
+		Width:   width,
+		App:     workload.NewSynthetic(work, 0, 0, s.cost),
+		Arrival: s.clock,
+	}
+}
+
+// Issued reports how many jobs the source has emitted.
+func (s *Source) Issued() int64 { return s.issued }
+
+// Err reports the error that terminated the stream early (trace replay
+// only), nil on clean exhaustion.
+func (s *Source) Err() error { return s.err }
+
+// Close releases the trace file, if any. Safe on any source.
+func (s *Source) Close() error {
+	if s.tr != nil {
+		return s.tr.Close()
+	}
+	return nil
+}
+
+// openTrace is split out so tests can point a source at a temp file.
+func openTrace(path string) (*traceReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("arrival: trace: %w", err)
+	}
+	return newTraceReader(f), nil
+}

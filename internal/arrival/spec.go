@@ -1,0 +1,238 @@
+// Package arrival is the open-system job-generation subsystem: pluggable
+// interarrival processes (Poisson, bounded-Pareto heavy tails,
+// deterministic, trace replay), a mixed small/large job-size distribution,
+// and a load-factor knob ρ that auto-calibrates the arrival rate against
+// the configured service demand. A Source streams jobs one at a time — the
+// scheduler pulls the next arrival only when the previous one has been
+// injected — so a 10M-job run never materializes its workload.
+//
+// The paper's experiments are closed 16-job batches; this package is the
+// open-system counterpart those batches cannot express: stability,
+// saturation, and response-time-vs-load curves (experiment E15).
+package arrival
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Kind selects the interarrival process.
+type Kind int
+
+const (
+	// Disabled is the zero value: no open arrivals, the closed batch runs
+	// exactly as before.
+	Disabled Kind = iota
+	// Poisson draws exponential interarrival times (memoryless, the
+	// open-queueing baseline).
+	Poisson
+	// Pareto draws bounded-Pareto interarrival times — heavy-tailed bursts
+	// with a finite mean, the classic stress case for space-sharing.
+	Pareto
+	// Periodic spaces arrivals exactly one mean interarrival apart — the
+	// zero-variance reference curve.
+	Periodic
+	// Trace replays arrivals from a JSONL trace file (see trace.go).
+	Trace
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Poisson:
+		return "poisson"
+	case Pareto:
+		return "pareto"
+	case Periodic:
+		return "periodic"
+	case Trace:
+		return "trace"
+	default:
+		return "disabled"
+	}
+}
+
+// ParseKind parses an interarrival-process name.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "poisson":
+		return Poisson, nil
+	case "pareto":
+		return Pareto, nil
+	case "periodic", "deterministic":
+		return Periodic, nil
+	case "trace":
+		return Trace, nil
+	}
+	return 0, fmt.Errorf("arrival: unknown process %q (valid: poisson, pareto, periodic, trace)", s)
+}
+
+// SpecError reports which Spec field a validation failure names, so API
+// layers can return field-addressed error bodies.
+type SpecError struct {
+	Field  string
+	Reason string
+}
+
+func (e *SpecError) Error() string { return fmt.Sprintf("arrival: %s: %s", e.Field, e.Reason) }
+
+// Spec configures an open-system arrival process. The zero value means
+// "closed batch, exactly as before" — it hashes to nothing and changes no
+// behavior. All fields are comparable, so Specs can be compared with ==
+// (fork-eligibility checks rely on this).
+type Spec struct {
+	// Kind selects the interarrival process; Disabled (zero) keeps the
+	// closed batch.
+	Kind Kind
+	// Jobs is how many jobs the generative processes emit (default 1000).
+	// For Trace it optionally caps the replay (0 = the whole trace).
+	Jobs int64
+	// Load is the target utilization ρ ∈ (0,1): the arrival rate is
+	// calibrated as λ = ρ·P/E[D], where P is the machine size and E[D] the
+	// mean compute demand of the job mix. Mutually exclusive with
+	// MeanInterarrival; defaults to 0.8 when both are zero.
+	Load float64
+	// MeanInterarrival sets the mean interarrival time directly, bypassing
+	// the ρ calibration.
+	MeanInterarrival sim.Time
+	// ParetoAlpha is the bounded-Pareto shape (Pareto kind only; must be
+	// > 1 so the mean exists; default 1.5).
+	ParetoAlpha float64
+	// ParetoCap truncates the Pareto tail (0 = 100× the mean interarrival).
+	ParetoCap sim.Time
+	// SmallWork and LargeWork are the total compute demands of the two job
+	// classes (defaults 200ms and 800ms).
+	SmallWork, LargeWork sim.Time
+	// LargeEvery makes one job per cycle of k large (default 4, the
+	// paper's 12:4 small:large ratio; negative = all small). The pattern
+	// is deterministic — exactly one large job in every cycle of k — with
+	// the large slot rotating across cycles so it cannot resonate with
+	// the shared-partition router's job-ID modulus.
+	LargeEvery int64
+	// WidthSmall and WidthLarge pin each class's process count (0 = the
+	// adaptive architecture: one process per allocated processor).
+	WidthSmall, WidthLarge int
+	// TracePath is the JSONL trace to replay (Trace kind only). Trace
+	// configs are not content-addressable — the file is not part of the
+	// config — so they cannot be hashed, cached remotely, or forked.
+	TracePath string
+}
+
+// IsZero reports whether the spec is the zero value (closed batch).
+func (s Spec) IsZero() bool { return s == Spec{} }
+
+// WithDefaults canonicalizes the spec: unset fields take their documented
+// defaults. Core applies this alongside Config.withDefaults, so a spec
+// spelled with defaults and one left blank are the same config (and hash
+// identically). The zero spec stays zero.
+func (s Spec) WithDefaults() Spec {
+	if s.IsZero() {
+		return s
+	}
+	if s.Kind == Trace {
+		return s // trace timing and sizing come from the file
+	}
+	if s.Jobs == 0 {
+		s.Jobs = 1000
+	}
+	if s.Load == 0 && s.MeanInterarrival == 0 {
+		s.Load = 0.8
+	}
+	if s.Kind == Pareto && s.ParetoAlpha == 0 {
+		s.ParetoAlpha = 1.5
+	}
+	if s.SmallWork == 0 {
+		s.SmallWork = 200 * sim.Millisecond
+	}
+	if s.LargeWork == 0 {
+		s.LargeWork = 800 * sim.Millisecond
+	}
+	if s.LargeEvery == 0 {
+		s.LargeEvery = 4
+	}
+	return s
+}
+
+// Validate checks the spec (after WithDefaults); failures are *SpecError
+// naming the offending field.
+func (s Spec) Validate() error {
+	if s.IsZero() {
+		return nil
+	}
+	switch s.Kind {
+	case Poisson, Pareto, Periodic, Trace:
+	case Disabled:
+		return &SpecError{"kind", "arrival fields set but no process selected"}
+	default:
+		return &SpecError{"kind", fmt.Sprintf("unknown process %d", int(s.Kind))}
+	}
+	if s.Jobs < 0 {
+		return &SpecError{"jobs", "must be >= 0"}
+	}
+	if s.Load < 0 || s.Load >= 1 {
+		return &SpecError{"load", "target utilization must be in (0,1)"}
+	}
+	if s.MeanInterarrival < 0 {
+		return &SpecError{"mean_interarrival_us", "must be >= 0"}
+	}
+	if s.Load > 0 && s.MeanInterarrival > 0 {
+		return &SpecError{"load", "load and mean_interarrival_us are mutually exclusive"}
+	}
+	if s.Kind != Pareto && (s.ParetoAlpha != 0 || s.ParetoCap != 0) {
+		return &SpecError{"pareto_alpha", "pareto parameters need process=pareto"}
+	}
+	if s.Kind == Pareto && s.ParetoAlpha <= 1 {
+		return &SpecError{"pareto_alpha", "shape must be > 1 for a finite mean"}
+	}
+	if s.ParetoCap < 0 {
+		return &SpecError{"pareto_cap_us", "must be >= 0"}
+	}
+	if s.SmallWork < 0 || s.LargeWork < 0 {
+		return &SpecError{"small_work_us", "work demands must be >= 0"}
+	}
+	if s.WidthSmall < 0 || s.WidthLarge < 0 {
+		return &SpecError{"width_small", "widths must be >= 0"}
+	}
+	if s.Kind == Trace {
+		if s.TracePath == "" {
+			return &SpecError{"trace_path", "process=trace needs a trace file"}
+		}
+		if s.Load != 0 || s.MeanInterarrival != 0 || s.SmallWork != 0 || s.LargeWork != 0 ||
+			s.LargeEvery != 0 || s.WidthSmall != 0 || s.WidthLarge != 0 {
+			return &SpecError{"trace_path", "trace replay takes timing and sizing from the file"}
+		}
+	} else if s.TracePath != "" {
+		return &SpecError{"trace_path", "trace file needs process=trace"}
+	} else {
+		if s.Jobs == 0 {
+			return &SpecError{"jobs", "generative processes need jobs >= 1"}
+		}
+		if s.SmallWork == 0 || s.LargeWork == 0 {
+			return &SpecError{"small_work_us", "work demands must be > 0"}
+		}
+	}
+	return nil
+}
+
+// MeanDemand is the mean per-job compute demand E[D] of the configured
+// mix, the denominator of the ρ calibration.
+func (s Spec) MeanDemand() sim.Time {
+	if s.LargeEvery <= 0 {
+		return s.SmallWork
+	}
+	k := s.LargeEvery
+	return (s.SmallWork*sim.Time(k-1) + s.LargeWork) / sim.Time(k)
+}
+
+// Interarrival is the calibrated mean interarrival time on a machine of
+// procs processors: explicit MeanInterarrival if set, otherwise
+// E[D]/(ρ·P) so that offered compute load equals ρ.
+func (s Spec) Interarrival(procs int) sim.Time {
+	if s.MeanInterarrival > 0 {
+		return s.MeanInterarrival
+	}
+	if s.Load <= 0 || procs <= 0 {
+		return 0
+	}
+	return sim.Time(float64(s.MeanDemand()) / (s.Load * float64(procs)))
+}

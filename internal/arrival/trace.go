@@ -1,0 +1,139 @@
+package arrival
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The JSONL trace format: one record per line, timestamps nondecreasing.
+//
+//	{"at_us":12000,"work_us":200000}
+//	{"at_us":15500,"work_us":800000,"width":8,"class":"large"}
+//
+// at_us is the arrival instant in simulated µs, work_us the job's total
+// compute demand; width optionally pins the process count (0/absent =
+// adaptive) and class labels the job ("small" when absent). Blank lines
+// are skipped. Any malformed record — bad JSON, unknown field, negative or
+// out-of-order timestamp, missing work, a truncated tail — is a
+// *TraceError carrying its line number.
+
+// TraceRecord is one parsed trace line.
+type TraceRecord struct {
+	AtUS   int64  `json:"at_us"`
+	WorkUS int64  `json:"work_us"`
+	Width  int    `json:"width,omitempty"`
+	Class  string `json:"class,omitempty"`
+}
+
+// TraceError reports a malformed trace record by line number.
+type TraceError struct {
+	Line   int
+	Reason string
+}
+
+func (e *TraceError) Error() string {
+	return fmt.Sprintf("arrival: trace line %d: %s", e.Line, e.Reason)
+}
+
+// traceReader streams records from a JSONL trace without materializing it.
+type traceReader struct {
+	sc     *bufio.Scanner
+	closer io.Closer
+	line   int
+	prevAt int64
+}
+
+func newTraceReader(r io.Reader) *traceReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	tr := &traceReader{sc: sc, prevAt: -1}
+	if c, ok := r.(io.Closer); ok {
+		tr.closer = c
+	}
+	return tr
+}
+
+// next returns the next record; ok=false on clean EOF.
+func (t *traceReader) next() (TraceRecord, bool, error) {
+	for t.sc.Scan() {
+		t.line++
+		line := bytes.TrimSpace(t.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := parseRecord(line, t.line, t.prevAt)
+		if err != nil {
+			return TraceRecord{}, false, err
+		}
+		t.prevAt = rec.AtUS
+		return rec, true, nil
+	}
+	if err := t.sc.Err(); err != nil {
+		return TraceRecord{}, false, &TraceError{t.line + 1, err.Error()}
+	}
+	return TraceRecord{}, false, nil
+}
+
+func (t *traceReader) Close() error {
+	if t.closer == nil {
+		return nil
+	}
+	c := t.closer
+	t.closer = nil
+	return c.Close()
+}
+
+// parseRecord validates one trimmed, non-empty line.
+func parseRecord(line []byte, lineNo int, prevAt int64) (TraceRecord, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var rec TraceRecord
+	if err := dec.Decode(&rec); err != nil {
+		// json's errors for a chopped-off record vary ("unexpected EOF",
+		// "unexpected end of JSON input"); name the condition uniformly.
+		reason := err.Error()
+		if strings.Contains(reason, "EOF") || strings.Contains(reason, "end of JSON") {
+			reason = "truncated record: " + reason
+		}
+		return rec, &TraceError{lineNo, reason}
+	}
+	// Exactly one JSON value per line.
+	if dec.More() {
+		return rec, &TraceError{lineNo, "trailing data after record"}
+	}
+	if rec.AtUS < 0 {
+		return rec, &TraceError{lineNo, fmt.Sprintf("negative timestamp %d", rec.AtUS)}
+	}
+	if rec.AtUS < prevAt {
+		return rec, &TraceError{lineNo, fmt.Sprintf("timestamp %d before previous %d (trace must be nondecreasing)", rec.AtUS, prevAt)}
+	}
+	if rec.WorkUS <= 0 {
+		return rec, &TraceError{lineNo, fmt.Sprintf("work_us %d must be > 0", rec.WorkUS)}
+	}
+	if rec.Width < 0 {
+		return rec, &TraceError{lineNo, fmt.Sprintf("width %d must be >= 0", rec.Width)}
+	}
+	return rec, nil
+}
+
+// ParseTrace materializes a whole trace — the validation surface the fuzz
+// test drives; the simulator itself streams via traceReader and never
+// holds more than one record.
+func ParseTrace(r io.Reader) ([]TraceRecord, error) {
+	tr := newTraceReader(r)
+	var out []TraceRecord
+	for {
+		rec, ok, err := tr.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}

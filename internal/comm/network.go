@@ -353,6 +353,16 @@ func (n *Network) RetireMailbox(b *Mailbox) {
 	b.queue = nil
 }
 
+// FreeMailbox retires a mailbox and removes it from the network entirely,
+// so a long-running partition's mailbox table stays bounded by the jobs in
+// flight rather than growing with every job ever run. Only for cleanly
+// completed jobs — a killed job's mailboxes must stay registered (retired)
+// so its in-flight traffic dead-letters instead of faulting the router.
+func (n *Network) FreeMailbox(b *Mailbox) {
+	n.RetireMailbox(b)
+	delete(n.boxes, b.addr)
+}
+
 // Links returns the partition's physical links as global endpoint pairs
 // (lower id first), sorted — the deterministic link list a fault injector
 // plans over.

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/arrival"
 	"repro/internal/comm"
 	"repro/internal/fault"
 	"repro/internal/machine"
@@ -148,6 +149,12 @@ type Config struct {
 	// SampleEvery enables periodic utilization sampling at this interval;
 	// the samples land in Result.Timeline. Zero disables sampling.
 	SampleEvery sim.Time
+	// Arrival switches the run from the paper's closed batch to an
+	// open-system arrival stream (see package arrival). The zero value is
+	// the closed batch, behaving — and hashing — exactly as before this
+	// field existed; a non-zero spec replaces the batch with streamed jobs
+	// and Result.Open with bounded-memory response statistics.
+	Arrival arrival.Spec
 }
 
 // withDefaults fills in the paper's standard values.
@@ -169,8 +176,22 @@ func (c Config) withDefaults() Config {
 		ac := workload.DefaultAppCost()
 		c.AppCost = &ac
 	}
+	c.Arrival = c.Arrival.WithDefaults()
+	// Open-system streams need admission control: with an unbounded
+	// multiprogramming level a deep enough queue loads more resident job
+	// images than node memory holds and the run deadlocks on allocation
+	// waiters. The paper's "all admitted" setting is safe only for its
+	// 16-job closed batches, so open runs default to a finite MPL.
+	if !c.Arrival.IsZero() && c.MaxResident == 0 {
+		c.MaxResident = openMaxResident
+	}
 	return c
 }
+
+// openMaxResident is the default per-partition multiprogramming level for
+// open-system runs: 16 resident jobs × ~90KB of per-node image footprint
+// stays an order of magnitude under the 4MB node memory.
+const openMaxResident = 16
 
 // Label renders the figure label of this configuration ("8L static" etc.).
 // The policy renders as its resolved spec: the legacy name for the built-in
@@ -218,7 +239,11 @@ func (c Config) buildBatch() workload.Batch {
 // Run executes one batch under the configuration and returns the result.
 // The simulation is fully deterministic for a given Config.
 func Run(cfg Config) (*metrics.Result, error) {
-	r, err := newRun(cfg.withDefaults(), 0)
+	cfg = cfg.withDefaults()
+	if !cfg.Arrival.IsZero() {
+		return runOpen(cfg)
+	}
+	r, err := newRun(cfg, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -251,10 +276,10 @@ type run struct {
 // cold run would fire them first anyway.
 func newRun(cfg Config, resumeFrom sim.Time) (*run, error) {
 	if cfg.Processors < 1 {
-		return nil, fmt.Errorf("core: machine needs at least one processor, got %d", cfg.Processors)
+		return nil, &ConfigError{Field: "processors", Err: fmt.Errorf("core: machine needs at least one processor, got %d", cfg.Processors)}
 	}
 	if cfg.MemoryBytes < 1 {
-		return nil, fmt.Errorf("core: per-node memory must be positive, got %d bytes", cfg.MemoryBytes)
+		return nil, &ConfigError{Field: "memory_bytes", Err: fmt.Errorf("core: per-node memory must be positive, got %d bytes", cfg.MemoryBytes)}
 	}
 	k := sim.NewKernel(cfg.Seed)
 	mach := machine.NewMachine(k, cfg.Processors, cfg.MemoryBytes, *cfg.Cost)
@@ -275,9 +300,12 @@ func newRun(cfg Config, resumeFrom sim.Time) (*run, error) {
 	})
 	if err != nil {
 		k.Shutdown()
-		return nil, err
+		return nil, wrapConfigErr(err)
 	}
-	r := &run{cfg: cfg, k: k, mach: mach, sys: sys, batch: cfg.buildBatch()}
+	r := &run{cfg: cfg, k: k, mach: mach, sys: sys}
+	if cfg.Arrival.IsZero() {
+		r.batch = cfg.buildBatch()
+	}
 	if cfg.SampleEvery > 0 {
 		r.smp = newSampler(k, mach, sys, cfg, &r.timeline)
 	}
@@ -316,6 +344,11 @@ type sampler struct {
 	every sim.Time
 	denom float64
 	out   *metrics.Timeline
+	// open bounds the timeline on open-system runs: past openTimelineCap
+	// samples the series pair-merges and the interval doubles, keeping
+	// memory flat over any stream length (closed batches never decimate,
+	// preserving historical timelines byte-for-byte).
+	open bool
 
 	prevLow, prevHigh, prevSwitch sim.Time
 	// nextAt is the pending tick's activation time; zero once the sampler
@@ -331,6 +364,7 @@ func newSampler(k *sim.Kernel, mach *machine.Machine, sys *sched.System, cfg Con
 		every: cfg.SampleEvery,
 		denom: float64(cfg.SampleEvery) * float64(cfg.Processors),
 		out:   out,
+		open:  !cfg.Arrival.IsZero(),
 	}
 }
 
@@ -359,11 +393,43 @@ func (sp *sampler) fire() {
 		JobsRunning: sp.sys.Running(),
 	})
 	sp.prevLow, sp.prevHigh, sp.prevSwitch = low, high, sw
-	if sp.sys.Remaining() > 0 {
+	if sp.open && len(*sp.out) >= openTimelineCap {
+		sp.decimate()
+	}
+	if sp.sys.Remaining() > 0 || sp.sys.StreamPending() {
 		sp.armAt(sp.k.Now() + sp.every)
 	} else {
 		sp.nextAt = 0
 	}
+}
+
+// openTimelineCap bounds an open run's utilization timeline.
+const openTimelineCap = 4096
+
+// decimate pair-merges the timeline and doubles the sampling interval:
+// adjacent samples average their rates (each covered one old interval) and
+// the later sample's instantaneous fields win.
+func (sp *sampler) decimate() {
+	tl := *sp.out
+	n := len(tl) / 2
+	for i := 0; i < n; i++ {
+		a, b := tl[2*i], tl[2*i+1]
+		tl[i] = metrics.Sample{
+			At:          b.At,
+			BusyLow:     (a.BusyLow + b.BusyLow) / 2,
+			BusyHigh:    (a.BusyHigh + b.BusyHigh) / 2,
+			BusySwitch:  (a.BusySwitch + b.BusySwitch) / 2,
+			MemUsed:     b.MemUsed,
+			JobsRunning: b.JobsRunning,
+		}
+	}
+	if 2*n < len(tl) {
+		tl[n] = tl[len(tl)-1]
+		n++
+	}
+	*sp.out = tl[:n]
+	sp.every *= 2
+	sp.denom *= 2
 }
 
 // StaticAveraged runs the static policy in its best (smallest-first) and

@@ -158,6 +158,9 @@ func sameForkBase(b, p Config) error {
 			(b.Fault == nil || *b.Fault == *p.Fault)},
 		{"Tracer", b.Tracer == nil && p.Tracer == nil},
 		{"Batch", sameBatch(b, p)},
+		// Open-system streams have no snapshot representation, so arrival
+		// configs are never fork-eligible.
+		{"Arrival", b.Arrival.IsZero() && p.Arrival.IsZero()},
 	}
 	for _, c := range checks {
 		if !c.same {
@@ -283,6 +286,9 @@ func RunForked(base Config, fp ForkPoint, div Divergence) (*metrics.Result, erro
 	if fp.Zero() {
 		return Run(div.apply(base))
 	}
+	if err := rejectOpenFork(base); err != nil {
+		return nil, err
+	}
 	r, err := newRun(base.withDefaults(), 0)
 	if err != nil {
 		return nil, err
@@ -299,6 +305,18 @@ func RunForked(base Config, fp ForkPoint, div Divergence) (*metrics.Result, erro
 		return nil, err
 	}
 	return r.finish()
+}
+
+// rejectOpenFork refuses warm-state forking for open-system arrival
+// configurations: a mid-stream arrival source has no snapshot
+// representation, so forking would silently drop the stream. Callers get a
+// clean field-addressed error instead.
+func rejectOpenFork(base Config) error {
+	if !base.Arrival.IsZero() {
+		return &ConfigError{Field: "arrival",
+			Err: fmt.Errorf("core: open-system arrival configs are not fork-eligible")}
+	}
+	return nil
 }
 
 // snapshot captures the run's whole-simulation state at fork instant t; the
@@ -343,6 +361,9 @@ type Warm struct {
 // captures the snapshot every subsequent Run forks from. The donor
 // simulation is torn down before returning; only plain data survives.
 func Prepare(base Config, fp ForkPoint) (*Warm, error) {
+	if err := rejectOpenFork(base); err != nil {
+		return nil, err
+	}
 	cfg := base.withDefaults()
 	r, err := newRun(cfg, 0)
 	if err != nil {
@@ -403,6 +424,9 @@ func ResumeFromSnapshot(base Config, snap *Snapshot, div Divergence) (*metrics.R
 // first tick (the donor armed it before submission), then job arrivals,
 // then the sampler's tick when the donor re-armed it mid-run.
 func resume(base Config, snap *Snapshot, div Divergence) (*metrics.Result, error) {
+	if err := rejectOpenFork(base); err != nil {
+		return nil, err
+	}
 	cfg := div.apply(base)
 	r, err := newRun(cfg, snap.T)
 	if err != nil {

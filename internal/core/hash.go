@@ -45,6 +45,9 @@ func (c Config) Hash() (string, error) {
 	if c.Tracer != nil {
 		return "", fmt.Errorf("core: config with a Tracer is not content-addressable")
 	}
+	if c.Arrival.TracePath != "" {
+		return "", fmt.Errorf("core: config with an arrival trace file is not content-addressable")
+	}
 	c = c.withDefaults()
 	// The policy components hash canonically: a config whose overrides
 	// resolve to a built-in composite hashes exactly as that composite with
@@ -128,6 +131,26 @@ func (c Config) Hash() (string, error) {
 		hashInt(h, "Partition", int64(spec.Partition))
 		hashInt(h, "Quantum", int64(spec.Quantum))
 		hashInt(h, "Order", int64(spec.Order))
+		io.WriteString(h, "};")
+	}
+	// The open-system arrival section appends only when configured, so
+	// every closed-batch config — which is all of them before this section
+	// existed — feeds the hash its exact historical bytes. withDefaults has
+	// canonicalized the spec: a blank field and its spelled-out default
+	// address the same stream.
+	if !c.Arrival.IsZero() {
+		io.WriteString(h, "Arrival={")
+		hashInt(h, "Kind", int64(c.Arrival.Kind))
+		hashInt(h, "Jobs", c.Arrival.Jobs)
+		hashFloat(h, "Load", c.Arrival.Load)
+		hashInt(h, "MeanInterarrival", int64(c.Arrival.MeanInterarrival))
+		hashFloat(h, "ParetoAlpha", c.Arrival.ParetoAlpha)
+		hashInt(h, "ParetoCap", int64(c.Arrival.ParetoCap))
+		hashInt(h, "SmallWork", int64(c.Arrival.SmallWork))
+		hashInt(h, "LargeWork", int64(c.Arrival.LargeWork))
+		hashInt(h, "LargeEvery", c.Arrival.LargeEvery)
+		hashInt(h, "WidthSmall", int64(c.Arrival.WidthSmall))
+		hashInt(h, "WidthLarge", int64(c.Arrival.WidthLarge))
 		io.WriteString(h, "};")
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil

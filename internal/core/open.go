@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/arrival"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats/stream"
+)
+
+// ConfigError marks a failure as a configuration problem — the request was
+// wrong, not the system — and names the Config field at fault, so API
+// layers can answer 400 with a field-addressed body instead of 500. The
+// message passes through unchanged (Error returns the wrapped error's
+// text verbatim), keeping every historical error string intact.
+type ConfigError struct {
+	// Field names the offending field in wire spelling ("policy",
+	// "arrival.load", "quantum_us").
+	Field string
+	Err   error
+}
+
+func (e *ConfigError) Error() string { return e.Err.Error() }
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+// wrapConfigErr classifies a construction-time error as a ConfigError,
+// inferring the field from typed errors where possible and from the
+// message otherwise. Already-classified errors pass through.
+func wrapConfigErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ce *ConfigError
+	if errors.As(err, &ce) {
+		return err
+	}
+	var se *arrival.SpecError
+	if errors.As(err, &se) {
+		return &ConfigError{Field: "arrival." + se.Field, Err: err}
+	}
+	var upe *sched.UnknownPolicyError
+	if errors.As(err, &upe) {
+		return &ConfigError{Field: "policy", Err: err}
+	}
+	field := "config"
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "fault"), strings.Contains(msg, "checkpoint"),
+		strings.Contains(msg, "link faults"), strings.Contains(msg, "drops"):
+		field = "fault"
+	case strings.Contains(msg, "quantum"):
+		field = "quantum_us"
+	case strings.Contains(msg, "partition"):
+		field = "partition"
+	case strings.Contains(msg, "arrival"), strings.Contains(msg, "trace"):
+		field = "arrival"
+	}
+	return &ConfigError{Field: field, Err: err}
+}
+
+// runOpen executes an open-system arrival run: jobs stream in from the
+// configured source at simulation time, every completion folds into
+// bounded-memory statistics, and the result carries an OpenSummary instead
+// of per-job records. Memory is flat in the job count — one pending
+// arrival, one in-flight digest, a fixed-budget queue series.
+func runOpen(cfg Config) (*metrics.Result, error) {
+	if err := cfg.Arrival.Validate(); err != nil {
+		return nil, wrapConfigErr(err)
+	}
+	if cfg.Batch != nil {
+		return nil, &ConfigError{Field: "arrival",
+			Err: fmt.Errorf("core: open-system arrivals and an explicit batch are mutually exclusive")}
+	}
+	if cfg.Fault != nil {
+		return nil, &ConfigError{Field: "fault",
+			Err: fmt.Errorf("core: fault injection is not supported with open-system arrivals")}
+	}
+	r, err := newRun(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer r.k.Shutdown()
+	r.armFirstSample()
+	src, err := arrival.NewSource(cfg.Arrival, cfg.Seed, cfg.Processors, *cfg.AppCost)
+	if err != nil {
+		return nil, wrapConfigErr(err)
+	}
+	defer src.Close()
+	col := newOpenCollector(r.k, r.sys, cfg.Arrival, cfg.Processors)
+	if err := r.sys.SubmitStream(src, col.complete); err != nil {
+		return nil, err
+	}
+	res, err := r.finish()
+	if err != nil {
+		return nil, err
+	}
+	// A trace replay that hit a malformed record stopped injecting early;
+	// the jobs already in flight completed, but the run is not the trace.
+	if serr := src.Err(); serr != nil {
+		return nil, serr
+	}
+	res.Makespan = col.lastDone
+	res.Open = col.summary()
+	return res, nil
+}
+
+// openCollector streams completion records into the run's digests: exact
+// response-time moments plus an ε-quantile sketch, a time-weighted queue
+// integral, and a fixed-budget windowed queue series.
+type openCollector struct {
+	k        *sim.Kernel
+	sys      *sched.System
+	digest   *stream.Digest
+	win      *stream.Windowed
+	jobs     int64
+	lastDone sim.Time
+	prevT    sim.Time
+	area     float64 // ∫ queue(t) dt, sampled at completion boundaries
+	peak     int
+}
+
+func newOpenCollector(k *sim.Kernel, sys *sched.System, spec arrival.Spec, procs int) *openCollector {
+	// Seed the queue series' window width from the expected run length so
+	// most runs never need to double: mean interarrival × jobs / budget.
+	width := int64(sim.Second)
+	if inter := spec.Interarrival(procs); inter > 0 && spec.Jobs > 0 {
+		if w := int64(inter) * spec.Jobs / stream.DefaultMaxWindows; w > 0 {
+			width = w
+		}
+	}
+	return &openCollector{
+		k:      k,
+		sys:    sys,
+		digest: stream.NewDigest(0),
+		win:    stream.NewWindowed(width, 0),
+	}
+}
+
+// complete folds one finished job in. Completions arrive in simulation
+// time order, so lastDone tracks the makespan.
+func (c *openCollector) complete(rec metrics.JobRecord) {
+	now := rec.Completed
+	q := c.sys.Queued()
+	c.area += float64(q) * float64(now-c.prevT)
+	c.prevT = now
+	if q > c.peak {
+		c.peak = q
+	}
+	c.win.Add(int64(now), float64(q))
+	c.digest.Add(float64(rec.Completed - rec.Arrival))
+	c.jobs++
+	c.lastDone = now
+}
+
+func (c *openCollector) summary() *metrics.OpenSummary {
+	o := &metrics.OpenSummary{
+		Jobs:         c.jobs,
+		MeanResponse: sim.Time(c.digest.Mean()),
+		P50:          sim.Time(c.digest.Quantile(0.50)),
+		P95:          sim.Time(c.digest.Quantile(0.95)),
+		P99:          sim.Time(c.digest.Quantile(0.99)),
+		MaxResponse:  sim.Time(c.digest.Max()),
+		PeakQueue:    c.peak,
+		Digest:       c.digest,
+	}
+	if c.lastDone > 0 {
+		o.ThroughputPerSec = float64(c.jobs) / c.lastDone.Seconds()
+		o.MeanQueue = c.area / float64(c.lastDone)
+	}
+	for i := 0; i < c.win.Len(); i++ {
+		end, _, mean := c.win.Window(i)
+		o.Queue = append(o.Queue, metrics.QueueWindow{End: sim.Time(end), Mean: mean})
+	}
+	return o
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/arrival"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// openCfg is a small open-system run: 200 Poisson arrivals at ρ=0.8 on the
+// paper's 16-node machine, time-shared 4-node partitions.
+func openCfg() Config {
+	ac := workload.DefaultAppCost()
+	return Config{
+		PartitionSize: 4,
+		Topology:      topology.Mesh,
+		Policy:        sched.TimeShared,
+		Arch:          workload.Adaptive,
+		AppCost:       &ac,
+		Arrival: arrival.Spec{
+			Kind: arrival.Poisson,
+			Jobs: 200,
+			Load: 0.8,
+		},
+	}
+}
+
+func TestOpenRunSmoke(t *testing.T) {
+	res, err := Run(openCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Open == nil {
+		t.Fatal("open run produced no OpenSummary")
+	}
+	if res.Open.Jobs != 200 {
+		t.Fatalf("jobs = %d, want 200", res.Open.Jobs)
+	}
+	// Open runs keep per-job records empty: memory must stay flat in the
+	// job count.
+	if len(res.Jobs) != 0 {
+		t.Fatalf("open run retained %d job records", len(res.Jobs))
+	}
+	if res.MeanResponse() <= 0 || res.Makespan <= 0 {
+		t.Errorf("degenerate result: %v", res)
+	}
+	if p50, p99 := res.ResponsePercentile(50), res.ResponsePercentile(99); p99 < p50 {
+		t.Errorf("p99 %v < p50 %v", p99, p50)
+	}
+	if res.MaxResponse() < res.Open.P99 {
+		t.Errorf("max %v < p99 %v", res.MaxResponse(), res.Open.P99)
+	}
+	if res.Open.ThroughputPerSec <= 0 {
+		t.Errorf("throughput = %v", res.Open.ThroughputPerSec)
+	}
+	if len(res.Open.Queue) == 0 {
+		t.Error("no queue series")
+	}
+}
+
+func TestOpenRunDeterministic(t *testing.T) {
+	a, err := Run(openCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(openCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanResponse() != b.MeanResponse() || a.Makespan != b.Makespan ||
+		a.Open.P99 != b.Open.P99 {
+		t.Errorf("same-seed runs differ: %v vs %v", a.Open, b.Open)
+	}
+	cfg := openCfg()
+	cfg.Seed = 7
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanResponse() == a.MeanResponse() && c.Makespan == a.Makespan {
+		t.Error("different seeds produced identical open runs")
+	}
+}
+
+func TestOpenPolicies(t *testing.T) {
+	// Every zoo-relevant policy family must accept streamed arrivals.
+	for _, pol := range []sched.Policy{sched.Static, sched.TimeShared, sched.RRProcess, sched.Gang, sched.DynamicSpace} {
+		cfg := openCfg()
+		cfg.Policy = pol
+		cfg.Arrival.Jobs = 60
+		if pol == sched.DynamicSpace {
+			cfg.PartitionSize = 16
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if res.Open.Jobs != 60 {
+			t.Fatalf("%v: jobs = %d", pol, res.Open.Jobs)
+		}
+	}
+}
+
+func TestOpenRejectsBatchAndFault(t *testing.T) {
+	cfg := openCfg()
+	cfg.Batch = smallCfg().Batch
+	_, err := Run(cfg)
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Field != "arrival" {
+		t.Fatalf("batch+arrival: err = %v, want ConfigError{arrival}", err)
+	}
+
+	cfg = openCfg()
+	cfg.Fault = &fault.Config{NodeMTBF: sim.Second}
+	_, err = Run(cfg)
+	if !errors.As(err, &ce) || ce.Field != "fault" {
+		t.Fatalf("fault+arrival: err = %v, want ConfigError{fault}", err)
+	}
+}
+
+func TestOpenInvalidSpecFieldAddressed(t *testing.T) {
+	cfg := openCfg()
+	cfg.Arrival.Load = 0 // defaults won't fire: MeanInterarrival set below
+	cfg.Arrival.MeanInterarrival = -1
+	_, err := Run(cfg)
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want ConfigError", err)
+	}
+	if ce.Field != "arrival.mean_interarrival_us" {
+		t.Errorf("field = %q", ce.Field)
+	}
+	var se *arrival.SpecError
+	if !errors.As(err, &se) {
+		t.Error("SpecError not preserved in chain")
+	}
+}
+
+func TestOpenForkRejected(t *testing.T) {
+	cfg := openCfg()
+	fp := ForkPoint{WarmJobs: 10}
+	wantRejected := func(what string, err error) {
+		t.Helper()
+		var ce *ConfigError
+		if !errors.As(err, &ce) || ce.Field != "arrival" {
+			t.Errorf("%s: err = %v, want ConfigError{arrival}", what, err)
+		}
+	}
+	_, err := Prepare(cfg, fp)
+	wantRejected("Prepare", err)
+	_, err = RunForked(cfg, fp, Divergence{})
+	wantRejected("RunForked", err)
+	_, err = ResumeFromSnapshot(cfg, &Snapshot{Sched: &sched.State{}}, Divergence{})
+	wantRejected("ResumeFromSnapshot", err)
+	// Two configs differing in (or sharing a non-zero) Arrival are never
+	// fork-divergible.
+	if _, err := DivergenceBetween(cfg, cfg); err == nil {
+		t.Error("DivergenceBetween accepted an open-arrival pair")
+	}
+	// A zero fork point is a plain run and stays allowed.
+	if _, err := RunForked(cfg, ForkPoint{}, Divergence{}); err != nil {
+		t.Errorf("zero fork point should run plainly: %v", err)
+	}
+}
+
+func TestOpenTraceRunAndCleanFailure(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.jsonl")
+	if err := os.WriteFile(good, []byte(
+		`{"at_us": 0, "work_us": 200000}
+{"at_us": 10000, "work_us": 200000, "width": 2}
+{"at_us": 20000, "work_us": 800000, "class": "large"}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := openCfg()
+	cfg.Arrival = arrival.Spec{Kind: arrival.Trace, TracePath: good}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Open.Jobs != 3 {
+		t.Fatalf("trace replay jobs = %d, want 3", res.Open.Jobs)
+	}
+
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(
+		`{"at_us": 0, "work_us": 200000}
+{"at_us": -5, "work_us": 200000}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Arrival.TracePath = bad
+	_, err = Run(cfg)
+	var te *arrival.TraceError
+	if !errors.As(err, &te) || te.Line != 2 {
+		t.Fatalf("malformed trace: err = %v, want TraceError line 2", err)
+	}
+
+	cfg.Arrival.TracePath = filepath.Join(dir, "missing.jsonl")
+	if _, err := Run(cfg); err == nil {
+		t.Error("missing trace file should fail")
+	}
+}
+
+func TestOpenTimelineBounded(t *testing.T) {
+	cfg := openCfg()
+	cfg.SampleEvery = 200 * sim.Microsecond // thousands of raw samples
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline")
+	}
+	if len(res.Timeline) > openTimelineCap {
+		t.Fatalf("open timeline grew to %d samples (cap %d)", len(res.Timeline), openTimelineCap)
+	}
+	// Decimation must preserve time ordering.
+	for i := 1; i < len(res.Timeline); i++ {
+		if res.Timeline[i].At < res.Timeline[i-1].At {
+			t.Fatalf("timeline out of order at %d", i)
+		}
+	}
+}
+
+func TestOpenHashDistinctAndStable(t *testing.T) {
+	closed := Config{}.MustHash()
+	open := openCfg()
+	open.Batch = nil
+	h1, err := open.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == closed {
+		t.Error("open config hashes as the closed default")
+	}
+	// Spelling out the defaults must not move the address.
+	canon := open
+	canon.Arrival = canon.Arrival.WithDefaults()
+	if h2 := canon.MustHash(); h2 != h1 {
+		t.Errorf("defaults not canonical: %s vs %s", h1, h2)
+	}
+	// Any arrival knob moves it.
+	moved := open
+	moved.Arrival.Load = 0.9
+	if moved.MustHash() == h1 {
+		t.Error("load change did not move the hash")
+	}
+	// Trace configs are not content-addressable.
+	tr := open
+	tr.Arrival = arrival.Spec{Kind: arrival.Trace, TracePath: "x.jsonl"}
+	if _, err := tr.Hash(); err == nil {
+		t.Error("trace config should not hash")
+	}
+}

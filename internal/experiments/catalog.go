@@ -8,7 +8,7 @@ import (
 )
 
 // The catalog is the single registry of named experiments — every figure
-// and extension study, addressable by id ("f3".."f6", "e1".."e14") — with
+// and extension study, addressable by id ("f3".."f6", "e1".."e15") — with
 // uniform execution and rendering. cmd/ippsbench iterates it for the CLI
 // and internal/serve exposes it over HTTP, so a new experiment registered
 // here is immediately reachable from both.
@@ -228,6 +228,16 @@ var catalog = []CatalogEntry{
 			func() string { return ZooTable(cells) },
 			func() string { return ZooCSV(cells) },
 			func() string { return ZooJSON(cells) }), nil
+	}},
+	{"e15", "E15: policy zoo under open-system load", func(base core.Config, format Format, opts engine.Options) (string, error) {
+		cells, err := OpenSweep(base, nil, opts)
+		if err != nil {
+			return "", err
+		}
+		return render3(format,
+			func() string { return OpenSweepTable(cells) },
+			func() string { return OpenSweepCSV(cells) },
+			func() string { return OpenSweepJSON(cells) }), nil
 	}},
 }
 

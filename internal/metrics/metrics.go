@@ -148,10 +148,19 @@ type Result struct {
 	// Timeline holds periodic utilization samples when sampling was enabled
 	// (see core.Config.SampleEvery); nil otherwise.
 	Timeline Timeline
+	// Open holds the streaming summary of an open-system arrival run; nil
+	// on closed-batch runs. Open runs keep Jobs empty — per-job records
+	// would unbound memory — so response-time accessors read from here.
+	Open *OpenSummary
 }
 
-// MeanResponse is the paper's headline metric.
+// MeanResponse is the paper's headline metric. Open-system runs answer
+// from the streaming summary (exact mean); closed batches from the
+// retained records.
 func (r *Result) MeanResponse() sim.Time {
+	if r.Open != nil {
+		return r.Open.MeanResponse
+	}
 	if len(r.Jobs) == 0 {
 		return 0
 	}
@@ -167,6 +176,9 @@ func (r *Result) MeanResponseSeconds() float64 { return r.MeanResponse().Seconds
 
 // MaxResponse is the worst job response time.
 func (r *Result) MaxResponse() sim.Time {
+	if r.Open != nil {
+		return r.Open.MaxResponse
+	}
 	var m sim.Time
 	for _, j := range r.Jobs {
 		if resp := j.Response(); resp > m {
@@ -194,6 +206,11 @@ func (r *Result) MeanResponseByClass() map[string]sim.Time {
 // ResponsePercentile returns the p-th percentile (0 < p <= 100) response
 // time using nearest-rank.
 func (r *Result) ResponsePercentile(p float64) sim.Time {
+	if r.Open != nil {
+		// Sketch estimate, within the digest's ε of the exact order
+		// statistic (see stream.QuantileSketch).
+		return sim.Time(r.Open.Digest.Quantile(p / 100))
+	}
 	if len(r.Jobs) == 0 {
 		return 0
 	}

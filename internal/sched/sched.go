@@ -165,6 +165,15 @@ type System struct {
 	started   int
 	used      bool
 
+	// Open-system streaming state (SubmitStream). src supplies jobs one at
+	// a time — the next is pulled only when the previous has been injected,
+	// so the kernel never holds more than one future arrival event and
+	// memory stays flat over any stream length. onComplete consumes each
+	// job record in completion order instead of appending to records.
+	src        JobSource
+	onComplete func(metrics.JobRecord)
+	streaming  bool
+
 	// Buddy-pool state (dynamic and equi space-sharing).
 	pool       *buddy
 	dynParts   []*Partition
@@ -351,6 +360,84 @@ func (s *System) submitAfter(batch workload.Batch, after sim.Time) error {
 		s.partpol.Arrive(s, js, idxOf[j])
 	}
 	return nil
+}
+
+// JobSource streams jobs into an open-system run, in nondecreasing Arrival
+// order. Next returns ok=false when the stream ends; the scheduler calls it
+// from simulation events, one job ahead of the clock, so a source never
+// needs to materialize its workload.
+type JobSource interface {
+	Next() (*workload.Job, bool)
+}
+
+// SubmitStream enters an open-system job stream instead of a closed batch:
+// jobs inject at their arrival times as the simulation advances, and each
+// completed job's record is handed to onComplete rather than retained (the
+// caller streams it into bounded-memory statistics). Incompatible with
+// warm-start resume — an arrival stream has no snapshot representation.
+func (s *System) SubmitStream(src JobSource, onComplete func(metrics.JobRecord)) error {
+	if s.used {
+		return fmt.Errorf("sched: System is single-use; build a new one per batch")
+	}
+	if s.cfg.ResumeFrom > 0 {
+		return fmt.Errorf("sched: open-system streams cannot resume from a snapshot")
+	}
+	if src == nil || onComplete == nil {
+		return fmt.Errorf("sched: SubmitStream needs a source and a completion sink")
+	}
+	s.used = true
+	s.streaming = true
+	s.src = src
+	s.onComplete = onComplete
+	s.pump()
+	return nil
+}
+
+// pump pulls jobs from the stream and injects every one due now; the first
+// future arrival schedules one kernel event that injects it and pumps
+// again. Exactly one pending arrival exists at any instant, so kernel
+// memory is independent of stream length, and the loop (rather than
+// recursion) keeps the stack flat when a trace carries equal timestamps.
+func (s *System) pump() {
+	for s.src != nil {
+		job, ok := s.src.Next()
+		if !ok {
+			s.src = nil
+			return
+		}
+		js := &jobState{
+			job: job,
+			rec: metrics.JobRecord{JobID: job.ID, Class: job.Class, Arrival: job.Arrival},
+		}
+		s.remaining++
+		// Partition routing keys on the job's stream position, exactly as
+		// closed batches key on the batch index.
+		if job.Arrival > s.k.Now() {
+			s.k.AtFunc(job.Arrival, func() {
+				s.partpol.Arrive(s, js, job.ID)
+				s.pump()
+			})
+			return
+		}
+		s.partpol.Arrive(s, js, job.ID)
+	}
+}
+
+// StreamPending reports whether an open-system stream still has jobs to
+// inject (always false on closed-batch runs).
+func (s *System) StreamPending() bool { return s.src != nil }
+
+// Queued reports jobs waiting for processors: the global ready queue,
+// fault-stalled jobs, and per-partition admission queues.
+func (s *System) Queued() int {
+	n := len(s.pending) + len(s.stalled)
+	for _, p := range s.parts {
+		n += len(p.queue)
+	}
+	for _, p := range s.dynParts {
+		n += len(p.queue)
+	}
+	return n
 }
 
 // Finish runs the submitted simulation to completion and builds the result.
@@ -577,12 +664,25 @@ func (s *System) procDone(js *jobState) {
 	s.runningNow--
 	removeJob(js.part, js)
 	js.rec.Completed = s.k.Now()
-	s.records = append(s.records, js.rec)
+	if s.onComplete != nil {
+		s.onComplete(js.rec)
+	} else {
+		s.records = append(s.records, js.rec)
+	}
 	s.remaining--
 	trace.Emit(s.cfg.Tracer, s.k.Now(), "job", js.job.String(),
 		fmt.Sprintf("completed, response %s", js.rec.Response()))
 	for i := 0; i < js.part.size; i++ {
 		js.part.net.NodeOf(i).Mem.FreeBytes(workload.CodeBytes)
+	}
+	// Streamed runs free the job's mailboxes so the network's mailbox table
+	// stays bounded by jobs in flight, not jobs ever run. Closed batches
+	// keep them registered, preserving the historical network state
+	// byte-for-byte (snapshots hash it).
+	if s.streaming && js.env != nil {
+		for _, b := range js.env.Ranks {
+			js.part.net.FreeMailbox(b.Box)
+		}
 	}
 	s.quant.Departed(s, js.part, js)
 	s.partpol.Complete(s, js)

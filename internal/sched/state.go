@@ -109,6 +109,9 @@ func (s *System) Quiescent() bool {
 // SnapshotState captures the system's cross-job state. It fails unless the
 // system is Quiescent.
 func (s *System) SnapshotState() (*State, error) {
+	if s.streaming {
+		return nil, fmt.Errorf("sched: open-system streams have no snapshot representation")
+	}
 	if !s.Quiescent() {
 		return nil, fmt.Errorf("sched: snapshot of a non-quiescent system")
 	}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/internal/arrival"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestScheddOpenPoint wires an open-system arrival run through /v1/point:
+// the response must carry the streaming summary, losslessly equal to what a
+// local run computes.
+func TestScheddOpenPoint(t *testing.T) {
+	s := testServer(t, Options{})
+	h := s.Handler()
+
+	const body = `{"config":{"partition":4,"topology":"mesh","policy":"ts","arrival":{"process":"poisson","jobs":80,"load":0.6}}}`
+	rr := postPoint(t, h, body)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("POST /v1/point: status %d, body %s", rr.Code, rr.Body)
+	}
+	got, err := DecodePointSummary(rr.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Open == nil {
+		t.Fatalf("open run summary missing open section: %+v", got)
+	}
+	if got.Open.Jobs != 80 || got.Jobs != 80 {
+		t.Errorf("jobs = %d/%d, want 80", got.Jobs, got.Open.Jobs)
+	}
+
+	spec := ConfigSpec{Partition: 4, Topology: "mesh", Policy: "ts",
+		Arrival: &ArrivalSpec{Process: "poisson", Jobs: 80, Load: 0.6}}
+	cfg, err := spec.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := PointSummaryFrom(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("wire summary differs from local run:\n got: %+v %+v\nwant: %+v %+v",
+			got, got.Open, want, want.Open)
+	}
+}
+
+// TestScheddConfigErrors400 is the field-addressed validation contract:
+// every config-spec failure — whether caught at parse time or inside
+// core.Run — answers 400 with a body naming the offending field, never a
+// 500.
+func TestScheddConfigErrors400(t *testing.T) {
+	s := testServer(t, Options{})
+	h := s.Handler()
+
+	cases := []struct {
+		name, body, field string
+	}{
+		{"bad arrival load", `{"config":{"arrival":{"process":"poisson","load":1.5}}}`, "arrival.load"},
+		{"trace on the wire", `{"config":{"arrival":{"process":"trace"}}}`, "arrival.process"},
+		{"unknown arrival process", `{"config":{"arrival":{"process":"bursty"}}}`, "arrival.process"},
+		{"arrival with fault", `{"config":{"arrival":{"process":"poisson"},"fault":{"node_mtbf_us":1000000,"node_mttr_us":1000}}}`, "fault"},
+		{"partition does not divide", `{"config":{"partition":3}}`, "partition"},
+		{"bad quantum", `{"config":{"quantum_us":-5}}`, "quantum_us"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rr := postPoint(t, h, tc.body)
+			if rr.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, body %s (want 400)", rr.Code, rr.Body)
+			}
+			var eb struct {
+				Error string `json:"error"`
+				Field string `json:"field"`
+			}
+			if err := json.Unmarshal(rr.Body.Bytes(), &eb); err != nil {
+				t.Fatalf("error body not JSON: %s", rr.Body)
+			}
+			if eb.Error == "" {
+				t.Errorf("empty error message: %s", rr.Body)
+			}
+			if eb.Field != "" && eb.Field != tc.field {
+				t.Errorf("field = %q, want %q (body %s)", eb.Field, tc.field, rr.Body)
+			}
+		})
+	}
+}
+
+// TestOpenSpecRoundTrip: SpecFromConfig and ToConfig invert each other for
+// arrival configs, preserving the canonical hash the cluster routes on.
+func TestOpenSpecRoundTrip(t *testing.T) {
+	cfg := core.Config{
+		PartitionSize: 4,
+		Arrival: arrival.Spec{
+			Kind:        arrival.Pareto,
+			Jobs:        5000,
+			Load:        0.7,
+			ParetoAlpha: 1.8,
+			ParetoCap:   sim.Time(2 * sim.Second),
+			WidthSmall:  2,
+			WidthLarge:  8,
+		},
+	}
+	spec, err := SpecFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := spec.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := cfg.MustHash(), back.MustHash()
+	if h1 != h2 {
+		t.Errorf("round trip moved the hash: %s vs %s", h1, h2)
+	}
+	// Trace configs have no wire form.
+	cfg.Arrival = arrival.Spec{Kind: arrival.Trace, TracePath: "x.jsonl"}
+	if _, err := SpecFromConfig(cfg); err == nil {
+		t.Error("trace config should not be wire-representable")
+	}
+}

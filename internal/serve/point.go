@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/arrival"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -60,6 +61,24 @@ type PointSummary struct {
 	// Fault carries the fault/repair counters when the run had an injector
 	// attached; nil otherwise.
 	Fault *FaultCounters `json:"fault,omitempty"`
+	// Open carries the streaming summary of an open-system arrival run;
+	// nil on closed-batch runs, so legacy responses keep their exact bytes.
+	Open *OpenWire `json:"open,omitempty"`
+}
+
+// OpenWire is the wire form of metrics.OpenSummary (times in µs). The p50,
+// p95 and p99 values are ε-quantile sketch estimates (see stream.QuantileSketch);
+// mean and max are exact.
+type OpenWire struct {
+	Jobs             int64   `json:"jobs"`
+	MeanUS           int64   `json:"mean_us"`
+	P50US            int64   `json:"p50_us"`
+	P95US            int64   `json:"p95_us"`
+	P99US            int64   `json:"p99_us"`
+	MaxUS            int64   `json:"max_us"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	MeanQueue        float64 `json:"mean_queue"`
+	PeakQueue        int     `json:"peak_queue"`
 }
 
 // FaultCounters is the wire form of metrics.FaultStats (times in µs).
@@ -115,6 +134,23 @@ func PointSummaryFrom(res *metrics.Result) PointSummary {
 		AvgHops:      res.Net.AvgHops(),
 		AvgLatencyUS: int64(res.Net.AvgLatency()),
 		Retries:      res.Net.Retries,
+	}
+	if res.Open != nil {
+		o := res.Open
+		// Open runs retain no per-job records; the headline job count comes
+		// from the stream.
+		ps.Jobs = int(o.Jobs)
+		ps.Open = &OpenWire{
+			Jobs:             o.Jobs,
+			MeanUS:           int64(o.MeanResponse),
+			P50US:            int64(o.P50),
+			P95US:            int64(o.P95),
+			P99US:            int64(o.P99),
+			MaxUS:            int64(o.MaxResponse),
+			ThroughputPerSec: o.ThroughputPerSec,
+			MeanQueue:        o.MeanQueue,
+			PeakQueue:        o.PeakQueue,
+		}
 	}
 	if res.Faults != nil {
 		f := res.Faults
@@ -190,6 +226,25 @@ func SpecFromConfig(cfg core.Config) (ConfigSpec, error) {
 		spec.Order = "largest-first"
 	default:
 		return ConfigSpec{}, fmt.Errorf("serve: order %v is not wire-representable", cfg.Order)
+	}
+	if !cfg.Arrival.IsZero() {
+		a := cfg.Arrival
+		if a.Kind == arrival.Trace {
+			return ConfigSpec{}, fmt.Errorf("serve: config with an arrival trace is not wire-representable")
+		}
+		spec.Arrival = &ArrivalSpec{
+			Process:            a.Kind.String(),
+			Jobs:               a.Jobs,
+			Load:               a.Load,
+			MeanInterarrivalUS: int64(a.MeanInterarrival),
+			ParetoAlpha:        a.ParetoAlpha,
+			ParetoCapUS:        int64(a.ParetoCap),
+			SmallWorkUS:        int64(a.SmallWork),
+			LargeWorkUS:        int64(a.LargeWork),
+			LargeEvery:         a.LargeEvery,
+			WidthSmall:         a.WidthSmall,
+			WidthLarge:         a.WidthLarge,
+		}
 	}
 	if cfg.Fault != nil {
 		f := cfg.Fault

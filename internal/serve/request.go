@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/arrival"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
@@ -20,7 +21,7 @@ import (
 )
 
 // RunRequest is the POST /v1/run body: either a named experiment from the
-// catalog ("f3".."f6", "e1".."e14") or a single config-shaped run. Every
+// catalog ("f3".."f6", "e1".."e15") or a single config-shaped run. Every
 // field is optional; zero values are the paper's defaults, exactly as in
 // core.Config.
 type RunRequest struct {
@@ -63,6 +64,29 @@ type ConfigSpec struct {
 	SampleEveryUS   int64  `json:"sample_every_us,omitempty"`
 
 	Fault *FaultSpec `json:"fault,omitempty"`
+
+	// Arrival switches the run to open-system streaming arrivals; absent
+	// means the paper's closed batch, exactly as in core.Config.
+	Arrival *ArrivalSpec `json:"arrival,omitempty"`
+}
+
+// ArrivalSpec is the wire form of arrival.Spec (times in µs). Trace replay
+// has no wire form: the trace file is not part of the config, so a trace
+// run is not content-addressable and cannot be cached or routed remotely.
+type ArrivalSpec struct {
+	// Process names the interarrival process: "poisson", "pareto",
+	// "periodic".
+	Process            string  `json:"process"`
+	Jobs               int64   `json:"jobs,omitempty"`
+	Load               float64 `json:"load,omitempty"`
+	MeanInterarrivalUS int64   `json:"mean_interarrival_us,omitempty"`
+	ParetoAlpha        float64 `json:"pareto_alpha,omitempty"`
+	ParetoCapUS        int64   `json:"pareto_cap_us,omitempty"`
+	SmallWorkUS        int64   `json:"small_work_us,omitempty"`
+	LargeWorkUS        int64   `json:"large_work_us,omitempty"`
+	LargeEvery         int64   `json:"large_every,omitempty"`
+	WidthSmall         int     `json:"width_small,omitempty"`
+	WidthLarge         int     `json:"width_large,omitempty"`
 }
 
 // FaultSpec is the wire form of fault.Config (times in µs).
@@ -208,6 +232,29 @@ func (s ConfigSpec) ToConfig() (core.Config, error) {
 		cfg.Order = core.LargestFirst
 	default:
 		return cfg, fmt.Errorf("unknown order %q", s.Order)
+	}
+	if s.Arrival != nil {
+		kind, err := arrival.ParseKind(s.Arrival.Process)
+		if err != nil {
+			return cfg, &core.ConfigError{Field: "arrival.process", Err: err}
+		}
+		if kind == arrival.Trace {
+			return cfg, &core.ConfigError{Field: "arrival.process",
+				Err: fmt.Errorf("trace replay is not wire-representable (the trace file is not part of the config)")}
+		}
+		cfg.Arrival = arrival.Spec{
+			Kind:             kind,
+			Jobs:             s.Arrival.Jobs,
+			Load:             s.Arrival.Load,
+			MeanInterarrival: sim.Time(s.Arrival.MeanInterarrivalUS),
+			ParetoAlpha:      s.Arrival.ParetoAlpha,
+			ParetoCap:        sim.Time(s.Arrival.ParetoCapUS),
+			SmallWork:        sim.Time(s.Arrival.SmallWorkUS),
+			LargeWork:        sim.Time(s.Arrival.LargeWorkUS),
+			LargeEvery:       s.Arrival.LargeEvery,
+			WidthSmall:       s.Arrival.WidthSmall,
+			WidthLarge:       s.Arrival.WidthLarge,
+		}
 	}
 	if s.Fault != nil {
 		cfg.Fault = &fault.Config{

@@ -539,8 +539,12 @@ func (s *Server) admissionFailure(w http.ResponseWriter, err error) int {
 	}
 }
 
-// executeFailure maps a simulation error onto a response.
+// executeFailure maps a simulation error onto a response. Configuration
+// problems — the request was wrong, not the system — answer 400 with a
+// field-addressed body so clients can point at the offending knob; only
+// genuine execution failures answer 500.
 func (s *Server) executeFailure(w http.ResponseWriter, ctx context.Context, err error) int {
+	var ce *core.ConfigError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.metrics.cancelled.Add(1)
@@ -550,6 +554,12 @@ func (s *Server) executeFailure(w http.ResponseWriter, ctx context.Context, err 
 		s.metrics.cancelled.Add(1)
 		httpError(w, statusClientClosedRequest, "client closed request")
 		return statusClientClosedRequest
+	case errors.As(err, &ce):
+		s.metrics.badRequests.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintf(w, "{\"error\":%q,\"field\":%q}\n", ce.Error(), ce.Field)
+		return http.StatusBadRequest
 	default:
 		s.metrics.failed.Add(1)
 		httpError(w, http.StatusInternalServerError, "simulation failed: %v", err)

@@ -1,131 +1,109 @@
 // Package stats provides the small statistical toolkit the replicated
 // experiments need: streaming mean/variance (Welford), summaries with
-// confidence intervals, and a replication driver for running a
-// configuration across seeds.
+// confidence intervals, bounded-memory quantile digests, and replication
+// drivers for running a configuration across seeds.
 //
 // The simulator is deterministic per seed, so replication here means
 // varying the seed-dependent inputs (arrival sequences, synthetic
 // workloads) — not rerunning identical configurations.
+//
+// The estimators themselves live in the leaf package stats/stream (so
+// core and metrics can use them without an import cycle through the
+// engine); the aliases below keep this package the API the experiments
+// code reads.
 package stats
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/engine"
+	"repro/internal/stats/stream"
 )
 
 // Accumulator computes streaming mean and variance (Welford's algorithm),
-// numerically stable for long runs.
-type Accumulator struct {
-	n    int
-	mean float64
-	m2   float64
-	min  float64
-	max  float64
-}
+// numerically stable for long runs. See stream.Accumulator.
+type Accumulator = stream.Accumulator
 
-// Add folds one observation in.
-func (a *Accumulator) Add(x float64) {
-	a.n++
-	if a.n == 1 {
-		a.min, a.max = x, x
-	} else {
-		if x < a.min {
-			a.min = x
-		}
-		if x > a.max {
-			a.max = x
-		}
-	}
-	delta := x - a.mean
-	a.mean += delta / float64(a.n)
-	a.m2 += delta * (x - a.mean)
-}
+// Summary is a frozen view of an accumulator. See stream.Summary.
+type Summary = stream.Summary
 
-// N reports the number of observations.
-func (a *Accumulator) N() int { return a.n }
+// Digest bundles streaming moments with an α-relative-error quantile
+// sketch — bounded memory over any number of observations. See
+// stream.Digest.
+type Digest = stream.Digest
 
-// Mean reports the sample mean (0 with no observations).
-func (a *Accumulator) Mean() float64 { return a.mean }
+// QuantileSketch is the deterministic relative-error quantile estimator.
+// See stream.QuantileSketch.
+type QuantileSketch = stream.QuantileSketch
 
-// Variance reports the unbiased sample variance (0 with fewer than two
-// observations).
-func (a *Accumulator) Variance() float64 {
-	if a.n < 2 {
-		return 0
-	}
-	return a.m2 / float64(a.n-1)
-}
+// DefaultSketchAlpha is the default quantile relative-accuracy guarantee.
+const DefaultSketchAlpha = stream.DefaultSketchAlpha
 
-// StdDev is the sample standard deviation.
-func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+// NewDigest returns a digest whose sketch has relative accuracy alpha
+// (0 selects DefaultSketchAlpha).
+func NewDigest(alpha float64) *Digest { return stream.NewDigest(alpha) }
 
-// Min and Max report the observed extremes (0 with no observations).
-func (a *Accumulator) Min() float64 { return a.min }
-func (a *Accumulator) Max() float64 { return a.max }
-
-// Summary is a frozen view of an accumulator.
-type Summary struct {
-	N              int
-	Mean, StdDev   float64
-	Min, Max       float64
-	CI95Lo, CI95Hi float64
-}
-
-// Summarize freezes the accumulator, attaching a normal-approximation 95%
-// confidence interval for the mean (adequate for the replication counts
-// used here; exact t quantiles are overkill for a simulator harness).
-func (a *Accumulator) Summarize() Summary {
-	s := Summary{N: a.n, Mean: a.mean, StdDev: a.StdDev(), Min: a.min, Max: a.max}
-	if a.n > 1 {
-		half := 1.96 * s.StdDev / math.Sqrt(float64(a.n))
-		s.CI95Lo, s.CI95Hi = s.Mean-half, s.Mean+half
-	} else {
-		s.CI95Lo, s.CI95Hi = s.Mean, s.Mean
-	}
-	return s
-}
-
-// String renders "mean ± half-width (n=N)".
-func (s Summary) String() string {
-	half := (s.CI95Hi - s.CI95Lo) / 2
-	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, half, s.N)
-}
-
-// RelativeCI is the CI half-width as a fraction of the mean — a quick
-// "is this converged?" signal.
-func (s Summary) RelativeCI() float64 {
-	if s.Mean == 0 {
-		return 0
-	}
-	return (s.CI95Hi - s.CI95Lo) / 2 / math.Abs(s.Mean)
-}
+// NewQuantileSketch returns a sketch with relative accuracy alpha.
+func NewQuantileSketch(alpha float64) *QuantileSketch { return stream.NewQuantileSketch(alpha) }
 
 // Replicate runs f for seeds 0..n-1 and summarizes the returned metric.
 // Any error aborts the replication, reporting the lowest failing seed.
-// Replications run on the engine worker pool; observations fold into the
-// accumulator in seed order, so the summary is identical for any worker
+// Replications run on the engine worker pool; per-replication accumulators
+// merge in seed order (each worker folds its observation as it goes, no
+// sample slices are retained), so the summary is identical for any worker
 // count.
 func Replicate(n int, f func(seed int64) (float64, error), opts ...engine.Options) (Summary, error) {
-	plan := engine.NewPlan[float64]("stats.Replicate")
+	plan := engine.NewPlan[Accumulator]("stats.Replicate")
 	for i := 0; i < n; i++ {
 		i := i
-		plan.Add(fmt.Sprintf("seed=%d", i), func() (float64, error) {
+		plan.Add(fmt.Sprintf("seed=%d", i), func() (Accumulator, error) {
+			var acc Accumulator
 			x, err := f(int64(i))
 			if err != nil {
-				return 0, fmt.Errorf("stats: replication %d: %w", i, err)
+				return acc, fmt.Errorf("stats: replication %d: %w", i, err)
 			}
-			return x, nil
+			acc.Add(x)
+			return acc, nil
 		})
 	}
-	xs, err := engine.Execute(plan, opts...)
+	accs, err := engine.Execute(plan, opts...)
 	if err != nil {
 		return Summary{}, err
 	}
 	var acc Accumulator
-	for _, x := range xs {
-		acc.Add(x)
+	for i := range accs {
+		acc.Merge(&accs[i])
 	}
 	return acc.Summarize(), nil
+}
+
+// ReplicateDigest runs f for seeds 0..n-1, handing each replication a
+// fresh bounded-memory Digest (sketch accuracy alpha; 0 selects
+// DefaultSketchAlpha) to stream its observations into; the digests merge
+// in seed order after the pool drains. Unlike Replicate, one replication
+// may contribute millions of observations — memory stays at the digest
+// bound, not the observation count.
+func ReplicateDigest(n int, alpha float64, f func(seed int64, d *Digest) error, opts ...engine.Options) (*Digest, error) {
+	plan := engine.NewPlan[*Digest]("stats.ReplicateDigest")
+	for i := 0; i < n; i++ {
+		i := i
+		plan.Add(fmt.Sprintf("seed=%d", i), func() (*Digest, error) {
+			d := NewDigest(alpha)
+			if err := f(int64(i), d); err != nil {
+				return nil, fmt.Errorf("stats: replication %d: %w", i, err)
+			}
+			return d, nil
+		})
+	}
+	ds, err := engine.Execute(plan, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewDigest(alpha)
+	for _, d := range ds {
+		if err := out.Merge(d); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

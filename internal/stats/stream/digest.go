@@ -1,0 +1,47 @@
+package stream
+
+// Digest bundles the two bounded-memory estimators a metric stream wants:
+// exact streaming moments (Welford) and α-relative-error quantiles
+// (QuantileSketch). One Digest per metric holds memory flat over any
+// number of observations, and Digests merge deterministically, so
+// replications can stream independently and combine in seed order.
+type Digest struct {
+	Acc    Accumulator
+	Sketch *QuantileSketch
+}
+
+// NewDigest returns a digest whose sketch has relative accuracy alpha
+// (0 selects DefaultSketchAlpha).
+func NewDigest(alpha float64) *Digest {
+	if alpha == 0 {
+		alpha = DefaultSketchAlpha
+	}
+	return &Digest{Sketch: NewQuantileSketch(alpha)}
+}
+
+// Add folds one observation into both estimators.
+func (d *Digest) Add(x float64) {
+	d.Acc.Add(x)
+	d.Sketch.Add(x)
+}
+
+// Merge folds another digest in (both sketches must share alpha).
+func (d *Digest) Merge(o *Digest) error {
+	if o == nil {
+		return nil
+	}
+	d.Acc.Merge(&o.Acc)
+	return d.Sketch.Merge(o.Sketch)
+}
+
+// N reports the number of observations.
+func (d *Digest) N() int64 { return int64(d.Acc.N()) }
+
+// Mean reports the exact streaming mean.
+func (d *Digest) Mean() float64 { return d.Acc.Mean() }
+
+// Quantile estimates the q-quantile within the sketch's α.
+func (d *Digest) Quantile(q float64) float64 { return d.Sketch.Quantile(q) }
+
+// Max reports the exact observed maximum.
+func (d *Digest) Max() float64 { return d.Acc.Max() }

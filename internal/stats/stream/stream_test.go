@@ -1,0 +1,201 @@
+package stream
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator so tests don't depend on math/rand
+// ordering across Go versions.
+type lcg struct{ s uint64 }
+
+func (r *lcg) next() float64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return float64(r.s>>11) / float64(uint64(1)<<53)
+}
+
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	r := &lcg{s: 7}
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = 100 * r.next() * r.next()
+	}
+	var whole Accumulator
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	// Split at several uneven points, including empty halves.
+	for _, cut := range []int{0, 1, 17, 5000, 9999, 10000} {
+		var a, b Accumulator
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(&b)
+		if a.N() != whole.N() {
+			t.Fatalf("cut %d: merged n = %d, want %d", cut, a.N(), whole.N())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-9*math.Abs(whole.Mean()) {
+			t.Errorf("cut %d: merged mean %v, want %v", cut, a.Mean(), whole.Mean())
+		}
+		if math.Abs(a.Variance()-whole.Variance()) > 1e-6*whole.Variance() {
+			t.Errorf("cut %d: merged variance %v, want %v", cut, a.Variance(), whole.Variance())
+		}
+		if a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Errorf("cut %d: merged min/max %v/%v, want %v/%v", cut, a.Min(), a.Max(), whole.Min(), whole.Max())
+		}
+	}
+}
+
+// exactQuantile is the order statistic the sketch approximates.
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q * float64(len(sorted)-1))
+	return sorted[rank]
+}
+
+func TestQuantileSketchAccuracy(t *testing.T) {
+	dists := map[string]func(r *lcg) float64{
+		"uniform":     func(r *lcg) float64 { return 1 + 999*r.next() },
+		"exponential": func(r *lcg) float64 { return -500 * math.Log(1-0.999999*r.next()) },
+		"heavy-tail":  func(r *lcg) float64 { return 10 * math.Pow(1-0.999999*r.next(), -1/1.5) },
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			s := NewQuantileSketch(DefaultSketchAlpha)
+			r := &lcg{s: 42}
+			xs := make([]float64, 20000)
+			for i := range xs {
+				xs[i] = draw(r)
+				s.Add(xs[i])
+			}
+			sort.Float64s(xs)
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+				got := s.Quantile(q)
+				want := exactQuantile(xs, q)
+				if rel := math.Abs(got-want) / want; rel > DefaultSketchAlpha {
+					t.Errorf("q%.3f: sketch %v vs exact %v, relative error %.4f > α=%v",
+						q, got, want, rel, DefaultSketchAlpha)
+				}
+			}
+			if s.Quantile(0) != xs[0] || s.Quantile(1) != xs[len(xs)-1] {
+				t.Errorf("extremes not exact: got %v/%v want %v/%v",
+					s.Quantile(0), s.Quantile(1), xs[0], xs[len(xs)-1])
+			}
+		})
+	}
+}
+
+func TestQuantileSketchMergeMatchesCombined(t *testing.T) {
+	r := &lcg{s: 9}
+	whole := NewQuantileSketch(DefaultSketchAlpha)
+	a := NewQuantileSketch(DefaultSketchAlpha)
+	b := NewQuantileSketch(DefaultSketchAlpha)
+	for i := 0; i < 5000; i++ {
+		x := 1 + 5000*r.next()
+		whole.Add(x)
+		if i%3 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != whole.N() {
+		t.Fatalf("merged n = %d, want %d", a.N(), whole.N())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got, want := a.Quantile(q), whole.Quantile(q); got != want {
+			t.Errorf("q%.2f: merged %v != combined %v", q, got, want)
+		}
+	}
+	bad := NewQuantileSketch(0.05)
+	bad.Add(1)
+	if err := a.Merge(bad); err == nil {
+		t.Error("merging sketches with different alpha succeeded")
+	}
+}
+
+func TestQuantileSketchMemoryBounded(t *testing.T) {
+	s := NewQuantileSketch(DefaultSketchAlpha)
+	r := &lcg{s: 3}
+	// A stream spanning ~40 orders of magnitude forces collapses.
+	for i := 0; i < 200000; i++ {
+		s.Add(math.Pow(10, 40*r.next()-20))
+	}
+	if s.Buckets() > defaultMaxBuckets {
+		t.Fatalf("sketch holds %d buckets, cap %d", s.Buckets(), defaultMaxBuckets)
+	}
+	// High quantiles stay accurate: collapses only eat the lowest buckets.
+	if s.Quantile(0.99) <= s.Quantile(0.5) {
+		t.Errorf("quantiles lost order after collapse: p99 %v <= p50 %v",
+			s.Quantile(0.99), s.Quantile(0.5))
+	}
+}
+
+func TestWindowedBoundedAndPairMerged(t *testing.T) {
+	w := NewWindowed(100, 8)
+	// Fill 8 windows with a known value each, then push far past the end.
+	for i := int64(0); i < 8; i++ {
+		w.Add(i*100+50, float64(i))
+	}
+	if w.Len() != 8 || w.Width() != 100 {
+		t.Fatalf("pre-merge: len %d width %d, want 8/100", w.Len(), w.Width())
+	}
+	w.Add(1600, 99) // index 16 at width 100 → two doublings to width 400
+	if w.Width() != 400 {
+		t.Fatalf("width after overflow = %d, want 400", w.Width())
+	}
+	if w.Len() > 8 {
+		t.Fatalf("len %d exceeds budget 8", w.Len())
+	}
+	// First merged window holds original windows 0-3: mean (0+1+2+3)/4.
+	end, count, mean := w.Window(0)
+	if end != 400 || count != 4 || mean != 1.5 {
+		t.Errorf("window 0 = end %d count %d mean %v, want 400/4/1.5", end, count, mean)
+	}
+	// Total observation count is conserved across merges.
+	var total int64
+	for i := 0; i < w.Len(); i++ {
+		_, c, _ := w.Window(i)
+		total += c
+	}
+	if total != 9 {
+		t.Errorf("total count %d, want 9", total)
+	}
+}
+
+func TestDigestMergeDeterministic(t *testing.T) {
+	r := &lcg{s: 11}
+	whole := NewDigest(0)
+	parts := []*Digest{NewDigest(0), NewDigest(0), NewDigest(0)}
+	for i := 0; i < 3000; i++ {
+		x := 1 + 100*r.next()
+		whole.Add(x)
+		parts[i%3].Add(x)
+	}
+	merged := NewDigest(0)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("merged n %d, want %d", merged.N(), whole.N())
+	}
+	// Merge is mathematically exact but floats are not associative; the
+	// means agree to machine precision, not bit-for-bit.
+	if math.Abs(merged.Mean()-whole.Mean()) > 1e-12*math.Abs(whole.Mean()) {
+		t.Fatalf("merged mean %v, want %v", merged.Mean(), whole.Mean())
+	}
+	if merged.Quantile(0.99) != whole.Quantile(0.99) {
+		t.Errorf("merged p99 %v != combined %v", merged.Quantile(0.99), whole.Quantile(0.99))
+	}
+}

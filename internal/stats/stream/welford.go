@@ -1,0 +1,126 @@
+// Package stream holds the bounded-memory streaming estimators behind the
+// open-system statistics: Welford mean/variance accumulators with parallel
+// merge, a deterministic relative-error quantile sketch, fixed-budget
+// windowed time series, and the Digest that bundles them. The package is a
+// leaf — it imports nothing from the simulator — so core, metrics and stats
+// can all depend on it without cycles.
+package stream
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accumulator computes streaming mean and variance (Welford's algorithm),
+// numerically stable for long runs. The zero value is ready to use; memory
+// is O(1) regardless of how many observations fold in.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation in.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// Merge folds another accumulator in, as if every observation b saw had
+// been Added here (Chan et al.'s parallel update). Merging in a fixed
+// order gives identical results for any partitioning, which is what lets
+// replications stream independently and still report deterministically.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	na, nb := float64(a.n), float64(b.n)
+	n := na + nb
+	delta := b.mean - a.mean
+	a.mean += delta * nb / n
+	a.m2 += b.m2 + delta*delta*na*nb/n
+	a.n += b.n
+}
+
+// N reports the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean reports the sample mean (0 with no observations).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance reports the unbiased sample variance (0 with fewer than two
+// observations).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev is the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min and Max report the observed extremes (0 with no observations).
+func (a *Accumulator) Min() float64 { return a.min }
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Summary is a frozen view of an accumulator.
+type Summary struct {
+	N              int
+	Mean, StdDev   float64
+	Min, Max       float64
+	CI95Lo, CI95Hi float64
+}
+
+// Summarize freezes the accumulator, attaching a normal-approximation 95%
+// confidence interval for the mean (adequate for the replication counts
+// used here; exact t quantiles are overkill for a simulator harness).
+func (a *Accumulator) Summarize() Summary {
+	s := Summary{N: a.n, Mean: a.mean, StdDev: a.StdDev(), Min: a.min, Max: a.max}
+	if a.n > 1 {
+		half := 1.96 * s.StdDev / math.Sqrt(float64(a.n))
+		s.CI95Lo, s.CI95Hi = s.Mean-half, s.Mean+half
+	} else {
+		s.CI95Lo, s.CI95Hi = s.Mean, s.Mean
+	}
+	return s
+}
+
+// String renders "mean ± half-width (n=N)".
+func (s Summary) String() string {
+	half := (s.CI95Hi - s.CI95Lo) / 2
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, half, s.N)
+}
+
+// RelativeCI is the CI half-width as a fraction of the mean — a quick
+// "is this converged?" signal.
+func (s Summary) RelativeCI() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return (s.CI95Hi - s.CI95Lo) / 2 / math.Abs(s.Mean)
+}

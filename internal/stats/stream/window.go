@@ -1,0 +1,88 @@
+package stream
+
+// Windowed is a fixed-budget time series: observations land in equal-width
+// windows starting at t = 0, and when an observation arrives beyond the
+// last window the whole series pair-merges — adjacent windows combine and
+// the width doubles — so memory stays at most maxWindows buckets no matter
+// how long the run gets. The trade is resolution for boundedness: a 10M-job
+// run keeps the same number of points as a 10k-job run, just coarser.
+type Windowed struct {
+	width      int64 // current window width in caller ticks (> 0)
+	maxWindows int
+	sum        []float64
+	count      []int64
+}
+
+// DefaultMaxWindows is the series budget open-system runs use: enough for
+// a useful sparkline or plot, small enough to be irrelevant to memory.
+const DefaultMaxWindows = 512
+
+// NewWindowed returns a series with the given initial window width (in
+// whatever tick unit the caller observes in; must be > 0) and window
+// budget (≥ 2; 0 selects DefaultMaxWindows).
+func NewWindowed(width int64, maxWindows int) *Windowed {
+	if width <= 0 {
+		width = 1
+	}
+	if maxWindows == 0 {
+		maxWindows = DefaultMaxWindows
+	}
+	if maxWindows < 2 {
+		maxWindows = 2
+	}
+	return &Windowed{width: width, maxWindows: maxWindows}
+}
+
+// Add folds observation v at tick t (t < 0 clamps to 0) into its window,
+// doubling the width as needed to keep the index within budget.
+func (w *Windowed) Add(t int64, v float64) {
+	if t < 0 {
+		t = 0
+	}
+	idx := t / w.width
+	for idx >= int64(w.maxWindows) {
+		w.halve()
+		idx = t / w.width
+	}
+	for int64(len(w.sum)) <= idx {
+		w.sum = append(w.sum, 0)
+		w.count = append(w.count, 0)
+	}
+	w.sum[idx] += v
+	w.count[idx]++
+}
+
+// halve pair-merges adjacent windows and doubles the width.
+func (w *Windowed) halve() {
+	n := (len(w.sum) + 1) / 2
+	for i := 0; i < n; i++ {
+		lo := 2 * i
+		hi := lo + 1
+		s, c := w.sum[lo], w.count[lo]
+		if hi < len(w.sum) {
+			s += w.sum[hi]
+			c += w.count[hi]
+		}
+		w.sum[i], w.count[i] = s, c
+	}
+	w.sum = w.sum[:n]
+	w.count = w.count[:n]
+	w.width *= 2
+}
+
+// Width reports the current window width in caller ticks.
+func (w *Windowed) Width() int64 { return w.width }
+
+// Len reports the number of populated windows.
+func (w *Windowed) Len() int { return len(w.sum) }
+
+// Window reports window i's end tick, observation count, and mean value
+// (0 for an empty window).
+func (w *Windowed) Window(i int) (end int64, count int64, mean float64) {
+	end = int64(i+1) * w.width
+	count = w.count[i]
+	if count > 0 {
+		mean = w.sum[i] / float64(count)
+	}
+	return end, count, mean
+}

@@ -73,12 +73,19 @@ type Job struct {
 	// runs first; equal priorities keep FCFS order. The paper's
 	// experiments use equal priorities.
 	Priority int
+	// Width pins the process count regardless of architecture (0 = decide
+	// by Arch, as the paper's workload does). Open-system arrival specs
+	// use it to mix job widths within one stream.
+	Width int
 }
 
 // Procs returns the process count the job will run with on a partition of
 // the given size: the partition size under the adaptive architecture,
 // FixedProcs under the fixed one.
 func (j *Job) Procs(partitionSize int) int {
+	if j.Width > 0 {
+		return j.Width
+	}
 	if j.Arch == Adaptive {
 		return partitionSize
 	}

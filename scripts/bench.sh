@@ -4,18 +4,22 @@
 # none exists) — the ledger is appended by machine, not hand-edited.
 #
 # Usage (from the repo root, or `make bench-ledger`):
-#   ./scripts/bench.sh [kernel|fork|all]     default: all
+#   ./scripts/bench.sh [kernel|fork|arrivals|all]     default: all
 #
-# kernel  sim/comm micro-benchmarks (event churn, timer cancel storm,
-#         event throughput, 16-node all-to-all); window BENCHTIME (1s).
-# fork    BenchmarkSweepForked: warm-state forking vs the cold reference
-#         on the shared-prefix 32-point sweep; fixed iteration count
-#         FORK_BENCHTIME (5x) so cold and warm see identical plans.
+# kernel    sim/comm micro-benchmarks (event churn, timer cancel storm,
+#           event throughput, 16-node all-to-all); window BENCHTIME (1s).
+# fork      BenchmarkSweepForked: warm-state forking vs the cold reference
+#           on the shared-prefix 32-point sweep; fixed iteration count
+#           FORK_BENCHTIME (5x) so cold and warm see identical plans.
+# arrivals  BenchmarkArrivalThroughput: open-system streaming jobs/sec on
+#           the flat-memory gate configuration; fixed iteration count
+#           ARRIVAL_BENCHTIME (3x).
 set -eu
 
 MODE="${1:-all}"
 BENCHTIME="${BENCHTIME:-1s}"
 FORK_BENCHTIME="${FORK_BENCHTIME:-5x}"
+ARRIVAL_BENCHTIME="${ARRIVAL_BENCHTIME:-3x}"
 DATE=$(date +%Y-%m-%d)
 
 # Append to the newest existing ledger file so one file accumulates the
@@ -107,15 +111,55 @@ EOF
 	echo "appended sweep-forked entry to $OUT"
 }
 
+run_arrivals() {
+	RAW=$(go test -run '^$' -bench 'BenchmarkArrivalThroughput' -benchmem -benchtime "$ARRIVAL_BENCHTIME" .)
+	printf '%s\n' "$RAW"
+	CPU=$(printf '%s\n' "$RAW" | sed -n 's/^cpu: //p')
+
+	# The benchmark line carries ns/op plus the custom jobs/sec metric and
+	# -benchmem's B/op and allocs/op; pick each value by its unit.
+	LINE=$(printf '%s\n' "$RAW" | awk '/^BenchmarkArrivalThroughput/ {print; exit}')
+	NSOP=$(printf '%s\n' "$LINE" | awk '{for (i=1;i<NF;i++) if ($(i+1)=="ns/op") print $i}')
+	JPS=$(printf '%s\n' "$LINE" | awk '{for (i=1;i<NF;i++) if ($(i+1)=="jobs/sec") print $i}')
+	BOP=$(printf '%s\n' "$LINE" | awk '{for (i=1;i<NF;i++) if ($(i+1)=="B/op") print $i}')
+	AOP=$(printf '%s\n' "$LINE" | awk '{for (i=1;i<NF;i++) if ($(i+1)=="allocs/op") print $i}')
+	if [ -z "$JPS" ]; then
+		echo "bench.sh: BenchmarkArrivalThroughput produced no jobs/sec metric" >&2
+		exit 1
+	fi
+	echo "arrival throughput: ${JPS} jobs/sec"
+
+	ENTRY=$(cat <<EOF
+  {
+    "date": "${DATE}",
+    "benchmark": "arrival-throughput",
+    "description": "BenchmarkArrivalThroughput: open-system Poisson stream of 20k jobs on the flat-memory gate configuration (static policy, single-node partitions, rho=0.5); jobs/sec is simulated jobs per wall-clock second; benchtime ${ARRIVAL_BENCHTIME}",
+    "host": {"goos": "${GOOS}", "goarch": "${GOARCH}", "cpu": "${CPU}", "cores": ${CORES}},
+    "results": {
+      "ns_per_op": ${NSOP},
+      "jobs_per_sec": ${JPS},
+      "b_per_op": ${BOP},
+      "allocs_per_op": ${AOP}
+    },
+    "note": "Flat memory at 1M jobs is asserted by make open-gate (TestOpenGateFlatMemory under -race); the sketch's quantile error bound by TestOpenGateSketchAccuracy."
+  }
+EOF
+)
+	append_entry "$ENTRY"
+	echo "appended arrival-throughput entry to $OUT"
+}
+
 case "$MODE" in
 kernel) run_kernel ;;
 fork) run_fork ;;
+arrivals) run_arrivals ;;
 all)
 	run_kernel
 	run_fork
+	run_arrivals
 	;;
 *)
-	echo "usage: scripts/bench.sh [kernel|fork|all]" >&2
+	echo "usage: scripts/bench.sh [kernel|fork|arrivals|all]" >&2
 	exit 2
 	;;
 esac

@@ -61,6 +61,15 @@ SCHEDD_CHAOS=1 go test -race -run 'Chaos' -count=1 -timeout 300s ./internal/chao
 # are renamed or skipped.
 go test -race -run 'Fork|SnapshotRoundTrip' -count=1 -timeout 300s ./internal/core ./internal/engine ./internal/serve ./internal/cluster
 
+# Open gate: the open-system streaming contract under the race detector —
+# a 1M-job Poisson run must hold peak live heap flat relative to a 100k
+# reference (no per-job retention), repeat runs must be bit-identical, and
+# the quantile sketch must sit within its documented ε of exact sorted
+# quantiles on a 100k reference stream. The integration tests fork the
+# heavy runs only when OPEN_GATE=1; wall clock is bounded by -timeout
+# (the 1M run takes ~2 minutes under -race).
+OPEN_GATE=1 go test -race -run 'OpenGate' -count=1 -timeout 600s ./internal/integration ./internal/stats
+
 # Benchmark smoke: one iteration of the cheapest figure plus the parallel
 # sweep benchmark, just to prove the harness still runs. Full benchmarks
 # are a manual `make bench` / `make sweep-bench`.
