@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-ledger sweep-bench determinism policy-gate serve-gate cluster-gate chaos-gate fork-gate open-gate schedd figures fault ci fmt
+.PHONY: all build vet test race bench bench-smoke bench-ledger perf-gate sweep-bench determinism policy-gate serve-gate cluster-gate chaos-gate fork-gate open-gate schedd figures fault ci fmt
 
 all: build
 
@@ -29,9 +29,19 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkNetworkAllToAll' -benchmem -benchtime 1x .
 
-# Full-precision kernel benchmarks, appended as a dated BENCH_*.json entry.
+# Every perfgate case (all groups), appended as dated BENCH_*.json entries.
 bench-ledger:
 	./scripts/bench.sh
+
+# Performance gate: run the declarative workload cases under perf/cases/
+# (warmup + trials, medians, noise bands), enforce each case's goals for
+# this host's machine class, compare against the newest ledger baseline for
+# the same case + class, and append structured entries to BENCH_<today>.json.
+# Exit is nonzero on a missed goal or a regression past the tolerance band.
+# Goals declared for other machine classes are advisory (a 1-core CI host
+# cannot attest a >=2x parallel speedup). CI runs this when PERF_GATE=1.
+perf-gate:
+	$(GO) run ./cmd/perfgate
 
 sweep-bench:
 	$(GO) test -run '^$$' -bench BenchmarkSweepParallel .

@@ -15,16 +15,12 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
-	"time"
 
-	"repro/internal/arrival"
-	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
-	"repro/internal/machine"
+	"repro/internal/perfgate/workloads"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -166,40 +162,19 @@ func BenchmarkSingleRunPureTS(b *testing.B) {
 	}
 }
 
-// sweepBenchPlan builds the fixed 32-point plan behind
-// BenchmarkSweepParallel: partitions {2,4,8,16} × topologies {linear,mesh}
-// × seeds 0..3, hybrid matmul adaptive — a representative mid-size sweep.
-func sweepBenchPlan() *engine.Plan[float64] {
-	g := engine.Grid{
-		Base:       core.Config{Policy: sched.TimeShared, App: core.MatMul, Arch: workload.Adaptive},
-		Partitions: []int{2, 4, 8, 16},
-		Topologies: []topology.Kind{topology.Linear, topology.Mesh},
-		Seeds:      []int64{0, 1, 2, 3},
-	}
-	plan := engine.NewPlan[float64]("bench-sweep")
-	g.Enumerate(func(d engine.Dims, cfg core.Config) {
-		plan.Add(fmt.Sprintf("%d%s/s%d", d.Partition, d.Topology.Letter(), d.Seed), func() (float64, error) {
-			res, err := core.Run(cfg)
-			if err != nil {
-				return 0, err
-			}
-			return res.MeanResponse().Seconds(), nil
-		})
-	})
-	return plan
-}
-
 // BenchmarkSweepParallel measures engine.Execute over the fixed 32-point
-// plan at 1, 2 and NumCPU workers; the ns/op ratio between the sub-benches
-// is the sweep-level parallel speedup. The summed mean response is reported
-// as a custom metric so a determinism regression shows up as a metric
-// change between worker counts.
+// plan (workloads.SweepBenchPlan) at 1, 2 and NumCPU workers; the ns/op
+// ratio between the sub-benches is the sweep-level parallel speedup. The
+// summed mean response is reported as a custom metric so a determinism
+// regression shows up as a metric change between worker counts. The
+// perfgate sweep-scaling case measures the same plan and enforces the
+// speedup goal per machine class.
 func BenchmarkSweepParallel(b *testing.B) {
 	for _, w := range []int{1, 2, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			var sum float64
 			for i := 0; i < b.N; i++ {
-				results, err := engine.Execute(sweepBenchPlan(), engine.Options{Workers: w})
+				results, err := engine.Execute(workloads.SweepBenchPlan(), engine.Options{Workers: w})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -213,46 +188,16 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 }
 
-// forkedSweepGrid builds the fixed 32-point shared-prefix plan behind
-// BenchmarkSweepForked: one fork group — a heavy 32-job warm-up wave every
-// point shares, plus 4 light late arrivals — diverging innermost over
-// quanta {hw,10..70ms} × seeds 0..3. The fork point is the quiescent
-// instant after the wave drains, so the warm path simulates the expensive
-// prefix once instead of 32 times.
-func forkedSweepGrid() (engine.Grid, core.ForkPoint) {
-	cost := workload.DefaultAppCost()
-	batch := make(workload.Batch, 0, 16)
-	for i := 0; i < 32; i++ {
-		batch = append(batch, &workload.Job{
-			ID: i, Class: "big", Arch: workload.Adaptive,
-			App: workload.NewSynthetic(400*sim.Millisecond, 512, 2048, cost),
-		})
-	}
-	for i := 0; i < 4; i++ {
-		batch = append(batch, &workload.Job{
-			ID: 32 + i, Class: "small", Arch: workload.Adaptive, Arrival: 20 * sim.Second,
-			App: workload.NewSynthetic(5*sim.Millisecond, 256, 1024, cost),
-		})
-	}
-	g := engine.Grid{
-		Base:       core.Config{Topology: topology.Mesh, Policy: sched.TimeShared, Batch: batch},
-		Partitions: []int{4},
-		Quanta: []sim.Time{0, 10 * sim.Millisecond, 20 * sim.Millisecond, 30 * sim.Millisecond,
-			40 * sim.Millisecond, 50 * sim.Millisecond, 60 * sim.Millisecond, 70 * sim.Millisecond},
-		Seeds: []int64{0, 1, 2, 3},
-	}
-	return g, core.ForkPoint{WarmJobs: 32}
-}
-
 // BenchmarkSweepForked measures warm-state forking against the cold
-// reference on the shared-prefix 32-point plan. The cold sub-bench runs
-// every point as core.RunForked (full prefix + continuation per point);
-// the warm sub-bench prepares the donor once per sweep and resumes the
-// snapshot per point. The ns/op ratio cold/warm is the sweep-level
-// speedup recorded in the BENCH_*.json ledger by scripts/bench.sh. Both
-// paths are byte-identical by the fork-gate contract (make fork-gate).
+// reference on the shared-prefix 32-point plan (workloads.ForkedSweepGrid).
+// The cold sub-bench runs every point as core.RunForked (full prefix +
+// continuation per point); the warm sub-bench prepares the donor once per
+// sweep and resumes the snapshot per point. The ns/op ratio cold/warm is
+// the sweep-level speedup the perfgate sweep-forked case enforces (floor
+// 5x). Both paths are byte-identical by the fork-gate contract (make
+// fork-gate).
 func BenchmarkSweepForked(b *testing.B) {
-	g, fp := forkedSweepGrid()
+	g, fp := workloads.ForkedSweepGrid()
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			fs := engine.NewForkSweep(g, fp)
@@ -275,111 +220,28 @@ func BenchmarkSweepForked(b *testing.B) {
 	})
 }
 
+// The kernel hot-path benchmarks delegate to internal/perfgate/workloads so
+// `go test -bench` and the perfgate cases under perf/cases/ measure the
+// exact same bodies — a number printed here is the number the gate
+// enforces.
+
 // BenchmarkKernelEventThroughput isolates the event-queue engine.
-func BenchmarkKernelEventThroughput(b *testing.B) {
-	k := sim.NewKernel(1)
-	count := 0
-	var reschedule func()
-	reschedule = func() {
-		count++
-		if count < b.N {
-			k.After(sim.Time(count%97+1), reschedule)
-		}
-	}
-	b.ResetTimer()
-	k.After(1, reschedule)
-	k.Run()
-}
+func BenchmarkKernelEventThroughput(b *testing.B) { workloads.KernelEventThroughput(workloads.TB(b)) }
 
 // BenchmarkKernelEventChurn drives 64 interleaved self-rescheduling event
 // chains — the schedule/fire pattern that dominates simulation runs — and
 // reports allocs/op, the event pool's headline number.
-func BenchmarkKernelEventChurn(b *testing.B) {
-	b.ReportAllocs()
-	k := sim.NewKernel(1)
-	remaining := b.N
-	var fire func()
-	fire = func() {
-		if remaining > 0 {
-			remaining--
-			k.After(sim.Time(remaining%127+1), fire)
-		}
-	}
-	b.ResetTimer()
-	for i := 0; i < 64 && i < b.N; i++ {
-		k.After(sim.Time(i+1), fire)
-	}
-	k.Run()
-}
+func BenchmarkKernelEventChurn(b *testing.B) { workloads.KernelEventChurn(workloads.TB(b)) }
 
 // BenchmarkKernelTimerCancelStorm schedules batches of timers and cancels
 // three quarters of them before they fire — the slice-expiry/retry-timer
 // pattern where most armed timers never run.
-func BenchmarkKernelTimerCancelStorm(b *testing.B) {
-	b.ReportAllocs()
-	k := sim.NewKernel(1)
-	const batch = 256
-	fired := 0
-	for i := 0; i < b.N; i++ {
-		want := fired + batch/4
-		for j := 0; j < batch; j++ {
-			tm := k.After(sim.Time(j%61+1), func() { fired++ })
-			if j%4 != 0 {
-				tm.Stop()
-			}
-		}
-		k.Run()
-		if fired != want {
-			b.Fatalf("fired %d of batch, want %d", fired, want)
-		}
-	}
-}
+func BenchmarkKernelTimerCancelStorm(b *testing.B) { workloads.TimerCancelStorm(workloads.TB(b)) }
 
 // BenchmarkNetworkAllToAll16 runs a 16-node mesh all-to-all exchange — the
 // message pattern that stresses the store-and-forward router hot path
 // (enqueue routing, link hand-off, per-hop timers).
-func BenchmarkNetworkAllToAll16(b *testing.B) {
-	b.ReportAllocs()
-	const n = 16
-	for i := 0; i < b.N; i++ {
-		k := sim.NewKernel(1)
-		mach := machine.NewMachine(k, n, 4<<20, machine.DefaultCostModel())
-		ids := make([]int, n)
-		for j := range ids {
-			ids[j] = j
-		}
-		net := comm.MustNewNetwork(mach, ids, topology.MustBuild(topology.Mesh, n), comm.StoreForward)
-		boxes := make([]*comm.Mailbox, n)
-		for j := 0; j < n; j++ {
-			boxes[j] = net.NewMailbox(j)
-		}
-		for j := 0; j < n; j++ {
-			j := j
-			k.Spawn(fmt.Sprintf("rank%d", j), func(p *sim.Proc) {
-				task := net.NodeOf(j).CPU.NewTask(fmt.Sprintf("rank%d", j), machine.PriLow)
-				for d := 0; d < n; d++ {
-					if d == j {
-						continue
-					}
-					net.Send(p, task, &comm.Message{
-						Src: comm.Addr{Node: j}, Dst: comm.Addr{Node: d},
-						Bytes: 256, Tag: "a2a",
-					})
-				}
-				for r := 0; r < n-1; r++ {
-					m := net.Recv(p, task, boxes[j])
-					net.Release(m)
-				}
-			})
-		}
-		k.Run()
-		stats := net.Stats()
-		if stats.MessagesDelivered != n*(n-1) {
-			b.Fatalf("delivered %d messages, want %d", stats.MessagesDelivered, n*(n-1))
-		}
-		k.Shutdown()
-	}
-}
+func BenchmarkNetworkAllToAll16(b *testing.B) { workloads.AllToAll16(workloads.TB(b)) }
 
 // BenchmarkOpenLoadSweep regenerates E6 and reports the heavy-load cell.
 func BenchmarkOpenLoadSweep(b *testing.B) {
@@ -399,39 +261,12 @@ func BenchmarkOpenLoadSweep(b *testing.B) {
 // BenchmarkArrivalThroughput measures the open-system streaming path on the
 // cheapest representative configuration (static space-sharing, single-node
 // partitions, Poisson arrivals at ρ=0.5 — the make open-gate shape) and
-// reports simulated jobs per wall-clock second, the headline number for
-// the millions-of-jobs goal. Memory stays flat by design; allocs/op is the
-// tripwire for per-job retention creeping back in.
-func BenchmarkArrivalThroughput(b *testing.B) {
-	b.ReportAllocs()
-	const jobs = 20000
-	cfg := core.Config{
-		PartitionSize: 1,
-		Topology:      topology.Mesh,
-		Policy:        sched.Static,
-		Arch:          workload.Adaptive,
-		Arrival: arrival.Spec{
-			Kind: arrival.Poisson,
-			Jobs: jobs,
-			Load: 0.5,
-		},
-	}
-	var elapsed time.Duration
-	for i := 0; i < b.N; i++ {
-		start := time.Now()
-		res, err := core.Run(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		elapsed += time.Since(start)
-		if res.Open == nil || res.Open.Jobs != jobs {
-			b.Fatalf("open summary missing or short: %+v", res.Open)
-		}
-	}
-	if s := elapsed.Seconds(); s > 0 {
-		b.ReportMetric(float64(jobs)*float64(b.N)/s, "jobs/sec")
-	}
-}
+// reports simulated jobs per wall-clock second ("jobs_per_sec"), the
+// headline number for the millions-of-jobs goal. Memory stays flat by
+// design; allocs/op is the tripwire for per-job retention creeping back
+// in. The body lives in internal/perfgate/workloads so the perfgate
+// arrival-throughput case enforces the same measurement.
+func BenchmarkArrivalThroughput(b *testing.B) { workloads.ArrivalThroughput(workloads.TB(b)) }
 
 // BenchmarkGangVsRRJob regenerates E7 and reports the stencil advantage.
 func BenchmarkGangVsRRJob(b *testing.B) {

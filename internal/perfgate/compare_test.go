@@ -1,0 +1,150 @@
+package perfgate
+
+import (
+	"math"
+	"testing"
+)
+
+// testRun builds a minimal CaseRun for comparator tests.
+func testRun(tolerancePct, noisePct float64, median Measurement) *CaseRun {
+	c := &Case{Name: "synthetic", Workload: "synthetic", TolerancePct: tolerancePct}
+	return &CaseRun{Case: c, Class: ClassCI1Core, Median: median, NoisePct: noisePct}
+}
+
+// testBaseline builds a perfgate ledger entry usable as a baseline.
+func testBaseline(noisePct float64, results map[string]float64) *Entry {
+	res := map[string]any{}
+	for k, v := range results {
+		res[k] = v
+	}
+	return &Entry{
+		Date: "2026-08-01", Benchmark: "perfgate", Case: "synthetic",
+		MachineClass: string(ClassCI1Core), NoisePct: noisePct, Results: res,
+	}
+}
+
+func TestCompareNoBaseline(t *testing.T) {
+	cmp := Compare(testRun(20, 0, Measurement{"ns_per_op": 100}), nil)
+	if cmp.Verdict != VerdictNoBaseline {
+		t.Fatalf("verdict %q, want %q", cmp.Verdict, VerdictNoBaseline)
+	}
+	if len(cmp.Deltas) != 0 {
+		t.Fatalf("no-baseline comparison produced deltas: %v", cmp.Deltas)
+	}
+}
+
+func TestCompareWithinNoise(t *testing.T) {
+	run := testRun(20, 0, Measurement{"ns_per_op": 110})
+	cmp := Compare(run, testBaseline(0, map[string]float64{"ns_per_op": 100}))
+	if cmp.Verdict != VerdictWithinNoise {
+		t.Fatalf("verdict %q, want %q (+10%% inside a 20%% band)", cmp.Verdict, VerdictWithinNoise)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	run := testRun(20, 0, Measurement{"ns_per_op": 130})
+	cmp := Compare(run, testBaseline(0, map[string]float64{"ns_per_op": 100}))
+	if cmp.Verdict != VerdictRegression {
+		t.Fatalf("verdict %q, want %q (+30%% past a 20%% band)", cmp.Verdict, VerdictRegression)
+	}
+	if len(cmp.Deltas) != 1 || cmp.Deltas[0].Verdict != VerdictRegression {
+		t.Fatalf("deltas %v, want one regression", cmp.Deltas)
+	}
+	if got := cmp.Deltas[0].DeltaPct; math.Abs(got-30) > 1e-9 {
+		t.Fatalf("delta %.2f%%, want +30%%", got)
+	}
+}
+
+func TestCompareImprovement(t *testing.T) {
+	run := testRun(20, 0, Measurement{"ns_per_op": 60})
+	cmp := Compare(run, testBaseline(0, map[string]float64{"ns_per_op": 100}))
+	if cmp.Verdict != VerdictImprovement {
+		t.Fatalf("verdict %q, want %q (-40%% past a 20%% band)", cmp.Verdict, VerdictImprovement)
+	}
+}
+
+// A regression on one metric outweighs an improvement on another.
+func TestCompareRegressionDominates(t *testing.T) {
+	run := testRun(20, 0, Measurement{"ns_per_op": 130, "allocs_per_op": 10})
+	cmp := Compare(run, testBaseline(0, map[string]float64{"ns_per_op": 100, "allocs_per_op": 100}))
+	if cmp.Verdict != VerdictRegression {
+		t.Fatalf("verdict %q, want %q", cmp.Verdict, VerdictRegression)
+	}
+}
+
+// Higher-is-better metrics regress downward: a speedup drop past the band
+// is a regression even though the number got smaller.
+func TestCompareDirectionHigherBetter(t *testing.T) {
+	run := testRun(20, 0, Measurement{"speedup": 4.0})
+	cmp := Compare(run, testBaseline(0, map[string]float64{"speedup": 6.0}))
+	if cmp.Verdict != VerdictRegression {
+		t.Fatalf("verdict %q, want %q (speedup 6 -> 4)", cmp.Verdict, VerdictRegression)
+	}
+
+	run = testRun(20, 0, Measurement{"jobs_per_sec": 80000})
+	cmp = Compare(run, testBaseline(0, map[string]float64{"jobs_per_sec": 50000}))
+	if cmp.Verdict != VerdictImprovement {
+		t.Fatalf("verdict %q, want %q (jobs_per_sec 50k -> 80k)", cmp.Verdict, VerdictImprovement)
+	}
+}
+
+// The band widens to the noisier of the two runs: a +30% delta is noise
+// when either side measured 35% trial spread.
+func TestCompareNoiseWidensBand(t *testing.T) {
+	base := testBaseline(0, map[string]float64{"ns_per_op": 100})
+	run := testRun(20, 35, Measurement{"ns_per_op": 130})
+	if cmp := Compare(run, base); cmp.Verdict != VerdictWithinNoise {
+		t.Fatalf("run noise 35%%: verdict %q, want %q", cmp.Verdict, VerdictWithinNoise)
+	}
+
+	noisyBase := testBaseline(35, map[string]float64{"ns_per_op": 100})
+	run = testRun(20, 0, Measurement{"ns_per_op": 130})
+	cmp := Compare(run, noisyBase)
+	if cmp.Verdict != VerdictWithinNoise {
+		t.Fatalf("baseline noise 35%%: verdict %q, want %q", cmp.Verdict, VerdictWithinNoise)
+	}
+	if cmp.ThresholdPct != 35 {
+		t.Fatalf("threshold %.1f%%, want 35%% (max of tolerance and noise)", cmp.ThresholdPct)
+	}
+}
+
+// A delta exactly at the threshold is not a regression; just past it is.
+func TestCompareToleranceEdge(t *testing.T) {
+	base := testBaseline(0, map[string]float64{"ns_per_op": 100})
+	if cmp := Compare(testRun(20, 0, Measurement{"ns_per_op": 120}), base); cmp.Verdict != VerdictWithinNoise {
+		t.Fatalf("exactly +20%%: verdict %q, want %q", cmp.Verdict, VerdictWithinNoise)
+	}
+	if cmp := Compare(testRun(20, 0, Measurement{"ns_per_op": 120.5}), base); cmp.Verdict != VerdictRegression {
+		t.Fatalf("+20.5%%: verdict %q, want %q", cmp.Verdict, VerdictRegression)
+	}
+}
+
+// A zero baseline (0 allocs/op) has no relative delta: staying at zero or
+// jittering under the absolute floor is noise, clearly leaving zero is an
+// infinite regression.
+func TestCompareZeroBaseline(t *testing.T) {
+	base := testBaseline(0, map[string]float64{"allocs_per_op": 0})
+	if cmp := Compare(testRun(20, 0, Measurement{"allocs_per_op": 0}), base); cmp.Verdict != VerdictWithinNoise {
+		t.Fatalf("0 -> 0: verdict %q, want %q", cmp.Verdict, VerdictWithinNoise)
+	}
+	if cmp := Compare(testRun(20, 0, Measurement{"allocs_per_op": 0.4}), base); cmp.Verdict != VerdictWithinNoise {
+		t.Fatalf("0 -> 0.4 (under the floor): verdict %q, want %q", cmp.Verdict, VerdictWithinNoise)
+	}
+	cmp := Compare(testRun(20, 0, Measurement{"allocs_per_op": 2}), base)
+	if cmp.Verdict != VerdictRegression {
+		t.Fatalf("0 -> 2: verdict %q, want %q", cmp.Verdict, VerdictRegression)
+	}
+	if !math.IsInf(cmp.Deltas[0].DeltaPct, 1) {
+		t.Fatalf("zero-baseline regression delta %v, want +Inf", cmp.Deltas[0].DeltaPct)
+	}
+}
+
+// Context metrics (workers) and metrics absent from the baseline are
+// recorded but never compared.
+func TestCompareSkipsContextAndUnsharedMetrics(t *testing.T) {
+	run := testRun(20, 0, Measurement{"ns_per_op": 100, "workers": 8, "p95_ms": 3})
+	cmp := Compare(run, testBaseline(0, map[string]float64{"ns_per_op": 100, "workers": 1}))
+	if len(cmp.Deltas) != 1 || cmp.Deltas[0].Metric != "ns_per_op" {
+		t.Fatalf("deltas %v, want ns_per_op only (workers is context, p95_ms unshared)", cmp.Deltas)
+	}
+}

@@ -1,0 +1,254 @@
+package perfgate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Entry is one BENCH_*.json ledger record. The hand-written entries use
+// the date/benchmark/description/host/results/note subset; perfgate
+// appends the structured superset (case, machine_class, trials, noise
+// band, baseline comparison, goal outcomes). Results stays a loose map
+// because legacy entries nest before/after objects under it.
+type Entry struct {
+	Date         string         `json:"date"`
+	Benchmark    string         `json:"benchmark"`
+	Case         string         `json:"case,omitempty"`
+	MachineClass string         `json:"machine_class,omitempty"`
+	Description  string         `json:"description,omitempty"`
+	Host         Host           `json:"host"`
+	Iters        int            `json:"iters,omitempty"`
+	Trials       int            `json:"trials,omitempty"`
+	NoisePct     float64        `json:"noise_pct,omitempty"`
+	Results      map[string]any `json:"results"`
+	Baseline     map[string]any `json:"baseline,omitempty"`
+	Goals        []string       `json:"goals,omitempty"`
+	Status       string         `json:"status,omitempty"`
+	Verdict      string         `json:"verdict,omitempty"`
+	Note         string         `json:"note,omitempty"`
+}
+
+// Metrics extracts the flat numeric results of an entry (nested legacy
+// before/after objects are skipped — they are history, not baselines).
+func (e *Entry) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for k, v := range e.Results {
+		if f, ok := v.(float64); ok {
+			m[k] = f
+		}
+	}
+	return m
+}
+
+// LedgerFiles lists the BENCH_*.json files under dir in lexicographic
+// order — which, with BENCH_YYYY-MM-DD.json names, is date order. File
+// mtime is deliberately not consulted: a git checkout resets mtimes and
+// must not change which ledger a run appends to or reads baselines from.
+func LedgerFiles(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// LedgerFileFor names the ledger file a run dated date appends to:
+// BENCH_<date>.json, created when the newest existing ledger is from a
+// prior date. Earlier files are never appended to again, so a past
+// ledger's bytes are immutable once its date has passed.
+func LedgerFileFor(dir, date string) string {
+	return filepath.Join(dir, "BENCH_"+date+".json")
+}
+
+// ReadLedger reads every ledger entry under dir, oldest file first,
+// preserving in-file order; later entries are newer, so a baseline search
+// scans backwards.
+func ReadLedger(dir string) ([]Entry, error) {
+	paths, err := LedgerFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var es []Entry
+		if err := json.Unmarshal(data, &es); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		entries = append(entries, es...)
+	}
+	return entries, nil
+}
+
+// FindBaseline returns the newest perfgate entry for the same case and
+// machine class, or nil: numbers measured on a different machine class
+// are not baselines, they are a different experiment.
+func FindBaseline(entries []Entry, caseName string, class Class) *Entry {
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := &entries[i]
+		if e.Benchmark == "perfgate" && e.Case == caseName && e.MachineClass == string(class) {
+			return e
+		}
+	}
+	return nil
+}
+
+// AppendEntries appends entries to BENCH_<date>.json under dir, creating
+// the file when the newest ledger predates it. Existing records are
+// preserved byte-for-byte up to re-indentation; the write is atomic
+// (temp file + rename) so a crash mid-append cannot tear the ledger.
+func AppendEntries(dir, date string, entries []Entry) (string, error) {
+	path := LedgerFileFor(dir, date)
+	var raws []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &raws); err != nil {
+			return "", fmt.Errorf("%s: existing ledger unreadable: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return "", err
+	}
+	for _, e := range entries {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return "", err
+		}
+		raws = append(raws, raw)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("[\n")
+	for i, raw := range raws {
+		buf.WriteString("  ")
+		var one bytes.Buffer
+		if err := json.Indent(&one, raw, "  ", "  "); err != nil {
+			return "", err
+		}
+		buf.Write(one.Bytes())
+		if i < len(raws)-1 {
+			buf.WriteString(",")
+		}
+		buf.WriteString("\n")
+	}
+	buf.WriteString("]\n")
+	tmp, err := os.CreateTemp(dir, ".bench-*")
+	if err != nil {
+		return "", err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return path, nil
+}
+
+// EntryFor assembles the structured ledger record for a measured run and
+// its comparison against the baseline.
+func EntryFor(date string, run *CaseRun, cmp *RunComparison, checks []GoalCheck, enforced bool) Entry {
+	results := map[string]any{}
+	for k, v := range run.Median {
+		results[k] = jsonNumber(v)
+	}
+	e := Entry{
+		Date:         date,
+		Benchmark:    "perfgate",
+		Case:         run.Case.Name,
+		MachineClass: string(run.Class),
+		Description:  run.Case.Description,
+		Host:         run.Host,
+		Iters:        run.Iters,
+		Trials:       len(run.Trials),
+		NoisePct:     roundTo(run.NoisePct, 2),
+		Results:      results,
+		Status:       "pass",
+		Verdict:      string(cmp.Verdict),
+	}
+	if cmp.Baseline != nil {
+		base := map[string]any{"date": cmp.Baseline.Date}
+		for k, v := range cmp.Baseline.Metrics() {
+			base[k] = jsonNumber(v)
+		}
+		e.Baseline = base
+	}
+	for _, c := range checks {
+		tag := "ok"
+		switch {
+		case c.Missing || !c.OK:
+			tag = "fail"
+		}
+		if !enforced {
+			tag += " advisory"
+		}
+		e.Goals = append(e.Goals, fmt.Sprintf("%s [%s]", c, tag))
+	}
+	if cmp.Verdict == VerdictRegression || (enforced && failedChecks(checks) != nil) {
+		e.Status = "fail"
+	}
+	return e
+}
+
+// failedChecks filters the goal checks that missed.
+func failedChecks(checks []GoalCheck) []GoalCheck {
+	var out []GoalCheck
+	for _, c := range checks {
+		if c.Missing || !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// jsonNumber rounds a metric for the ledger: integers stay integral,
+// fractions keep two decimals — matching the hand-written entries' style.
+func jsonNumber(v float64) any {
+	if v == float64(int64(v)) {
+		return int64(v)
+	}
+	return roundTo(v, 2)
+}
+
+func roundTo(v float64, places int) float64 {
+	scale := 1.0
+	for i := 0; i < places; i++ {
+		scale *= 10
+	}
+	r := v * scale
+	if r >= 0 {
+		r += 0.5
+	} else {
+		r -= 0.5
+	}
+	return float64(int64(r)) / scale
+}
+
+// FormatEntryLine renders one human line for the runner's report.
+func FormatEntryLine(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s [%s]", strings.ToUpper(e.Status), e.Case, e.MachineClass)
+	keys := make([]string, 0, len(e.Results))
+	for k := range e.Results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%v", k, e.Results[k])
+	}
+	fmt.Fprintf(&b, " (%d trials x %d iters, noise %.1f%%) vs baseline: %s", e.Trials, e.Iters, e.NoisePct, e.Verdict)
+	return b.String()
+}

@@ -1,0 +1,188 @@
+package perfgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeLedger(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const legacyEntry = `[
+  {
+    "date": "2026-01-01",
+    "benchmark": "kernel-hot-path",
+    "host": {"goos": "linux", "goarch": "amd64", "cpu": "test", "cores": 1},
+    "results": {"BenchmarkKernelEventChurn": {"ns_per_op": 44.3, "b_per_op": 0, "allocs_per_op": 0}}
+  }
+]
+`
+
+// LedgerFiles orders by filename, which for BENCH_YYYY-MM-DD.json is date
+// order regardless of file mtimes (a git checkout scrambles mtimes).
+func TestLedgerFilesLexicographic(t *testing.T) {
+	dir := t.TempDir()
+	writeLedger(t, dir, "BENCH_2026-02-01.json", "[]")
+	writeLedger(t, dir, "BENCH_2025-12-31.json", "[]")
+	writeLedger(t, dir, "BENCH_2026-01-15.json", "[]")
+	// Touch the oldest-dated file last so mtime order disagrees with
+	// date order.
+	now := time.Now()
+	if err := os.Chtimes(filepath.Join(dir, "BENCH_2025-12-31.json"), now, now); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := LedgerFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, p := range paths {
+		names = append(names, filepath.Base(p))
+	}
+	want := []string{"BENCH_2025-12-31.json", "BENCH_2026-01-15.json", "BENCH_2026-02-01.json"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("order %v, want %v", names, want)
+	}
+}
+
+// AppendEntries targets BENCH_<date>.json: a run dated after the newest
+// ledger starts a new file and leaves the old one byte-identical.
+func TestAppendEntriesStartsDatedFile(t *testing.T) {
+	dir := t.TempDir()
+	writeLedger(t, dir, "BENCH_2026-01-01.json", legacyEntry)
+	before, err := os.ReadFile(filepath.Join(dir, "BENCH_2026-01-01.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entry := sampleEntry("2026-01-02", "kernel-churn", 40)
+	path, err := AppendEntries(dir, "2026-01-02", []Entry{entry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_2026-01-02.json" {
+		t.Fatalf("appended to %s, want BENCH_2026-01-02.json", path)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "BENCH_2026-01-01.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("append to a new dated file modified the prior ledger")
+	}
+	if err := ValidateLedgerDir(dir); err != nil {
+		t.Fatalf("appended ledger does not validate: %v", err)
+	}
+}
+
+// Appending to an existing dated file preserves the records already in it.
+func TestAppendEntriesPreservesExisting(t *testing.T) {
+	dir := t.TempDir()
+	writeLedger(t, dir, "BENCH_2026-01-02.json", legacyEntry)
+	if _, err := AppendEntries(dir, "2026-01-02", []Entry{sampleEntry("2026-01-02", "kernel-churn", 40)}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadLedger(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d entries after append, want 2 (legacy preserved + new)", len(entries))
+	}
+	if entries[0].Benchmark != "kernel-hot-path" || entries[1].Benchmark != "perfgate" {
+		t.Fatalf("entry order %q, %q; want legacy first", entries[0].Benchmark, entries[1].Benchmark)
+	}
+	if err := ValidateLedgerDir(dir); err != nil {
+		t.Fatalf("appended ledger does not validate: %v", err)
+	}
+}
+
+// FindBaseline returns the newest perfgate entry for the same case and
+// class, skipping other cases, other classes, and legacy entries.
+func TestFindBaseline(t *testing.T) {
+	entries := []Entry{
+		{Benchmark: "kernel-hot-path", Date: "2026-01-01"}, // legacy: never a baseline
+		sampleEntry("2026-01-02", "kernel-churn", 50),
+		sampleEntry("2026-01-03", "timer-cancel-storm", 100), // other case
+		sampleEntry("2026-01-04", "kernel-churn", 45),
+	}
+	other := sampleEntry("2026-01-05", "kernel-churn", 30)
+	other.MachineClass = string(ClassTypical)
+	entries = append(entries, other)
+
+	got := FindBaseline(entries, "kernel-churn", ClassCI1Core)
+	if got == nil {
+		t.Fatal("no baseline found")
+	}
+	if got.Date != "2026-01-04" {
+		t.Fatalf("baseline dated %s, want 2026-01-04 (newest same-case same-class)", got.Date)
+	}
+	if FindBaseline(entries, "kernel-churn", ClassTypical).Date != "2026-01-05" {
+		t.Fatal("typical-class baseline not found")
+	}
+	if FindBaseline(entries, "all-to-all-16", ClassCI1Core) != nil {
+		t.Fatal("found a baseline for a case with no entries")
+	}
+}
+
+// EntryFor: status is fail exactly when the comparison regressed or an
+// enforced goal missed; advisory goal misses stay pass.
+func TestEntryForStatus(t *testing.T) {
+	run := testRun(20, 0, Measurement{"ns_per_op": 100})
+	run.Class = ClassCI1Core
+	pass := GoalCheck{Goal: "max_ns_per_op", Metric: "ns_per_op", Limit: 150, Value: 100, OK: true}
+	miss := GoalCheck{Goal: "max_ns_per_op", Metric: "ns_per_op", Limit: 50, Value: 100, OK: false}
+
+	cases := []struct {
+		name     string
+		cmp      *RunComparison
+		checks   []GoalCheck
+		enforced bool
+		want     string
+	}{
+		{"clean", &RunComparison{Verdict: VerdictNoBaseline}, []GoalCheck{pass}, true, "pass"},
+		{"enforced miss", &RunComparison{Verdict: VerdictNoBaseline}, []GoalCheck{miss}, true, "fail"},
+		{"advisory miss", &RunComparison{Verdict: VerdictNoBaseline}, []GoalCheck{miss}, false, "pass"},
+		{"regression", &RunComparison{Verdict: VerdictRegression}, nil, false, "fail"},
+		{"improvement", &RunComparison{Verdict: VerdictImprovement}, nil, true, "pass"},
+	}
+	for _, tc := range cases {
+		e := EntryFor("2026-01-02", run, tc.cmp, tc.checks, tc.enforced)
+		if e.Status != tc.want {
+			t.Errorf("%s: status %q, want %q", tc.name, e.Status, tc.want)
+		}
+	}
+}
+
+// The baseline block carries the compared entry's date and flat metrics so
+// a ledger reader can reproduce the comparison.
+func TestEntryForBaselineBlock(t *testing.T) {
+	run := testRun(20, 0, Measurement{"ns_per_op": 90})
+	run.Class = ClassCI1Core
+	base := sampleEntry("2026-01-01", "synthetic", 100)
+	cmp := Compare(run, &base)
+	e := EntryFor("2026-01-02", run, cmp, nil, true)
+	if e.Baseline["date"] != "2026-01-01" {
+		t.Fatalf("baseline date %v, want 2026-01-01", e.Baseline["date"])
+	}
+	if e.Baseline["ns_per_op"] != int64(100) {
+		t.Fatalf("baseline ns_per_op %v (%T), want 100", e.Baseline["ns_per_op"], e.Baseline["ns_per_op"])
+	}
+}
+
+func sampleEntry(date, caseName string, nsPerOp float64) Entry {
+	return Entry{
+		Date: date, Benchmark: "perfgate", Case: caseName,
+		MachineClass: string(ClassCI1Core),
+		Host:         Host{Goos: "linux", Goarch: "amd64", CPU: "test", Cores: 1},
+		Iters:        100, Trials: 3, Status: "pass", Verdict: string(VerdictNoBaseline),
+		Results: map[string]any{"ns_per_op": nsPerOp},
+	}
+}

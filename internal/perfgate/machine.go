@@ -1,0 +1,112 @@
+// Package perfgate makes the BENCH_*.json ledger enforceable: declarative
+// performance cases under perf/cases/ declare per-machine-class goals
+// (max ns/op, max allocs/op, max peak bytes, min speedup, max p95), a
+// fixed-trial harness measures them with robust medians and noise bands,
+// a comparator checks the run against the newest ledger baseline for the
+// same case and machine class, and the run is appended to the ledger as a
+// structured entry — so a kernel or fabric regression fails CI instead of
+// landing silently behind a hand-written number.
+//
+// The shape follows DataDog's workload-checks: goals are relative to a
+// machine class, because a 1-core CI host genuinely cannot attest a ≥2x
+// parallel-speedup claim — those goals run advisory there and enforce on
+// hosts of the declaring class.
+package perfgate
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Class names a machine class: the hardware tier a case's goals are
+// declared against.
+type Class string
+
+const (
+	// ClassCI1Core is the single-core tier: shared CI runners and the
+	// build host behind the existing ledger entries. Latency and
+	// allocation goals hold here; parallel-speedup goals cannot.
+	ClassCI1Core Class = "ci-1core"
+	// ClassTypical is the multi-core tier a developer workstation or a
+	// schedd worker runs on; parallel-speedup goals enforce here.
+	ClassTypical Class = "typical"
+)
+
+// KnownClasses lists every class a case file may declare goals for.
+func KnownClasses() []Class { return []Class{ClassCI1Core, ClassTypical} }
+
+// ValidClass reports whether c is a declared machine class.
+func ValidClass(c Class) bool {
+	for _, k := range KnownClasses() {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
+// EffectiveCores is the parallelism actually available to the process:
+// NumCPU capped by GOMAXPROCS, so a containerized runner pinned to one
+// core classifies as ci-1core even on a big host.
+func EffectiveCores() int {
+	cores := runtime.NumCPU()
+	if p := runtime.GOMAXPROCS(0); p < cores {
+		cores = p
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	return cores
+}
+
+// Classify maps a core count onto a machine class.
+func Classify(cores int) Class {
+	if cores <= 1 {
+		return ClassCI1Core
+	}
+	return ClassTypical
+}
+
+// Detect returns the machine class of the current host.
+func Detect() Class { return Classify(EffectiveCores()) }
+
+// Host identifies the measuring machine in a ledger entry, in the same
+// shape the hand-written entries already use.
+type Host struct {
+	Goos   string `json:"goos"`
+	Goarch string `json:"goarch"`
+	CPU    string `json:"cpu"`
+	Cores  int    `json:"cores"`
+}
+
+// DetectHost describes the current host: GOOS/GOARCH, the CPU model from
+// /proc/cpuinfo when readable (matching `go test -bench`'s cpu: line), and
+// the effective core count.
+func DetectHost() Host {
+	return Host{
+		Goos:   runtime.GOOS,
+		Goarch: runtime.GOARCH,
+		CPU:    cpuModel(),
+		Cores:  EffectiveCores(),
+	}
+}
+
+// cpuModel reads the first "model name" from /proc/cpuinfo; "unknown" on
+// platforms without one.
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, value, ok := strings.Cut(sc.Text(), ":")
+		if ok && strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(value)
+		}
+	}
+	return "unknown"
+}

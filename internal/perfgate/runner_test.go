@@ -1,0 +1,119 @@
+package perfgate
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	cases := map[int]Class{0: ClassCI1Core, 1: ClassCI1Core, 2: ClassTypical, 64: ClassTypical}
+	for cores, want := range cases {
+		if got := Classify(cores); got != want {
+			t.Errorf("Classify(%d) = %s, want %s", cores, got, want)
+		}
+	}
+	if c := Detect(); !ValidClass(c) {
+		t.Errorf("Detect() = %q, not a known class", c)
+	}
+	h := DetectHost()
+	if h.Goos == "" || h.Goarch == "" || h.CPU == "" || h.Cores < 1 {
+		t.Errorf("DetectHost() = %+v, want every field populated", h)
+	}
+}
+
+func TestMedianAndNoise(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %g, want 2", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("median even = %g, want 2.5", m)
+	}
+	if n := noisePct([]float64{100}); n != 0 {
+		t.Errorf("single-sample noise = %g, want 0", n)
+	}
+	if n := noisePct([]float64{100, 100, 100}); n != 0 {
+		t.Errorf("flat noise = %g, want 0", n)
+	}
+	// {90, 100, 110}: MAD = 10, so noise = 1.4826 * 10 / 100 = 14.8%.
+	if n := noisePct([]float64{90, 100, 110}); math.Abs(n-14.826) > 1e-9 {
+		t.Errorf("noise = %g, want 14.826", n)
+	}
+	// One wild outlier widens but does not dominate the band: the MAD of
+	// {100, 100, 100, 1000} is 0.
+	if n := noisePct([]float64{100, 100, 100, 1000}); n != 0 {
+		t.Errorf("outlier noise = %g, want 0 (robust to one wild trial)", n)
+	}
+}
+
+// medianMetrics handles metrics that only some trials report (a workload
+// may skip a ReportMetric when a denominator is zero).
+func TestMedianMetricsPartial(t *testing.T) {
+	med := medianMetrics([]Measurement{
+		{"ns_per_op": 100, "speedup": 2},
+		{"ns_per_op": 110},
+		{"ns_per_op": 90, "speedup": 4},
+	})
+	if med["ns_per_op"] != 100 {
+		t.Errorf("ns_per_op median %g, want 100", med["ns_per_op"])
+	}
+	if med["speedup"] != 3 {
+		t.Errorf("speedup median %g, want 3 (over the two reporting trials)", med["speedup"])
+	}
+}
+
+// RunCase end-to-end on the cheapest registered workload: fixed iteration
+// count, trials measured, the always-on metrics present, and an unknown
+// workload surfacing as an error.
+func TestRunCaseEndToEnd(t *testing.T) {
+	one := 1
+	c := &Case{
+		Name: "e2e", Workload: "kernel-churn", Benchtime: "200x",
+		Warmup: &one, Trials: 3, TolerancePct: 20,
+		Goals: map[Class]Goals{ClassCI1Core: {}},
+	}
+	run, err := RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Iters != 200 {
+		t.Errorf("iters %d, want the fixed 200", run.Iters)
+	}
+	if len(run.Trials) != 3 {
+		t.Errorf("%d trials, want 3", len(run.Trials))
+	}
+	for _, k := range []string{"ns_per_op", "b_per_op", "allocs_per_op"} {
+		if _, ok := run.Median[k]; !ok {
+			t.Errorf("median missing always-measured metric %s", k)
+		}
+	}
+	if run.Median["ns_per_op"] <= 0 {
+		t.Errorf("ns_per_op %g, want > 0", run.Median["ns_per_op"])
+	}
+
+	c.Workload = "no-such-workload"
+	if _, err := RunCase(c); err == nil {
+		t.Fatal("unknown workload ran")
+	}
+}
+
+// A duration benchtime calibrates to enough iterations that one trial
+// meets the target.
+func TestRunCaseCalibrates(t *testing.T) {
+	zero := 0
+	c := &Case{
+		Name: "calibrated", Workload: "kernel-churn", Benchtime: "20ms",
+		Warmup: &zero, Trials: 2, TolerancePct: 20,
+		Goals: map[Class]Goals{ClassCI1Core: {}},
+	}
+	run, err := RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Iters < 2 {
+		t.Fatalf("calibrated to %d iters; a ~30ns/op workload needs far more to fill 20ms", run.Iters)
+	}
+	if got := time.Duration(run.Median["ns_per_op"] * float64(run.Iters)); got < 10*time.Millisecond {
+		t.Errorf("calibrated trial ran %v, want >= ~20ms target", got)
+	}
+}

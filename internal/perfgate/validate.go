@@ -1,0 +1,247 @@
+package perfgate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+)
+
+// ValidateLedgerFile validates one BENCH_*.json file against the ledger
+// schema (the normative JSON Schema lives at perf/ledger.schema.json;
+// this validator mirrors it in Go so the gate needs no external tooling).
+func ValidateLedgerFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := ValidateLedger(data); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// ValidateLedgerDir validates every BENCH_*.json under dir.
+func ValidateLedgerDir(dir string) error {
+	paths, err := LedgerFiles(dir)
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for _, p := range paths {
+		errs = append(errs, ValidateLedgerFile(p))
+	}
+	return errors.Join(errs...)
+}
+
+var datePattern = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}$`)
+
+// entryKeys is the closed set of ledger entry fields. An unknown key is
+// an error: the ledger is machine-appended, and a field the tooling does
+// not know is either a typo or a metric that belongs under "results".
+var entryKeys = map[string]bool{
+	"date": true, "benchmark": true, "case": true, "machine_class": true,
+	"description": true, "host": true, "iters": true, "trials": true,
+	"noise_pct": true, "results": true, "baseline": true, "goals": true,
+	"status": true, "verdict": true, "note": true,
+}
+
+var statusValues = map[string]bool{"pass": true, "fail": true}
+
+var verdictValues = map[string]bool{
+	string(VerdictRegression): true, string(VerdictImprovement): true,
+	string(VerdictWithinNoise): true, string(VerdictNoBaseline): true,
+}
+
+// ValidateLedger validates raw ledger bytes: a JSON array of entry
+// objects, each with a dated, host-attributed, numeric results block, and
+// the perfgate structured fields when present. All findings are returned
+// joined, not just the first.
+func ValidateLedger(data []byte) error {
+	var raw []map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("ledger is not a JSON array of objects: %w", err)
+	}
+	var errs []error
+	for i, obj := range raw {
+		for _, err := range validateEntry(obj) {
+			errs = append(errs, fmt.Errorf("entry %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func validateEntry(obj map[string]json.RawMessage) []error {
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	for k := range obj {
+		if !entryKeys[k] {
+			fail("unknown field %q (metrics belong under \"results\")", k)
+		}
+	}
+	for _, req := range []string{"date", "benchmark", "host", "results"} {
+		if _, ok := obj[req]; !ok {
+			fail("missing required field %q", req)
+		}
+	}
+	if s, ok := decodeString(obj, "date", fail); ok && !datePattern.MatchString(s) {
+		fail("date %q is not YYYY-MM-DD", s)
+	}
+	benchmark, benchOK := decodeString(obj, "benchmark", fail)
+	if benchOK && benchmark == "" {
+		fail("benchmark must be non-empty")
+	}
+	for _, k := range []string{"description", "note", "case"} {
+		decodeString(obj, k, fail)
+	}
+	if s, ok := decodeString(obj, "machine_class", fail); ok && !ValidClass(Class(s)) {
+		fail("machine_class %q is not a known class %v", s, KnownClasses())
+	}
+	if s, ok := decodeString(obj, "status", fail); ok && !statusValues[s] {
+		fail("status %q is not pass|fail", s)
+	}
+	if s, ok := decodeString(obj, "verdict", fail); ok && !verdictValues[s] {
+		fail("verdict %q is not a comparison verdict", s)
+	}
+	for _, k := range []string{"iters", "trials"} {
+		if raw, ok := obj[k]; ok {
+			var n float64
+			if err := json.Unmarshal(raw, &n); err != nil || n != math.Trunc(n) || n < 1 {
+				fail("%s must be a positive integer, got %s", k, raw)
+			}
+		}
+	}
+	if raw, ok := obj["noise_pct"]; ok {
+		var n float64
+		if err := json.Unmarshal(raw, &n); err != nil || n < 0 {
+			fail("noise_pct must be a non-negative number, got %s", raw)
+		}
+	}
+	if raw, ok := obj["host"]; ok {
+		validateHost(raw, fail)
+	}
+	if raw, ok := obj["results"]; ok {
+		var res map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &res); err != nil {
+			fail("results is not an object: %v", err)
+		} else if len(res) == 0 {
+			fail("results is empty")
+		} else {
+			for k, v := range res {
+				validateResultValue("results."+k, v, 0, fail)
+			}
+		}
+	}
+	if raw, ok := obj["baseline"]; ok {
+		validateBaseline(raw, fail)
+	}
+	if raw, ok := obj["goals"]; ok {
+		var goals []string
+		if err := json.Unmarshal(raw, &goals); err != nil {
+			fail("goals is not an array of strings: %v", err)
+		}
+	}
+	if benchmark == "perfgate" {
+		for _, req := range []string{"case", "machine_class", "trials", "status", "verdict"} {
+			if _, ok := obj[req]; !ok {
+				fail("perfgate entry missing %q", req)
+			}
+		}
+	}
+	return errs
+}
+
+func decodeString(obj map[string]json.RawMessage, key string, fail func(string, ...any)) (string, bool) {
+	raw, ok := obj[key]
+	if !ok {
+		return "", false
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		fail("%s is not a string: %v", key, err)
+		return "", false
+	}
+	return s, true
+}
+
+func validateHost(raw json.RawMessage, fail func(string, ...any)) {
+	var host map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &host); err != nil {
+		fail("host is not an object: %v", err)
+		return
+	}
+	hostKeys := map[string]bool{"goos": true, "goarch": true, "cpu": true, "cores": true}
+	for k := range host {
+		if !hostKeys[k] {
+			fail("host: unknown field %q", k)
+		}
+	}
+	for _, k := range []string{"goos", "goarch", "cpu"} {
+		raw, ok := host[k]
+		if !ok {
+			fail("host: missing %q", k)
+			continue
+		}
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil || s == "" {
+			fail("host.%s must be a non-empty string, got %s", k, raw)
+		}
+	}
+	if raw, ok := host["cores"]; !ok {
+		fail("host: missing \"cores\"")
+	} else {
+		var n float64
+		if err := json.Unmarshal(raw, &n); err != nil || n != math.Trunc(n) || n < 1 {
+			fail("host.cores must be a positive integer, got %s", raw)
+		}
+	}
+}
+
+// validateResultValue accepts a finite number or an object of such values
+// (one level of nesting covers the legacy before/after records; deeper
+// nesting is almost certainly a paste error).
+func validateResultValue(path string, raw json.RawMessage, depth int, fail func(string, ...any)) {
+	var n float64
+	if err := json.Unmarshal(raw, &n); err == nil {
+		if math.IsInf(n, 0) || math.IsNaN(n) {
+			fail("%s is not finite", path)
+		}
+		return
+	}
+	if depth >= 2 {
+		fail("%s: results nest deeper than before/after objects", path)
+		return
+	}
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		fail("%s must be a number or an object of numbers, got %s", path, raw)
+		return
+	}
+	for k, v := range obj {
+		validateResultValue(path+"."+k, v, depth+1, fail)
+	}
+}
+
+func validateBaseline(raw json.RawMessage, fail func(string, ...any)) {
+	var base map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fail("baseline is not an object: %v", err)
+		return
+	}
+	for k, v := range base {
+		if k == "date" {
+			var s string
+			if err := json.Unmarshal(v, &s); err != nil || !datePattern.MatchString(s) {
+				fail("baseline.date must be YYYY-MM-DD, got %s", v)
+			}
+			continue
+		}
+		var n float64
+		if err := json.Unmarshal(v, &n); err != nil {
+			fail("baseline.%s must be a number, got %s", k, v)
+		}
+	}
+}

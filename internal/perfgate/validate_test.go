@@ -1,0 +1,137 @@
+package perfgate
+
+import (
+	"strings"
+	"testing"
+)
+
+// The repo's real ledgers must validate: this is the executable version of
+// the schema at perf/ledger.schema.json, run against every BENCH_*.json in
+// the repo root.
+func TestValidateRepoLedgers(t *testing.T) {
+	paths, err := LedgerFiles("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_*.json in the repo root; the ledger should exist")
+	}
+	for _, p := range paths {
+		if err := ValidateLedgerFile(p); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+func TestValidateLedgerFindings(t *testing.T) {
+	valid := `[
+	  {
+	    "date": "2026-08-05",
+	    "benchmark": "kernel-hot-path",
+	    "host": {"goos": "linux", "goarch": "amd64", "cpu": "test", "cores": 1},
+	    "results": {"BenchmarkKernelEventChurn": {"before": {"ns_per_op": 113.8}, "after": {"ns_per_op": 45.3}}},
+	    "note": "legacy before/after nesting is allowed"
+	  }
+	]`
+	if err := ValidateLedger([]byte(valid)); err != nil {
+		t.Fatalf("valid legacy ledger rejected: %v", err)
+	}
+
+	cases := []struct {
+		name, ledger, want string
+	}{
+		{
+			"not an array",
+			`{"date": "2026-08-05"}`,
+			"not a JSON array",
+		},
+		{
+			"top-level metric",
+			`[{"date": "2026-08-05", "benchmark": "x", "speedup": 1.5,
+			  "host": {"goos": "l", "goarch": "a", "cpu": "c", "cores": 1}, "results": {"n": 1}}]`,
+			`unknown field "speedup"`,
+		},
+		{
+			"bad date",
+			`[{"date": "Aug 5", "benchmark": "x",
+			  "host": {"goos": "l", "goarch": "a", "cpu": "c", "cores": 1}, "results": {"n": 1}}]`,
+			"not YYYY-MM-DD",
+		},
+		{
+			"missing results",
+			`[{"date": "2026-08-05", "benchmark": "x",
+			  "host": {"goos": "l", "goarch": "a", "cpu": "c", "cores": 1}}]`,
+			`missing required field "results"`,
+		},
+		{
+			"host missing cores",
+			`[{"date": "2026-08-05", "benchmark": "x",
+			  "host": {"goos": "l", "goarch": "a", "cpu": "c"}, "results": {"n": 1}}]`,
+			`host: missing "cores"`,
+		},
+		{
+			"non-numeric result",
+			`[{"date": "2026-08-05", "benchmark": "x",
+			  "host": {"goos": "l", "goarch": "a", "cpu": "c", "cores": 1}, "results": {"n": "fast"}}]`,
+			"must be a number or an object of numbers",
+		},
+		{
+			"results nested too deep",
+			`[{"date": "2026-08-05", "benchmark": "x",
+			  "host": {"goos": "l", "goarch": "a", "cpu": "c", "cores": 1},
+			  "results": {"a": {"b": {"c": {"d": 1}}}}}]`,
+			"nest deeper",
+		},
+		{
+			"bad status",
+			`[{"date": "2026-08-05", "benchmark": "x", "status": "ok",
+			  "host": {"goos": "l", "goarch": "a", "cpu": "c", "cores": 1}, "results": {"n": 1}}]`,
+			"not pass|fail",
+		},
+		{
+			"bad machine class",
+			`[{"date": "2026-08-05", "benchmark": "x", "machine_class": "mainframe",
+			  "host": {"goos": "l", "goarch": "a", "cpu": "c", "cores": 1}, "results": {"n": 1}}]`,
+			"machine_class",
+		},
+		{
+			"perfgate entry missing structured fields",
+			`[{"date": "2026-08-05", "benchmark": "perfgate",
+			  "host": {"goos": "l", "goarch": "a", "cpu": "c", "cores": 1}, "results": {"n": 1}}]`,
+			`perfgate entry missing "case"`,
+		},
+		{
+			"fractional trials",
+			`[{"date": "2026-08-05", "benchmark": "x", "trials": 2.5,
+			  "host": {"goos": "l", "goarch": "a", "cpu": "c", "cores": 1}, "results": {"n": 1}}]`,
+			"trials must be a positive integer",
+		},
+	}
+	for _, tc := range cases {
+		err := ValidateLedger([]byte(tc.ledger))
+		if err == nil {
+			t.Errorf("%s: validated, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// Every finding is reported, not just the first.
+func TestValidateLedgerJoinsFindings(t *testing.T) {
+	ledger := `[
+	  {"date": "bad", "benchmark": "x", "host": {"goos": "l", "goarch": "a", "cpu": "c", "cores": 1}, "results": {"n": 1}},
+	  {"date": "2026-08-05", "benchmark": "", "host": {"goos": "l", "goarch": "a", "cpu": "c", "cores": 1}, "results": {"n": 1}}
+	]`
+	err := ValidateLedger([]byte(ledger))
+	if err == nil {
+		t.Fatal("two bad entries validated")
+	}
+	for _, want := range []string{"entry 0", "entry 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+}

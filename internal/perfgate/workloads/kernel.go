@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// KernelEventThroughput isolates the event-queue engine: one
+// self-rescheduling chain, the cheapest possible schedule/fire cycle.
+func KernelEventThroughput(b B) {
+	k := sim.NewKernel(1)
+	count := 0
+	n := b.N()
+	var reschedule func()
+	reschedule = func() {
+		count++
+		if count < n {
+			k.After(sim.Time(count%97+1), reschedule)
+		}
+	}
+	b.ResetTimer()
+	k.After(1, reschedule)
+	k.Run()
+}
+
+// KernelEventChurn drives 64 interleaved self-rescheduling event chains —
+// the schedule/fire pattern that dominates simulation runs — and its
+// allocs/op is the event pool's headline number.
+func KernelEventChurn(b B) {
+	b.ReportAllocs()
+	k := sim.NewKernel(1)
+	remaining := b.N()
+	var fire func()
+	fire = func() {
+		if remaining > 0 {
+			remaining--
+			k.After(sim.Time(remaining%127+1), fire)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < 64 && i < b.N(); i++ {
+		k.After(sim.Time(i+1), fire)
+	}
+	k.Run()
+}
+
+// TimerCancelStorm schedules batches of timers and cancels three quarters
+// of them before they fire — the slice-expiry/retry-timer pattern where
+// most armed timers never run.
+func TimerCancelStorm(b B) {
+	b.ReportAllocs()
+	k := sim.NewKernel(1)
+	const batch = 256
+	fired := 0
+	b.ResetTimer()
+	for i := 0; i < b.N(); i++ {
+		want := fired + batch/4
+		for j := 0; j < batch; j++ {
+			tm := k.After(sim.Time(j%61+1), func() { fired++ })
+			if j%4 != 0 {
+				tm.Stop()
+			}
+		}
+		k.Run()
+		if fired != want {
+			b.Fatalf("fired %d of batch, want %d", fired, want)
+		}
+	}
+}
+
+// AllToAll16 runs a 16-node mesh all-to-all exchange — the message pattern
+// that stresses the store-and-forward router hot path (enqueue routing,
+// link hand-off, per-hop timers).
+func AllToAll16(b B) {
+	b.ReportAllocs()
+	const n = 16
+	b.ResetTimer()
+	for i := 0; i < b.N(); i++ {
+		k := sim.NewKernel(1)
+		mach := machine.NewMachine(k, n, 4<<20, machine.DefaultCostModel())
+		ids := make([]int, n)
+		for j := range ids {
+			ids[j] = j
+		}
+		net := comm.MustNewNetwork(mach, ids, topology.MustBuild(topology.Mesh, n), comm.StoreForward)
+		boxes := make([]*comm.Mailbox, n)
+		for j := 0; j < n; j++ {
+			boxes[j] = net.NewMailbox(j)
+		}
+		for j := 0; j < n; j++ {
+			j := j
+			k.Spawn(fmt.Sprintf("rank%d", j), func(p *sim.Proc) {
+				task := net.NodeOf(j).CPU.NewTask(fmt.Sprintf("rank%d", j), machine.PriLow)
+				for d := 0; d < n; d++ {
+					if d == j {
+						continue
+					}
+					net.Send(p, task, &comm.Message{
+						Src: comm.Addr{Node: j}, Dst: comm.Addr{Node: d},
+						Bytes: 256, Tag: "a2a",
+					})
+				}
+				for r := 0; r < n-1; r++ {
+					m := net.Recv(p, task, boxes[j])
+					net.Release(m)
+				}
+			})
+		}
+		k.Run()
+		stats := net.Stats()
+		if stats.MessagesDelivered != n*(n-1) {
+			b.Fatalf("delivered %d messages, want %d", stats.MessagesDelivered, n*(n-1))
+		}
+		k.Shutdown()
+	}
+}

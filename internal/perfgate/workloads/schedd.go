@@ -1,0 +1,180 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// quietLogger drops the per-request log lines: the workload measures the
+// serving path, and a benchmark run printing thousands of slog lines
+// would both distort the numbers and bury the report.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// scheddBody is the POST /v1/run body the serve workloads use: the
+// cheapest closed-batch run that still crosses the whole serving stack
+// (parse, canonical hash, cache, engine, summary rendering). Seed varies
+// the content address, so seed 0 repeated is the cached path and a fresh
+// seed per request is the cold path.
+func scheddBody(seed int64) []byte {
+	return []byte(fmt.Sprintf(
+		`{"config":{"partition":4,"policy":"static","app":"matmul","arch":"fixed","seed":%d}}`, seed))
+}
+
+// scheddClient returns a client that keeps enough idle connections for the
+// load workload's concurrency; the default transport caps idle conns per
+// host at 2 and would measure connection churn instead of the server.
+func scheddClient(ts *httptest.Server) *http.Client {
+	tr := ts.Client().Transport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = 32
+	return &http.Client{Transport: tr}
+}
+
+// scheddPost issues one run request and returns the X-Cache header.
+func scheddPost(c *http.Client, url string, body []byte) (string, error) {
+	resp, err := c.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return resp.Header.Get("X-Cache"), nil
+}
+
+// ScheddRunCached measures the serving tier's hit path: a full HTTP
+// round-trip through the content-addressed LRU for a result computed once
+// in setup. ns/op here is pure serving overhead — parse, hash, cache get,
+// response write — with zero simulation.
+func ScheddRunCached(b B) {
+	srv := serve.New(serve.Options{Workers: 1, Logger: quietLogger()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := scheddClient(ts)
+	body := scheddBody(0)
+	if _, err := scheddPost(client, ts.URL, body); err != nil {
+		b.Fatalf("warm request: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N(); i++ {
+		cache, err := scheddPost(client, ts.URL, body)
+		if err != nil {
+			b.Fatalf("request %d: %v", i, err)
+		}
+		if cache != "hit" {
+			b.Fatalf("request %d: X-Cache %q, want hit", i, cache)
+		}
+	}
+}
+
+// ScheddRunCold measures the serving tier's miss path: every request
+// carries a fresh seed, so each round-trip parses, hashes, misses the LRU
+// and the tier-2 disk store, simulates on the engine pool, renders the
+// summary and write-behinds the result to disk — the full cost of a
+// never-seen config.
+func ScheddRunCold(b B) {
+	dir, err := os.MkdirTemp("", "perfgate-store-")
+	if err != nil {
+		b.Fatalf("store dir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	srv, err := serve.Open(serve.Options{Workers: 1, StoreDir: dir, Logger: quietLogger()})
+	if err != nil {
+		b.Fatalf("open server: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := scheddClient(ts)
+	b.ResetTimer()
+	for i := 0; i < b.N(); i++ {
+		cache, err := scheddPost(client, ts.URL, scheddBody(int64(i)+1))
+		if err != nil {
+			b.Fatalf("request %d: %v", i, err)
+		}
+		if cache != "miss" {
+			b.Fatalf("request %d: X-Cache %q, want miss", i, cache)
+		}
+	}
+}
+
+// ScheddServeLoad hammers the server with 8 concurrent clients cycling
+// over 16 pre-warmed configs and reports the p95 request latency
+// ("p95_ms") and sustained throughput ("req_per_sec") — the serving-tier
+// tail-latency number under contention, dominated by cache hits exactly
+// like a production fleet at steady state.
+func ScheddServeLoad(b B) {
+	const clients = 8
+	const configs = 16
+	srv := serve.New(serve.Options{Workers: 1, MaxInflight: 2, QueueDepth: 32, Logger: quietLogger()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := scheddClient(ts)
+	bodies := make([][]byte, configs)
+	for i := range bodies {
+		bodies[i] = scheddBody(int64(i) + 1)
+		if _, err := scheddPost(client, ts.URL, bodies[i]); err != nil {
+			b.Fatalf("warm config %d: %v", i, err)
+		}
+	}
+	total := b.N()
+	var next atomic.Int64
+	latencies := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	var failed atomic.Value
+	b.ResetTimer()
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(total) {
+					return
+				}
+				reqStart := time.Now()
+				if _, err := scheddPost(client, ts.URL, bodies[i%configs]); err != nil {
+					failed.Store(fmt.Errorf("request %d: %w", i, err))
+					return
+				}
+				latencies[c] = append(latencies[c], time.Since(reqStart))
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err := failed.Load(); err != nil {
+		b.Fatalf("%v", err)
+	}
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p95 := all[(len(all)*95)/100%len(all)]
+	b.ReportMetric(float64(p95.Nanoseconds())/1e6, "p95_ms")
+	if s := wall.Seconds(); s > 0 {
+		b.ReportMetric(float64(len(all))/s, "req_per_sec")
+	}
+}

@@ -1,0 +1,26 @@
+// Serving-tier benchmarks. The bodies live in internal/perfgate/workloads
+// (this file is package serve_test because workloads imports serve) so
+// `go test -bench` here and the perfgate serve-group cases measure the
+// exact same code: cached is the pure serving overhead of a content-cache
+// hit, cold the full cost of a never-seen config, load the p95 tail under
+// concurrent clients.
+package serve_test
+
+import (
+	"testing"
+
+	"repro/internal/perfgate/workloads"
+)
+
+// BenchmarkScheddRunCached measures POST /v1/run on the hit path: parse,
+// canonical hash, LRU get, response write — zero simulation.
+func BenchmarkScheddRunCached(b *testing.B) { workloads.ScheddRunCached(workloads.TB(b)) }
+
+// BenchmarkScheddRunCold measures POST /v1/run with a fresh seed per
+// request: LRU and tier-2 store miss, engine execution, summary render,
+// write-behind store flush.
+func BenchmarkScheddRunCold(b *testing.B) { workloads.ScheddRunCold(workloads.TB(b)) }
+
+// BenchmarkScheddServeLoad hammers the server with 8 concurrent clients
+// over 16 pre-warmed configs and reports p95_ms and req_per_sec.
+func BenchmarkScheddServeLoad(b *testing.B) { workloads.ScheddServeLoad(workloads.TB(b)) }

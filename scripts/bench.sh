@@ -1,165 +1,38 @@
 #!/bin/sh
-# Benchmark ledger: runs a benchmark suite and appends a dated entry to
-# the newest BENCH_<date>.json in the repo root (creating a dated file if
-# none exists) — the ledger is appended by machine, not hand-edited.
+# Benchmark ledger: thin wrapper over the perfgate harness. Each mode runs
+# the matching group of declarative cases under perf/cases/ (warmup +
+# repeated trials, medians, goal checks, baseline comparison) and appends
+# structured entries to BENCH_<today>.json in the repo root — the ledger is
+# appended by machine, not hand-edited, and `go run ./cmd/perfgate` is the
+# single implementation of the append.
 #
 # Usage (from the repo root, or `make bench-ledger`):
-#   ./scripts/bench.sh [kernel|fork|arrivals|all]     default: all
+#   ./scripts/bench.sh [kernel|fork|arrivals|sweep|serve|all]   default: all
 #
 # kernel    sim/comm micro-benchmarks (event churn, timer cancel storm,
-#           event throughput, 16-node all-to-all); window BENCHTIME (1s).
-# fork      BenchmarkSweepForked: warm-state forking vs the cold reference
-#           on the shared-prefix 32-point sweep; fixed iteration count
-#           FORK_BENCHTIME (5x) so cold and warm see identical plans.
-# arrivals  BenchmarkArrivalThroughput: open-system streaming jobs/sec on
-#           the flat-memory gate configuration; fixed iteration count
-#           ARRIVAL_BENCHTIME (3x).
+#           event throughput, 16-node all-to-all)
+# fork      warm-state forking vs the cold reference on the shared-prefix
+#           32-point sweep (speedup floor 5x)
+# arrivals  open-system streaming jobs/sec plus the 1M-job peak-heap case
+# sweep     engine.Execute parallel scaling at 1 vs NumCPU workers
+# serve     schedd hit/miss round-trips and p95 under concurrent load
+#
+# Extra perfgate flags pass through, e.g.:
+#   ./scripts/bench.sh kernel -no-append
 set -eu
 
 MODE="${1:-all}"
-BENCHTIME="${BENCHTIME:-1s}"
-FORK_BENCHTIME="${FORK_BENCHTIME:-5x}"
-ARRIVAL_BENCHTIME="${ARRIVAL_BENCHTIME:-3x}"
-DATE=$(date +%Y-%m-%d)
-
-# Append to the newest existing ledger file so one file accumulates the
-# before/after history; start a dated file only on first use.
-OUT=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
-[ -n "$OUT" ] || OUT="BENCH_${DATE}.json"
-
-# append_entry ENTRY: append one JSON object to the OUT array.
-append_entry() {
-	if [ ! -f "$OUT" ]; then
-		printf '[\n%s\n]\n' "$1" > "$OUT"
-	else
-		# Drop the closing ']', put a comma after the (now) last entry,
-		# add the new entry, close the array.
-		TMP=$(mktemp)
-		sed '$d' "$OUT" > "$TMP"
-		last=$(tail -1 "$TMP")
-		sed '$d' "$TMP" > "$OUT"
-		printf '%s,\n%s\n]\n' "$last" "$1" >> "$OUT"
-		rm -f "$TMP"
-	fi
-}
-
-GOOS=$(go env GOOS)
-GOARCH=$(go env GOARCH)
-CORES=$(nproc 2>/dev/null || echo 1)
-
-run_kernel() {
-	RAW=$(go test -run '^$' -bench 'BenchmarkKernel|BenchmarkNetworkAllToAll' \
-		-benchmem -benchtime "$BENCHTIME" .)
-	printf '%s\n' "$RAW"
-	CPU=$(printf '%s\n' "$RAW" | sed -n 's/^cpu: //p')
-
-	# One "name": {ns_per_op, b_per_op, allocs_per_op} line per benchmark,
-	# comma-separated. The -N CPU suffix is stripped from names.
-	RESULTS=$(printf '%s\n' "$RAW" | awk '
-		/^Benchmark/ {
-			name = $1; sub(/-[0-9]+$/, "", name)
-			printf "%s      \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $3, $5, $7
-			sep = ",\n"
-		}')
-
-	ENTRY=$(cat <<EOF
-  {
-    "date": "${DATE}",
-    "benchmark": "kernel-hot-path",
-    "description": "sim event pool / no-handle timers / 4-ary heap / router next-hop table micro-benchmarks (bench_test.go), benchtime ${BENCHTIME}",
-    "host": {"goos": "${GOOS}", "goarch": "${GOARCH}", "cpu": "${CPU}", "cores": ${CORES}},
-    "results": {
-${RESULTS}
-    }
-  }
-EOF
-)
-	append_entry "$ENTRY"
-	echo "appended kernel-hot-path entry to $OUT"
-}
-
-run_fork() {
-	RAW=$(go test -run '^$' -bench 'BenchmarkSweepForked' -benchtime "$FORK_BENCHTIME" .)
-	printf '%s\n' "$RAW"
-	CPU=$(printf '%s\n' "$RAW" | sed -n 's/^cpu: //p')
-
-	COLD=$(printf '%s\n' "$RAW" | awk '/^BenchmarkSweepForked\/cold/ {print $3}')
-	WARM=$(printf '%s\n' "$RAW" | awk '/^BenchmarkSweepForked\/warm/ {print $3}')
-	if [ -z "$COLD" ] || [ -z "$WARM" ]; then
-		echo "bench.sh: BenchmarkSweepForked produced no cold/warm lines" >&2
-		exit 1
-	fi
-	SPEEDUP=$(awk "BEGIN {printf \"%.2f\", $COLD / $WARM}")
-	echo "sweep-forked speedup: ${SPEEDUP}x (cold ${COLD} ns/op, warm ${WARM} ns/op)"
-
-	ENTRY=$(cat <<EOF
-  {
-    "date": "${DATE}",
-    "benchmark": "sweep-forked",
-    "description": "BenchmarkSweepForked: shared-prefix 32-point sweep (quanta x seeds over a 32-job warm-up wave), cold = core.RunForked per point (full prefix every time), warm = engine.NewForkSweep (prefix once, snapshot resume per point); benchtime ${FORK_BENCHTIME}",
-    "host": {"goos": "${GOOS}", "goarch": "${GOARCH}", "cpu": "${CPU}", "cores": ${CORES}},
-    "results": {
-      "cold_ns_per_op": ${COLD},
-      "warm_ns_per_op": ${WARM},
-      "speedup": ${SPEEDUP}
-    },
-    "note": "Byte-identity of warm vs cold output is asserted by make fork-gate (TestForkSweepWarmEqualsCold at -j 1 and -j 8, TestClusterForkResume for the serialized wire path); acceptance floor for speedup is 5x."
-  }
-EOF
-)
-	append_entry "$ENTRY"
-	echo "appended sweep-forked entry to $OUT"
-}
-
-run_arrivals() {
-	RAW=$(go test -run '^$' -bench 'BenchmarkArrivalThroughput' -benchmem -benchtime "$ARRIVAL_BENCHTIME" .)
-	printf '%s\n' "$RAW"
-	CPU=$(printf '%s\n' "$RAW" | sed -n 's/^cpu: //p')
-
-	# The benchmark line carries ns/op plus the custom jobs/sec metric and
-	# -benchmem's B/op and allocs/op; pick each value by its unit.
-	LINE=$(printf '%s\n' "$RAW" | awk '/^BenchmarkArrivalThroughput/ {print; exit}')
-	NSOP=$(printf '%s\n' "$LINE" | awk '{for (i=1;i<NF;i++) if ($(i+1)=="ns/op") print $i}')
-	JPS=$(printf '%s\n' "$LINE" | awk '{for (i=1;i<NF;i++) if ($(i+1)=="jobs/sec") print $i}')
-	BOP=$(printf '%s\n' "$LINE" | awk '{for (i=1;i<NF;i++) if ($(i+1)=="B/op") print $i}')
-	AOP=$(printf '%s\n' "$LINE" | awk '{for (i=1;i<NF;i++) if ($(i+1)=="allocs/op") print $i}')
-	if [ -z "$JPS" ]; then
-		echo "bench.sh: BenchmarkArrivalThroughput produced no jobs/sec metric" >&2
-		exit 1
-	fi
-	echo "arrival throughput: ${JPS} jobs/sec"
-
-	ENTRY=$(cat <<EOF
-  {
-    "date": "${DATE}",
-    "benchmark": "arrival-throughput",
-    "description": "BenchmarkArrivalThroughput: open-system Poisson stream of 20k jobs on the flat-memory gate configuration (static policy, single-node partitions, rho=0.5); jobs/sec is simulated jobs per wall-clock second; benchtime ${ARRIVAL_BENCHTIME}",
-    "host": {"goos": "${GOOS}", "goarch": "${GOARCH}", "cpu": "${CPU}", "cores": ${CORES}},
-    "results": {
-      "ns_per_op": ${NSOP},
-      "jobs_per_sec": ${JPS},
-      "b_per_op": ${BOP},
-      "allocs_per_op": ${AOP}
-    },
-    "note": "Flat memory at 1M jobs is asserted by make open-gate (TestOpenGateFlatMemory under -race); the sketch's quantile error bound by TestOpenGateSketchAccuracy."
-  }
-EOF
-)
-	append_entry "$ENTRY"
-	echo "appended arrival-throughput entry to $OUT"
-}
+[ $# -gt 0 ] && shift
 
 case "$MODE" in
-kernel) run_kernel ;;
-fork) run_fork ;;
-arrivals) run_arrivals ;;
+kernel | fork | arrivals | sweep | serve)
+	exec go run ./cmd/perfgate -group "$MODE" "$@"
+	;;
 all)
-	run_kernel
-	run_fork
-	run_arrivals
+	exec go run ./cmd/perfgate "$@"
 	;;
 *)
-	echo "usage: scripts/bench.sh [kernel|fork|arrivals|all]" >&2
+	echo "usage: scripts/bench.sh [kernel|fork|arrivals|sweep|serve|all] [perfgate flags]" >&2
 	exit 2
 	;;
 esac

@@ -80,3 +80,14 @@ go test -run '^$' -bench BenchmarkSweepParallel -benchtime 1x .
 # micro-benchmarks must keep compiling and running; full-precision numbers
 # go to the BENCH_*.json ledger via scripts/bench.sh.
 go test -run '^$' -bench 'BenchmarkKernel|BenchmarkNetworkAllToAll' -benchmem -benchtime 1x .
+
+# Perf gate (make perf-gate): the declarative workload cases under
+# perf/cases/ measured with warmup + trials, checked against per-class
+# goals and the newest BENCH_*.json baseline, appended to BENCH_<today>.json.
+# Heavyweight (minutes of repeated benchmark trials on a loaded CI host),
+# so it fires only when PERF_GATE=1; the ledger validator always runs so a
+# hand-edit that corrupts BENCH_*.json fails every CI run, cheap or not.
+go run ./cmd/perfgate -validate
+if [ "${PERF_GATE:-0}" = "1" ]; then
+	make perf-gate
+fi
